@@ -1,0 +1,37 @@
+//===--- BenchUtil.h - Shared helpers for bench binaries --------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared utilities for the bench/ binaries that regenerate the
+/// paper's tables and figures. Scale with TELECHAT_BENCH_SCALE=full for
+/// the unscaled sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_BENCH_BENCHUTIL_H
+#define TELECHAT_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace telechat_bench {
+
+inline bool fullScale() {
+  const char *Env = getenv("TELECHAT_BENCH_SCALE");
+  return Env && strcmp(Env, "full") == 0;
+}
+
+inline void header(const std::string &Title) {
+  printf("\n============================================================\n");
+  printf("%s\n", Title.c_str());
+  printf("============================================================\n");
+}
+
+} // namespace telechat_bench
+
+#endif // TELECHAT_BENCH_BENCHUTIL_H

@@ -1,0 +1,185 @@
+//===--- bench_bug_campaign.cpp - Paper §IV-C bug campaign (E6) -----------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// Reproduces the four reported bugs [36]-[39] plus the MIPS missed
+// optimisation [40], each as buggy-profile-finds / fixed-profile-clean:
+//  [37] 128-bit seq_cst load via plain LDP reorders before a prior RMW;
+//  [39] 128-bit stores write the register pair wrong-endian;
+//  [36] 128-bit *const* atomic loads compile to an LDXP/STXP loop that
+//       writes read-only memory (run-time crash); the official model
+//       misses it until augmented with const-violation flagging;
+//  [40] GCC keeps a NOP in the MIPS branch delay slot of LL/SC loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "compiler/Compiler.h"
+#include "core/Telechat.h"
+#include "litmus/Parser.h"
+
+using namespace telechat;
+using namespace telechat_bench;
+
+namespace {
+
+int failures = 0;
+
+void expect(bool Cond, const char *What) {
+  printf("  %-68s %s\n", What, Cond ? "ok" : "FAIL");
+  if (!Cond)
+    ++failures;
+}
+
+/// 128-bit store observed by a 128-bit load (wrong-endian detector).
+const char *Wide = R"(C wide128
+{ __int128 *x = 0; }
+void P0(atomic_int128* x) {
+  atomic_store_explicit(x, 2:1, memory_order_release);
+}
+void P1(atomic_int128* x) {
+  int r0 = atomic_load_explicit(x, memory_order_acquire);
+}
+exists (P1:r0=2:1)
+)";
+
+/// const 128-bit atomic load (paper [36]): the v8.0 lowering writes back.
+const char *ConstLoad = R"(C const128
+{ const __int128 *c = 5; }
+void P0(atomic_int128* c) {
+  int r0 = atomic_load_explicit(c, memory_order_seq_cst);
+}
+exists (P0:r0=5)
+)";
+
+/// 128-bit seq_cst load after an RMW (paper [37]): LDP may be reordered
+/// before the prior CAS-loop store.
+const char *SeqCst128 = R"(C seqcst128
+{ __int128 *x = 0; *y = 0; }
+void P0(atomic_int128* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_seq_cst);
+}
+void P1(atomic_int128* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_seq_cst);
+  int r1 = atomic_load_explicit(x, memory_order_seq_cst);
+}
+exists (P0:r0=0 /\ P1:r1=0)
+)";
+
+Profile v84(bool Buggy) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  P.Features.Lse = true;
+  P.Features.Lse2 = true;
+  if (Buggy) {
+    P.Bugs.SeqCst128Ldp = true;
+    P.Bugs.Stp128WrongEndian = true;
+    P.Bugs.ConstAtomicStore = true;
+  }
+  return P;
+}
+
+} // namespace
+
+int main() {
+  header("§IV-C: the bug-finding campaign, buggy vs fixed profiles");
+
+  printf("\n[39] wrong-endian 128-bit atomic store "
+         "(llvm-project #61431):\n");
+  ErrorOr<LitmusTest> W = parseLitmusC(Wide);
+  if (!W) {
+    printf("parse: %s\n", W.error().c_str());
+    return 1;
+  }
+  TelechatResult R1 = runTelechat(*W, v84(true));
+  expect(R1.ok() && R1.isBug(),
+         "buggy llvm-11 profile: store halves flipped -> value bug found");
+  for (const Outcome &Witness : R1.Compare.Witnesses)
+    printf("    witness: %s (stored 2:1, observed flipped)\n",
+           Witness.toString().c_str());
+  TelechatResult R2 = runTelechat(*W, v84(false));
+  expect(R2.ok() && !R2.isBug(), "fixed profile: clean");
+
+  printf("\n[37] 128-bit seq_cst LDP missing barrier "
+         "(llvm-project #62652):\n");
+  ErrorOr<LitmusTest> S = parseLitmusC(SeqCst128);
+  if (!S) {
+    printf("parse: %s\n", S.error().c_str());
+    return 1;
+  }
+  TelechatResult R3 = runTelechat(*S, v84(true));
+  expect(R3.ok() && R3.Compare.K == CompareResult::Kind::Positive,
+         "buggy profile: SC store-load pair reorders -> SB outcome leaks");
+  TelechatResult R4 = runTelechat(*S, v84(false));
+  expect(R4.ok() && !R4.isBug(),
+         "fixed profile (GCC-style DMB, paper [28]): clean");
+
+  printf("\n[36] const 128-bit atomic load writes read-only memory "
+         "(llvm-project #61770):\n");
+  ErrorOr<LitmusTest> C = parseLitmusC(ConstLoad);
+  if (!C) {
+    printf("parse: %s\n", C.error().c_str());
+    return 1;
+  }
+  {
+    // Plain official model: the write to const memory goes unnoticed.
+    TestOptions Plain;
+    TelechatResult R5 = runTelechat(*C, v84(true), Plain);
+    bool MissedByOfficial =
+        R5.ok() && R5.Compare.TargetFlags.empty();
+    expect(MissedByOfficial,
+           "official aarch64 model: const violation NOT flagged (missed)");
+    TestOptions Augmented;
+    Augmented.ConstAugmentedModel = true;
+    TelechatResult R6 = runTelechat(*C, v84(true), Augmented);
+    bool Flagged = false;
+    for (const std::string &F : R6.Compare.TargetFlags)
+      if (F == "const-violation")
+        Flagged = true;
+    expect(R6.ok() && Flagged,
+           "augmented model: const-violation flagged (run-time crash)");
+    TelechatResult R7 = runTelechat(*C, v84(false), Augmented);
+    bool Clean = true;
+    for (const std::string &F : R7.Compare.TargetFlags)
+      if (F == "const-violation")
+        Clean = false;
+    expect(R7.ok() && Clean,
+           "v8.4 LSE2 single-copy-atomic LDP: no write, clean");
+  }
+
+  printf("\n[40] MIPS branch delay slots not filled with atomic stores "
+         "(GCC PR 110573):\n");
+  {
+    ErrorOr<LitmusTest> T = parseLitmusC(R"(C mipsrmw
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_seq_cst);
+}
+exists (x=1)
+)");
+    Profile Gcc = Profile::current(CompilerKind::Gcc, OptLevel::O2,
+                                   Arch::Mips);
+    ErrorOr<CompileOutput> Current = compileLitmus(*T, Gcc);
+    Profile GccOpt = Gcc;
+    GccOpt.Bugs.MipsFillAtomicDelaySlots = true;
+    ErrorOr<CompileOutput> Proposed = compileLitmus(*T, GccOpt);
+    size_t CurrentLen = Current ? (*Current).Asm.Threads[0].Code.size() : 0;
+    size_t ProposedLen = Proposed ? (*Proposed).Asm.Threads[0].Code.size() : 0;
+    printf("    instructions: current GCC %zu, proposed %zu\n", CurrentLen,
+           ProposedLen);
+    expect(Current.hasValue() && Proposed.hasValue() &&
+               ProposedLen < CurrentLen,
+           "filling the delay slot saves an instruction (optimisation)");
+    // And the optimisation does not change outcomes (def. II.2).
+    TelechatResult A = runTelechat(*T, Gcc);
+    TelechatResult B = runTelechat(*T, GccOpt);
+    expect(A.ok() && B.ok() &&
+               A.TargetSim.Allowed == B.TargetSim.Allowed,
+           "no change in compiled program outcomes, as GCC maintainers "
+           "noted");
+  }
+
+  printf("\n%s\n", failures ? "SOME CHECKS FAILED" : "all checks passed");
+  return failures ? 1 : 0;
+}

@@ -1,0 +1,123 @@
+//===--- bench_fig10_localvar.cpp - Paper §IV-B Figs. 1/9/10 (E5) ---------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// Regenerates the local-variable-problem study:
+//  1. Fig. 9: unused plain locals are deleted; without augmentation the
+//     reordering is invisible (herd zero-initialises the missing data).
+//  2. Fig. 10: fetch_add with an unused result on old LSE compilers
+//     compiles to ST-form atomics (STADD / LDADD-to-XZR), whose reads a
+//     DMB LD does not order: {P1:r0=0; y=2} becomes architecturally
+//     allowed. Observing r1 makes the bug vanish -- a Heisenbug.
+//  3. Fig. 1: the same mechanism through atomic_exchange (llvm-project
+//     issue #68428), found *with* augmentation because the result is
+//     discarded in the source itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "litmus/Parser.h"
+
+using namespace telechat;
+using namespace telechat_bench;
+
+namespace {
+
+const char *Fig10Observed = R"(C Fig10observed
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(y, 1, relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, relaxed);
+}
+exists (P1:r0=0 /\ P1:r1=1 /\ y=2)
+)";
+
+int failures = 0;
+
+void expect(bool Cond, const char *What) {
+  printf("  %-68s %s\n", What, Cond ? "ok" : "FAIL");
+  if (!Cond)
+    ++failures;
+}
+
+} // namespace
+
+int main() {
+  header("§IV-B: the local variable problem and its Heisenbugs");
+
+  // --- Fig. 9: deletion masks the behaviour without augmentation. ---
+  printf("\nFig. 9 (plain LB, unused locals, clang -O2):\n");
+  LitmusTest Fig9 = paperFig9();
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  TestOptions NoAug;
+  NoAug.AugmentLocals = false;
+  TelechatResult M = runTelechat(Fig9, P, NoAug);
+  expect(M.ok() && M.Compare.K != CompareResult::Kind::Positive,
+         "without augmentation the reordering is invisible (masked)");
+  expect(!M.Compiled.DeletedLocals.empty(),
+         "the compiler deleted the unused locals");
+  TelechatResult MA = runTelechat(Fig9, P);
+  expect(MA.ok() && MA.Compare.K == CompareResult::Kind::Positive,
+         "with augmentation the compiled test exhibits the reordering");
+  expect(MA.Compare.SourceRace,
+         "...which mcompare discards: plain accesses race (UB filter)");
+
+  // --- Fig. 10: the STADD family on old LSE compilers. ---
+  printf("\nFig. 10 (MP with fetch_add, unused result, v8.1 LSE):\n");
+  LitmusTest Fig10 = paperFig10();
+  TelechatResult Bug1 = runTelechat(Fig10, Profile::llvmOldLse(OptLevel::O2));
+  expect(Bug1.isBug(),
+         "llvm-old+lse (STADD): {P1:r0=0; y=2} allowed -> BUG found");
+  TelechatResult Bug2 = runTelechat(Fig10, Profile::gccOldLse(OptLevel::O2));
+  expect(Bug2.isBug(), "gcc-old+lse (ST-form): same bug found");
+  Profile FixedLse =
+      Profile::current(CompilerKind::Llvm, OptLevel::O2, Arch::AArch64);
+  FixedLse.Features.Lse = true;
+  TelechatResult Fixed = runTelechat(Fig10, FixedLse);
+  expect(Fixed.ok() && !Fixed.isBug(),
+         "current compiler (live LDADD destination): bug gone");
+
+  // --- The Heisenbug: observing r1 makes the bug disappear. ---
+  printf("\nHeisenbug check (observe r1 in the final state):\n");
+  ErrorOr<LitmusTest> Observed = parseLitmusC(Fig10Observed);
+  if (!Observed) {
+    printf("parse error: %s\n", Observed.error().c_str());
+    return 1;
+  }
+  TelechatResult H = runTelechat(*Observed, Profile::llvmOldLse(OptLevel::O2));
+  expect(H.ok() && !H.isBug(),
+         "same compiler, r1 observed: augmentation keeps r1 alive, no bug");
+  printf("  (historical tests observed r1, which is why these bugs "
+         "evaded detection)\n");
+
+  // --- Fig. 1: atomic_exchange, result discarded at the source. ---
+  printf("\nFig. 1 (release exchange, result discarded, llvm-project "
+         "#68428):\n");
+  LitmusTest Fig1 = paperFig1();
+  Profile Buggy =
+      Profile::current(CompilerKind::Llvm, OptLevel::O2, Arch::AArch64);
+  Buggy.Features.Lse = true;
+  Buggy.Bugs.XchgNoRet = true;
+  TelechatResult F1 = runTelechat(Fig1, Buggy);
+  expect(F1.isBug(), "SWP-to-XZR reorders past the acquire fence: BUG");
+  for (const Outcome &W : F1.Compare.Witnesses)
+    printf("    witness: %s (paper: {P1:r0=0; y=2})\n",
+           W.toString().c_str());
+  Profile FixedX = Buggy;
+  FixedX.Bugs.XchgNoRet = false;
+  TelechatResult F2 = runTelechat(Fig1, FixedX);
+  expect(F2.ok() && !F2.isBug(), "with the fix the bug disappears");
+
+  printf("\n%s\n", failures ? "SOME CHECKS FAILED" : "all checks passed");
+  return failures ? 1 : 0;
+}

@@ -1,0 +1,86 @@
+//===--- bench_table2_c4.cpp - Paper Table II + §IV-A (E3) ----------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// Regenerates the C4 comparison: a corpus of litmus tests (85 in the
+// paper) through both C4 (hardware oracle) and Télétchat (models only).
+// Expected shape:
+//  - Télétchat finds every behaviour C4 finds, plus load buffering,
+//    which C4-on-RPi-like hardware never observes;
+//  - C4-on-A9-like hardware observes LB only under stress (many runs);
+//  - Télétchat is deterministic: two runs, identical outcome sets; C4 is
+//    not guaranteed to be (different machines differ).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "diy/Config.h"
+#include "hardware/C4.h"
+
+using namespace telechat;
+using namespace telechat_bench;
+
+int main() {
+  header("Table II / §IV-A: C4 versus Télétchat on the same corpus");
+  // Corpus: all classics plus c11-config tests (85 in the paper).
+  std::vector<LitmusTest> Corpus;
+  for (const std::string &N : classicNames())
+    Corpus.push_back(classicTest(N));
+  SuiteConfig C = SuiteConfig::c11Acq();
+  for (LitmusTest &T : generateSuite(C))
+    Corpus.push_back(std::move(T));
+  if (Corpus.size() > 85)
+    Corpus.resize(85);
+  printf("corpus: %zu litmus tests\n", Corpus.size());
+
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O3,
+                               Arch::AArch64);
+  unsigned TvFound = 0, C4RpiFound = 0, C4A9Found = 0;
+  unsigned C4Subset = 0, Total = 0;
+  bool Deterministic = true;
+  for (const LitmusTest &T : Corpus) {
+    TelechatResult TV = runTelechat(T, P);
+    if (!TV.ok())
+      continue;
+    ++Total;
+    bool TvPos = TV.Compare.K == CompareResult::Kind::Positive &&
+                 !TV.Compare.SourceRace;
+    TvFound += TvPos;
+    // Determinism: a second run must agree exactly.
+    TelechatResult TV2 = runTelechat(T, P);
+    if (!(TV2.ok() && TV2.TargetSim.Allowed == TV.TargetSim.Allowed))
+      Deterministic = false;
+
+    C4Options Rpi;
+    C4Result CR = runC4(T, P, Rpi);
+    bool RpiPos = CR.ok() && CR.foundDifference() && !CR.Compare.SourceRace;
+    C4RpiFound += RpiPos;
+    C4Options A9;
+    A9.Hardware = HwConfig::appleA9Like();
+    C4Result CA = runC4(T, P, A9);
+    C4A9Found += CA.ok() && CA.foundDifference() && !CA.Compare.SourceRace;
+    // Subset property: everything C4 finds, Télétchat finds.
+    if (RpiPos && !TvPos)
+      ++C4Subset;
+  }
+  printf("\n%-42s %8s\n", "harness", "found");
+  printf("%-42s %8u\n", "Télétchat (models only)", TvFound);
+  printf("%-42s %8u\n", "C4 on Raspberry-Pi-like hardware", C4RpiFound);
+  printf("%-42s %8u\n", "C4 on Apple-A9-like hardware (stressed)",
+         C4A9Found);
+  printf("\nC4 findings missed by Télétchat: %u (paper: 0 -- C4 subset of "
+         "Télétchat)\n",
+         C4Subset);
+  printf("Télétchat deterministic across repeat runs: %s (paper Table II: "
+         "yes; C4: no)\n",
+         Deterministic ? "yes" : "NO");
+  printf("\nTable II summary (this repo's measured analogues):\n");
+  printf("  Test environment     C4: models+hardware | Télétchat: models "
+         "only\n");
+  printf("  Automatic            C4: needs stress    | Télétchat: yes\n");
+  printf("  Coverage             C4 found %u/%u      | Télétchat %u/%u\n",
+         C4RpiFound, Total, TvFound, Total);
+  return (C4Subset == 0 && Deterministic && TvFound > C4RpiFound) ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+//===--- custom_model.cpp - Bring your own memory model -------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// Télétchat is parameterised over Cat models (paper property 2: a
+// general technique must support current *and future* models). This
+// example writes a custom Cat model from scratch -- sequential
+// consistency, then a deliberately weakened variant -- and uses them as
+// oracles over the same litmus test, showing how the choice of source
+// model decides what counts as a bug (paper §II-B).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cat/Eval.h"
+#include "diy/Classics.h"
+#include "models/Registry.h"
+#include "sim/CFrontend.h"
+#include "sim/Enumerator.h"
+
+#include <cstdio>
+
+using namespace telechat;
+
+static const char *MySc = R"CAT(MYSC
+(* sequential consistency: po and communication are one total order *)
+let com = rf | co | fr
+acyclic po | com as sc
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+static const char *MyWeak = R"CAT(MYWEAK
+(* coherence only: per-location SC, nothing across locations *)
+acyclic po-loc | rf | co | fr as coherence
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+int main() {
+  ErrorOr<CatModel> Sc = parseModelText(MySc);
+  ErrorOr<CatModel> Weak = parseModelText(MyWeak);
+  if (!Sc || !Weak) {
+    fprintf(stderr, "model parse error: %s\n",
+            (!Sc ? Sc.error() : Weak.error()).c_str());
+    return 1;
+  }
+
+  for (const char *Name : {"SB", "MP", "LB", "CoRR"}) {
+    LitmusTest Test = classicTest(Name);
+    SimProgram P = lowerLitmusC(Test);
+    SimResult UnderSc = enumerateExecutions(P, *Sc);
+    SimResult UnderWeak = enumerateExecutions(P, *Weak);
+    printf("%-6s witness %-34s  my-sc: %-9s my-weak: %s\n", Name,
+           Test.Final.P.toString().c_str(),
+           finalConditionHolds(P, UnderSc) ? "ALLOWED" : "forbidden",
+           finalConditionHolds(P, UnderWeak) ? "ALLOWED" : "forbidden");
+  }
+
+  printf("\nCoRR stays forbidden even under the weak model (coherence),\n"
+         "while MP/SB/LB relaxations appear as soon as the cross-location\n"
+         "axiom is dropped. Swapping oracles like this is exactly how the\n"
+         "paper re-ran Table IV under rc11+lb.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===--- find_heisenbug.cpp - Hunting the Fig. 10 Heisenbug ---------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// Walks through the paper's §IV-B story: a message-passing test whose
+// second thread increments y with fetch_add and never reads the result.
+// On Armv8.1 compilers of the era, the dead result turned the LDADD into
+// an ST-form atomic whose read a DMB LD does not order -- and the bug
+// only shows when you *don't* look at r1. This example demonstrates both
+// sides of the Heisenbug and the augmentation that pins it down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "litmus/Parser.h"
+
+#include <cstdio>
+
+using namespace telechat;
+
+static void report(const char *Label, const TelechatResult &R) {
+  if (!R.ok()) {
+    printf("%-52s error: %s\n", Label, R.Error.c_str());
+    return;
+  }
+  printf("%-52s %s\n", Label,
+         R.isBug() ? "BUG FOUND" : "no bug observed");
+  for (const Outcome &W : R.Compare.Witnesses)
+    printf("%52s witness %s\n", "", W.toString().c_str());
+}
+
+int main() {
+  printf("The Heisenbug of paper §IV-B (Fig. 10)\n");
+  printf("=======================================\n\n");
+
+  // The era-accurate buggy compiler: Armv8.1 LSE with the STADD and
+  // dead-register-zeroing behaviours.
+  Profile Buggy = Profile::llvmOldLse(OptLevel::O2);
+  printf("compiler under test: %s + LSE + historical bugs\n\n",
+         Buggy.name().c_str());
+
+  // Step 1: the classic MP-with-RMW test, *observing* r1 (what test
+  // generators historically produced). The compiler keeps r1 alive, the
+  // RMW keeps its destination register, ordering holds: nothing to see.
+  const char *ObservingR1 = R"(C observe_r1
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(y, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=0 /\ P1:r1=1 /\ y=2)
+)";
+  ErrorOr<LitmusTest> T1 = parseLitmusC(ObservingR1);
+  report("1. observe r1 (historical test shape):", runTelechat(*T1, Buggy));
+
+  // Step 2: the same program, but the final state checks y instead of
+  // r1 (indirect observation). Now r1 is dead, the compiler emits the
+  // ST-form atomic, and the forbidden outcome appears.
+  LitmusTest Fig10 = paperFig10();
+  report("2. observe y only (Fig. 10 -- indirect):", runTelechat(Fig10, Buggy));
+
+  // Step 3: turning augmentation off masks it again -- there is no
+  // surviving local data to compare (the Fig. 9 effect).
+  TestOptions NoAug;
+  NoAug.AugmentLocals = false;
+  report("3. same, without l2c augmentation:",
+         runTelechat(Fig10, Buggy, NoAug));
+
+  // Step 4: today's compiler is clean on the same input.
+  Profile Fixed = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                   Arch::AArch64);
+  Fixed.Features.Lse = true;
+  report("4. current compiler, same test:", runTelechat(Fig10, Fixed));
+
+  printf("\n'You only find the bug through indirect observation -- it is "
+         "a new kind of Heisenbug!' (paper §IV-B)\n");
+  return 0;
+}

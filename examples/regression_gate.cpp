@@ -1,0 +1,83 @@
+//===--- regression_gate.cpp - Automated regression testing ---------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// §IV-F: "we deployed automatic regression testing of Arm Compiler ...
+// Télétchat is the first compiler testing tool (for concurrency) to be
+// deployed in a production setting." This example is that deployment in
+// miniature: a gate that runs a generated suite against the compiler
+// profiles a team ships, fails the build on any true positive, and
+// prints a summary a CI system can archive. Exit status 0 = gate passed.
+//
+// Try it with a buggy compiler:   regression_gate --inject-bug
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "diy/Config.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace telechat;
+
+int main(int argc, char **argv) {
+  bool InjectBug = argc > 1 && strcmp(argv[1], "--inject-bug") == 0;
+
+  // The suite: classics plus the acquire corpus, like a nightly config.
+  std::vector<LitmusTest> Suite;
+  for (const std::string &N : classicNames())
+    Suite.push_back(classicTest(N));
+  for (LitmusTest &T : generateSuite(SuiteConfig::c11Acq()))
+    Suite.push_back(std::move(T));
+
+  // Profiles under test: the release matrix.
+  std::vector<Profile> Matrix;
+  for (OptLevel O : {OptLevel::O1, OptLevel::O2, OptLevel::O3}) {
+    Profile P = Profile::current(CompilerKind::Llvm, O, Arch::AArch64);
+    P.Features.Lse = true;
+    if (InjectBug)
+      P.Bugs.XchgNoRet = true; // a regression slipped into the branch
+    Matrix.push_back(P);
+  }
+  Profile WithExchange = Matrix[1];
+  // Make sure the suite actually exercises the injected bug's code path.
+  Suite.push_back(paperFig1());
+
+  printf("regression gate: %zu tests x %zu profiles (ISO oracle "
+         "rc11+lb)\n\n",
+         Suite.size(), Matrix.size());
+  unsigned Ran = 0, Bugs = 0, Timeouts = 0;
+  for (const Profile &P : Matrix) {
+    for (const LitmusTest &T : Suite) {
+      TestOptions O;
+      O.SourceModel = "rc11+lb"; // the ISO-faithful oracle: positives
+                                 // here are real bugs
+      TelechatResult R = runTelechat(T, P, O);
+      if (!R.ok())
+        continue;
+      ++Ran;
+      if (R.timedOut()) {
+        ++Timeouts;
+        continue;
+      }
+      if (R.isBug()) {
+        ++Bugs;
+        printf("FAIL %-24s %-18s witness %s\n", T.Name.c_str(),
+               P.name().c_str(),
+               R.Compare.Witnesses.empty()
+                   ? "?"
+                   : R.Compare.Witnesses.front().toString().c_str());
+      }
+    }
+  }
+  printf("\nran %u checks: %u bug(s), %u timeout(s)\n", Ran, Bugs,
+         Timeouts);
+  if (Bugs) {
+    printf("GATE FAILED -- do not ship this compiler.\n");
+    return 2;
+  }
+  printf("gate passed.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+//===--- AsmParser.h - Assembly litmus test parser --------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_ASMCORE_ASMPARSER_H
+#define TELECHAT_ASMCORE_ASMPARSER_H
+
+#include "asmcore/AsmProgram.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace telechat {
+
+/// Parses the textual assembly litmus format produced by printAsmLitmus
+/// (the s2l front half: this is our "objdump output" reader).
+ErrorOr<AsmLitmusTest> parseAsmLitmus(std::string_view Text);
+
+/// Parses one instruction line in the target's syntax.
+ErrorOr<AsmInst> parseAsmInst(Arch A, std::string_view Line);
+
+} // namespace telechat
+
+#endif // TELECHAT_ASMCORE_ASMPARSER_H

@@ -1,0 +1,146 @@
+//===--- AsmPrinter.cpp - Assembly litmus test printer --------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/AsmPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+namespace {
+
+bool isArmFamily(Arch A) {
+  return A == Arch::AArch64 || A == Arch::Armv7 || A == Arch::X86_64;
+}
+
+std::string printSym(Arch A, const AsmOperand &O) {
+  if (O.Modifier.empty())
+    return O.Sym;
+  switch (A) {
+  case Arch::AArch64:
+    return ":" + O.Modifier + ":" + O.Sym;
+  case Arch::Armv7:
+    return ":" + O.Modifier + ":" + O.Sym;
+  case Arch::RiscV:
+  case Arch::Mips:
+    return "%" + O.Modifier + "(" + O.Sym + ")";
+  case Arch::Ppc:
+    return O.Sym + "@" + O.Modifier;
+  case Arch::X86_64:
+    return O.Sym;
+  }
+  return O.Sym;
+}
+
+std::string printOperand(Arch A, const AsmOperand &O) {
+  switch (O.K) {
+  case AsmOperand::Kind::Reg:
+    return O.Reg;
+  case AsmOperand::Kind::Imm:
+    if (A == Arch::AArch64 || A == Arch::Armv7)
+      return strFormat("#%lld", static_cast<long long>(O.Imm));
+    return strFormat("%lld", static_cast<long long>(O.Imm));
+  case AsmOperand::Kind::Sym:
+    return printSym(A, O);
+  case AsmOperand::Kind::Label:
+    return O.Sym;
+  case AsmOperand::Kind::Mem:
+    if (A == Arch::X86_64) {
+      if (!O.Sym.empty())
+        return "[rip+" + O.Sym + "]";
+      if (O.Imm)
+        return strFormat("[%s+%lld]", O.Reg.c_str(),
+                         static_cast<long long>(O.Imm));
+      return "[" + O.Reg + "]";
+    }
+    if (isArmFamily(A)) {
+      if (!O.Sym.empty()) // [x8, :got_lo12:x]
+        return "[" + O.Reg + ", :" + O.Modifier + ":" + O.Sym + "]";
+      if (O.Imm)
+        return strFormat("[%s, #%lld]", O.Reg.c_str(),
+                         static_cast<long long>(O.Imm));
+      return "[" + O.Reg + "]";
+    }
+    // RISC-V / PPC / MIPS: off(base).
+    if (O.Imm)
+      return strFormat("%lld(%s)", static_cast<long long>(O.Imm),
+                       O.Reg.c_str());
+    return "(" + O.Reg + ")";
+  }
+  return "?";
+}
+
+std::string archToken(Arch A) {
+  switch (A) {
+  case Arch::AArch64:
+    return "AArch64";
+  case Arch::Armv7:
+    return "ARMv7";
+  case Arch::X86_64:
+    return "X86_64";
+  case Arch::RiscV:
+    return "RISCV";
+  case Arch::Ppc:
+    return "PPC";
+  case Arch::Mips:
+    return "MIPS";
+  }
+  return "AArch64";
+}
+
+} // namespace
+
+std::string telechat::printAsmInst(Arch A, const AsmInst &I) {
+  std::string Out = I.Mnemonic;
+  // The "lock." pseudo-prefix prints as a real prefix.
+  if (Out.rfind("lock.", 0) == 0)
+    Out = "lock " + Out.substr(5);
+  for (size_t J = 0; J != I.Ops.size(); ++J) {
+    Out += J ? ", " : " ";
+    Out += printOperand(A, I.Ops[J]);
+  }
+  return Out;
+}
+
+std::string telechat::printAsmLitmus(const AsmLitmusTest &Test) {
+  std::string Out = archToken(Test.TargetArch) + " " + Test.Name + "\n{\n";
+  for (const SimLoc &L : Test.Locations) {
+    Out += "  ";
+    if (L.Const)
+      Out += "const ";
+    if (!(L.Type == IntType{32, true}))
+      Out += L.Type.cName() + " ";
+    if (!L.InitAddrOf.empty())
+      Out += L.Name + " = &" + L.InitAddrOf + ";\n";
+    else
+      Out += L.Name + " = " + L.Init.toString() + ";\n";
+  }
+  for (const AsmThread &T : Test.Threads)
+    for (const auto &[Reg, Sym] : T.InitRegs)
+      Out += "  " + T.Name + ":" + Reg + " = &" + Sym + ";\n";
+  Out += "}\n";
+  for (const AsmThread &T : Test.Threads) {
+    Out += T.Name + " {\n";
+    // Labels indexed by instruction.
+    std::map<unsigned, std::vector<std::string>> LabelsAt;
+    for (const auto &[Label, Idx] : T.Labels)
+      LabelsAt[Idx].push_back(Label);
+    for (unsigned I = 0; I != T.Code.size(); ++I) {
+      auto It = LabelsAt.find(I);
+      if (It != LabelsAt.end())
+        for (const std::string &L : It->second)
+          Out += L + ":\n";
+      Out += "  " + printAsmInst(Test.TargetArch, T.Code[I]) + "\n";
+    }
+    auto It = LabelsAt.find(T.Code.size());
+    if (It != LabelsAt.end())
+      for (const std::string &L : It->second)
+        Out += L + ":\n";
+    Out += "}\n";
+  }
+  Out += Test.Final.toString() + "\n";
+  return Out;
+}

@@ -1,0 +1,26 @@
+//===--- AsmPrinter.h - Assembly litmus test printer ------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_ASMCORE_ASMPRINTER_H
+#define TELECHAT_ASMCORE_ASMPRINTER_H
+
+#include "asmcore/AsmProgram.h"
+
+#include <string>
+
+namespace telechat {
+
+/// Renders an assembly litmus test in the textual format accepted by
+/// parseAsmLitmus (round-trip stable). Operand syntax follows each
+/// ISA's convention ([x8, #8] / 0(a0) / [rip+x] / x@l ...).
+std::string printAsmLitmus(const AsmLitmusTest &Test);
+
+/// Renders a single instruction in the target syntax.
+std::string printAsmInst(Arch A, const AsmInst &I);
+
+} // namespace telechat
+
+#endif // TELECHAT_ASMCORE_ASMPRINTER_H

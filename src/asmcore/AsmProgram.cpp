@@ -1,0 +1,34 @@
+//===--- AsmProgram.cpp - Assembly litmus tests ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/AsmProgram.h"
+
+using namespace telechat;
+
+const SimLoc *AsmLitmusTest::findLocation(const std::string &LName) const {
+  for (const SimLoc &L : Locations)
+    if (L.Name == LName)
+      return &L;
+  return nullptr;
+}
+
+std::string telechat::archModelName(Arch A, bool ConstAugmented) {
+  switch (A) {
+  case Arch::AArch64:
+    return ConstAugmented ? "aarch64+const" : "aarch64";
+  case Arch::Armv7:
+    return "armv7";
+  case Arch::X86_64:
+    return "x86tso";
+  case Arch::RiscV:
+    return "riscv";
+  case Arch::Ppc:
+    return "ppc";
+  case Arch::Mips:
+    return "mips";
+  }
+  return "sc";
+}

@@ -1,0 +1,10 @@
+//===--- Inst.cpp - Assembly instruction representation -------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/Inst.h"
+
+// Inst.h is header-only today; this TU anchors the library and keeps the
+// build layout uniform.

@@ -1,0 +1,71 @@
+//===--- SemInternal.h - Per-ISA semantics factories ------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private header: factories for the per-ISA semantics singletons plus
+/// small helpers shared by the Sem*.cpp files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_ASMCORE_SEMINTERNAL_H
+#define TELECHAT_ASMCORE_SEMINTERNAL_H
+
+#include "asmcore/Semantics.h"
+
+namespace telechat {
+
+const InstSemantics &aarch64Semantics();
+const InstSemantics &armv7Semantics();
+const InstSemantics &x86Semantics();
+const InstSemantics &riscvSemantics();
+const InstSemantics &ppcSemantics();
+const InstSemantics &mipsSemantics();
+
+namespace semdetail {
+
+/// Emits a plain load op.
+inline SimOp makeLoad(std::string Dst, SimAddr Addr,
+                      std::set<std::string> Tags = {}) {
+  SimOp Op;
+  Op.K = SimOp::Kind::Load;
+  Op.Dst = std::move(Dst);
+  Op.Addr = std::move(Addr);
+  Op.Tags = std::move(Tags);
+  return Op;
+}
+
+/// Emits a plain store op.
+inline SimOp makeStore(SimAddr Addr, Expr Val,
+                       std::set<std::string> Tags = {}) {
+  SimOp Op;
+  Op.K = SimOp::Kind::Store;
+  Op.Addr = std::move(Addr);
+  Op.Val = std::move(Val);
+  Op.WTags = std::move(Tags);
+  return Op;
+}
+
+/// Emits a fence op.
+inline SimOp makeFence(std::set<std::string> Tags) {
+  SimOp Op;
+  Op.K = SimOp::Kind::Fence;
+  Op.Tags = std::move(Tags);
+  return Op;
+}
+
+/// Emits a register assignment.
+inline SimOp makeAssign(std::string Dst, Expr Val) {
+  SimOp Op;
+  Op.K = SimOp::Kind::Assign;
+  Op.Dst = std::move(Dst);
+  Op.Val = std::move(Val);
+  return Op;
+}
+
+} // namespace semdetail
+} // namespace telechat
+
+#endif // TELECHAT_ASMCORE_SEMINTERNAL_H

@@ -1,0 +1,361 @@
+//===--- Eval.cpp - Cat model evaluator -----------------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cat/Eval.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace telechat;
+
+bool ModelVerdict::hasFlag(const std::string &Name) const {
+  return std::find(Flags.begin(), Flags.end(), Name) != Flags.end();
+}
+
+CatValue CatValue::rel(Relation R) {
+  CatValue V;
+  V.K = Kind::Rel;
+  V.R = std::move(R);
+  return V;
+}
+
+CatValue CatValue::set(Bitset S) {
+  CatValue V;
+  V.K = Kind::Set;
+  V.S = std::move(S);
+  return V;
+}
+
+namespace {
+
+class Evaluator {
+public:
+  Evaluator(const Execution &Ex) : Ex(Ex), N(Ex.size()) { buildBaseEnv(); }
+
+  ModelVerdict run(const CatModel &Model) {
+    ModelVerdict Verdict;
+    for (const CatStmt &S : Model.Stmts) {
+      switch (S.K) {
+      case CatStmt::Kind::Let:
+        for (const CatBinding &B : S.Bindings) {
+          CatValue V;
+          if (std::string E = eval(B.Body, V); !E.empty()) {
+            Verdict.Error = E;
+            return Verdict;
+          }
+          Env[B.Name] = std::move(V);
+        }
+        break;
+      case CatStmt::Kind::LetRec: {
+        if (std::string E = evalRec(S.Bindings); !E.empty()) {
+          Verdict.Error = E;
+          return Verdict;
+        }
+        break;
+      }
+      case CatStmt::Kind::Check: {
+        bool Holds;
+        if (std::string E = evalCheck(S.Check, Holds); !E.empty()) {
+          Verdict.Error = E;
+          return Verdict;
+        }
+        if (S.Check.IsFlag) {
+          if (Holds)
+            Verdict.Flags.push_back(S.Check.Name);
+        } else if (!Holds) {
+          Verdict.Allowed = false;
+          Verdict.FailedChecks.push_back(S.Check.Name);
+        }
+        break;
+      }
+      }
+    }
+    return Verdict;
+  }
+
+private:
+  void buildBaseEnv() {
+    Env["po"] = CatValue::rel(Ex.Po);
+    Env["rf"] = CatValue::rel(Ex.Rf);
+    Env["co"] = CatValue::rel(Ex.Co);
+    Relation Fr = Ex.fr();
+    Env["fr"] = CatValue::rel(Fr);
+    Env["rmw"] = CatValue::rel(Ex.Rmw);
+    Env["addr"] = CatValue::rel(Ex.Addr);
+    Env["data"] = CatValue::rel(Ex.Data);
+    Env["ctrl"] = CatValue::rel(Ex.Ctrl);
+    Relation Loc = Ex.loc();
+    Env["loc"] = CatValue::rel(Loc);
+    Env["po-loc"] = CatValue::rel(Ex.Po & Loc);
+    Relation External = Ex.ext();
+    Relation Internal = Ex.internal();
+    Env["ext"] = CatValue::rel(External);
+    Env["int"] = CatValue::rel(Internal);
+    Env["id"] = CatValue::rel(Relation::identity(N));
+    Env["rfe"] = CatValue::rel(Ex.Rf & External);
+    Env["rfi"] = CatValue::rel(Ex.Rf & Internal);
+    Env["coe"] = CatValue::rel(Ex.Co & External);
+    Env["coi"] = CatValue::rel(Ex.Co & Internal);
+    Env["fre"] = CatValue::rel(Fr & External);
+    Env["fri"] = CatValue::rel(Fr & Internal);
+    Env["_"] = CatValue::set(Ex.universe());
+    Env["emptyset"] = CatValue::set(Bitset(N));
+    Env["R"] = CatValue::set(Ex.kindSet(EventKind::Read));
+    Env["W"] = CatValue::set(Ex.kindSet(EventKind::Write));
+    Bitset M = Ex.kindSet(EventKind::Read);
+    M |= Ex.kindSet(EventKind::Write);
+    Env["M"] = CatValue::set(M);
+    Env["F"] = CatValue::set(Ex.kindSet(EventKind::Fence));
+    Env["IW"] = CatValue::set(Ex.initWrites());
+  }
+
+  std::string err(const CatExpr &E, const std::string &Msg) {
+    return strFormat("cat eval:%u: %s", E.Line, Msg.c_str());
+  }
+
+  /// Kleene fixpoint for let rec groups: start from empty relations,
+  /// re-evaluate bodies until stable. All Cat recursions are monotone
+  /// (union/seq/inter of monotone operands), so this terminates.
+  std::string evalRec(const std::vector<CatBinding> &Bindings) {
+    for (const CatBinding &B : Bindings)
+      Env[B.Name] = CatValue::rel(Relation(N));
+    // Each iteration adds at least one pair or stops; N^2 pairs per
+    // binding bounds the iteration count.
+    unsigned MaxIters = N * N * unsigned(Bindings.size()) + 2;
+    for (unsigned Iter = 0; Iter != MaxIters; ++Iter) {
+      bool Changed = false;
+      for (const CatBinding &B : Bindings) {
+        CatValue V;
+        if (std::string E = eval(B.Body, V); !E.empty())
+          return E;
+        if (V.K == CatValue::Kind::Zero)
+          V = CatValue::rel(Relation(N));
+        if (V.K != CatValue::Kind::Rel)
+          return "let rec binding '" + B.Name + "' is not a relation";
+        if (!(V.R == Env[B.Name].R)) {
+          Env[B.Name] = std::move(V);
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        return "";
+    }
+    return "let rec fixpoint did not converge";
+  }
+
+  std::string evalCheck(const CatCheck &C, bool &Holds) {
+    CatValue V;
+    if (std::string E = eval(C.E, V); !E.empty())
+      return E;
+    switch (C.T) {
+    case CatCheck::Test::Acyclic:
+      if (V.K == CatValue::Kind::Set)
+        return err(C.E, "acyclic requires a relation");
+      Holds = V.K == CatValue::Kind::Zero || V.R.isAcyclic();
+      break;
+    case CatCheck::Test::Irreflexive:
+      if (V.K == CatValue::Kind::Set)
+        return err(C.E, "irreflexive requires a relation");
+      Holds = V.K == CatValue::Kind::Zero || V.R.isIrreflexive();
+      break;
+    case CatCheck::Test::Empty:
+      Holds = V.K == CatValue::Kind::Zero ||
+              (V.K == CatValue::Kind::Rel ? V.R.empty() : V.S.empty());
+      break;
+    }
+    if (C.Negated)
+      Holds = !Holds;
+    return "";
+  }
+
+  /// Reconciles the operand kinds of a binary set/relation operator.
+  /// Zero adapts to the other side; mixing Set and Rel is a type error.
+  std::string coerce(const CatExpr &E, CatValue &L, CatValue &R) {
+    if (L.K == CatValue::Kind::Zero && R.K == CatValue::Kind::Zero)
+      return "";
+    if (L.K == CatValue::Kind::Zero)
+      L = R.K == CatValue::Kind::Rel ? CatValue::rel(Relation(N))
+                                     : CatValue::set(Bitset(N));
+    if (R.K == CatValue::Kind::Zero)
+      R = L.K == CatValue::Kind::Rel ? CatValue::rel(Relation(N))
+                                     : CatValue::set(Bitset(N));
+    if (L.K != R.K)
+      return err(E, "operands mix a set and a relation");
+    return "";
+  }
+
+  std::string evalRelOperand(const CatExpr &E, CatValue &V, Relation &Out) {
+    if (V.K == CatValue::Kind::Zero) {
+      Out = Relation(N);
+      return "";
+    }
+    if (V.K != CatValue::Kind::Rel)
+      return err(E, "expected a relation");
+    Out = std::move(V.R);
+    return "";
+  }
+
+  std::string eval(const CatExpr &E, CatValue &Out) {
+    switch (E.K) {
+    case CatExpr::Kind::Zero:
+      Out = CatValue();
+      return "";
+    case CatExpr::Kind::Id: {
+      auto It = Env.find(E.Name);
+      if (It != Env.end()) {
+        Out = It->second;
+        return "";
+      }
+      // Unknown identifiers are event-tag sets; absent tags are empty.
+      Out = CatValue::set(Ex.tagSet(E.Name));
+      return "";
+    }
+    case CatExpr::Kind::Union:
+    case CatExpr::Kind::Inter:
+    case CatExpr::Kind::Diff: {
+      CatValue L, R;
+      if (std::string Err = eval(E.Ops[0], L); !Err.empty())
+        return Err;
+      if (std::string Err = eval(E.Ops[1], R); !Err.empty())
+        return Err;
+      if (std::string Err = coerce(E, L, R); !Err.empty())
+        return Err;
+      if (L.K == CatValue::Kind::Zero) {
+        Out = CatValue();
+        return "";
+      }
+      if (L.K == CatValue::Kind::Rel) {
+        if (E.K == CatExpr::Kind::Union)
+          Out = CatValue::rel(L.R | R.R);
+        else if (E.K == CatExpr::Kind::Inter)
+          Out = CatValue::rel(L.R & R.R);
+        else
+          Out = CatValue::rel(L.R - R.R);
+      } else {
+        if (E.K == CatExpr::Kind::Union)
+          Out = CatValue::set(L.S | R.S);
+        else if (E.K == CatExpr::Kind::Inter)
+          Out = CatValue::set(L.S & R.S);
+        else
+          Out = CatValue::set(L.S - R.S);
+      }
+      return "";
+    }
+    case CatExpr::Kind::Seq: {
+      CatValue LV, RV;
+      if (std::string Err = eval(E.Ops[0], LV); !Err.empty())
+        return Err;
+      if (std::string Err = eval(E.Ops[1], RV); !Err.empty())
+        return Err;
+      // Sets in a sequence act as identity filters, as in herd stdlib.
+      Relation L, R;
+      if (LV.K == CatValue::Kind::Set)
+        L = Relation::identityOn(LV.S);
+      else if (std::string Err = evalRelOperand(E, LV, L); !Err.empty())
+        return Err;
+      if (RV.K == CatValue::Kind::Set)
+        R = Relation::identityOn(RV.S);
+      else if (std::string Err = evalRelOperand(E, RV, R); !Err.empty())
+        return Err;
+      Out = CatValue::rel(L.seq(R));
+      return "";
+    }
+    case CatExpr::Kind::Cross: {
+      CatValue L, R;
+      if (std::string Err = eval(E.Ops[0], L); !Err.empty())
+        return Err;
+      if (std::string Err = eval(E.Ops[1], R); !Err.empty())
+        return Err;
+      if (L.K == CatValue::Kind::Zero || R.K == CatValue::Kind::Zero) {
+        Out = CatValue::rel(Relation(N));
+        return "";
+      }
+      if (L.K != CatValue::Kind::Set || R.K != CatValue::Kind::Set)
+        return err(E, "'*' requires two sets");
+      Out = CatValue::rel(Relation::cross(L.S, R.S));
+      return "";
+    }
+    case CatExpr::Kind::Inverse:
+    case CatExpr::Kind::Plus:
+    case CatExpr::Kind::Star:
+    case CatExpr::Kind::Opt: {
+      CatValue V;
+      if (std::string Err = eval(E.Ops[0], V); !Err.empty())
+        return Err;
+      Relation R;
+      if (std::string Err = evalRelOperand(E, V, R); !Err.empty())
+        return Err;
+      switch (E.K) {
+      case CatExpr::Kind::Inverse:
+        Out = CatValue::rel(R.inverse());
+        break;
+      case CatExpr::Kind::Plus:
+        Out = CatValue::rel(R.transitiveClosure());
+        break;
+      case CatExpr::Kind::Star:
+        Out = CatValue::rel(R.reflexiveTransitiveClosure());
+        break;
+      default:
+        Out = CatValue::rel(R.optional());
+        break;
+      }
+      return "";
+    }
+    case CatExpr::Kind::Bracket: {
+      CatValue V;
+      if (std::string Err = eval(E.Ops[0], V); !Err.empty())
+        return Err;
+      if (V.K == CatValue::Kind::Zero) {
+        Out = CatValue::rel(Relation(N));
+        return "";
+      }
+      if (V.K != CatValue::Kind::Set)
+        return err(E, "'[...]' requires a set");
+      Out = CatValue::rel(Relation::identityOn(V.S));
+      return "";
+    }
+    case CatExpr::Kind::Domain:
+    case CatExpr::Kind::Range: {
+      CatValue V;
+      if (std::string Err = eval(E.Ops[0], V); !Err.empty())
+        return Err;
+      Relation R;
+      if (std::string Err = evalRelOperand(E, V, R); !Err.empty())
+        return Err;
+      Out = CatValue::set(E.K == CatExpr::Kind::Domain ? R.domain()
+                                                       : R.range());
+      return "";
+    }
+    case CatExpr::Kind::FenceRel: {
+      CatValue V;
+      if (std::string Err = eval(E.Ops[0], V); !Err.empty())
+        return Err;
+      if (V.K == CatValue::Kind::Zero) {
+        Out = CatValue::rel(Relation(N));
+        return "";
+      }
+      if (V.K != CatValue::Kind::Set)
+        return err(E, "fencerel requires a set");
+      Relation Id = Relation::identityOn(V.S);
+      Out = CatValue::rel(Ex.Po.seq(Id).seq(Ex.Po));
+      return "";
+    }
+    }
+    return err(E, "unhandled expression kind");
+  }
+
+  const Execution &Ex;
+  unsigned N;
+  std::map<std::string, CatValue> Env;
+};
+
+} // namespace
+
+ModelVerdict telechat::evaluateCat(const CatModel &Model,
+                                   const Execution &Ex) {
+  return Evaluator(Ex).run(Model);
+}

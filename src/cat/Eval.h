@@ -1,0 +1,58 @@
+//===--- Eval.h - Cat model evaluator ---------------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a parsed Cat model against a candidate execution, deciding
+/// whether the execution is allowed, forbidden (which check failed), or
+/// flagged (data race / const violation / other "flag" statements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CAT_EVAL_H
+#define TELECHAT_CAT_EVAL_H
+
+#include "cat/Ast.h"
+#include "events/Execution.h"
+#include "support/Relation.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// Result of evaluating a model on one candidate execution.
+struct ModelVerdict {
+  bool Allowed = true;                   ///< All non-flag checks hold.
+  std::vector<std::string> FailedChecks; ///< Names of violated checks.
+  std::vector<std::string> Flags;        ///< Fired flags (e.g. "race").
+  std::string Error;                     ///< Type/eval error; empty if ok.
+
+  bool ok() const { return Error.empty(); }
+  bool hasFlag(const std::string &Name) const;
+};
+
+/// A value in the Cat language: a relation or an event set. Kind::Zero is
+/// the polymorphic empty value ("0") that adapts to its context.
+struct CatValue {
+  enum class Kind { Rel, Set, Zero } K = Kind::Zero;
+  Relation R;
+  Bitset S;
+
+  static CatValue rel(Relation R);
+  static CatValue set(Bitset S);
+};
+
+/// Evaluates \p Model against \p Ex. Base environment: po, rf, co, fr,
+/// rmw, addr, data, ctrl, po-loc, loc, ext, int, id, rfe/rfi, coe/coi,
+/// fre/fri; sets _, emptyset, R, W, M, F, IW, and every event tag.
+/// Unresolved identifiers evaluate to the (possibly empty) tag set with
+/// that name, so ISA-specific sets need no declarations.
+ModelVerdict evaluateCat(const CatModel &Model, const Execution &Ex);
+
+} // namespace telechat
+
+#endif // TELECHAT_CAT_EVAL_H

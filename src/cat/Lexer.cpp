@@ -1,0 +1,151 @@
+//===--- Lexer.cpp - Cat model language lexer -----------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cat/Lexer.h"
+
+#include <cctype>
+#include <set>
+
+using namespace telechat;
+
+static bool isIdentStart(char C) {
+  return isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentChar(char C) {
+  return isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+std::vector<CatToken> telechat::lexCat(std::string_view Text) {
+  static const std::set<std::string> Keywords = {
+      "let",  "rec",         "and",   "as",   "acyclic",
+      "empty", "irreflexive", "flag",  "show", "include"};
+
+  std::vector<CatToken> Out;
+  unsigned Line = 1;
+  size_t Pos = 0;
+  auto Error = [&](const std::string &Msg) {
+    CatToken T;
+    T.K = CatToken::Kind::End;
+    T.Text = Msg;
+    T.Line = Line;
+    Out.push_back(T);
+    return Out;
+  };
+
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    // (* ... *) comments, nesting.
+    if (C == '(' && Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+      unsigned Depth = 1;
+      Pos += 2;
+      while (Pos < Text.size() && Depth) {
+        if (Text[Pos] == '\n')
+          ++Line;
+        if (Text[Pos] == '(' && Pos + 1 < Text.size() &&
+            Text[Pos + 1] == '*') {
+          ++Depth;
+          Pos += 2;
+          continue;
+        }
+        if (Text[Pos] == '*' && Pos + 1 < Text.size() &&
+            Text[Pos + 1] == ')') {
+          --Depth;
+          Pos += 2;
+          continue;
+        }
+        ++Pos;
+      }
+      if (Depth)
+        return Error("unterminated comment");
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    CatToken T;
+    T.Line = Line;
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Text.size()) {
+        if (isIdentChar(Text[Pos])) {
+          ++Pos;
+          continue;
+        }
+        // '-' continues an identifier only when followed by a letter
+        // (po-loc); otherwise it would swallow operators.
+        if (Text[Pos] == '-' && Pos + 1 < Text.size() &&
+            isIdentStart(Text[Pos + 1])) {
+          Pos += 2;
+          continue;
+        }
+        break;
+      }
+      T.Text = std::string(Text.substr(Start, Pos - Start));
+      T.K = Keywords.count(T.Text) ? CatToken::Kind::Keyword
+                                   : CatToken::Kind::Ident;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    if (C == '0') {
+      ++Pos;
+      T.K = CatToken::Kind::Zero;
+      T.Text = "0";
+      Out.push_back(std::move(T));
+      continue;
+    }
+    if (C == '^') {
+      if (Pos + 2 < Text.size() && Text[Pos + 1] == '-' &&
+          Text[Pos + 2] == '1') {
+        Pos += 3;
+        T.K = CatToken::Kind::InvOp;
+        T.Text = "^-1";
+        Out.push_back(std::move(T));
+        continue;
+      }
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '+') {
+        Pos += 2;
+        T.K = CatToken::Kind::PlusOp;
+        T.Text = "^+";
+        Out.push_back(std::move(T));
+        continue;
+      }
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '*') {
+        Pos += 2;
+        T.K = CatToken::Kind::StarOp;
+        T.Text = "^*";
+        Out.push_back(std::move(T));
+        continue;
+      }
+      return Error("stray '^'");
+    }
+    static const std::string Puncts = "()[]|;\\&*?~=";
+    if (Puncts.find(C) != std::string::npos) {
+      ++Pos;
+      T.K = CatToken::Kind::Punct;
+      T.Text = std::string(1, C);
+      Out.push_back(std::move(T));
+      continue;
+    }
+    return Error(std::string("unexpected character '") + C + "'");
+  }
+  CatToken T;
+  T.K = CatToken::Kind::End;
+  T.Line = Line;
+  Out.push_back(std::move(T));
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===--- Lexer.h - Cat model language lexer ---------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CAT_LEXER_H
+#define TELECHAT_CAT_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telechat {
+
+/// Tokens of the Cat language.
+struct CatToken {
+  enum class Kind {
+    Ident,   ///< Includes '.' and '-' (po-loc, dmb.ish).
+    Keyword, ///< let rec and as acyclic irreflexive empty flag show
+    Punct,   ///< ( ) [ ] | ; \ & * ? ~ =
+    InvOp,   ///< ^-1
+    PlusOp,  ///< ^+
+    StarOp,  ///< ^*
+    Zero,    ///< 0
+    End,
+  };
+  Kind K = Kind::End;
+  std::string Text;
+  unsigned Line = 1;
+};
+
+/// Tokenises Cat text. Comments are OCaml-style "(* ... *)" (nesting) and
+/// "//" to end of line. Errors surface as a token with kind End and a
+/// non-empty Text holding the message.
+std::vector<CatToken> lexCat(std::string_view Text);
+
+} // namespace telechat
+
+#endif // TELECHAT_CAT_LEXER_H

@@ -1,0 +1,23 @@
+//===--- Parser.h - Cat model language parser -------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CAT_PARSER_H
+#define TELECHAT_CAT_PARSER_H
+
+#include "cat/Ast.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace telechat {
+
+/// Parses a Cat model. Operator precedence (loosest to tightest):
+/// `|`, `;`, `\`, `&`, `*` (cartesian), postfix `^-1 ^+ ^* ?`.
+ErrorOr<CatModel> parseCat(std::string_view Text);
+
+} // namespace telechat
+
+#endif // TELECHAT_CAT_PARSER_H

@@ -1,0 +1,60 @@
+//===--- Compiler.cpp - The mini-compiler entry point ---------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+
+#include "compiler/Passes.h"
+
+using namespace telechat;
+
+ErrorOr<CompileOutput> telechat::compileLitmus(const LitmusTest &Test,
+                                               const Profile &P) {
+  LitmusTest Optimised = Test;
+  std::vector<std::string> Notes = runMiddleEnd(Optimised, P);
+
+  std::unique_ptr<TargetGen> Gen;
+  switch (P.Target) {
+  case Arch::AArch64:
+    Gen = makeAArch64Gen();
+    break;
+  case Arch::Armv7:
+    Gen = makeArmv7Gen();
+    break;
+  case Arch::X86_64:
+    Gen = makeX86Gen();
+    break;
+  case Arch::RiscV:
+    Gen = makeRiscVGen();
+    break;
+  case Arch::Ppc:
+    Gen = makePpcGen();
+    break;
+  case Arch::Mips:
+    Gen = makeMipsGen();
+    break;
+  }
+  ErrorOr<CompileOutput> Out = Gen->compile(Optimised, P);
+  if (!Out)
+    return Out;
+  for (std::string &N : Notes)
+    Out->Notes.push_back(std::move(N));
+  // Locals of the *original* program with no state mapping did not
+  // survive compilation -- whether the middle end erased the statement
+  // or the backend retired the register (paper §IV-B).
+  Out->DeletedLocals.clear();
+  for (const Thread &T : Test.Threads) {
+    for (const std::string &Reg : assignedRegisters(T)) {
+      std::string Key = Outcome::regKey(T.Name, Reg);
+      bool Mapped = false;
+      for (const auto &[From, To] : Out->KeyMap)
+        if (From == Key)
+          Mapped = true;
+      if (!Mapped)
+        Out->DeletedLocals.push_back(Key);
+    }
+  }
+  return Out;
+}

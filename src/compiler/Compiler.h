@@ -1,0 +1,33 @@
+//===--- Compiler.h - The mini-compiler entry point -------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler under test: simulates LLVM/GCC compiling a C/C++ litmus
+/// test to target assembly (DESIGN.md §4 documents the substitution). The
+/// observable surface is the per-architecture atomics mappings, the
+/// middle-end passes that interact with concurrency, and the bug models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_COMPILER_COMPILER_H
+#define TELECHAT_COMPILER_COMPILER_H
+
+#include "compiler/Profile.h"
+#include "compiler/TargetGen.h"
+#include "litmus/Ast.h"
+#include "support/Error.h"
+
+namespace telechat {
+
+/// Compiles \p Test under \p P: runs the middle end, then the target
+/// backend. The output is the *raw* assembly litmus test (with address
+/// materialisation and scaffolding) plus the state mapping.
+ErrorOr<CompileOutput> compileLitmus(const LitmusTest &Test,
+                                     const Profile &P);
+
+} // namespace telechat
+
+#endif // TELECHAT_COMPILER_COMPILER_H

@@ -1,0 +1,263 @@
+//===--- GenAArch64.cpp - AArch64 code generation -------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AArch64 backend implements the standard C/C++ atomics mappings:
+/// LDR/LDAR(/LDAPR with v8.3 RCpc)/STR/STLR, DMB ISH(LD/ST) fences,
+/// LL/SC loops on v8.0 or LSE atomics on v8.1+, and 128-bit accesses via
+/// LDXP/STXP loops (v8.0) or LDP/STP (v8.4 LSE2). The profile's bug
+/// model injects the paper's reported miscompilations.
+///
+/// Raw output includes GOT-based address materialisation and a stack
+/// frame, which the s2l optimiser later removes (paper §IV-E).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/TargetGen.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+namespace {
+
+class AArch64Gen final : public TargetGen {
+  std::string valueReg(unsigned I) const override {
+    return strFormat("w%u", 8 + I % 20);
+  }
+  std::string xReg(const std::string &W) const {
+    return "x" + W.substr(1);
+  }
+
+  void prologue() override {
+    std::string StackLoc = "stack." + threadName();
+    SimLoc S0, S8;
+    S0.Name = StackLoc;
+    S0.Type = IntType{64, false};
+    S8.Name = StackLoc + "+8";
+    S8.Type = IntType{64, false};
+    addSyntheticLoc(S0);
+    addSyntheticLoc(S8);
+    out().InitRegs.emplace_back("sp", StackLoc);
+    emit("str", {AsmOperand::reg("x29"), AsmOperand::mem("sp")});
+    emit("str", {AsmOperand::reg("x30"), AsmOperand::mem("sp", 8)});
+  }
+
+  void epilogue() override {
+    emit("ldr", {AsmOperand::reg("x29"), AsmOperand::mem("sp")});
+    emit("ldr", {AsmOperand::reg("x30"), AsmOperand::mem("sp", 8)});
+    emit("ret");
+  }
+
+  std::string addrReg(const std::string &Loc) override {
+    auto It = AddrCache.find(Loc);
+    if (It != AddrCache.end())
+      return It->second;
+    std::string R = xReg(freshReg());
+    // GOT-indirect materialisation: the slot holds &Loc and is *loaded*,
+    // so the simulator cannot statically resolve downstream accesses --
+    // until s2l rewrites the pattern (ADRP;LDR;LDR/STR x ~> LDR/STR x).
+    SimLoc Got;
+    Got.Name = "got." + Loc;
+    Got.Type = IntType{64, false};
+    Got.InitAddrOf = Loc;
+    addSyntheticLoc(Got);
+    emit("adrp", {AsmOperand::reg(R), AsmOperand::sym(Loc, "got")});
+    emit("ldr", {AsmOperand::reg(R),
+                 [&] {
+                   AsmOperand M = AsmOperand::mem(R);
+                   M.Modifier = "got_lo12";
+                   M.Sym = Loc;
+                   return M;
+                 }()});
+    AddrCache[Loc] = R;
+    return R;
+  }
+
+  void movImm(const std::string &Dst, Value V) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::imm(int64_t(V.Lo))});
+  }
+
+  void movReg(const std::string &Dst, const std::string &Src) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::reg(Src)});
+  }
+
+  void binOp(Expr::Kind K, const std::string &Dst, const std::string &A,
+             const std::string &B) override {
+    const char *M = K == Expr::Kind::Add   ? "add"
+                    : K == Expr::Kind::Sub ? "sub"
+                    : K == Expr::Kind::Xor ? "eor"
+                                           : "and";
+    emit(M, {AsmOperand::reg(Dst), AsmOperand::reg(A), AsmOperand::reg(B)});
+  }
+
+  void load(MemOrder O, const std::string &Dst,
+            const std::string &Addr) override {
+    if (isAcquire(O)) {
+      bool UseLdapr = profile().Features.Rcpc && O != MemOrder::SeqCst;
+      emit(UseLdapr ? "ldapr" : "ldar",
+           {AsmOperand::reg(Dst), AsmOperand::mem(Addr)});
+      return;
+    }
+    emit("ldr", {AsmOperand::reg(Dst), AsmOperand::mem(Addr)});
+  }
+
+  void store(MemOrder O, const std::string &ValReg,
+             const std::string &Addr) override {
+    emit(isRelease(O) ? "stlr" : "str",
+         {AsmOperand::reg(ValReg), AsmOperand::mem(Addr)});
+  }
+
+  void fence(MemOrder O) override {
+    // Acquire fences map to DMB ISHLD; all stronger fences to DMB ISH.
+    const char *Kind =
+        (O == MemOrder::Acquire || O == MemOrder::Consume) ? "ishld" : "ish";
+    emit("dmb", {AsmOperand::sym(Kind)});
+  }
+
+  void rmw(RmwKind K, MemOrder O, const std::string &Dst,
+           const std::string &OperandReg, const std::string &Addr) override {
+    const BugModel &Bugs = profile().Bugs;
+    bool Dead = Dst.empty();
+    if (profile().Features.Lse) {
+      std::string Suffix;
+      if (isAcquire(O))
+        Suffix += "a";
+      if (isRelease(O))
+        Suffix += "l";
+      if (K == RmwKind::Xchg) {
+        // Dead result + buggy dead-register handling: SWP to XZR, whose
+        // read a later DMB LD no longer orders (llvm-project #68428,
+        // paper Fig. 1).
+        std::string DstReg =
+            Dead ? (Bugs.XchgNoRet || Bugs.DeadRegZeroing ? "wzr"
+                                                          : freshReg())
+                 : Dst;
+        emit("swp" + Suffix, {AsmOperand::reg(OperandReg),
+                              AsmOperand::reg(DstReg),
+                              AsmOperand::mem(Addr)});
+        return;
+      }
+      std::string Base = K == RmwKind::FetchAdd ? "add" : "sub";
+      if (Dead && Bugs.StaddNoRet) {
+        // Historical bug #1: ST-form atomics (LLVM bug 35094). The
+        // ST forms only exist with release ordering or none.
+        std::string StSuffix = isRelease(O) ? "l" : "";
+        emit("st" + Base + StSuffix,
+             {AsmOperand::reg(OperandReg), AsmOperand::mem(Addr)});
+        if (isAcquire(O))
+          emit("dmb", {AsmOperand::sym("ishld")});
+        return;
+      }
+      std::string DstReg =
+          Dead ? (Bugs.DeadRegZeroing ? "wzr" : freshReg()) : Dst;
+      emit("ld" + Base + Suffix, {AsmOperand::reg(OperandReg),
+                                  AsmOperand::reg(DstReg),
+                                  AsmOperand::mem(Addr)});
+      return;
+    }
+    // v8.0: LL/SC loop.
+    std::string Old = Dead ? freshReg() : Dst;
+    std::string New = freshReg();
+    std::string Status = freshReg();
+    std::string L = newLabel();
+    defineLabel(L);
+    emit(isAcquire(O) ? "ldaxr" : "ldxr",
+         {AsmOperand::reg(Old), AsmOperand::mem(Addr)});
+    switch (K) {
+    case RmwKind::Xchg:
+      emit("mov", {AsmOperand::reg(New), AsmOperand::reg(OperandReg)});
+      break;
+    case RmwKind::FetchAdd:
+      emit("add", {AsmOperand::reg(New), AsmOperand::reg(Old),
+                   AsmOperand::reg(OperandReg)});
+      break;
+    case RmwKind::FetchSub:
+      emit("sub", {AsmOperand::reg(New), AsmOperand::reg(Old),
+                   AsmOperand::reg(OperandReg)});
+      break;
+    }
+    emit(isRelease(O) ? "stlxr" : "stxr",
+         {AsmOperand::reg(Status), AsmOperand::reg(New),
+          AsmOperand::mem(Addr)});
+    emit("cbnz", {AsmOperand::reg(Status), AsmOperand::label(L)});
+  }
+
+  void condBranchIfZero(const std::string &Reg,
+                        const std::string &Label) override {
+    emit("cbz", {AsmOperand::reg(Reg), AsmOperand::label(Label)});
+  }
+
+  void jump(const std::string &Label) override {
+    emit("b", {AsmOperand::label(Label)});
+  }
+
+  void load128(MemOrder O, bool ConstLoc, const std::string &DstLo,
+               const std::string &DstHi, const std::string &Addr) override {
+    const BugModel &Bugs = profile().Bugs;
+    std::string Lo = xReg(DstLo), Hi = xReg(DstHi);
+    if (profile().Features.Lse2 && !(ConstLoc && Bugs.ConstAtomicStore)) {
+      // v8.4: 16-byte aligned LDP is single-copy atomic. For seq_cst the
+      // fixed lowering (GCC PR 108891, paper [28]) brackets the LDP with
+      // barriers so it cannot be reordered before prior RMWs/stores; the
+      // buggy lowering ([37]) emits the bare LDP.
+      if (O == MemOrder::SeqCst && !Bugs.SeqCst128Ldp)
+        emit("dmb", {AsmOperand::sym("ish")});
+      emit("ldp",
+           {AsmOperand::reg(Lo), AsmOperand::reg(Hi), AsmOperand::mem(Addr)});
+      if (!Bugs.SeqCst128Ldp && (isAcquire(O) || O == MemOrder::SeqCst))
+        emit("dmb", {AsmOperand::sym("ishld")});
+      return;
+    }
+    // v8.0: LDXP/STXP loop that *stores back* the value read. On const
+    // memory this write is the run-time crash of llvm-project #61770.
+    std::string Status = freshReg();
+    std::string L = newLabel();
+    defineLabel(L);
+    emit(isAcquire(O) ? "ldaxp" : "ldxp",
+         {AsmOperand::reg(Lo), AsmOperand::reg(Hi), AsmOperand::mem(Addr)});
+    emit(isRelease(O) || O == MemOrder::SeqCst ? "stlxp" : "stxp",
+         {AsmOperand::reg(Status), AsmOperand::reg(Lo), AsmOperand::reg(Hi),
+          AsmOperand::mem(Addr)});
+    emit("cbnz", {AsmOperand::reg(Status), AsmOperand::label(L)});
+  }
+
+  void store128(MemOrder O, const std::string &LoReg,
+                const std::string &HiReg, const std::string &Addr) override {
+    const BugModel &Bugs = profile().Bugs;
+    // Wrong-endian bug [39]: the register pair is written flipped.
+    std::string First = xReg(LoReg), Second = xReg(HiReg);
+    if (Bugs.Stp128WrongEndian)
+      std::swap(First, Second);
+    if (profile().Features.Lse2) {
+      if (isRelease(O))
+        emit("dmb", {AsmOperand::sym("ish")});
+      emit("stp", {AsmOperand::reg(First), AsmOperand::reg(Second),
+                   AsmOperand::mem(Addr)});
+      if (O == MemOrder::SeqCst)
+        emit("dmb", {AsmOperand::sym("ish")});
+      return;
+    }
+    // v8.0 CAS loop.
+    std::string JunkLo = xReg(freshReg()), JunkHi = xReg(freshReg());
+    std::string Status = freshReg();
+    std::string L = newLabel();
+    defineLabel(L);
+    emit(isAcquire(O) || O == MemOrder::SeqCst ? "ldaxp" : "ldxp",
+         {AsmOperand::reg(JunkLo), AsmOperand::reg(JunkHi),
+          AsmOperand::mem(Addr)});
+    emit(isRelease(O) || O == MemOrder::SeqCst ? "stlxp" : "stxp",
+         {AsmOperand::reg(Status), AsmOperand::reg(First),
+          AsmOperand::reg(Second), AsmOperand::mem(Addr)});
+    emit("cbnz", {AsmOperand::reg(Status), AsmOperand::label(L)});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<TargetGen> telechat::makeAArch64Gen() {
+  return std::make_unique<AArch64Gen>();
+}

@@ -1,0 +1,137 @@
+//===--- GenArmv7.cpp - Armv7-A code generation ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Armv7 mapping: no acquire/release instructions, so DMB ISH brackets
+/// accesses (ldr;dmb for acquire loads, dmb;str for release stores,
+/// dmb;str;dmb for seq_cst) and LDREX/STREX loops implement RMWs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/TargetGen.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+namespace {
+
+class Armv7Gen final : public TargetGen {
+  std::string valueReg(unsigned I) const override {
+    return strFormat("r%u", 2 + I % 9); // r2..r10
+  }
+
+  void prologue() override {
+    std::string StackLoc = "stack." + threadName();
+    SimLoc S0, S4;
+    S0.Name = StackLoc;
+    S0.Type = IntType{32, false};
+    S4.Name = StackLoc + "+4";
+    S4.Type = IntType{32, false};
+    addSyntheticLoc(S0);
+    addSyntheticLoc(S4);
+    out().InitRegs.emplace_back("sp", StackLoc);
+    emit("str", {AsmOperand::reg("r11"), AsmOperand::mem("sp")});
+    emit("str", {AsmOperand::reg("lr"), AsmOperand::mem("sp", 4)});
+  }
+
+  void epilogue() override {
+    emit("ldr", {AsmOperand::reg("r11"), AsmOperand::mem("sp")});
+    emit("ldr", {AsmOperand::reg("lr"), AsmOperand::mem("sp", 4)});
+    emit("bx", {AsmOperand::reg("lr")});
+  }
+
+  std::string addrReg(const std::string &Loc) override {
+    auto It = AddrCache.find(Loc);
+    if (It != AddrCache.end())
+      return It->second;
+    std::string R = freshReg();
+    emit("movw", {AsmOperand::reg(R), AsmOperand::sym(Loc, "lower16")});
+    emit("movt", {AsmOperand::reg(R), AsmOperand::sym(Loc, "upper16")});
+    AddrCache[Loc] = R;
+    return R;
+  }
+
+  void movImm(const std::string &Dst, Value V) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::imm(int64_t(V.Lo))});
+  }
+  void movReg(const std::string &Dst, const std::string &Src) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::reg(Src)});
+  }
+  void binOp(Expr::Kind K, const std::string &Dst, const std::string &A,
+             const std::string &B) override {
+    const char *M = K == Expr::Kind::Add   ? "add"
+                    : K == Expr::Kind::Sub ? "sub"
+                    : K == Expr::Kind::Xor ? "eor"
+                                           : "and";
+    emit(M, {AsmOperand::reg(Dst), AsmOperand::reg(A), AsmOperand::reg(B)});
+  }
+
+  void load(MemOrder O, const std::string &Dst,
+            const std::string &Addr) override {
+    emit("ldr", {AsmOperand::reg(Dst), AsmOperand::mem(Addr)});
+    if (isAcquire(O) || O == MemOrder::SeqCst)
+      emit("dmb", {AsmOperand::sym("ish")});
+  }
+
+  void store(MemOrder O, const std::string &ValReg,
+             const std::string &Addr) override {
+    if (isRelease(O))
+      emit("dmb", {AsmOperand::sym("ish")});
+    emit("str", {AsmOperand::reg(ValReg), AsmOperand::mem(Addr)});
+    if (O == MemOrder::SeqCst)
+      emit("dmb", {AsmOperand::sym("ish")});
+  }
+
+  void fence(MemOrder) override { emit("dmb", {AsmOperand::sym("ish")}); }
+
+  void rmw(RmwKind K, MemOrder O, const std::string &Dst,
+           const std::string &OperandReg, const std::string &Addr) override {
+    if (isRelease(O))
+      emit("dmb", {AsmOperand::sym("ish")});
+    std::string Old = Dst.empty() ? freshReg() : Dst;
+    std::string New = freshReg();
+    std::string Status = freshReg();
+    std::string L = newLabel();
+    defineLabel(L);
+    emit("ldrex", {AsmOperand::reg(Old), AsmOperand::mem(Addr)});
+    switch (K) {
+    case RmwKind::Xchg:
+      emit("mov", {AsmOperand::reg(New), AsmOperand::reg(OperandReg)});
+      break;
+    case RmwKind::FetchAdd:
+      emit("add", {AsmOperand::reg(New), AsmOperand::reg(Old),
+                   AsmOperand::reg(OperandReg)});
+      break;
+    case RmwKind::FetchSub:
+      emit("sub", {AsmOperand::reg(New), AsmOperand::reg(Old),
+                   AsmOperand::reg(OperandReg)});
+      break;
+    }
+    emit("strex", {AsmOperand::reg(Status), AsmOperand::reg(New),
+                   AsmOperand::mem(Addr)});
+    emit("cmp", {AsmOperand::reg(Status), AsmOperand::imm(0)});
+    emit("bne", {AsmOperand::label(L)});
+    if (isAcquire(O))
+      emit("dmb", {AsmOperand::sym("ish")});
+  }
+
+  void condBranchIfZero(const std::string &Reg,
+                        const std::string &Label) override {
+    emit("cmp", {AsmOperand::reg(Reg), AsmOperand::imm(0)});
+    emit("beq", {AsmOperand::label(Label)});
+  }
+
+  void jump(const std::string &Label) override {
+    emit("b", {AsmOperand::label(Label)});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<TargetGen> telechat::makeArmv7Gen() {
+  return std::make_unique<Armv7Gen>();
+}

@@ -1,0 +1,118 @@
+//===--- GenX86.cpp - Intel x86-64 code generation ------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// x86-64 mapping: plain MOVs for everything except seq_cst stores
+/// (LLVM: XCHG; GCC: MOV+MFENCE -- a real-world difference that
+/// differential testing exercises) and RMWs (LOCK-prefixed).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/TargetGen.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+namespace {
+
+class X86Gen final : public TargetGen {
+  std::string valueReg(unsigned I) const override {
+    static const char *Regs[] = {"eax", "ecx", "edx", "esi", "edi",
+                                 "r8d", "r9d", "r10d", "r11d"};
+    return Regs[I % 9];
+  }
+
+  void epilogue() override { emit("ret"); }
+
+  // x86 accesses are RIP-relative: the "address token" is the symbol.
+  std::string addrReg(const std::string &Loc) override { return Loc; }
+
+  void movImm(const std::string &Dst, Value V) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::imm(int64_t(V.Lo))});
+  }
+  void movReg(const std::string &Dst, const std::string &Src) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::reg(Src)});
+  }
+  void binOp(Expr::Kind K, const std::string &Dst, const std::string &A,
+             const std::string &B) override {
+    if (Dst != A)
+      emit("mov", {AsmOperand::reg(Dst), AsmOperand::reg(A)});
+    emit(K == Expr::Kind::Add ? "add" : "xor",
+         {AsmOperand::reg(Dst), AsmOperand::reg(B)});
+  }
+
+  void load(MemOrder, const std::string &Dst,
+            const std::string &Addr) override {
+    emit("mov", {AsmOperand::reg(Dst), AsmOperand::memSym("rip", Addr)});
+  }
+
+  void store(MemOrder O, const std::string &ValReg,
+             const std::string &Addr) override {
+    if (O == MemOrder::SeqCst) {
+      if (profile().Compiler == CompilerKind::Llvm) {
+        // LLVM: xchg (implicitly locked) for seq_cst stores.
+        emit("xchg",
+             {AsmOperand::reg(ValReg), AsmOperand::memSym("rip", Addr)});
+        return;
+      }
+      emit("mov", {AsmOperand::memSym("rip", Addr), AsmOperand::reg(ValReg)});
+      emit("mfence");
+      return;
+    }
+    emit("mov", {AsmOperand::memSym("rip", Addr), AsmOperand::reg(ValReg)});
+  }
+
+  void fence(MemOrder O) override {
+    // Only seq_cst fences emit code on TSO.
+    if (O == MemOrder::SeqCst)
+      emit("mfence");
+  }
+
+  void rmw(RmwKind K, MemOrder, const std::string &Dst,
+           const std::string &OperandReg, const std::string &Addr) override {
+    if (K == RmwKind::Xchg) {
+      std::string R = Dst.empty() ? freshReg() : Dst;
+      if (R != OperandReg)
+        emit("mov", {AsmOperand::reg(R), AsmOperand::reg(OperandReg)});
+      emit("xchg", {AsmOperand::reg(R), AsmOperand::memSym("rip", Addr)});
+      return;
+    }
+    std::string Op = OperandReg;
+    if (K == RmwKind::FetchSub) {
+      std::string Neg = freshReg();
+      emit("mov", {AsmOperand::reg(Neg), AsmOperand::imm(0)});
+      emit("sub", {AsmOperand::reg(Neg), AsmOperand::reg(Op)});
+      Op = Neg;
+    }
+    if (Dst.empty()) {
+      // Result-discarding fetch_add/sub: LOCK ADD (no destination).
+      emit("lock.add",
+           {AsmOperand::memSym("rip", Addr), AsmOperand::reg(Op)});
+      return;
+    }
+    if (Dst != Op)
+      emit("mov", {AsmOperand::reg(Dst), AsmOperand::reg(Op)});
+    emit("lock.xadd",
+         {AsmOperand::memSym("rip", Addr), AsmOperand::reg(Dst)});
+  }
+
+  void condBranchIfZero(const std::string &Reg,
+                        const std::string &Label) override {
+    emit("test", {AsmOperand::reg(Reg), AsmOperand::reg(Reg)});
+    emit("je", {AsmOperand::label(Label)});
+  }
+
+  void jump(const std::string &Label) override {
+    emit("jmp", {AsmOperand::label(Label)});
+  }
+};
+
+} // namespace
+
+std::unique_ptr<TargetGen> telechat::makeX86Gen() {
+  return std::make_unique<X86Gen>();
+}

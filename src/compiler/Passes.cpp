@@ -1,0 +1,169 @@
+//===--- Passes.cpp - Source-level optimisation passes --------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <set>
+
+using namespace telechat;
+
+namespace {
+
+/// Registers read by a statement (expressions only; Dst does not count).
+void collectReads(const Stmt &S, std::vector<std::string> &Out) {
+  switch (S.K) {
+  case Stmt::Kind::Store:
+  case Stmt::Kind::Rmw:
+  case Stmt::Kind::LocalAssign:
+    S.Val.collectRegs(Out);
+    break;
+  case Stmt::Kind::If:
+    S.Cond.collectRegs(Out);
+    break;
+  case Stmt::Kind::Load:
+  case Stmt::Kind::Fence:
+    break;
+  }
+}
+
+/// Whether register \p Reg is read anywhere in \p Body starting at
+/// statement \p From (inclusive), descending into branches.
+bool readLater(const std::vector<Stmt> &Body, size_t From,
+               const std::string &Reg) {
+  for (size_t I = From; I < Body.size(); ++I) {
+    std::vector<std::string> Reads;
+    collectReads(Body[I], Reads);
+    for (const std::string &R : Reads)
+      if (R == Reg)
+        return true;
+    if (Body[I].K == Stmt::Kind::If)
+      if (readLater(Body[I].Then, 0, Reg) || readLater(Body[I].Else, 0, Reg))
+        return true;
+  }
+  return false;
+}
+
+void markBody(std::vector<Stmt> &Body, const std::vector<Stmt> &Tail,
+              size_t TailFrom) {
+  for (size_t I = 0; I != Body.size(); ++I) {
+    Stmt &S = Body[I];
+    if (S.K == Stmt::Kind::If) {
+      // Anything read after the if (in this body or the enclosing tail)
+      // keeps arm-defined registers alive.
+      markBody(S.Then, Body, I + 1);
+      markBody(S.Else, Body, I + 1);
+      // Also consult the enclosing tail for the arms.
+      continue;
+    }
+    if (S.Dst.empty())
+      continue;
+    bool Used = readLater(Body, I + 1, S.Dst) ||
+                readLater(Tail, TailFrom, S.Dst);
+    S.DstUsedNowhere = !Used;
+  }
+}
+
+bool sameExpr(const Expr &A, const Expr &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Expr::Kind::Imm:
+    return A.Imm == B.Imm;
+  case Expr::Kind::Reg:
+    return A.RegName == B.RegName;
+  default:
+    return A.Ops.size() == B.Ops.size() && sameExpr(A.Ops[0], B.Ops[0]) &&
+           sameExpr(A.Ops[1], B.Ops[1]);
+  }
+}
+
+} // namespace
+
+void telechat::markDeadLocals(LitmusTest &Test) {
+  static const std::vector<Stmt> Empty;
+  for (Thread &T : Test.Threads)
+    markBody(T.Body, Empty, 0);
+}
+
+void telechat::eraseDeadPlainLoads(LitmusTest &Test) {
+  for (Thread &T : Test.Threads) {
+    auto EraseIn = [](std::vector<Stmt> &Body, auto &&Self) -> void {
+      for (size_t I = 0; I != Body.size();) {
+        Stmt &S = Body[I];
+        if (S.K == Stmt::Kind::If) {
+          Self(S.Then, Self);
+          Self(S.Else, Self);
+          ++I;
+          continue;
+        }
+        bool DeadPlainLoad = S.K == Stmt::Kind::Load &&
+                             S.Order == MemOrder::NA && S.DstUsedNowhere;
+        bool DeadAssign =
+            S.K == Stmt::Kind::LocalAssign && S.DstUsedNowhere;
+        if (DeadPlainLoad || DeadAssign) {
+          Body.erase(Body.begin() + I);
+          continue;
+        }
+        ++I;
+      }
+    };
+    EraseIn(T.Body, EraseIn);
+  }
+}
+
+void telechat::mergeStoreDiamonds(LitmusTest &Test, bool KeepDataDep) {
+  for (Thread &T : Test.Threads) {
+    auto MergeIn = [&](std::vector<Stmt> &Body, auto &&Self) -> void {
+      for (Stmt &S : Body) {
+        if (S.K != Stmt::Kind::If)
+          continue;
+        Self(S.Then, Self);
+        Self(S.Else, Self);
+        if (S.Then.size() != 1 || S.Else.size() != 1)
+          continue;
+        const Stmt &A = S.Then.front();
+        const Stmt &B = S.Else.front();
+        if (A.K != Stmt::Kind::Store || B.K != Stmt::Kind::Store)
+          continue;
+        if (A.Loc != B.Loc || A.Order != B.Order || !sameExpr(A.Val, B.Val))
+          continue;
+        Stmt Merged = A;
+        if (KeepDataDep) {
+          // v + (cond ^ cond): value unchanged, dependency preserved.
+          Merged.Val = Expr::binary(
+              Expr::Kind::Add, Merged.Val,
+              Expr::binary(Expr::Kind::Xor, S.Cond, S.Cond));
+        }
+        S = Merged;
+      }
+    };
+    MergeIn(T.Body, MergeIn);
+  }
+}
+
+std::vector<std::string> telechat::runMiddleEnd(LitmusTest &Test,
+                                                const Profile &P) {
+  std::vector<std::string> Notes;
+  markDeadLocals(Test);
+  if (P.Opt == OptLevel::O0)
+    return Notes;
+  // -O1 and above delete dead plain loads / assignments.
+  eraseDeadPlainLoads(Test);
+  Notes.push_back("dead-plain-load-elim");
+  // GCC if-converts identical-store diamonds on Armv7; at -O1 the control
+  // dependency is simply dropped, at -O2+ the rewritten value keeps a
+  // data dependency (paper §IV-D: the behaviour is "masked at higher
+  // optimisation levels by a data dependency").
+  if (P.Compiler == CompilerKind::Gcc && P.Target == Arch::Armv7) {
+    bool KeepDataDep = P.Opt != OptLevel::O1;
+    mergeStoreDiamonds(Test, KeepDataDep);
+    Notes.push_back(KeepDataDep ? "store-diamond-merge+datadep"
+                                : "store-diamond-merge");
+  }
+  // Re-run liveness: deletions above may have killed more registers.
+  markDeadLocals(Test);
+  return Notes;
+}

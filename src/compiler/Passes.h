@@ -1,0 +1,51 @@
+//===--- Passes.h - Source-level optimisation passes ------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The middle-end passes whose interaction with concurrency the paper
+/// studies. All operate on the litmus AST before code generation:
+///
+///  - dead-local analysis: marks statements whose destination register is
+///    never read again by the thread. C/C++ models allow deleting such
+///    data (paper §IV-B, "the local variable problem").
+///  - dead non-atomic load elimination: deletes unused plain loads at
+///    -O1 and above (Fig. 9: clang -O2 deletes `int r0 = *x`).
+///  - store-diamond merge: `if (r) { *y=v } else { *y=v }` becomes an
+///    unconditional store, *removing the control dependency* -- the
+///    gcc/-O1/Armv7 behaviour behind Table IV's 3480-vs-2352 cell. At
+///    -O2+ the merged store keeps a data dependency (value rewritten as
+///    v + (r ^ r)), masking the reordering again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_COMPILER_PASSES_H
+#define TELECHAT_COMPILER_PASSES_H
+
+#include "compiler/Profile.h"
+#include "litmus/Ast.h"
+
+namespace telechat {
+
+/// Sets Stmt::DstUsedNowhere on every statement whose destination is dead
+/// within its thread (observation by the litmus final state does not
+/// count: the compiler cannot see it -- that is the paper's point).
+void markDeadLocals(LitmusTest &Test);
+
+/// Deletes dead non-atomic loads and dead local assignments (-O1+).
+void eraseDeadPlainLoads(LitmusTest &Test);
+
+/// Merges if/else diamonds whose two arms are a single identical store.
+/// With \p KeepDataDep the merged store value is augmented with
+/// `+ (cond ^ cond)`, preserving a syntactic dependency.
+void mergeStoreDiamonds(LitmusTest &Test, bool KeepDataDep);
+
+/// Applies the profile's middle-end pipeline in order. Returns notes
+/// describing what fired (for logs and tests).
+std::vector<std::string> runMiddleEnd(LitmusTest &Test, const Profile &P);
+
+} // namespace telechat
+
+#endif // TELECHAT_COMPILER_PASSES_H

@@ -1,0 +1,155 @@
+//===--- Profile.cpp - Compiler profiles ----------------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Profile.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+std::string telechat::compilerKindName(CompilerKind C) {
+  return C == CompilerKind::Llvm ? "llvm" : "gcc";
+}
+
+std::string telechat::optLevelName(OptLevel O) {
+  switch (O) {
+  case OptLevel::O0:
+    return "-O0";
+  case OptLevel::O1:
+    return "-O1";
+  case OptLevel::O2:
+    return "-O2";
+  case OptLevel::O3:
+    return "-O3";
+  case OptLevel::Ofast:
+    return "-Ofast";
+  case OptLevel::Og:
+    return "-Og";
+  }
+  return "-O2";
+}
+
+std::string Profile::name() const {
+  std::string ArchTok;
+  switch (Target) {
+  case Arch::AArch64:
+    ArchTok = "AArch64";
+    break;
+  case Arch::Armv7:
+    ArchTok = "ARMv7";
+    break;
+  case Arch::X86_64:
+    ArchTok = "x86-64";
+    break;
+  case Arch::RiscV:
+    ArchTok = "RISCV";
+    break;
+  case Arch::Ppc:
+    ArchTok = "PPC";
+    break;
+  case Arch::Mips:
+    ArchTok = "MIPS";
+    break;
+  }
+  return compilerKindName(Compiler) + optLevelName(Opt) + "-" + ArchTok;
+}
+
+Profile Profile::current(CompilerKind C, OptLevel O, Arch A) {
+  Profile P;
+  P.Compiler = C;
+  P.Opt = O;
+  P.Target = A;
+  return P;
+}
+
+Profile Profile::llvm11(OptLevel O, Arch A) {
+  Profile P = current(CompilerKind::Llvm, O, A);
+  if (A == Arch::AArch64) {
+    P.Features.Lse = true;
+    P.Features.Lse2 = true;
+    P.Bugs.XchgNoRet = true;
+    P.Bugs.SeqCst128Ldp = true;
+    P.Bugs.Stp128WrongEndian = true;
+    P.Bugs.ConstAtomicStore = true;
+  }
+  return P;
+}
+
+Profile Profile::llvmOldLse(OptLevel O) {
+  Profile P = current(CompilerKind::Llvm, O, Arch::AArch64);
+  P.Features.Lse = true;
+  P.Bugs.StaddNoRet = true;
+  P.Bugs.DeadRegZeroing = true;
+  return P;
+}
+
+Profile Profile::gccOldLse(OptLevel O) {
+  Profile P = current(CompilerKind::Gcc, O, Arch::AArch64);
+  P.Features.Lse = true;
+  P.Bugs.StaddNoRet = true;
+  return P;
+}
+
+bool telechat::profileFromName(const std::string &Name, Profile &Out) {
+  std::vector<std::string> Parts = splitString(Name, '-');
+  if (Parts.size() < 3)
+    return false;
+  Profile P;
+  if (Parts[0] == "llvm" || Parts[0] == "clang")
+    P.Compiler = CompilerKind::Llvm;
+  else if (Parts[0] == "gcc")
+    P.Compiler = CompilerKind::Gcc;
+  else
+    return false;
+  const std::string &O = Parts[1];
+  if (O == "O0")
+    P.Opt = OptLevel::O0;
+  else if (O == "O1")
+    P.Opt = OptLevel::O1;
+  else if (O == "O2")
+    P.Opt = OptLevel::O2;
+  else if (O == "O3")
+    P.Opt = OptLevel::O3;
+  else if (O == "Ofast")
+    P.Opt = OptLevel::Ofast;
+  else if (O == "Og")
+    P.Opt = OptLevel::Og;
+  else
+    return false;
+  // Arch token may itself contain '-' ("x86-64"): rejoin the tail.
+  std::string ArchTok = Parts[2];
+  for (size_t I = 3; I != Parts.size(); ++I)
+    ArchTok += "-" + Parts[I];
+  // Optional "+feature" suffixes.
+  std::vector<std::string> Feats = splitString(ArchTok, '+');
+  ArchTok = Feats[0];
+  if (ArchTok == "AArch64")
+    P.Target = Arch::AArch64;
+  else if (ArchTok == "ARMv7")
+    P.Target = Arch::Armv7;
+  else if (ArchTok == "x86-64" || ArchTok == "X86")
+    P.Target = Arch::X86_64;
+  else if (ArchTok == "RISCV")
+    P.Target = Arch::RiscV;
+  else if (ArchTok == "PPC")
+    P.Target = Arch::Ppc;
+  else if (ArchTok == "MIPS")
+    P.Target = Arch::Mips;
+  else
+    return false;
+  for (size_t I = 1; I != Feats.size(); ++I) {
+    if (Feats[I] == "lse")
+      P.Features.Lse = true;
+    else if (Feats[I] == "rcpc")
+      P.Features.Rcpc = true;
+    else if (Feats[I] == "lse2")
+      P.Features.Lse2 = true;
+    else
+      return false;
+  }
+  Out = P;
+  return true;
+}

@@ -1,0 +1,107 @@
+//===--- Profile.h - Compiler profiles --------------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiler profiles, the paper's §IV-D notion: "Each profile captures the
+/// compiler tool-chain (& flags), architecture (& model), disassembler
+/// (& flags), and symbol table reader", e.g. llvm-O3-AArch64. Profiles
+/// also carry the architecture-extension set and a *bug model* emulating
+/// the documented miscompilations of specific compiler versions, replacing
+/// the paper's real LLVM/GCC binaries (see DESIGN.md §4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_COMPILER_PROFILE_H
+#define TELECHAT_COMPILER_PROFILE_H
+
+#include "litmus/Arch.h"
+
+#include <string>
+
+namespace telechat {
+
+enum class CompilerKind { Llvm, Gcc };
+
+enum class OptLevel { O0, O1, O2, O3, Ofast, Og };
+
+/// Architecture extensions (AArch64 profiles).
+struct ArchFeatures {
+  bool Lse = false;  ///< Armv8.1 Large Systems Extension (LDADD/SWP/ST*).
+  bool Rcpc = false; ///< Armv8.3 weak release consistency (LDAPR).
+  bool Lse2 = false; ///< Armv8.4: 16-byte aligned LDP/STP single-copy
+                     ///< atomic.
+};
+
+/// Emulated historical bugs, each reproducing a documented report:
+///  - StaddNoRet: fetch_add with unused result compiled to ST-form LSE
+///    atomics whose read DMB LD does not order (LLVM bug 35094 / paper
+///    Fig. 10, first bug).
+///  - DeadRegZeroing: the AArch64 dead-register-definitions pass rewrites
+///    the dead destination of LSE atomics to XZR, aliasing the ST form
+///    (Fig. 10, second bug).
+///  - XchgNoRet: same mechanism applied to atomic_exchange: SWP with a
+///    dead destination reorders past a later acquire fence (llvm-project
+///    issue #68428, paper Fig. 1).
+///  - SeqCst128Ldp: 128-bit seq_cst load emitted as plain LDP under
+///    v8.4, reorderable before prior RMWs (issue #62652).
+///  - Stp128WrongEndian: 128-bit stores write the register pair in
+///    flipped order (issue #61431).
+///  - ConstAtomicStore: 128-bit const atomic loads emitted as an
+///    LDXP/STXP loop that *writes* read-only memory (issue #61770).
+struct BugModel {
+  bool StaddNoRet = false;
+  bool DeadRegZeroing = false;
+  bool XchgNoRet = false;
+  bool SeqCst128Ldp = false;
+  bool Stp128WrongEndian = false;
+  bool ConstAtomicStore = false;
+  /// Missed optimisation, not a bug: GCC refuses to fill MIPS branch
+  /// delay slots with atomic accesses (GCC PR 110573). True = emit the
+  /// proposed optimisation.
+  bool MipsFillAtomicDelaySlots = false;
+
+  bool any() const {
+    return StaddNoRet || DeadRegZeroing || XchgNoRet || SeqCst128Ldp ||
+           Stp128WrongEndian || ConstAtomicStore;
+  }
+};
+
+/// A complete compiler profile.
+struct Profile {
+  CompilerKind Compiler = CompilerKind::Llvm;
+  OptLevel Opt = OptLevel::O2;
+  Arch Target = Arch::AArch64;
+  ArchFeatures Features;
+  BugModel Bugs;
+
+  /// "llvm-O3-AArch64"-style name (paper §IV-D).
+  std::string name() const;
+
+  /// A current, bug-free compiler.
+  static Profile current(CompilerKind C, OptLevel O, Arch A);
+
+  /// LLVM 11 as used by the paper's artefact: carries the four reported
+  /// AArch64 bugs [36]-[39] (visible only in tests exercising LSE
+  /// exchanges or 128-bit atomics).
+  static Profile llvm11(OptLevel O, Arch A);
+
+  /// Pre-2019 compilers with the STADD/dead-register bugs of Fig. 10
+  /// (requires the LSE feature to manifest).
+  static Profile llvmOldLse(OptLevel O);
+  static Profile gccOldLse(OptLevel O);
+};
+
+std::string compilerKindName(CompilerKind C);
+std::string optLevelName(OptLevel O);
+
+/// Parses a "llvm-O2-AArch64"-style name (with optional "+lse", "+rcpc",
+/// "+lse2" feature suffixes, e.g. "gcc-O3-AArch64+lse+rcpc") back to a
+/// profile. Returns false on malformed names.
+bool profileFromName(const std::string &Name, Profile &Out);
+
+} // namespace telechat
+
+#endif // TELECHAT_COMPILER_PROFILE_H

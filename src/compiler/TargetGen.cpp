@@ -1,0 +1,252 @@
+//===--- TargetGen.cpp - Code generation driver ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/TargetGen.h"
+
+#include "asmcore/Semantics.h"
+#include "support/StringUtils.h"
+
+#include <functional>
+
+using namespace telechat;
+
+TargetGen::~TargetGen() = default;
+
+void TargetGen::emit(std::string Mnemonic, std::vector<AsmOperand> Ops) {
+  CurOut->Code.emplace_back(std::move(Mnemonic), std::move(Ops));
+}
+
+void TargetGen::defineLabel(const std::string &L) {
+  CurOut->Labels[L] = CurOut->Code.size();
+}
+
+std::string TargetGen::newLabel() {
+  return strFormat(".L%s_%u", CurThread->Name.c_str(), LabelCounter++);
+}
+
+std::string TargetGen::mapReg(const std::string &SrcReg) {
+  auto It = RegMap.find(SrcReg);
+  if (It != RegMap.end())
+    return It->second;
+  std::string R = freshReg();
+  RegMap[SrcReg] = R;
+  return R;
+}
+
+std::string TargetGen::evalExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::Imm: {
+    std::string R = freshReg();
+    movImm(R, E.Imm);
+    return R;
+  }
+  case Expr::Kind::Reg: {
+    auto It = RegMap.find(E.RegName);
+    if (It != RegMap.end())
+      return It->second;
+    // Reading a register the compiler deleted or never defined: zero.
+    std::string R = freshReg();
+    movImm(R, Value());
+    return R;
+  }
+  case Expr::Kind::Add:
+  case Expr::Kind::Sub:
+  case Expr::Kind::Xor:
+  case Expr::Kind::And: {
+    std::string A = evalExpr(E.Ops[0]);
+    std::string B = evalExpr(E.Ops[1]);
+    std::string R = freshReg();
+    binOp(E.K, R, A, B);
+    return R;
+  }
+  }
+  return freshReg();
+}
+
+void TargetGen::addSyntheticLoc(SimLoc L) {
+  for (const SimLoc &Existing : Output->Asm.Locations)
+    if (Existing.Name == L.Name)
+      return;
+  Output->Asm.Locations.push_back(std::move(L));
+}
+
+void TargetGen::load128(MemOrder, bool, const std::string &,
+                        const std::string &, const std::string &) {
+  fail("128-bit atomics are only supported when targeting AArch64");
+}
+
+void TargetGen::store128(MemOrder, const std::string &, const std::string &,
+                         const std::string &) {
+  fail("128-bit atomics are only supported when targeting AArch64");
+}
+
+void TargetGen::genStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Load: {
+    const LocDecl *L = Test->findLocation(S.Loc);
+    std::string Addr = addrReg(S.Loc);
+    bool Is128 = L && L->Type.Bits == 128;
+    // A dead destination is loaded into a scratch register that later
+    // code may reuse: the source-level value does not survive (paper
+    // §IV-B). Plain dead loads were already deleted by the middle end.
+    std::string Dst;
+    if (S.DstUsedNowhere && Prof->Opt != OptLevel::O0) {
+      Dst = freshReg();
+      DeadLocals.insert(S.Dst);
+    } else {
+      Dst = mapReg(S.Dst);
+    }
+    if (Is128) {
+      std::string DstHi = freshReg();
+      load128(S.Order, L->Const, Dst, DstHi, Addr);
+    } else {
+      load(S.Order, Dst, Addr);
+    }
+    return;
+  }
+  case Stmt::Kind::Store: {
+    const LocDecl *L = Test->findLocation(S.Loc);
+    if (L && L->Type.Bits == 128) {
+      // Evaluate halves separately (register pairs).
+      std::string Lo = freshReg(), Hi = freshReg();
+      if (S.Val.K == Expr::Kind::Imm) {
+        movImm(Lo, Value(S.Val.Imm.Lo));
+        movImm(Hi, Value(S.Val.Imm.Hi));
+      } else {
+        std::string V = evalExpr(S.Val);
+        movReg(Lo, V);
+        movImm(Hi, Value());
+      }
+      std::string Addr = addrReg(S.Loc);
+      store128(S.Order, Lo, Hi, Addr);
+      return;
+    }
+    std::string V = evalExpr(S.Val);
+    std::string Addr = addrReg(S.Loc);
+    store(S.Order, V, Addr);
+    return;
+  }
+  case Stmt::Kind::Fence:
+    // Relaxed fences compile to nothing -- the mechanism behind the
+    // paper's Fig. 7: the source-level relaxed fence leaves no trace.
+    if (S.Order != MemOrder::Relaxed && S.Order != MemOrder::NA)
+      fence(S.Order);
+    return;
+  case Stmt::Kind::Rmw: {
+    std::string Operand = evalExpr(S.Val);
+    std::string Addr = addrReg(S.Loc);
+    std::string Dst;
+    if (S.Dst.empty()) {
+      // Result discarded in the source itself (Fig. 1).
+    } else if (S.DstUsedNowhere && Prof->Opt != OptLevel::O0) {
+      DeadLocals.insert(S.Dst);
+    } else {
+      Dst = mapReg(S.Dst);
+    }
+    rmw(S.Rmw, S.Order, Dst, Operand, Addr);
+    return;
+  }
+  case Stmt::Kind::LocalAssign: {
+    std::string V = evalExpr(S.Val);
+    movReg(mapReg(S.Dst), V);
+    return;
+  }
+  case Stmt::Kind::If: {
+    std::string Cond = evalExpr(S.Cond);
+    std::string ElseL = newLabel();
+    condBranchIfZero(Cond, ElseL);
+    walkBody(S.Then);
+    if (S.Else.empty()) {
+      defineLabel(ElseL);
+      return;
+    }
+    std::string EndL = newLabel();
+    jump(EndL);
+    defineLabel(ElseL);
+    walkBody(S.Else);
+    defineLabel(EndL);
+    return;
+  }
+  }
+}
+
+void TargetGen::walkBody(const std::vector<Stmt> &Body) {
+  for (const Stmt &S : Body) {
+    if (!Err.empty())
+      return;
+    genStmt(S);
+  }
+}
+
+ErrorOr<CompileOutput> TargetGen::compile(const LitmusTest &TestIn,
+                                          const Profile &P) {
+  CompileOutput Out;
+  Test = &TestIn;
+  Prof = &P;
+  Output = &Out;
+  Err.clear();
+
+  Out.Asm.Name = TestIn.Name;
+  Out.Asm.TargetArch = P.Target;
+  for (const LocDecl &L : TestIn.Locations) {
+    SimLoc SL;
+    SL.Name = L.Name;
+    SL.Type = L.Type;
+    SL.Const = L.Const;
+    SL.Init = L.Init;
+    Out.Asm.Locations.push_back(std::move(SL));
+    Out.KeyMap.emplace_back(Outcome::locKey(L.Name), Outcome::locKey(L.Name));
+  }
+
+  for (const Thread &T : TestIn.Threads) {
+    Out.Asm.Threads.emplace_back();
+    CurThread = &T;
+    CurOut = &Out.Asm.Threads.back();
+    CurOut->Name = T.Name;
+    RegMap.clear();
+    DeadLocals.clear();
+    AddrCache.clear();
+    RegCounter = 0;
+    prologue();
+    walkBody(T.Body);
+    epilogue();
+    if (!Err.empty())
+      return makeError(Err);
+    // State mapping for surviving locals.
+    const InstSemantics &Sem = instSemantics(P.Target);
+    for (const auto &[Src, Machine] : RegMap)
+      Out.KeyMap.emplace_back(Outcome::regKey(T.Name, Src),
+                              Outcome::regKey(T.Name, Sem.canonReg(Machine)));
+    for (const std::string &Dead : DeadLocals)
+      Out.DeletedLocals.push_back(Outcome::regKey(T.Name, Dead));
+  }
+
+  // Rewrite the final condition into target vocabulary. Atoms naming
+  // deleted locals keep a key that will never be bound: herd evaluates
+  // them against the zero-initialised default (paper §IV-B).
+  Out.Asm.Final = TestIn.Final;
+  std::function<void(Predicate &)> Rewrite = [&](Predicate &Pred) {
+    if (Pred.K == Predicate::Kind::Atom) {
+      if (Pred.A.K == PredAtom::Kind::RegEq) {
+        std::string SrcKey = Outcome::regKey(Pred.A.Thread, Pred.A.Name);
+        for (const auto &[From, To] : Out.KeyMap)
+          if (From == SrcKey) {
+            // "P1:x9" -> thread "P1", reg "x9".
+            size_t Colon = To.find(':');
+            Pred.A.Thread = To.substr(0, Colon);
+            Pred.A.Name = To.substr(Colon + 1);
+            return;
+          }
+        // Deleted: leave as-is; it will read as zero.
+      }
+      return;
+    }
+    for (Predicate &OpPred : Pred.Ops)
+      Rewrite(OpPred);
+  };
+  Rewrite(Out.Asm.Final.P);
+  return Out;
+}

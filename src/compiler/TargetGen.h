@@ -1,0 +1,138 @@
+//===--- TargetGen.h - Code generation interface ----------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code-generation backend interface. The base class walks the litmus
+/// AST (after the middle-end passes) and calls per-ISA hooks; backends
+/// implement the paper-documented mappings from C/C++ atomics to target
+/// instruction sequences, including the profile's bug models.
+///
+/// Generated code is deliberately *raw*: address materialisation (GOT
+/// loads on AArch64), stack scaffolding, and per-access re-computation
+/// appear exactly as in real disassembly. The s2l litmus optimiser
+/// (core/LitmusOpt) removes them -- that separation is the paper's
+/// scalability contribution (§IV-E).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_COMPILER_TARGETGEN_H
+#define TELECHAT_COMPILER_TARGETGEN_H
+
+#include "asmcore/AsmProgram.h"
+#include "compiler/Profile.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace telechat {
+
+/// Output of compiling one litmus test.
+struct CompileOutput {
+  AsmLitmusTest Asm;
+  /// State mapping m (paper Fig. 5): source outcome key -> target
+  /// outcome key, e.g. "P1:r0" -> "P1:x9" and "[x]" -> "[x]".
+  std::vector<std::pair<std::string, std::string>> KeyMap;
+  /// Source locals whose values did not survive compilation (deleted or
+  /// register-reused); they are absent from KeyMap.
+  std::vector<std::string> DeletedLocals;
+  std::vector<std::string> Notes;
+};
+
+/// Base code generator; one concrete subclass per ISA.
+class TargetGen {
+public:
+  virtual ~TargetGen();
+
+  /// Compiles \p Test (already middle-end-optimised) for \p P.
+  ErrorOr<CompileOutput> compile(const LitmusTest &Test, const Profile &P);
+
+protected:
+  // --- Services for backends. ---
+  void emit(std::string Mnemonic, std::vector<AsmOperand> Ops = {});
+  void defineLabel(const std::string &L);
+  std::string newLabel();
+  std::string freshReg() { return valueReg(RegCounter++); }
+  /// The machine register allocated to source local \p SrcReg.
+  std::string mapReg(const std::string &SrcReg);
+  /// Evaluates an expression into a (possibly fresh) machine register.
+  std::string evalExpr(const Expr &E);
+  /// Declares a synthetic location (GOT slot, stack slot) once.
+  void addSyntheticLoc(SimLoc L);
+  bool isAcquireOrder(MemOrder O) const { return isAcquire(O); }
+
+  const Profile &profile() const { return *Prof; }
+  const LitmusTest &test() const { return *Test; }
+  const std::string &threadName() const { return CurThread->Name; }
+  AsmThread &out() { return *CurOut; }
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+  }
+
+  // --- Per-ISA hooks. ---
+  /// Value-register allocation order ("x10", "r4", "t1", ...).
+  virtual std::string valueReg(unsigned I) const = 0;
+  virtual void prologue() {}
+  virtual void epilogue() = 0;
+  /// Materialises &Loc; returns the arch-specific address token consumed
+  /// by the access hooks (a register name, or the symbol itself on x86).
+  virtual std::string addrReg(const std::string &Loc) = 0;
+  virtual void movImm(const std::string &Dst, Value V) = 0;
+  virtual void movReg(const std::string &Dst, const std::string &Src) = 0;
+  virtual void binOp(Expr::Kind K, const std::string &Dst,
+                     const std::string &A, const std::string &B) = 0;
+  virtual void load(MemOrder O, const std::string &Dst,
+                    const std::string &Addr) = 0;
+  virtual void store(MemOrder O, const std::string &ValReg,
+                     const std::string &Addr) = 0;
+  virtual void fence(MemOrder O) = 0;
+  /// \p Dst empty means the result is dead (register reused): no state
+  /// mapping survives, and buggy profiles may change the instruction.
+  virtual void rmw(RmwKind K, MemOrder O, const std::string &Dst,
+                   const std::string &OperandReg,
+                   const std::string &Addr) = 0;
+  virtual void condBranchIfZero(const std::string &Reg,
+                                const std::string &Label) = 0;
+  virtual void jump(const std::string &Label) = 0;
+  /// 128-bit accesses; only AArch64 supports them.
+  virtual void load128(MemOrder O, bool ConstLoc, const std::string &DstLo,
+                       const std::string &DstHi, const std::string &Addr);
+  virtual void store128(MemOrder O, const std::string &LoReg,
+                        const std::string &HiReg, const std::string &Addr);
+
+private:
+  void walkBody(const std::vector<Stmt> &Body);
+  void genStmt(const Stmt &S);
+
+  const LitmusTest *Test = nullptr;
+  const Profile *Prof = nullptr;
+  const Thread *CurThread = nullptr;
+  AsmThread *CurOut = nullptr;
+  CompileOutput *Output = nullptr;
+  std::map<std::string, std::string> RegMap;
+  std::set<std::string> DeadLocals;
+  unsigned RegCounter = 0;
+  unsigned LabelCounter = 0;
+  std::string Err;
+
+protected:
+  /// Per-thread cache of materialised addresses (CSE, as compilers do).
+  std::map<std::string, std::string> AddrCache;
+};
+
+/// Factories (one per Gen*.cpp).
+std::unique_ptr<TargetGen> makeAArch64Gen();
+std::unique_ptr<TargetGen> makeArmv7Gen();
+std::unique_ptr<TargetGen> makeX86Gen();
+std::unique_ptr<TargetGen> makeRiscVGen();
+std::unique_ptr<TargetGen> makePpcGen();
+std::unique_ptr<TargetGen> makeMipsGen();
+
+} // namespace telechat
+
+#endif // TELECHAT_COMPILER_TARGETGEN_H

@@ -1,0 +1,139 @@
+//===--- Fuzz.cpp - Metamorphic litmus-test mutation ----------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fuzz.h"
+
+#include "support/StringUtils.h"
+
+#include <functional>
+#include <random>
+
+using namespace telechat;
+
+namespace {
+
+/// Renames register \p From to \p To in an expression.
+void renameInExpr(Expr &E, const std::string &From, const std::string &To) {
+  if (E.K == Expr::Kind::Reg) {
+    if (E.RegName == From)
+      E.RegName = To;
+    return;
+  }
+  for (Expr &Op : E.Ops)
+    renameInExpr(Op, From, To);
+}
+
+void renameInBody(std::vector<Stmt> &Body, const std::string &From,
+                  const std::string &To) {
+  for (Stmt &S : Body) {
+    if (S.Dst == From)
+      S.Dst = To;
+    renameInExpr(S.Val, From, To);
+    renameInExpr(S.Cond, From, To);
+    renameInBody(S.Then, From, To);
+    renameInBody(S.Else, From, To);
+  }
+}
+
+/// Mutation 1: rename one register of one thread (and the predicate).
+void mutateRename(LitmusTest &T, std::mt19937_64 &Rng) {
+  if (T.Threads.empty())
+    return;
+  Thread &Th = T.Threads[Rng() % T.Threads.size()];
+  std::vector<std::string> Regs = assignedRegisters(Th);
+  if (Regs.empty())
+    return;
+  std::string From = Regs[Rng() % Regs.size()];
+  std::string To = From + "x";
+  renameInBody(Th.Body, From, To);
+  std::function<void(Predicate &)> Fix = [&](Predicate &P) {
+    if (P.K == Predicate::Kind::Atom) {
+      if (P.A.K == PredAtom::Kind::RegEq && P.A.Thread == Th.Name &&
+          P.A.Name == From)
+        P.A.Name = To;
+      return;
+    }
+    for (Predicate &Op : P.Ops)
+      Fix(Op);
+  };
+  Fix(T.Final.P);
+}
+
+/// Mutation 2: insert a dead branch guarded by r ^ r (always zero).
+void mutateDeadBranch(LitmusTest &T, std::mt19937_64 &Rng) {
+  if (T.Threads.empty() || T.Locations.empty())
+    return;
+  Thread &Th = T.Threads[Rng() % T.Threads.size()];
+  std::vector<std::string> Regs = assignedRegisters(Th);
+  if (Regs.empty())
+    return;
+  const std::string &R = Regs[Rng() % Regs.size()];
+  const std::string &Loc = T.Locations[Rng() % T.Locations.size()].Name;
+  Expr Guard = Expr::binary(Expr::Kind::Xor, Expr::reg(R), Expr::reg(R));
+  std::vector<Stmt> DeadArm;
+  DeadArm.push_back(Stmt::store(Loc, Value(42), MemOrder::Relaxed));
+  // Insert after the register's defining statement (it must dominate the
+  // guard); appending at the end is always safe.
+  Th.Body.push_back(Stmt::ifNonZero(std::move(Guard), std::move(DeadArm)));
+}
+
+/// Mutation 3: redundant relaxed load into a fresh unused register.
+void mutateRedundantLoad(LitmusTest &T, std::mt19937_64 &Rng) {
+  if (T.Threads.empty() || T.Locations.empty())
+    return;
+  // Only atomic locations can be loaded without racing.
+  std::vector<const LocDecl *> Atomic;
+  for (const LocDecl &L : T.Locations)
+    if (L.Atomic)
+      Atomic.push_back(&L);
+  if (Atomic.empty())
+    return;
+  Thread &Th = T.Threads[Rng() % T.Threads.size()];
+  const LocDecl *L = Atomic[Rng() % Atomic.size()];
+  std::string Fresh = strFormat("rf%u", unsigned(Rng() % 1000));
+  size_t Pos = Th.Body.empty() ? 0 : Rng() % (Th.Body.size() + 1);
+  Th.Body.insert(Th.Body.begin() + Pos,
+                 Stmt::load(Fresh, L->Name, MemOrder::Relaxed));
+}
+
+/// Mutation 4: duplicate an existing fence (idempotent).
+void mutateDuplicateFence(LitmusTest &T, std::mt19937_64 &Rng) {
+  if (T.Threads.empty())
+    return;
+  Thread &Th = T.Threads[Rng() % T.Threads.size()];
+  for (size_t I = 0; I != Th.Body.size(); ++I) {
+    if (Th.Body[I].K != Stmt::Kind::Fence)
+      continue;
+    Th.Body.insert(Th.Body.begin() + I, Th.Body[I]);
+    return;
+  }
+}
+
+} // namespace
+
+LitmusTest telechat::mutateTest(const LitmusTest &Test,
+                                const FuzzOptions &Options) {
+  LitmusTest Out = Test;
+  std::mt19937_64 Rng(Options.Seed);
+  for (unsigned I = 0; I != Options.Rounds; ++I) {
+    switch (Rng() % 4) {
+    case 0:
+      mutateRename(Out, Rng);
+      break;
+    case 1:
+      mutateDeadBranch(Out, Rng);
+      break;
+    case 2:
+      mutateRedundantLoad(Out, Rng);
+      break;
+    case 3:
+      mutateDuplicateFence(Out, Rng);
+      break;
+    }
+  }
+  Out.Name = Test.Name + "+fuzz" + std::to_string(Options.Seed);
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===--- Fuzz.h - Metamorphic litmus-test mutation --------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optional fuzzing stage of l2c (paper Fig. 6 step 2: "Optionally
+/// fuzz S'"). Mutations are *semantics-preserving* in the metamorphic
+/// sense of C4/Orion: the mutant's outcome set over the original
+/// observables must equal the original's, so any divergence after
+/// compilation indicates a compiler (or pipeline) bug. Mutations:
+///
+///  - register renaming (exercises state mappings),
+///  - dead-branch insertion: `if (r ^ r) { stores }` never executes,
+///  - redundant relaxed loads into fresh unused registers,
+///  - fence duplication (a fence is idempotent next to itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CORE_FUZZ_H
+#define TELECHAT_CORE_FUZZ_H
+
+#include "litmus/Ast.h"
+
+#include <cstdint>
+
+namespace telechat {
+
+/// Options for the mutation stage.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Rounds = 3; ///< Number of mutations applied.
+};
+
+/// Returns a semantics-preserving mutant of \p Test. Deterministic in
+/// the seed; the final condition is rewritten consistently when
+/// registers are renamed.
+LitmusTest mutateTest(const LitmusTest &Test, const FuzzOptions &Options);
+
+} // namespace telechat
+
+#endif // TELECHAT_CORE_FUZZ_H

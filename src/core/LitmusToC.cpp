@@ -1,0 +1,69 @@
+//===--- LitmusToC.cpp - The l2c preparation stage ------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LitmusToC.h"
+
+#include <functional>
+#include <set>
+
+using namespace telechat;
+
+std::string telechat::observationLocName(const std::string &Thread,
+                                         const std::string &Reg) {
+  return "obs_" + Thread + "_" + Reg;
+}
+
+LitmusTest telechat::augmentLocalObservations(const LitmusTest &Test) {
+  LitmusTest Out = Test;
+  // Which (thread, register) pairs does the final state observe?
+  std::set<std::pair<std::string, std::string>> Observed;
+  std::function<void(const Predicate &)> Collect = [&](const Predicate &P) {
+    if (P.K == Predicate::Kind::Atom) {
+      if (P.A.K == PredAtom::Kind::RegEq)
+        Observed.insert({P.A.Thread, P.A.Name});
+      return;
+    }
+    for (const Predicate &Op : P.Ops)
+      Collect(Op);
+  };
+  Collect(Out.Final.P);
+  if (Observed.empty())
+    return Out;
+
+  for (const auto &[ThreadName, Reg] : Observed) {
+    Thread *T = nullptr;
+    for (Thread &Candidate : Out.Threads)
+      if (Candidate.Name == ThreadName)
+        T = &Candidate;
+    if (!T)
+      continue;
+    LocDecl L;
+    L.Name = observationLocName(ThreadName, Reg);
+    L.Atomic = false;
+    L.Type = IntType{64, false};
+    Out.Locations.push_back(L);
+    // "The original code under test remains, but with the additional
+    // constraint that local data persists after compilation" (§IV-B).
+    T->Body.push_back(Stmt::store(L.Name, Expr::reg(Reg), MemOrder::NA));
+  }
+  // Rewrite P0:r0 = v atoms into obs_P0_r0 = v.
+  std::function<void(Predicate &)> Rewrite = [&](Predicate &P) {
+    if (P.K == Predicate::Kind::Atom) {
+      if (P.A.K == PredAtom::Kind::RegEq &&
+          Observed.count({P.A.Thread, P.A.Name})) {
+        std::string Loc = observationLocName(P.A.Thread, P.A.Name);
+        P.A.K = PredAtom::Kind::LocEq;
+        P.A.Name = Loc;
+        P.A.Thread.clear();
+      }
+      return;
+    }
+    for (Predicate &Op : P.Ops)
+      Rewrite(Op);
+  };
+  Rewrite(Out.Final.P);
+  return Out;
+}

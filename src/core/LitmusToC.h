@@ -1,0 +1,36 @@
+//===--- LitmusToC.h - The l2c preparation stage ----------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// l2c (paper Fig. 6, step 2): prepares a C litmus test for compilation.
+/// The key transformation is the *local-variable augmentation* of §IV-B:
+/// every thread-local register observed by the final state is stored to a
+/// fresh global at the end of its thread, and the final condition is
+/// rewritten to read the global. This pins local data across compilation
+/// without forbidding thread-local optimisations elsewhere -- the paper's
+/// solution to the Heisenbug problem of Figs. 9/10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CORE_LITMUSTOC_H
+#define TELECHAT_CORE_LITMUSTOC_H
+
+#include "litmus/Ast.h"
+
+namespace telechat {
+
+/// The augmentation's global-variable name for register \p Reg of
+/// \p Thread ("obs_P0_r0").
+std::string observationLocName(const std::string &Thread,
+                               const std::string &Reg);
+
+/// Returns \p Test with observed locals persisted to globals and the
+/// final condition rewritten accordingly.
+LitmusTest augmentLocalObservations(const LitmusTest &Test);
+
+} // namespace telechat
+
+#endif // TELECHAT_CORE_LITMUSTOC_H

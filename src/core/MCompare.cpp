@@ -1,0 +1,48 @@
+//===--- MCompare.cpp - Outcome-set comparison ----------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MCompare.h"
+
+using namespace telechat;
+
+CompareResult telechat::mcompare(
+    const SimResult &Source, const SimResult &Target,
+    const std::vector<std::pair<std::string, std::string>> &KeyMap) {
+  CompareResult Out;
+  Out.SourceRace = Source.Flags.count("race") != 0;
+  Out.TargetFlags.assign(Target.Flags.begin(), Target.Flags.end());
+
+  // The comparison domain is what survives the mapping; deleted locals
+  // have no entry, so both sides are projected onto the survivors
+  // (paper §IV-B: this is how deletion masks bugs).
+  std::vector<std::string> SourceKeys;
+  std::vector<std::pair<std::string, std::string>> TgtToSrc;
+  for (const auto &[Src, Tgt] : KeyMap) {
+    SourceKeys.push_back(Src);
+    TgtToSrc.emplace_back(Tgt, Src);
+  }
+
+  OutcomeSet SrcProj, TgtProj;
+  for (const Outcome &O : Source.Allowed)
+    SrcProj.insert(O.projected(SourceKeys));
+  for (const Outcome &O : Target.Allowed)
+    TgtProj.insert(O.renamed(TgtToSrc));
+
+  bool AllIncluded = true;
+  for (const Outcome &O : TgtProj) {
+    if (!SrcProj.count(O)) {
+      AllIncluded = false;
+      Out.Witnesses.push_back(O);
+    }
+  }
+  if (!AllIncluded) {
+    Out.K = CompareResult::Kind::Positive;
+    return Out;
+  }
+  Out.K = TgtProj.size() < SrcProj.size() ? CompareResult::Kind::Negative
+                                          : CompareResult::Kind::Equal;
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===--- MCompare.h - Outcome-set comparison --------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mcompare (paper Fig. 5, step 5): checks outcomes(C) \subseteq
+/// outcomes(S) through the state mapping m, classifying each test as
+/// equal, a *negative difference* (compiled strictly fewer outcomes --
+/// always sound) or a *positive difference* (a bug candidate). Positive
+/// differences on racy source tests are undefined behaviour and filtered
+/// (paper §IV-D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CORE_MCOMPARE_H
+#define TELECHAT_CORE_MCOMPARE_H
+
+#include "litmus/Outcome.h"
+#include "sim/Enumerator.h"
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// Result of comparing one compiled test against its source.
+struct CompareResult {
+  enum class Kind {
+    Equal,    ///< Same outcome sets over the common observation domain.
+    Negative, ///< outcomes(C) strictly included in outcomes(S).
+    Positive, ///< outcomes(C) not included in outcomes(S): bug candidate.
+  };
+  Kind K = Kind::Equal;
+  /// Compiled outcomes (source vocabulary) missing from the source set.
+  std::vector<Outcome> Witnesses;
+  /// The source test exhibits a data race: positive differences are
+  /// undefined-behaviour false positives.
+  bool SourceRace = false;
+  /// Flags fired by the target model (e.g. "const-violation").
+  std::vector<std::string> TargetFlags;
+
+  /// A true positive: positive difference on a race-free source test.
+  bool isBug() const { return K == Kind::Positive && !SourceRace; }
+};
+
+/// Compares simulation results through the state mapping \p KeyMap
+/// (source key, target key).
+CompareResult
+mcompare(const SimResult &Source, const SimResult &Target,
+         const std::vector<std::pair<std::string, std::string>> &KeyMap);
+
+} // namespace telechat
+
+#endif // TELECHAT_CORE_MCOMPARE_H

@@ -1,0 +1,61 @@
+//===--- Telechat.cpp - The Télétchat tool API ----------------------------==//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Telechat.h"
+
+#include "asmcore/Semantics.h"
+
+using namespace telechat;
+
+TelechatResult telechat::runTelechat(const LitmusTest &S, const Profile &P,
+                                     const TestOptions &O) {
+  TelechatResult R;
+
+  // Step 2a (l2c): prepare for compilation.
+  R.Prepared = O.AugmentLocals ? augmentLocalObservations(S) : S;
+
+  // Step 2b (c2s): compile and disassemble.
+  ErrorOr<CompileOutput> Compiled = compileLitmus(R.Prepared, P);
+  if (!Compiled) {
+    R.Error = "compile: " + Compiled.error();
+    return R;
+  }
+  R.Compiled = std::move(*Compiled);
+
+  // Step 2c (s2l): parse the disassembly and optimise the litmus test.
+  ErrorOr<AsmLitmusTest> Parsed =
+      disassemblyRoundTrip(R.Compiled.Asm, &R.RawAsmText);
+  if (!Parsed) {
+    R.Error = Parsed.error();
+    return R;
+  }
+  R.OptAsm = O.OptimiseCompiled ? optimiseAsmLitmus(*Parsed, &R.OptStats)
+                                : std::move(*Parsed);
+
+  // Step 3: simulate S under the source model.
+  R.SourceSim = simulateC(R.Prepared, O.SourceModel, O.Sim);
+  if (!R.SourceSim.ok()) {
+    R.Error = "source simulation: " + R.SourceSim.Error;
+    return R;
+  }
+
+  // Step 4: simulate C under the architecture model.
+  ErrorOr<SimProgram> Lowered = lowerAsmTest(R.OptAsm);
+  if (!Lowered) {
+    R.Error = "lowering compiled test: " + Lowered.error();
+    return R;
+  }
+  R.TargetSim = simulateProgram(
+      *Lowered, archModelName(P.Target, O.ConstAugmentedModel), O.Sim);
+  if (!R.TargetSim.ok()) {
+    R.Error = "target simulation: " + R.TargetSim.Error;
+    return R;
+  }
+
+  // Step 5: mcompare through the state mapping.
+  R.Compare = mcompare(R.SourceSim, R.TargetSim, R.Compiled.KeyMap);
+  return R;
+}

@@ -1,0 +1,75 @@
+//===--- Telechat.h - The Télétchat tool API -------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the tool, implementing paper Fig. 5:
+///
+///   1. take a C/C++ litmus test S,
+///   2. prepare it (l2c), compile and disassemble it (c2s), parse and
+///      optimise the assembly test (s2l),
+///   3. simulate S under the source model, 4. simulate C under the
+///      architecture model, 5. mcompare the outcome sets.
+///
+/// A positive difference on a race-free source test is a compiler bug
+/// (test_tv violated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_CORE_TELECHAT_H
+#define TELECHAT_CORE_TELECHAT_H
+
+#include "compiler/Compiler.h"
+#include "core/AsmToLitmus.h"
+#include "core/LitmusOpt.h"
+#include "core/LitmusToC.h"
+#include "core/MCompare.h"
+#include "sim/Simulator.h"
+
+namespace telechat {
+
+/// Knobs for one end-to-end run.
+struct TestOptions {
+  /// Source oracle: "rc11" (paper default), "rc11+lb", "c11-simp", "sc".
+  std::string SourceModel = "rc11";
+  /// §IV-B local-variable augmentation (optional so that the masking
+  /// effect can be studied; on by default, as deployed).
+  bool AugmentLocals = true;
+  /// s2l litmus-test optimisation (§IV-E); off reproduces the
+  /// state-explosion baseline of Fig. 11.
+  bool OptimiseCompiled = true;
+  /// Use the const-violation-flagging architecture model (§IV-E).
+  bool ConstAugmentedModel = false;
+  /// Budgets for each simulation.
+  SimOptions Sim;
+};
+
+/// Everything one run produces (intermediate artefacts kept for
+/// inspection, like the paper's Output/ directory).
+struct TelechatResult {
+  LitmusTest Prepared;     ///< l2c output.
+  std::string RawAsmText;  ///< c2s "disassembly".
+  AsmLitmusTest OptAsm;    ///< s2l output (what herd simulates).
+  CompileOutput Compiled;  ///< Mapping and compiler notes.
+  S2LStats OptStats;
+  SimResult SourceSim;
+  SimResult TargetSim;
+  CompareResult Compare;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+  /// Either simulation exhausted its budget.
+  bool timedOut() const { return SourceSim.TimedOut || TargetSim.TimedOut; }
+  /// test_tv violated on a race-free test: a compiler bug.
+  bool isBug() const { return ok() && !timedOut() && Compare.isBug(); }
+};
+
+/// Runs the full pipeline on one test under one profile.
+TelechatResult runTelechat(const LitmusTest &S, const Profile &P,
+                           const TestOptions &O = TestOptions());
+
+} // namespace telechat
+
+#endif // TELECHAT_CORE_TELECHAT_H

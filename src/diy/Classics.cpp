@@ -1,0 +1,202 @@
+//===--- Classics.cpp - Classic litmus tests and paper figures ------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Classics.h"
+
+#include "diy/Cycle.h"
+#include "litmus/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace telechat;
+
+namespace {
+
+LitmusTest fromCycleOrDie(const std::string &Name, const std::string &Cycle,
+                          MemOrder Load = MemOrder::Relaxed,
+                          MemOrder Store = MemOrder::Relaxed) {
+  ErrorOr<std::vector<CycleEdge>> Edges = parseCycle(Cycle);
+  if (!Edges) {
+    fprintf(stderr, "fatal: classic '%s': %s\n", Name.c_str(),
+            Edges.error().c_str());
+    abort();
+  }
+  CycleSpec Spec;
+  Spec.Name = Name;
+  Spec.Edges = std::move(*Edges);
+  Spec.LoadOrder = Load;
+  Spec.StoreOrder = Store;
+  ErrorOr<LitmusTest> Test = generateFromCycle(Spec);
+  if (!Test) {
+    fprintf(stderr, "fatal: classic '%s': %s\n", Name.c_str(),
+            Test.error().c_str());
+    abort();
+  }
+  return *Test;
+}
+
+LitmusTest parseOrDie(const char *Name, const char *Text) {
+  ErrorOr<LitmusTest> T = parseLitmusC(Text);
+  if (!T) {
+    fprintf(stderr, "fatal: embedded test %s: %s\n", Name, T.error().c_str());
+    abort();
+  }
+  return *T;
+}
+
+} // namespace
+
+LitmusTest telechat::classicTest(const std::string &Name) {
+  // (cycle, load order, store order) per family.
+  struct Entry {
+    const char *Cycle;
+    MemOrder Load, Store;
+  };
+  static const std::map<std::string, Entry> Table = {
+      {"MP", {"PodWW Rfe PodRR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"MP+fences",
+       {"FencedWW.rel Rfe FencedRR.acq Fre", MemOrder::Relaxed,
+        MemOrder::Relaxed}},
+      {"MP+rel+acq",
+       {"PodWW Rfe PodRR Fre", MemOrder::Acquire, MemOrder::Release}},
+      {"SB", {"PodWR Fre PodWR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"SB+scs", {"PodWR Fre PodWR Fre", MemOrder::SeqCst, MemOrder::SeqCst}},
+      {"SB+scfences",
+       {"FencedWR.sc Fre FencedWR.sc Fre", MemOrder::Relaxed,
+        MemOrder::Relaxed}},
+      {"LB", {"PodRW Rfe PodRW Rfe", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"LB+datas", {"DpdW Rfe DpdW Rfe", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"LB+ctrls",
+       {"CtrldW Rfe CtrldW Rfe", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"LB+rel+acq",
+       {"PodRW Rfe PodRW Rfe", MemOrder::Acquire, MemOrder::Release}},
+      {"R", {"PodWW Coe PodWR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"S", {"PodWW Rfe PodRW Coe", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"2+2W", {"PodWW Coe PodWW Coe", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"WRC",
+       {"Rfe PodRW Rfe PodRR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"ISA2",
+       {"PodWW Rfe PodRW Rfe PodRR Fre", MemOrder::Relaxed,
+        MemOrder::Relaxed}},
+      {"IRIW",
+       {"Rfe PodRR Fre Rfe PodRR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"IRIW+scs",
+       {"Rfe PodRR Fre Rfe PodRR Fre", MemOrder::SeqCst, MemOrder::SeqCst}},
+      {"CoRR", {"Rfe PosRR Fre", MemOrder::Relaxed, MemOrder::Relaxed}},
+      {"CoWW", {"PosWW Coe", MemOrder::Relaxed, MemOrder::Relaxed}},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end()) {
+    fprintf(stderr, "fatal: unknown classic litmus test '%s'\n",
+            Name.c_str());
+    abort();
+  }
+  return fromCycleOrDie(Name, It->second.Cycle, It->second.Load,
+                        It->second.Store);
+}
+
+std::vector<std::string> telechat::classicNames() {
+  return {"MP",       "MP+fences", "MP+rel+acq", "SB",       "SB+scs",
+          "SB+scfences", "LB",     "LB+datas",   "LB+ctrls", "LB+rel+acq",
+          "R",        "S",         "2+2W",       "WRC",      "ISA2",
+          "IRIW",     "IRIW+scs",  "CoRR",       "CoWW"};
+}
+
+LitmusTest telechat::paperFig1() {
+  return parseOrDie("Fig1", R"(C Fig1
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+#define release memory_order_release
+#define acquire memory_order_acquire
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, relaxed);
+  atomic_thread_fence(release);
+  atomic_store_explicit(y, 1, relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  atomic_exchange_explicit(y, 2, release);
+  atomic_thread_fence(acquire);
+  int r0 = atomic_load_explicit(x, relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+)");
+}
+
+LitmusTest telechat::paperFig7() {
+  return parseOrDie("Fig7", R"(C Fig7
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(y, 1, relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(y, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(x, 1, relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+)");
+}
+
+LitmusTest telechat::paperFig9() {
+  return parseOrDie("Fig9", R"(C Fig9
+{ *x = 0; *y = 0; }
+void P0(int* y, int* x) {
+  int r0 = *x;
+  *y = 1;
+}
+void P1(int* y, int* x) {
+  int r0 = *y;
+  *x = 1;
+}
+exists (P0:r0=1 /\ P1:r0=1)
+)");
+}
+
+LitmusTest telechat::paperFig10() {
+  return parseOrDie("Fig10", R"(C Fig10
+{ *x = 0; *y = 0; }
+#define relaxed memory_order_relaxed
+void P0(atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(y, 1, relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+)");
+}
+
+LitmusTest telechat::paperFig11() {
+  return parseOrDie("Fig11", R"(C Fig11
+{ *x = 0; *y = 0; *z = 0; }
+#define relaxed memory_order_relaxed
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(y, 1, relaxed);
+}
+void P1(atomic_int* z, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(z, 1, relaxed);
+}
+void P2(atomic_int* z, atomic_int* x) {
+  int r0 = atomic_load_explicit(z, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(x, 1, relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1 /\ P2:r0=1)
+)");
+}

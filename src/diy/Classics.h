@@ -1,0 +1,56 @@
+//===--- Classics.h - Classic litmus tests and paper figures ----*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic litmus-test families (MP, SB, LB, IRIW, ...) built from
+/// cycles, plus exact reconstructions of the paper's figures (Fig. 1, 7,
+/// 9, 10, 11) used by tests, examples and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIY_CLASSICS_H
+#define TELECHAT_DIY_CLASSICS_H
+
+#include "litmus/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// A classic test by name: MP, MP+fences, MP+rel+acq, SB, SB+scfences,
+/// LB, LB+datas, LB+ctrls, R, S, 2+2W, WRC, ISA2, IRIW, IRIW+scs, CoRR,
+/// CoWW. Aborts on unknown names (programmatic error); see
+/// classicNames().
+LitmusTest classicTest(const std::string &Name);
+
+/// All names accepted by classicTest().
+std::vector<std::string> classicNames();
+
+/// Fig. 1: message passing with a result-discarding release exchange;
+/// exists (P1:r0=0 /\ y=2) is forbidden by RC11.
+LitmusTest paperFig1();
+
+/// Fig. 7: load buffering with relaxed fences; exists (P0:r0=1 AND
+/// P1:r0=1) is forbidden by RC11 but allowed by compiled Armv8.
+LitmusTest paperFig7();
+
+/// Fig. 9 (left): load buffering over plain accesses with unused locals,
+/// deleted by clang -O2.
+LitmusTest paperFig9();
+
+/// Fig. 10: message passing where P1 uses fetch_add with an unused
+/// result; the STADD family of bugs makes exists (P1:r0=0 /\ y=2)
+/// observable.
+LitmusTest paperFig10();
+
+/// Fig. 11: the three-thread LB variant whose unoptimised compilation
+/// does not terminate under simulation.
+LitmusTest paperFig11();
+
+} // namespace telechat
+
+#endif // TELECHAT_DIY_CLASSICS_H

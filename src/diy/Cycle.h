@@ -1,0 +1,66 @@
+//===--- Cycle.h - diy relaxation cycles ------------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// diy-style test generation (paper §II-A, ref [11]): a litmus test is
+/// synthesised from a *cycle* of relaxation edges. External edges (Rfe,
+/// Fre, Coe) cross threads through shared memory; internal edges (Po,
+/// Fenced, Dp, Ctrl) stay inside a thread. The generated exists-clause
+/// witnesses exactly the cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIY_CYCLE_H
+#define TELECHAT_DIY_CYCLE_H
+
+#include "events/Event.h"
+#include "litmus/Ast.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// One edge of a relaxation cycle.
+struct CycleEdge {
+  enum class Kind {
+    Rfe,    ///< W -> R, different threads, same location.
+    Fre,    ///< R -> W, different threads, same location.
+    Coe,    ///< W -> W, different threads, same location.
+    Po,     ///< Program order, new location when !SameLoc.
+    Fenced, ///< Po with a fence of FenceOrder between the accesses.
+    Data,   ///< Data dependency R -> W (value uses r ^ r).
+    Ctrl,   ///< Control dependency R -> W (identical-store diamond).
+  };
+  Kind K = Kind::Po;
+  bool SameLoc = false;           ///< Internal edges only.
+  EventKind From = EventKind::Read;
+  EventKind To = EventKind::Read; ///< Endpoint directions for Po/Fenced.
+  MemOrder FenceOrder = MemOrder::SeqCst; ///< Fenced only.
+};
+
+/// A cycle plus the access annotations applied to every generated event.
+struct CycleSpec {
+  std::string Name;
+  std::vector<CycleEdge> Edges;
+  MemOrder LoadOrder = MemOrder::Relaxed;  ///< NA = plain accesses.
+  MemOrder StoreOrder = MemOrder::Relaxed;
+  IntType Type{32, true};
+};
+
+/// Parses a diy-style cycle description: whitespace-separated edges from
+///   Rfe | Fre | Coe | Po[sd][RW][RW] | Fenced[RW][RW] | DpdW | CtrldW
+/// e.g. "Rfe PodRR Fre PodWW" is MP and "Rfe PodRW Rfe PodRW" wraps LB.
+ErrorOr<std::vector<CycleEdge>> parseCycle(const std::string &Text);
+
+/// Synthesises the litmus test realising \p Spec. Fails when the cycle is
+/// malformed (endpoint kinds that do not chain, no external edge, ...).
+ErrorOr<LitmusTest> generateFromCycle(const CycleSpec &Spec);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIY_CYCLE_H

@@ -1,0 +1,117 @@
+//===--- Generator.cpp - Random cycle generation --------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Generator.h"
+
+#include "support/StringUtils.h"
+
+#include <random>
+
+using namespace telechat;
+
+namespace {
+
+/// Edges that can start at an event of kind \p From.
+std::vector<CycleEdge> candidateEdges(EventKind From) {
+  std::vector<CycleEdge> Out;
+  auto Po = [&](bool SameLoc, EventKind F, EventKind T) {
+    CycleEdge E;
+    E.K = CycleEdge::Kind::Po;
+    E.SameLoc = SameLoc;
+    E.From = F;
+    E.To = T;
+    Out.push_back(E);
+  };
+  if (From == EventKind::Write) {
+    CycleEdge Rfe;
+    Rfe.K = CycleEdge::Kind::Rfe;
+    Out.push_back(Rfe);
+    CycleEdge Coe;
+    Coe.K = CycleEdge::Kind::Coe;
+    Out.push_back(Coe);
+    Po(false, EventKind::Write, EventKind::Write);
+    Po(false, EventKind::Write, EventKind::Read);
+    CycleEdge F;
+    F.K = CycleEdge::Kind::Fenced;
+    F.From = EventKind::Write;
+    F.To = EventKind::Write;
+    Out.push_back(F);
+  } else {
+    CycleEdge Fre;
+    Fre.K = CycleEdge::Kind::Fre;
+    Out.push_back(Fre);
+    Po(false, EventKind::Read, EventKind::Read);
+    Po(false, EventKind::Read, EventKind::Write);
+    CycleEdge D;
+    D.K = CycleEdge::Kind::Data;
+    Out.push_back(D);
+    CycleEdge C;
+    C.K = CycleEdge::Kind::Ctrl;
+    Out.push_back(C);
+    CycleEdge F;
+    F.K = CycleEdge::Kind::Fenced;
+    F.From = EventKind::Read;
+    F.To = EventKind::Read;
+    Out.push_back(F);
+  }
+  return Out;
+}
+
+EventKind edgeTo(const CycleEdge &E) {
+  switch (E.K) {
+  case CycleEdge::Kind::Rfe:
+    return EventKind::Read;
+  case CycleEdge::Kind::Fre:
+  case CycleEdge::Kind::Coe:
+  case CycleEdge::Kind::Data:
+  case CycleEdge::Kind::Ctrl:
+    return EventKind::Write;
+  case CycleEdge::Kind::Po:
+  case CycleEdge::Kind::Fenced:
+    return E.To;
+  }
+  return EventKind::Read;
+}
+
+} // namespace
+
+std::vector<LitmusTest>
+telechat::generateRandomTests(const RandomGenOptions &Opts) {
+  std::mt19937_64 Rng(Opts.Seed);
+  std::vector<LitmusTest> Out;
+  unsigned Attempts = 0;
+  while (Out.size() < Opts.Count && Attempts < Opts.Count * 64) {
+    ++Attempts;
+    unsigned Len = 3 + Rng() % (Opts.MaxEdges > 3 ? Opts.MaxEdges - 2 : 1);
+    // Grow a chain; close it only if the last edge's target kind matches
+    // the first edge's source kind.
+    std::vector<CycleEdge> Edges;
+    EventKind StartKind = Rng() % 2 ? EventKind::Read : EventKind::Write;
+    EventKind Kind = StartKind;
+    bool External = false;
+    for (unsigned I = 0; I != Len; ++I) {
+      std::vector<CycleEdge> Cands = candidateEdges(Kind);
+      CycleEdge E = Cands[Rng() % Cands.size()];
+      if (E.K == CycleEdge::Kind::Rfe || E.K == CycleEdge::Kind::Fre ||
+          E.K == CycleEdge::Kind::Coe)
+        External = true;
+      Edges.push_back(E);
+      Kind = edgeTo(E);
+    }
+    if (!External || Kind != StartKind)
+      continue;
+    CycleSpec Spec;
+    Spec.Name = strFormat("rand%llu_%zu",
+                          static_cast<unsigned long long>(Opts.Seed),
+                          Out.size());
+    Spec.Edges = std::move(Edges);
+    Spec.LoadOrder = Opts.LoadOrders[Rng() % Opts.LoadOrders.size()];
+    Spec.StoreOrder = Opts.StoreOrders[Rng() % Opts.StoreOrders.size()];
+    if (ErrorOr<LitmusTest> T = generateFromCycle(Spec))
+      Out.push_back(std::move(*T));
+  }
+  return Out;
+}

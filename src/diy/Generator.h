@@ -1,0 +1,35 @@
+//===--- Generator.h - Random cycle generation ------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIY_GENERATOR_H
+#define TELECHAT_DIY_GENERATOR_H
+
+#include "diy/Cycle.h"
+#include "litmus/Ast.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace telechat {
+
+/// Options for seeded random generation (property tests, fuzzing).
+struct RandomGenOptions {
+  uint64_t Seed = 1;
+  unsigned Count = 10;
+  unsigned MaxEdges = 6;
+  std::vector<MemOrder> LoadOrders = {MemOrder::Relaxed, MemOrder::Acquire,
+                                      MemOrder::SeqCst};
+  std::vector<MemOrder> StoreOrders = {MemOrder::Relaxed, MemOrder::Release,
+                                       MemOrder::SeqCst};
+};
+
+/// Generates \p Count random well-formed relaxation cycles and their
+/// tests. Deterministic in the seed.
+std::vector<LitmusTest> generateRandomTests(const RandomGenOptions &Opts);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIY_GENERATOR_H

@@ -1,0 +1,41 @@
+//===--- Dot.cpp - Graphviz rendering of executions -----------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Dot.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+std::string telechat::executionToDot(const Execution &Ex,
+                                     const std::string &Name) {
+  std::string Out = "digraph \"" + Name + "\" {\n";
+  Out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const Event &E : Ex.Events) {
+    std::string Label = E.toString();
+    Out += strFormat("  e%u [label=\"%s\"%s];\n", E.Id, Label.c_str(),
+                     E.isInit() ? ", style=dotted" : "");
+  }
+  auto Edges = [&](const Relation &R, const char *Label, const char *Color,
+                   bool SkipTransitive) {
+    R.forEach([&](unsigned A, unsigned B) {
+      if (SkipTransitive) {
+        // Show only immediate po edges to keep graphs readable.
+        for (unsigned M = 0; M != Ex.size(); ++M)
+          if (M != A && M != B && R.test(A, M) && R.test(M, B))
+            return;
+      }
+      Out += strFormat("  e%u -> e%u [label=\"%s\", color=%s];\n", A, B,
+                       Label, Color);
+    });
+  };
+  Edges(Ex.Po, "po", "black", /*SkipTransitive=*/true);
+  Edges(Ex.Rf, "rf", "red", false);
+  Edges(Ex.Co, "co", "blue", /*SkipTransitive=*/true);
+  Edges(Ex.fr(), "fr", "orange", false);
+  Out += "}\n";
+  return Out;
+}

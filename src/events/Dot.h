@@ -1,0 +1,22 @@
+//===--- Dot.h - Graphviz rendering of executions ---------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_EVENTS_DOT_H
+#define TELECHAT_EVENTS_DOT_H
+
+#include "events/Execution.h"
+
+#include <string>
+
+namespace telechat {
+
+/// Renders a candidate execution as a Graphviz digraph, with po, rf, co
+/// and fr edges styled like the figures in the paper (Fig. 2).
+std::string executionToDot(const Execution &Ex, const std::string &Name);
+
+} // namespace telechat
+
+#endif // TELECHAT_EVENTS_DOT_H

@@ -1,0 +1,31 @@
+//===--- Event.cpp - Memory events ----------------------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Event.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+std::string Event::toString() const {
+  std::string Tag;
+  for (const std::string &T : Tags) {
+    if (!Tag.empty())
+      Tag += ",";
+    Tag += T;
+  }
+  switch (Kind) {
+  case EventKind::Read:
+    return strFormat("%c: R(%s)[%s]=%s", 'a' + char(Id % 26), Tag.c_str(),
+                     Loc.c_str(), Val.toString().c_str());
+  case EventKind::Write:
+    return strFormat("%c: W(%s)[%s]=%s", 'a' + char(Id % 26), Tag.c_str(),
+                     Loc.c_str(), Val.toString().c_str());
+  case EventKind::Fence:
+    return strFormat("%c: F(%s)", 'a' + char(Id % 26), Tag.c_str());
+  }
+  return "?";
+}

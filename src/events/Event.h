@@ -1,0 +1,66 @@
+//===--- Event.h - Memory events --------------------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events in the sense of paper Def. II.1 / §B.2 of the Arm ARM: abstract
+/// machine operations (reads, writes, fences) that are the nodes of
+/// candidate-execution graphs. RMW instructions contribute a Read and a
+/// Write event linked by the rmw relation, as in herd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_EVENTS_EVENT_H
+#define TELECHAT_EVENTS_EVENT_H
+
+#include "litmus/Value.h"
+
+#include <set>
+#include <string>
+
+namespace telechat {
+
+/// The kind of a memory event.
+enum class EventKind {
+  Read,
+  Write,
+  Fence,
+};
+
+/// A single event. Tags carry language- or ISA-specific annotations that
+/// Cat models consume as named sets:
+///  - C/C++: "RLX" "ACQ" "REL" "ACQ_REL" "SC" "NA" "ATOMIC"
+///  - AArch64: "A" (LDAR) "Q" (LDAPR) "L" (STLR) "X" (exclusive)
+///    "DMB.ISH" "DMB.ISHLD" "DMB.ISHST" "ISB" "NORET" (ST-form atomics)
+///  - Other ISAs: see the per-ISA semantics files.
+struct Event {
+  unsigned Id = 0;
+  /// Owning thread index; InitThread for initial-state writes.
+  static constexpr unsigned InitThread = ~0u;
+  unsigned Thread = InitThread;
+  /// Position within the thread's program order.
+  unsigned PoIndex = 0;
+  EventKind Kind = EventKind::Read;
+  std::string Loc;   ///< Location symbol; empty for fences.
+  Value Val;         ///< Value read or written; meaningless for fences.
+  std::set<std::string> Tags;
+  /// For reads that land in a register observed by the final state:
+  /// "P0:r0"-style outcome key (empty otherwise). Used to build outcomes.
+  std::string OutcomeKey;
+
+  bool isRead() const { return Kind == EventKind::Read; }
+  bool isWrite() const { return Kind == EventKind::Write; }
+  bool isFence() const { return Kind == EventKind::Fence; }
+  bool isMemAccess() const { return !isFence(); }
+  bool isInit() const { return Thread == InitThread; }
+  bool hasTag(const std::string &T) const { return Tags.count(T) != 0; }
+
+  /// "a: W(Rlx)[x]=1" — the notation of paper Fig. 2.
+  std::string toString() const;
+};
+
+} // namespace telechat
+
+#endif // TELECHAT_EVENTS_EVENT_H

@@ -1,0 +1,58 @@
+//===--- C4.h - The C4 comparison harness -----------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements test_C4 (paper §II-C):
+///
+///   outcomes(litmus(comp(S), hardware)) \subseteq outcomes(herd(S, M_S))
+///
+/// in contrast to Télétchat's test_tv, which simulates both sides. The
+/// hardware oracle is the operational machine of Machine.h; pairing it
+/// with Télétchat on the same inputs reproduces Table II and Fig. 7/8's
+/// "C4 missed the load buffering behaviour" result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_HARDWARE_C4_H
+#define TELECHAT_HARDWARE_C4_H
+
+#include "compiler/Profile.h"
+#include "core/MCompare.h"
+#include "hardware/Machine.h"
+#include "litmus/Ast.h"
+#include "sim/Enumerator.h"
+
+namespace telechat {
+
+/// Options for one C4-style run.
+struct C4Options {
+  HwConfig Hardware = HwConfig::raspberryPiLike();
+  std::string SourceModel = "rc11";
+  SimOptions Sim;
+};
+
+/// Result of one C4-style run.
+struct C4Result {
+  HwResult Hardware;       ///< Observed hardware outcomes.
+  SimResult SourceSim;     ///< herd(S, M_S).
+  CompareResult Compare;   ///< hardware outcomes vs source outcomes.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+  /// The hardware exhibited an outcome the source model forbids.
+  bool foundDifference() const {
+    return ok() && Compare.K == CompareResult::Kind::Positive;
+  }
+};
+
+/// Runs C4 on one test: compile with \p P (AArch64 profiles only),
+/// execute on the configured hardware, compare against the source model.
+C4Result runC4(const LitmusTest &S, const Profile &P,
+               const C4Options &O = C4Options());
+
+} // namespace telechat
+
+#endif // TELECHAT_HARDWARE_C4_H

@@ -1,0 +1,451 @@
+//===--- Machine.cpp - Operational hardware simulator ---------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hardware/Machine.h"
+
+#include "asmcore/Semantics.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+
+using namespace telechat;
+
+namespace {
+
+/// A machine word: an integer or a location address.
+struct MWord {
+  bool IsAddr = false;
+  std::string Sym;
+  Value V;
+};
+
+struct PendingStore {
+  std::string Loc;
+  Value V;
+};
+
+/// A load whose satisfaction was deferred past younger instructions
+/// (A9-like reordering).
+struct DeferredLoad {
+  std::string Dst;
+  std::string Loc;
+};
+
+class MachineRun {
+public:
+  MachineRun(const AsmLitmusTest &Test, const HwConfig &Config,
+             std::mt19937_64 &Rng)
+      : Test(Test), Config(Config), Rng(Rng) {}
+
+  /// Executes one full run; returns false on an unsupported instruction
+  /// (Error set).
+  bool run(std::string &Error) {
+    for (const SimLoc &L : Test.Locations) {
+      if (!L.InitAddrOf.empty()) {
+        MWord W;
+        W.IsAddr = true;
+        W.Sym = L.InitAddrOf;
+        AddrMemory[L.Name] = W;
+      } else {
+        Memory[L.Name] = L.Init;
+      }
+    }
+    Threads.resize(Test.Threads.size());
+    for (unsigned T = 0; T != Threads.size(); ++T)
+      for (const auto &[Reg, Sym] : Test.Threads[T].InitRegs) {
+        MWord W;
+        W.IsAddr = true;
+        W.Sym = Sym;
+        Threads[T].Regs[canon(Reg)] = W;
+      }
+    unsigned Steps = 0;
+    while (anyWork()) {
+      if (++Steps > Config.MaxStepsPerRun) {
+        Error = "hardware run did not terminate (infinite retry loop?)";
+        return false;
+      }
+      unsigned T = pickThread();
+      if (!stepThread(T, Error))
+        return false;
+    }
+    return true;
+  }
+
+  Value regValue(unsigned T, const std::string &Reg) const {
+    auto It = Threads[T].Regs.find(Reg);
+    return It == Threads[T].Regs.end() ? Value() : It->second.V;
+  }
+
+  Value memValue(const std::string &Loc) const {
+    auto It = Memory.find(Loc);
+    return It == Memory.end() ? Value() : It->second;
+  }
+
+private:
+  struct ThreadState {
+    unsigned Pc = 0;
+    bool Done = false;
+    std::map<std::string, MWord> Regs;
+    std::deque<PendingStore> StoreBuffer;
+    std::optional<DeferredLoad> Deferred;
+    /// LL/SC reservation: location being monitored.
+    std::optional<std::string> Reservation;
+  };
+
+  std::string canon(const std::string &R) const {
+    return instSemantics(Arch::AArch64).canonReg(R);
+  }
+
+  bool anyWork() const {
+    for (const ThreadState &T : Threads)
+      if (!T.Done || !T.StoreBuffer.empty() || T.Deferred)
+        return true;
+    return false;
+  }
+
+  unsigned pickThread() {
+    std::vector<unsigned> Ready;
+    for (unsigned T = 0; T != Threads.size(); ++T)
+      if (!Threads[T].Done || !Threads[T].StoreBuffer.empty() ||
+          Threads[T].Deferred)
+        Ready.push_back(T);
+    return Ready[Rng() % Ready.size()];
+  }
+
+  /// Commits the oldest buffered store of thread \p T to memory,
+  /// breaking other threads' reservations on that location.
+  void drainOne(unsigned T) {
+    ThreadState &S = Threads[T];
+    if (S.StoreBuffer.empty())
+      return;
+    PendingStore P = S.StoreBuffer.front();
+    S.StoreBuffer.pop_front();
+    Memory[P.Loc] = P.V;
+    for (unsigned Other = 0; Other != Threads.size(); ++Other)
+      if (Other != T && Threads[Other].Reservation == P.Loc)
+        Threads[Other].Reservation.reset();
+  }
+
+  void drainAll(unsigned T) {
+    while (!Threads[T].StoreBuffer.empty())
+      drainOne(T);
+  }
+
+  void completeDeferred(unsigned T) {
+    ThreadState &S = Threads[T];
+    if (!S.Deferred)
+      return;
+    MWord W;
+    W.V = readMem(T, S.Deferred->Loc);
+    S.Regs[S.Deferred->Dst] = W;
+    S.Deferred.reset();
+  }
+
+  /// Load with store-buffer forwarding.
+  Value readMem(unsigned T, const std::string &Loc) {
+    const ThreadState &S = Threads[T];
+    for (auto It = S.StoreBuffer.rbegin(); It != S.StoreBuffer.rend(); ++It)
+      if (It->Loc == Loc)
+        return It->V;
+    auto MIt = Memory.find(Loc);
+    return MIt == Memory.end() ? Value() : MIt->second;
+  }
+
+  MWord evalOperand(unsigned T, const AsmOperand &O) {
+    MWord W;
+    if (O.K == AsmOperand::Kind::Imm) {
+      W.V = Value(uint64_t(O.Imm));
+      return W;
+    }
+    std::string R = canon(O.Reg);
+    if (R.empty())
+      return W;
+    auto It = Threads[T].Regs.find(R);
+    return It == Threads[T].Regs.end() ? W : It->second;
+  }
+
+  /// Resolves a memory operand to a location name ("" on failure).
+  std::string resolveMem(unsigned T, const AsmOperand &O) {
+    MWord Base = evalOperand(T, AsmOperand::reg(O.Reg));
+    if (!Base.IsAddr) {
+      // GOT slots hold addresses in AddrMemory.
+      return "";
+    }
+    return SimAddr::locName(Base.Sym, O.Imm);
+  }
+
+  bool stepThread(unsigned T, std::string &Error) {
+    ThreadState &S = Threads[T];
+    // Randomly interleave buffered-store drains and deferred-load
+    // completions with instruction execution.
+    bool CanDrain = !S.StoreBuffer.empty();
+    bool CanComplete = S.Deferred.has_value();
+    unsigned Choices = 1 + (CanDrain ? 1 : 0) + (CanComplete ? 1 : 0);
+    unsigned Pick = Rng() % Choices;
+    if (CanDrain && Pick == 1) {
+      drainOne(T);
+      return true;
+    }
+    if (CanComplete && Pick == Choices - 1 && Choices > 1) {
+      completeDeferred(T);
+      return true;
+    }
+    if (S.Done) {
+      // Only buffered work remains.
+      if (CanDrain)
+        drainOne(T);
+      else if (CanComplete)
+        completeDeferred(T);
+      return true;
+    }
+    if (S.Pc >= Test.Threads[T].Code.size()) {
+      S.Done = true;
+      return true;
+    }
+    const AsmInst &I = Test.Threads[T].Code[S.Pc];
+    return execute(T, I, Error);
+  }
+
+  /// Returns true if the deferred load must complete before \p I
+  /// executes (dependency or ordering).
+  bool mustCompleteBefore(unsigned T, const AsmInst &I) {
+    ThreadState &S = Threads[T];
+    if (!S.Deferred)
+      return false;
+    // Ordering instructions and ordered accesses flush.
+    const std::string &M = I.Mnemonic;
+    if (M == "dmb" || M == "isb" || M == "ldar" || M == "ldapr" ||
+        M == "stlr" || M == "ldaxr" || M == "ret")
+      return true;
+    // Any operand reading the deferred destination.
+    for (const AsmOperand &O : I.Ops) {
+      if (O.K == AsmOperand::Kind::Reg && canon(O.Reg) == S.Deferred->Dst)
+        return true;
+      if (O.K == AsmOperand::Kind::Mem && canon(O.Reg) == S.Deferred->Dst)
+        return true;
+    }
+    // Writes to the same destination register too.
+    return false;
+  }
+
+  bool execute(unsigned T, const AsmInst &I, std::string &Error) {
+    ThreadState &S = Threads[T];
+    if (mustCompleteBefore(T, I))
+      completeDeferred(T);
+    // Same-location program order is respected by all Arm implementations
+    // (internal visibility): a deferred load completes before any younger
+    // access to the same location.
+    if (S.Deferred) {
+      for (const AsmOperand &O : I.Ops)
+        if (O.K == AsmOperand::Kind::Mem &&
+            resolveMem(T, O) == S.Deferred->Loc)
+          completeDeferred(T);
+    }
+    const std::string &M = I.Mnemonic;
+    auto SetReg = [&](const std::string &Raw, MWord W) {
+      std::string R = canon(Raw);
+      if (!R.empty())
+        S.Regs[R] = W;
+    };
+    auto Advance = [&] { ++S.Pc; };
+
+    if (M == "adrp") {
+      MWord W;
+      W.IsAddr = true;
+      W.Sym = I.Ops[1].Modifier == "got" ? "got." + I.Ops[1].Sym
+                                         : I.Ops[1].Sym;
+      SetReg(I.Ops[0].Reg, W);
+      Advance();
+      return true;
+    }
+    if (M == "add" || M == "sub" || M == "eor" || M == "and") {
+      MWord A = evalOperand(T, I.Ops[1]);
+      MWord B = evalOperand(T, I.Ops[2]);
+      MWord Out;
+      if (A.IsAddr && B.V.isZero()) {
+        Out = A;
+      } else {
+        Out.V = M == "add"   ? A.V.add(B.V)
+                : M == "sub" ? A.V.sub(B.V)
+                : M == "eor" ? A.V.bitXor(B.V)
+                             : A.V.bitAnd(B.V);
+      }
+      SetReg(I.Ops[0].Reg, Out);
+      Advance();
+      return true;
+    }
+    if (M == "mov") {
+      SetReg(I.Ops[0].Reg, evalOperand(T, I.Ops[1]));
+      Advance();
+      return true;
+    }
+    if (M == "ldr" || M == "ldar" || M == "ldapr" || M == "ldxr" ||
+        M == "ldaxr") {
+      std::string Loc = resolveMem(T, I.Ops[1]);
+      if (Loc.empty()) {
+        // Address held in a GOT slot: read the slot.
+        MWord Base = evalOperand(T, AsmOperand::reg(I.Ops[1].Reg));
+        (void)Base;
+        auto It = AddrMemory.find(
+            SimAddr::locName(evalOperand(T, AsmOperand::reg(I.Ops[1].Reg)).Sym,
+                             I.Ops[1].Imm));
+        if (It != AddrMemory.end()) {
+          SetReg(I.Ops[0].Reg, It->second);
+          Advance();
+          return true;
+        }
+        Error = "hardware: unresolvable address in " + M;
+        return false;
+      }
+      bool Plain = M == "ldr";
+      if (Plain && Config.LoadReorder && !S.Deferred && Rng() % 2) {
+        // A9-like: defer satisfaction past younger instructions.
+        S.Deferred = DeferredLoad{canon(I.Ops[0].Reg), Loc};
+        Advance();
+        return true;
+      }
+      if (M == "ldar" || M == "ldapr" || M == "ldaxr")
+        completeDeferred(T);
+      if (M == "ldxr" || M == "ldaxr")
+        S.Reservation = Loc;
+      MWord W;
+      W.V = readMem(T, Loc);
+      SetReg(I.Ops[0].Reg, W);
+      Advance();
+      return true;
+    }
+    if (M == "str" || M == "stlr") {
+      std::string Loc = resolveMem(T, I.Ops[1]);
+      if (Loc.empty()) {
+        Error = "hardware: unresolvable address in " + M;
+        return false;
+      }
+      Value V = evalOperand(T, I.Ops[0]).V;
+      if (M == "stlr") {
+        completeDeferred(T);
+        drainAll(T);
+        Memory[Loc] = V;
+        for (unsigned Other = 0; Other != Threads.size(); ++Other)
+          if (Other != T && Threads[Other].Reservation == Loc)
+            Threads[Other].Reservation.reset();
+      } else if (Config.StoreBuffer) {
+        S.StoreBuffer.push_back({Loc, V});
+      } else {
+        Memory[Loc] = V;
+      }
+      Advance();
+      return true;
+    }
+    if (M == "stxr" || M == "stlxr") {
+      std::string Loc = resolveMem(T, I.Ops[2]);
+      MWord Status;
+      if (S.Reservation == Loc) {
+        Value V = evalOperand(T, I.Ops[1]).V;
+        if (M == "stlxr")
+          drainAll(T);
+        Memory[Loc] = V;
+        for (unsigned Other = 0; Other != Threads.size(); ++Other)
+          if (Other != T && Threads[Other].Reservation == Loc)
+            Threads[Other].Reservation.reset();
+        Status.V = Value(uint64_t(0));
+      } else {
+        Status.V = Value(uint64_t(1));
+      }
+      S.Reservation.reset();
+      SetReg(I.Ops[0].Reg, Status);
+      Advance();
+      return true;
+    }
+    if (M == "dmb") {
+      const std::string &Kind = I.Ops[0].Sym;
+      completeDeferred(T);
+      if (Kind != "ishld")
+        drainAll(T);
+      Advance();
+      return true;
+    }
+    if (M == "isb" || M == "nop") {
+      Advance();
+      return true;
+    }
+    if (M == "cbnz" || M == "cbz") {
+      // Branches resolve their condition register.
+      if (S.Deferred && canon(I.Ops[0].Reg) == S.Deferred->Dst)
+        completeDeferred(T);
+      Value C = evalOperand(T, I.Ops[0]).V;
+      bool Taken = (M == "cbnz") == !C.isZero();
+      if (Taken) {
+        auto It = Test.Threads[T].Labels.find(I.Ops[1].Sym);
+        if (It == Test.Threads[T].Labels.end()) {
+          Error = "hardware: undefined label " + I.Ops[1].Sym;
+          return false;
+        }
+        S.Pc = It->second;
+      } else {
+        Advance();
+      }
+      return true;
+    }
+    if (M == "ret") {
+      completeDeferred(T);
+      S.Done = true;
+      return true;
+    }
+    Error = "hardware: unsupported instruction '" + M + "'";
+    return false;
+  }
+
+  const AsmLitmusTest &Test;
+  const HwConfig &Config;
+  std::mt19937_64 &Rng;
+  std::vector<ThreadState> Threads;
+  std::map<std::string, Value> Memory;
+  std::map<std::string, MWord> AddrMemory; ///< GOT slots.
+};
+
+} // namespace
+
+HwResult telechat::runOnHardware(const AsmLitmusTest &Test,
+                                 const HwConfig &Config) {
+  HwResult Out;
+  if (Test.TargetArch != Arch::AArch64) {
+    Out.Error = "hardware simulator models an AArch64 machine";
+    return Out;
+  }
+  // Observation keys from the final condition, like herd.
+  std::vector<std::string> Keys;
+  Test.Final.P.collectKeys(Keys);
+  std::mt19937_64 Rng(Config.Seed);
+  for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+    MachineRun M(Test, Config, Rng);
+    std::string Error;
+    if (!M.run(Error)) {
+      Out.Error = Error;
+      return Out;
+    }
+    Outcome O;
+    for (const std::string &Key : Keys) {
+      if (Key.front() == '[') {
+        std::string Loc = Key.substr(1, Key.size() - 2);
+        O.set(Key, M.memValue(Loc));
+        continue;
+      }
+      size_t Colon = Key.find(':');
+      std::string ThreadName = Key.substr(0, Colon);
+      std::string Reg = Key.substr(Colon + 1);
+      for (unsigned T = 0; T != Test.Threads.size(); ++T)
+        if (Test.Threads[T].Name == ThreadName)
+          O.set(Key, M.regValue(
+                         T, instSemantics(Arch::AArch64).canonReg(Reg)));
+    }
+    Out.Observed.insert(O);
+    ++Out.Runs;
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===--- Machine.h - Operational hardware simulator -------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An operational AArch64 machine standing in for the silicon that C4
+/// runs tests on (substitution table, DESIGN.md §4). Configurations model
+/// real devices from the paper's §IV-A discussion:
+///
+///  - Raspberry-Pi-like: per-thread FIFO store buffers only. Never
+///    exhibits load buffering -- exactly why Windsor et al. missed the
+///    Fig. 7 behaviour.
+///  - Apple-A9-like: additionally defers loads past younger accesses
+///    (probabilistically, under "stress"), so LB is observable -- as
+///    Sarkar et al. observed on A9/Tegra2.
+///
+/// The machine honours DMB (full/LD/ST), acquire/release accesses, and
+/// LL/SC reservations operationally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_HARDWARE_MACHINE_H
+#define TELECHAT_HARDWARE_MACHINE_H
+
+#include "asmcore/AsmProgram.h"
+#include "litmus/Outcome.h"
+
+#include <cstdint>
+#include <string>
+
+namespace telechat {
+
+/// Hardware configuration.
+struct HwConfig {
+  bool StoreBuffer = true;
+  bool LoadReorder = false; ///< A9-like out-of-order load satisfaction.
+  unsigned Runs = 2000;     ///< Samples; "stress-testing" takes many runs.
+  uint64_t Seed = 42;
+  unsigned MaxStepsPerRun = 10000;
+
+  static HwConfig raspberryPiLike() { return HwConfig(); }
+  static HwConfig appleA9Like() {
+    HwConfig C;
+    C.LoadReorder = true;
+    return C;
+  }
+};
+
+/// Result of sampling a test on the machine.
+struct HwResult {
+  OutcomeSet Observed; ///< Target-vocabulary outcomes over the final
+                       ///< condition's registers and locations.
+  unsigned Runs = 0;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Runs an (AArch64) assembly litmus test \p Runs times under random
+/// scheduling and collects the observed outcomes.
+HwResult runOnHardware(const AsmLitmusTest &Test, const HwConfig &Config);
+
+} // namespace telechat
+
+#endif // TELECHAT_HARDWARE_MACHINE_H

@@ -1,0 +1,32 @@
+//===--- Arch.h - Target architectures --------------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_LITMUS_ARCH_H
+#define TELECHAT_LITMUS_ARCH_H
+
+#include <string>
+
+namespace telechat {
+
+/// The six target architectures tested in the paper (Table III).
+enum class Arch {
+  AArch64,
+  Armv7,
+  X86_64,
+  RiscV,
+  Ppc,
+  Mips,
+};
+
+inline const Arch AllArchs[] = {Arch::AArch64, Arch::Armv7, Arch::X86_64,
+                                Arch::RiscV,   Arch::Ppc,   Arch::Mips};
+
+/// Human-readable name matching the paper's Table IV row labels.
+std::string archName(Arch A);
+
+} // namespace telechat
+
+#endif // TELECHAT_LITMUS_ARCH_H

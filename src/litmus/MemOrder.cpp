@@ -1,0 +1,59 @@
+//===--- MemOrder.cpp - C/C++ memory orders -------------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/MemOrder.h"
+
+using namespace telechat;
+
+bool telechat::isAcquire(MemOrder O) {
+  return O == MemOrder::Acquire || O == MemOrder::Consume ||
+         O == MemOrder::AcqRel || O == MemOrder::SeqCst;
+}
+
+bool telechat::isRelease(MemOrder O) {
+  return O == MemOrder::Release || O == MemOrder::AcqRel ||
+         O == MemOrder::SeqCst;
+}
+
+std::string telechat::memOrderName(MemOrder O) {
+  switch (O) {
+  case MemOrder::NA:
+    return "na";
+  case MemOrder::Relaxed:
+    return "memory_order_relaxed";
+  case MemOrder::Consume:
+    return "memory_order_consume";
+  case MemOrder::Acquire:
+    return "memory_order_acquire";
+  case MemOrder::Release:
+    return "memory_order_release";
+  case MemOrder::AcqRel:
+    return "memory_order_acq_rel";
+  case MemOrder::SeqCst:
+    return "memory_order_seq_cst";
+  }
+  return "na";
+}
+
+std::string telechat::memOrderTag(MemOrder O) {
+  switch (O) {
+  case MemOrder::NA:
+    return "NA";
+  case MemOrder::Relaxed:
+    return "Rlx";
+  case MemOrder::Consume:
+    return "Con";
+  case MemOrder::Acquire:
+    return "Acq";
+  case MemOrder::Release:
+    return "Rel";
+  case MemOrder::AcqRel:
+    return "AcqRel";
+  case MemOrder::SeqCst:
+    return "Sc";
+  }
+  return "NA";
+}

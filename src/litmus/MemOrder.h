@@ -1,0 +1,43 @@
+//===--- MemOrder.h - C/C++ memory orders -----------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_LITMUS_MEMORDER_H
+#define TELECHAT_LITMUS_MEMORDER_H
+
+#include <string>
+
+namespace telechat {
+
+/// ISO C/C++ memory orders plus NA for non-atomic accesses.
+enum class MemOrder {
+  NA,
+  Relaxed,
+  Consume,
+  Acquire,
+  Release,
+  AcqRel,
+  SeqCst,
+};
+
+/// True for acquire, acq_rel and seq_cst (consume is treated as acquire,
+/// matching what mainstream compilers implement).
+bool isAcquire(MemOrder O);
+
+/// True for release, acq_rel and seq_cst.
+bool isRelease(MemOrder O);
+
+/// True for everything except NA.
+inline bool isAtomicOrder(MemOrder O) { return O != MemOrder::NA; }
+
+/// The "memory_order_*" C spelling; NA renders as "na".
+std::string memOrderName(MemOrder O);
+
+/// The short herd-style suffix: "Rlx", "Acq", "Rel", "AcqRel", "Sc", "NA".
+std::string memOrderTag(MemOrder O);
+
+} // namespace telechat
+
+#endif // TELECHAT_LITMUS_MEMORDER_H

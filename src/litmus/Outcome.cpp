@@ -1,0 +1,69 @@
+//===--- Outcome.cpp - Outcomes of litmus-test executions -----------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Outcome.h"
+
+#include <algorithm>
+
+using namespace telechat;
+
+void Outcome::set(const std::string &Key, Value V) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Key,
+      [](const auto &Entry, const std::string &K) { return Entry.first < K; });
+  if (It != Entries.end() && It->first == Key) {
+    It->second = V;
+    return;
+  }
+  Entries.insert(It, {Key, V});
+}
+
+std::optional<Value> Outcome::lookup(const std::string &Key) const {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Key,
+      [](const auto &Entry, const std::string &K) { return Entry.first < K; });
+  if (It != Entries.end() && It->first == Key)
+    return It->second;
+  return std::nullopt;
+}
+
+Outcome Outcome::projected(const std::vector<std::string> &Keys) const {
+  Outcome Out;
+  for (const std::string &Key : Keys)
+    if (std::optional<Value> V = lookup(Key))
+      Out.set(Key, *V);
+  return Out;
+}
+
+Outcome Outcome::renamed(
+    const std::vector<std::pair<std::string, std::string>> &Map) const {
+  Outcome Out;
+  for (const auto &[From, To] : Map)
+    if (std::optional<Value> V = lookup(From))
+      Out.set(To, *V);
+  return Out;
+}
+
+std::string Outcome::toString() const {
+  std::string Out = "[";
+  for (const auto &[Key, V] : Entries) {
+    Out += Key;
+    Out += "=";
+    Out += V.toString();
+    Out += "; ";
+  }
+  Out += "]";
+  return Out;
+}
+
+std::string telechat::outcomeSetToString(const OutcomeSet &S) {
+  std::string Out;
+  for (const Outcome &O : S) {
+    Out += O.toString();
+    Out += "\n";
+  }
+  return Out;
+}

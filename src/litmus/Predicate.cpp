@@ -1,0 +1,138 @@
+//===--- Predicate.cpp - Final-state predicates ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Predicate.h"
+
+using namespace telechat;
+
+std::string PredAtom::key() const {
+  if (K == Kind::RegEq)
+    return Outcome::regKey(Thread, Name);
+  return Outcome::locKey(Name);
+}
+
+Predicate Predicate::atom(PredAtom At) {
+  Predicate P;
+  P.K = Kind::Atom;
+  P.A = std::move(At);
+  return P;
+}
+
+Predicate Predicate::conj(std::vector<Predicate> Ops) {
+  // Singleton connectives collapse so printing is round-trip stable.
+  if (Ops.size() == 1)
+    return std::move(Ops.front());
+  Predicate P;
+  P.K = Kind::And;
+  P.Ops = std::move(Ops);
+  return P;
+}
+
+Predicate Predicate::disj(std::vector<Predicate> Ops) {
+  if (Ops.size() == 1)
+    return std::move(Ops.front());
+  Predicate P;
+  P.K = Kind::Or;
+  P.Ops = std::move(Ops);
+  return P;
+}
+
+Predicate Predicate::negate(Predicate P) {
+  Predicate Out;
+  Out.K = Kind::Not;
+  Out.Ops.push_back(std::move(P));
+  return Out;
+}
+
+Predicate Predicate::regEq(std::string Thread, std::string Reg, Value V) {
+  PredAtom A;
+  A.K = PredAtom::Kind::RegEq;
+  A.Thread = std::move(Thread);
+  A.Name = std::move(Reg);
+  A.V = V;
+  return atom(std::move(A));
+}
+
+Predicate Predicate::locEq(std::string Loc, Value V) {
+  PredAtom A;
+  A.K = PredAtom::Kind::LocEq;
+  A.Name = std::move(Loc);
+  A.V = V;
+  return atom(std::move(A));
+}
+
+bool Predicate::eval(const Outcome &O) const {
+  switch (K) {
+  case Kind::True:
+    return true;
+  case Kind::Atom: {
+    std::optional<Value> V = O.lookup(A.key());
+    // Unbound keys read as zero: herd zero-initialises, and a compiled
+    // test whose local was deleted simply has no binding (paper §IV-B).
+    return V.value_or(Value()) == A.V;
+  }
+  case Kind::And:
+    for (const Predicate &Op : Ops)
+      if (!Op.eval(O))
+        return false;
+    return true;
+  case Kind::Or:
+    for (const Predicate &Op : Ops)
+      if (Op.eval(O))
+        return true;
+    return false;
+  case Kind::Not:
+    return !Ops.front().eval(O);
+  }
+  return false;
+}
+
+void Predicate::collectKeys(std::vector<std::string> &Out) const {
+  if (K == Kind::Atom) {
+    Out.push_back(A.key());
+    return;
+  }
+  for (const Predicate &Op : Ops)
+    Op.collectKeys(Out);
+}
+
+std::string Predicate::toString() const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::Atom: {
+    std::string Lhs = A.K == PredAtom::Kind::RegEq ? A.Thread + ":" + A.Name
+                                                   : A.Name;
+    return Lhs + "=" + A.V.toString();
+  }
+  case Kind::And:
+  case Kind::Or: {
+    std::string Sep = K == Kind::And ? " /\\ " : " \\/ ";
+    std::string Out = "(";
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += Ops[I].toString();
+    }
+    return Out + ")";
+  }
+  case Kind::Not:
+    return "not " + Ops.front().toString();
+  }
+  return "true";
+}
+
+std::string FinalCond::toString() const {
+  switch (Q) {
+  case Quant::Exists:
+    return "exists " + P.toString();
+  case Quant::NotExists:
+    return "~exists " + P.toString();
+  case Quant::Forall:
+    return "forall " + P.toString();
+  }
+  return "exists " + P.toString();
+}

@@ -1,0 +1,26 @@
+//===--- Printer.h - C litmus test printer ----------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_LITMUS_PRINTER_H
+#define TELECHAT_LITMUS_PRINTER_H
+
+#include "litmus/Ast.h"
+
+#include <string>
+
+namespace telechat {
+
+/// Renders a litmus test back to the herd-style C format accepted by
+/// parseLitmusC (round-trip stable up to whitespace). This is also the
+/// "prepared C program" emitted by the l2c stage.
+std::string printLitmusC(const LitmusTest &Test);
+
+/// Renders an expression in C syntax.
+std::string printExpr(const Expr &E);
+
+} // namespace telechat
+
+#endif // TELECHAT_LITMUS_PRINTER_H

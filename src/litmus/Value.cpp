@@ -1,0 +1,34 @@
+//===--- Value.cpp - Scalar values in litmus tests ------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Value.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+std::string IntType::cName() const {
+  if (Bits == 128)
+    return Signed ? "__int128" : "unsigned __int128";
+  return strFormat("%sint%u_t", Signed ? "" : "u", Bits);
+}
+
+Value Value::truncated(IntType Ty) const {
+  if (Ty.Bits >= 128)
+    return *this;
+  Value Out = *this;
+  Out.Hi = 0;
+  if (Ty.Bits < 64)
+    Out.Lo &= (uint64_t(1) << Ty.Bits) - 1;
+  return Out;
+}
+
+std::string Value::toString() const {
+  if (Hi == 0)
+    return std::to_string(Lo);
+  return strFormat("%llu:%llu", static_cast<unsigned long long>(Hi),
+                   static_cast<unsigned long long>(Lo));
+}

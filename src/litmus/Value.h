@@ -1,0 +1,92 @@
+//===--- Value.h - Scalar values in litmus tests ----------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar values up to 128 bits. 128-bit support exists because two of the
+/// paper's reported bugs (wrong-endian STXP/STP, seq_cst LDP) concern
+/// 128-bit atomics whose *value halves* are observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_LITMUS_VALUE_H
+#define TELECHAT_LITMUS_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace telechat {
+
+/// Integer type of a location or access: width in bits and signedness.
+struct IntType {
+  unsigned Bits = 32;
+  bool Signed = true;
+
+  bool operator==(const IntType &RHS) const {
+    return Bits == RHS.Bits && Signed == RHS.Signed;
+  }
+
+  /// C spelling, e.g. "int32_t" / "uint8_t" / "__int128".
+  std::string cName() const;
+};
+
+/// A scalar value, wide enough for 128-bit atomics.
+struct Value {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  Value() = default;
+  Value(uint64_t Lo) : Lo(Lo) {}
+  Value(uint64_t Lo, uint64_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  static Value fromInt(int64_t V) {
+    return Value(uint64_t(V), V < 0 ? ~uint64_t(0) : 0);
+  }
+
+  bool isZero() const { return Lo == 0 && Hi == 0; }
+
+  /// Truncates to \p Ty's width (sign-extension is not modelled; litmus
+  /// values are small non-negative constants).
+  Value truncated(IntType Ty) const;
+
+  /// 128-bit wrapping addition.
+  Value add(Value RHS) const {
+    Value Out;
+    Out.Lo = Lo + RHS.Lo;
+    Out.Hi = Hi + RHS.Hi + (Out.Lo < Lo ? 1 : 0);
+    return Out;
+  }
+
+  /// 128-bit wrapping subtraction.
+  Value sub(Value RHS) const {
+    Value Out;
+    Out.Lo = Lo - RHS.Lo;
+    Out.Hi = Hi - RHS.Hi - (Lo < RHS.Lo ? 1 : 0);
+    return Out;
+  }
+
+  Value bitXor(Value RHS) const { return Value(Lo ^ RHS.Lo, Hi ^ RHS.Hi); }
+  Value bitAnd(Value RHS) const { return Value(Lo & RHS.Lo, Hi & RHS.Hi); }
+
+  /// Swaps the 64-bit halves; models the paper's wrong-endian 128-bit
+  /// store bug where the register pair is written in flipped order.
+  Value halvesSwapped() const { return Value(Hi, Lo); }
+
+  bool operator==(const Value &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi;
+  }
+  bool operator!=(const Value &RHS) const { return !(*this == RHS); }
+  bool operator<(const Value &RHS) const {
+    return std::tie(Hi, Lo) < std::tie(RHS.Hi, RHS.Lo);
+  }
+
+  /// Decimal rendering for small values, "hi:lo" for wide ones.
+  std::string toString() const;
+};
+
+} // namespace telechat
+
+#endif // TELECHAT_LITMUS_VALUE_H

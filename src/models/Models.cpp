@@ -1,0 +1,313 @@
+//===--- Models.cpp - Embedded Cat model sources --------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every model notes the simplifications made relative to its published
+/// counterpart; the axioms relevant to the paper's experiments (coherence,
+/// atomicity, load buffering, fences, acquire/release, LDAPR, ST-form
+/// atomics, const-violations) are transcribed faithfully.
+///
+//===----------------------------------------------------------------------===//
+
+#include "models/Models.h"
+
+#include <map>
+
+using namespace telechat;
+
+namespace {
+
+/// Sequential consistency: a baseline oracle used in tests.
+const char *ScCat = R"CAT(SC
+let com = rf | co | fr
+acyclic po | com as sc
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// RC11 [Lahav et al., PLDI 2017], as used by the paper for Table IV.
+/// Tags: ATOMIC NA RLX ACQ REL ACQ_REL SC on accesses; fences are F events
+/// carrying their order tag. Consume is strengthened to acquire, as
+/// mainstream compilers do.
+const char *Rc11Cat = R"CAT(RC11
+let sb = po
+let ACQs = ACQ | ACQ_REL | SC
+let RELs = REL | ACQ_REL | SC
+(* release sequence *)
+let rs = [W]; (sb & loc)?; [W & ATOMIC]; (rf; rmw)^*
+(* synchronises-with *)
+let sw = [RELs]; ([F]; sb)?; rs; rf; [R & ATOMIC]; (sb; [F])?; [ACQs]
+let hb = (sb | sw)^+
+(* extended coherence order *)
+let eco = (rf | co | fr)^+
+(* COHERENCE *)
+irreflexive hb; eco? as coherence
+(* ATOMICITY *)
+empty rmw & (fre; coe) as atomicity
+(* SC: partial SC order psc must be acyclic *)
+let sbl = sb \ loc
+let scb = sb | (sbl; hb; sbl) | (hb & loc) | co | fr
+let pscb = ([SC] | ([F & SC]; hb?)); scb; ([SC] | (hb?; [F & SC]))
+let pscf = [F & SC]; (hb | (hb; eco; hb)); [F & SC]
+acyclic pscb | pscf as sc
+(* NO-THIN-AIR: forbids load buffering; ISO C23 is weaker here *)
+acyclic sb | rf as no-thin-air
+(* data races on non-atomics are undefined behaviour *)
+let conflict = (((W * M) | (M * W)) & loc & ext) \ (IW * M) \ (M * IW)
+let race = (conflict \ (ATOMIC * ATOMIC)) \ (hb | hb^-1)
+flag ~empty race as race
+)CAT";
+
+/// RC11 with load buffering permitted: the paper's rc11+lb.cat. ISO C23
+/// (7.17.3) explicitly permits load-to-store reordering, so dropping the
+/// no-thin-air axiom makes every positive difference of Table IV vanish.
+const char *Rc11LbCat = R"CAT(RC11LB
+let sb = po
+let ACQs = ACQ | ACQ_REL | SC
+let RELs = REL | ACQ_REL | SC
+let rs = [W]; (sb & loc)?; [W & ATOMIC]; (rf; rmw)^*
+let sw = [RELs]; ([F]; sb)?; rs; rf; [R & ATOMIC]; (sb; [F])?; [ACQs]
+let hb = (sb | sw)^+
+let eco = (rf | co | fr)^+
+irreflexive hb; eco? as coherence
+empty rmw & (fre; coe) as atomicity
+let sbl = sb \ loc
+let scb = sb | (sbl; hb; sbl) | (hb & loc) | co | fr
+let pscb = ([SC] | ([F & SC]; hb?)); scb; ([SC] | (hb?; [F & SC]))
+let pscf = [F & SC]; (hb | (hb; eco; hb)); [F & SC]
+acyclic pscb | pscf as sc
+let conflict = (((W * M) | (M * W)) & loc & ext) \ (IW * M) \ (M * IW)
+let race = (conflict \ (ATOMIC * ATOMIC)) \ (hb | hb^-1)
+flag ~empty race as race
+)CAT";
+
+/// A simplified C11 fragment (coherence + atomicity + release/acquire
+/// synchronisation, no SC axiom) mirroring the artefact's c11_simp.cat.
+const char *C11SimpCat = R"CAT(C11SIMP
+let sb = po
+let ACQs = ACQ | ACQ_REL | SC
+let RELs = REL | ACQ_REL | SC
+let rs = [W]; (sb & loc)?; [W & ATOMIC]; (rf; rmw)^*
+let sw = [RELs]; ([F]; sb)?; rs; rf; [R & ATOMIC]; (sb; [F])?; [ACQs]
+let hb = (sb | sw)^+
+let eco = (rf | co | fr)^+
+irreflexive hb; eco? as coherence
+empty rmw & (fre; coe) as atomicity
+acyclic sb | rf as no-thin-air
+)CAT";
+
+/// Armv8 AArch64, simplified from the official model (Deacon & Alglave,
+/// herd aarch64.cat; paper ref [27]). Tags: A (LDAR), Q (LDAPR),
+/// L (STLR), X (exclusives), DMB.ISH/DMB.ISHLD/DMB.ISHST, ISB, and NORET
+/// for ST-form LSE atomics whose read is not register-visible -- the Arm
+/// ARM does not order those reads by DMB LD barriers, which is exactly the
+/// paper's Fig. 10 bug mechanism.
+const char *AArch64Cat = R"CAT(AARCH64
+(* internal visibility: SC per location *)
+let ca = fr | co
+acyclic po-loc | ca | rf as internal
+(* dependency-ordered-before *)
+let dob = addr | data
+        | (ctrl; [W])
+        | ((ctrl | (addr; po)); [ISB]; po; [R])
+        | (addr; po; [W])
+        | ((addr | data); rfi)
+(* atomic-ordered-before *)
+let aob = rmw | ([range(rmw)]; rfi; [A | Q])
+(* barrier-ordered-before *)
+let dmbfull = fencerel(DMB.ISH)
+let dmbld = fencerel(DMB.ISHLD)
+let dmbst = fencerel(DMB.ISHST)
+let bob = dmbfull
+        | ([R \ NORET]; dmbld)
+        | ([W]; dmbst; [W])
+        | ([L]; po; [A])
+        | ([A | Q]; po)
+        | (po; [L])
+(* observed-by *)
+let obs = rfe | fre | coe
+(* external visibility *)
+let ob = (obs | dob | aob | bob)^+
+acyclic ob as external
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// AArch64 augmented with const-violation detection (paper §IV-E): the
+/// official model has no notion of read-only memory, so Télétchat adds a
+/// flag for writes into const locations (tag ConstWrite), catching the
+/// 128-bit const atomic load miscompilation [36].
+const char *AArch64ConstCat = R"CAT(AARCH64CONST
+let ca = fr | co
+acyclic po-loc | ca | rf as internal
+let dob = addr | data
+        | (ctrl; [W])
+        | ((ctrl | (addr; po)); [ISB]; po; [R])
+        | (addr; po; [W])
+        | ((addr | data); rfi)
+let aob = rmw | ([range(rmw)]; rfi; [A | Q])
+let dmbfull = fencerel(DMB.ISH)
+let dmbld = fencerel(DMB.ISHLD)
+let dmbst = fencerel(DMB.ISHST)
+let bob = dmbfull
+        | ([R \ NORET]; dmbld)
+        | ([W]; dmbst; [W])
+        | ([L]; po; [A])
+        | ([A | Q]; po)
+        | (po; [L])
+let obs = rfe | fre | coe
+let ob = (obs | dob | aob | bob)^+
+acyclic ob as external
+empty rmw & (fre; coe) as atomic
+flag ~empty ConstWrite as const-violation
+)CAT";
+
+/// Armv7 (fixed), simplified from the unofficial herd arm.cat the paper
+/// uses (ref [8]) after the fix of herd PR #385 [35]. Tags: DMB, DSB, ISB.
+const char *Armv7Cat = R"CAT(ARMV7
+acyclic po-loc | rf | co | fr as sc-per-location
+let dmb = fencerel(DMB)
+let dsb = fencerel(DSB)
+let ppo = addr | data
+        | (ctrl; [W])
+        | ((addr | data); rfi)
+        | (addr; po; [W])
+        | ((ctrl | (addr; po)); [ISB]; po; [R])
+let fence = dmb | dsb
+let obs = rfe | fre | coe
+let ob = (obs | ppo | fence)^+
+acyclic ob as external
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// Armv7 *before* the fix [35]: the DMB barrier fails to order writes
+/// before subsequent reads, so Store Buffering outcomes leak through --
+/// "the Armv7 model was allowing accesses to be reordered when it should
+/// have been forbidden" (paper §IV-E).
+const char *Armv7BuggyCat = R"CAT(ARMV7BUGGY
+acyclic po-loc | rf | co | fr as sc-per-location
+let dmb = fencerel(DMB) \ (W * R)
+let dsb = fencerel(DSB)
+let ppo = addr | data
+        | (ctrl; [W])
+        | ((addr | data); rfi)
+        | (addr; po; [W])
+        | ((ctrl | (addr; po)); [ISB]; po; [R])
+let fence = dmb | dsb
+let obs = rfe | fre | coe
+let ob = (obs | ppo | fence)^+
+acyclic ob as external
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// Intel x86-64 TSO (paper ref [64]; Owens/Sarkar/Sewell's x86-TSO).
+/// Tags: MFENCE fences, LOCK on events of locked instructions.
+const char *X86TsoCat = R"CAT(X86TSO
+acyclic po-loc | rf | co | fr as sc-per-location
+let mfence = fencerel(MFENCE)
+let implied = (po & (_ * LOCK)) | (po & (LOCK * _))
+let ppo = po \ (W * R)
+let ghb = mfence | implied | ppo | rfe | fre | coe
+acyclic ghb as tso
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// RISC-V RVWMO subset (paper ref [60]). Tags: AQ, RL on annotated
+/// accesses; fences FENCE.RW.RW, FENCE.R.RW, FENCE.W.W, FENCE.R.R,
+/// FENCE.RW.W.
+const char *RiscVCat = R"CAT(RISCV
+acyclic po-loc | rf | co | fr as sc-per-location
+let fencerw = fencerel(FENCE.RW.RW)
+let fencerrw = [R]; fencerel(FENCE.R.RW)
+let fencerr = [R]; fencerel(FENCE.R.R); [R]
+let fenceww = [W]; fencerel(FENCE.W.W); [W]
+let fencerww = fencerel(FENCE.RW.W); [W]
+let fence = fencerw | fencerrw | fenceww | fencerr | fencerww
+let ppo = addr | data
+        | (ctrl; [W])
+        | ((addr | data); rfi)
+        | (addr; po; [W])
+        | ([AQ]; po)
+        | (po; [RL])
+        | ([RL]; po; [AQ])
+let obs = rfe | fre | coe
+let ob = (obs | ppo | fence)^+
+acyclic ob as model
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// IBM PowerPC, following the structure of herd's ppc.cat (paper ref
+/// [62]; Sarkar et al., "Understanding POWER multiprocessors"): the
+/// ii/ic/ci/cc preserved-program-order recursion, lwsync/sync fences,
+/// propagation and observation axioms. Tags: SYNC, LWSYNC, ISYNC.
+const char *PpcCat = R"CAT(PPC
+acyclic po-loc | rf | co | fr as sc-per-location
+let dp = addr | data
+let rdw = po-loc & (fre; rfe)
+let detour = po-loc & (coe; rfe)
+(* preserved program order, herd-style least fixpoint *)
+let rec ii = dp | rdw | rfi | (ci; ic)
+    and ic = ii | cc | (ic; cc) | (ii; ic)
+    and ci = (ctrl; [W]) | (ctrl; [ISYNC]; po) | detour | (ci; ii) | (cc; ci)
+    and cc = dp | po-loc | (ctrl; [W]) | (addr; po; [W]) | (ci; ic) | (cc; cc)
+let ppo = (ii & (R * R)) | (ic & (R * W))
+let sync = fencerel(SYNC)
+let lwsync = fencerel(LWSYNC) \ (W * R)
+let fence = sync | lwsync
+(* thin-air / causality *)
+let hb = ppo | fence | rfe
+acyclic hb as causality
+(* propagation *)
+let propbase = (fence | (rfe; fence)); hb^*
+let chapo = rfe | fre | coe | (fre; rfe) | (coe; rfe)
+let prop = (propbase & (W * W)) | (chapo?; propbase^*; sync; hb^*)
+acyclic co | prop as propagation
+irreflexive fre; prop; hb^* as observation
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+/// MIPS (paper ref [63]): the model used by herd is TSO-like (only
+/// store-to-load reordering, restored by SYNC) -- which is why Table IV
+/// groups MIPS with x86 at zero positive differences.
+const char *MipsCat = R"CAT(MIPS
+acyclic po-loc | rf | co | fr as sc-per-location
+let sync = fencerel(SYNC)
+let ppo = po \ (W * R)
+let ghb = sync | ppo | rfe | fre | coe
+acyclic ghb as tso
+empty rmw & (fre; coe) as atomic
+)CAT";
+
+const std::map<std::string, const char *> &modelTable() {
+  static const std::map<std::string, const char *> Table = {
+      {"sc", ScCat},
+      {"rc11", Rc11Cat},
+      {"rc11+lb", Rc11LbCat},
+      {"c11-simp", C11SimpCat},
+      {"aarch64", AArch64Cat},
+      {"aarch64+const", AArch64ConstCat},
+      {"armv7", Armv7Cat},
+      {"armv7-buggy", Armv7BuggyCat},
+      {"x86tso", X86TsoCat},
+      {"riscv", RiscVCat},
+      {"ppc", PpcCat},
+      {"mips", MipsCat},
+  };
+  return Table;
+}
+
+} // namespace
+
+const char *telechat::modelText(const std::string &Name) {
+  const auto &Table = modelTable();
+  auto It = Table.find(Name);
+  return It == Table.end() ? nullptr : It->second;
+}
+
+std::vector<std::string> telechat::modelNames() {
+  std::vector<std::string> Out;
+  for (const auto &[Name, Text] : modelTable())
+    Out.push_back(Name);
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===--- Models.h - Embedded Cat model sources ------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-model library (paper §II-A). Each model is Cat text embedded
+/// in the binary; the registry parses and caches them. Source models:
+/// sc, rc11, rc11+lb, c11-simp. Architecture models: aarch64,
+/// aarch64+const, armv7, armv7-buggy, x86tso, riscv, ppc, mips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_MODELS_MODELS_H
+#define TELECHAT_MODELS_MODELS_H
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// Cat source text of the named model, or nullptr when unknown.
+const char *modelText(const std::string &Name);
+
+/// All embedded model names.
+std::vector<std::string> modelNames();
+
+} // namespace telechat
+
+#endif // TELECHAT_MODELS_MODELS_H

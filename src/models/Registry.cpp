@@ -1,0 +1,42 @@
+//===--- Registry.cpp - Parsed-model registry -----------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/Registry.h"
+
+#include "cat/Parser.h"
+#include "models/Models.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace telechat;
+
+const CatModel &telechat::getModel(const std::string &Name) {
+  static std::map<std::string, CatModel> Cache;
+  static std::mutex CacheMutex;
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  const char *Text = modelText(Name);
+  if (!Text) {
+    fprintf(stderr, "fatal: unknown memory model '%s'\n", Name.c_str());
+    abort();
+  }
+  ErrorOr<CatModel> Parsed = parseCat(Text);
+  if (!Parsed) {
+    fprintf(stderr, "fatal: embedded model '%s' fails to parse: %s\n",
+            Name.c_str(), Parsed.error().c_str());
+    abort();
+  }
+  return Cache.emplace(Name, std::move(*Parsed)).first->second;
+}
+
+ErrorOr<CatModel> telechat::parseModelText(const std::string &Text) {
+  return parseCat(Text);
+}

@@ -1,0 +1,29 @@
+//===--- Registry.h - Parsed-model registry ---------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_MODELS_REGISTRY_H
+#define TELECHAT_MODELS_REGISTRY_H
+
+#include "cat/Ast.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace telechat {
+
+/// Returns the parsed model with the given registry name, parsing and
+/// caching embedded Cat text on first use. Aborts on unknown names or
+/// parse errors in embedded models (programmatic errors: the model table
+/// ships with the library).
+const CatModel &getModel(const std::string &Name);
+
+/// Parses user-supplied Cat text (for custom models; see
+/// examples/custom_model.cpp).
+ErrorOr<CatModel> parseModelText(const std::string &Text);
+
+} // namespace telechat
+
+#endif // TELECHAT_MODELS_REGISTRY_H

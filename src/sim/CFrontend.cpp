@@ -1,0 +1,200 @@
+//===--- CFrontend.cpp - C litmus tests to symbolic programs --------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CFrontend.h"
+
+#include <algorithm>
+
+using namespace telechat;
+
+namespace {
+
+/// Order tag for an access or fence event ("RLX", "ACQ", ...).
+std::string orderTag(MemOrder O) {
+  switch (O) {
+  case MemOrder::NA:
+    return "NA";
+  case MemOrder::Relaxed:
+    return "RLX";
+  case MemOrder::Consume: // strengthened to acquire, as compilers do
+  case MemOrder::Acquire:
+    return "ACQ";
+  case MemOrder::Release:
+    return "REL";
+  case MemOrder::AcqRel:
+    return "ACQ_REL";
+  case MemOrder::SeqCst:
+    return "SC";
+  }
+  return "NA";
+}
+
+/// RMW read-part order: the acquire half of the operation's order.
+std::string rmwReadTag(MemOrder O) {
+  switch (O) {
+  case MemOrder::SeqCst:
+    return "SC";
+  case MemOrder::AcqRel:
+  case MemOrder::Acquire:
+  case MemOrder::Consume:
+    return "ACQ";
+  default:
+    return "RLX";
+  }
+}
+
+/// RMW write-part order: the release half.
+std::string rmwWriteTag(MemOrder O) {
+  switch (O) {
+  case MemOrder::SeqCst:
+    return "SC";
+  case MemOrder::AcqRel:
+  case MemOrder::Release:
+    return "REL";
+  default:
+    return "RLX";
+  }
+}
+
+std::set<std::string> accessTags(MemOrder O) {
+  std::set<std::string> Tags = {orderTag(O)};
+  Tags.insert(O == MemOrder::NA ? "NA" : "ATOMIC");
+  return Tags;
+}
+
+/// Recursively expands a statement list into straight-line paths.
+void expandPaths(const std::vector<Stmt> &Body, size_t Index,
+                 SimPath Current, std::vector<SimPath> &Out) {
+  if (Index == Body.size()) {
+    Out.push_back(std::move(Current));
+    return;
+  }
+  const Stmt &S = Body[Index];
+  switch (S.K) {
+  case Stmt::Kind::Load: {
+    SimOp Op;
+    Op.K = SimOp::Kind::Load;
+    Op.Dst = S.Dst;
+    Op.Addr = SimAddr::staticSym(S.Loc);
+    Op.Tags = accessTags(S.Order);
+    Current.Ops.push_back(std::move(Op));
+    expandPaths(Body, Index + 1, std::move(Current), Out);
+    return;
+  }
+  case Stmt::Kind::Store: {
+    SimOp Op;
+    Op.K = SimOp::Kind::Store;
+    Op.Addr = SimAddr::staticSym(S.Loc);
+    Op.Val = S.Val;
+    Op.WTags = accessTags(S.Order);
+    Current.Ops.push_back(std::move(Op));
+    expandPaths(Body, Index + 1, std::move(Current), Out);
+    return;
+  }
+  case Stmt::Kind::Fence: {
+    SimOp Op;
+    Op.K = SimOp::Kind::Fence;
+    Op.Tags = {orderTag(S.Order)};
+    Current.Ops.push_back(std::move(Op));
+    expandPaths(Body, Index + 1, std::move(Current), Out);
+    return;
+  }
+  case Stmt::Kind::Rmw: {
+    SimOp Op;
+    Op.K = SimOp::Kind::Rmw;
+    Op.Dst = S.Dst;
+    Op.Addr = SimAddr::staticSym(S.Loc);
+    Op.Val = S.Val;
+    Op.RmwOp = S.Rmw == RmwKind::Xchg      ? SimOp::RmwOpKind::Xchg
+               : S.Rmw == RmwKind::FetchAdd ? SimOp::RmwOpKind::Add
+                                            : SimOp::RmwOpKind::Sub;
+    Op.Tags = {rmwReadTag(S.Order), "ATOMIC"};
+    Op.WTags = {rmwWriteTag(S.Order), "ATOMIC"};
+    Current.Ops.push_back(std::move(Op));
+    expandPaths(Body, Index + 1, std::move(Current), Out);
+    return;
+  }
+  case Stmt::Kind::LocalAssign: {
+    SimOp Op;
+    Op.K = SimOp::Kind::Assign;
+    Op.Dst = S.Dst;
+    Op.Val = S.Val;
+    Current.Ops.push_back(std::move(Op));
+    expandPaths(Body, Index + 1, std::move(Current), Out);
+    return;
+  }
+  case Stmt::Kind::If: {
+    // Taken arm.
+    {
+      SimPath Taken = Current;
+      SimOp C;
+      C.K = SimOp::Kind::Constraint;
+      C.Val = S.Cond;
+      C.ConstraintNonZero = true;
+      Taken.Ops.push_back(std::move(C));
+      // Expand the arm, then continue with the tail. Collect arm paths
+      // into temporaries and splice the tail onto each.
+      std::vector<SimPath> ArmPaths;
+      expandPaths(S.Then, 0, std::move(Taken), ArmPaths);
+      for (SimPath &P : ArmPaths)
+        expandPaths(Body, Index + 1, std::move(P), Out);
+    }
+    // Fall-through arm.
+    {
+      SimPath NotTaken = std::move(Current);
+      SimOp C;
+      C.K = SimOp::Kind::Constraint;
+      C.Val = S.Cond;
+      C.ConstraintNonZero = false;
+      NotTaken.Ops.push_back(std::move(C));
+      std::vector<SimPath> ArmPaths;
+      expandPaths(S.Else, 0, std::move(NotTaken), ArmPaths);
+      for (SimPath &P : ArmPaths)
+        expandPaths(Body, Index + 1, std::move(P), Out);
+    }
+    return;
+  }
+  }
+}
+
+} // namespace
+
+SimProgram telechat::lowerLitmusC(const LitmusTest &Test) {
+  SimProgram P;
+  P.Name = Test.Name;
+  P.Final = Test.Final;
+  for (const LocDecl &L : Test.Locations) {
+    SimLoc SL;
+    SL.Name = L.Name;
+    SL.Type = L.Type;
+    SL.Const = L.Const;
+    SL.Init = L.Init;
+    P.Locations.push_back(std::move(SL));
+  }
+  // Observed keys come from the final predicate.
+  std::vector<std::string> Keys;
+  Test.Final.P.collectKeys(Keys);
+  for (const Thread &T : Test.Threads) {
+    SimThread ST;
+    ST.Name = T.Name;
+    expandPaths(T.Body, 0, SimPath(), ST.Paths);
+    for (const std::string &Key : Keys) {
+      // Register keys look like "P0:r0".
+      std::string Prefix = T.Name + ":";
+      if (Key.rfind(Prefix, 0) == 0)
+        ST.Observed.emplace_back(Key.substr(Prefix.size()), Key);
+    }
+    P.Threads.push_back(std::move(ST));
+  }
+  for (const std::string &Key : Keys)
+    if (Key.size() > 2 && Key.front() == '[' && Key.back() == ']')
+      P.ObservedLocs.push_back(Key.substr(1, Key.size() - 2));
+  std::sort(P.ObservedLocs.begin(), P.ObservedLocs.end());
+  P.ObservedLocs.erase(
+      std::unique(P.ObservedLocs.begin(), P.ObservedLocs.end()),
+      P.ObservedLocs.end());
+  return P;
+}

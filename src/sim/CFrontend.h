@@ -1,0 +1,22 @@
+//===--- CFrontend.h - C litmus tests to symbolic programs ------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SIM_CFRONTEND_H
+#define TELECHAT_SIM_CFRONTEND_H
+
+#include "litmus/Ast.h"
+#include "sim/Program.h"
+
+namespace telechat {
+
+/// Lowers a C litmus test to the symbolic form: enumerates control-flow
+/// paths, attaches RC11-style event tags (RLX/ACQ/REL/ACQ_REL/SC, ATOMIC,
+/// NA) and derives the observed register list from the final predicate.
+SimProgram lowerLitmusC(const LitmusTest &Test);
+
+} // namespace telechat
+
+#endif // TELECHAT_SIM_CFRONTEND_H

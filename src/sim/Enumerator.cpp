@@ -1,0 +1,824 @@
+//===--- Enumerator.cpp - Candidate-execution enumeration -----------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumeration proceeds in four nested stages:
+///   1. control-flow path combinations across threads,
+///   2. reads-from assignments (per-read candidate writes; accesses with
+///      *dynamic* addresses cannot be location-filtered, which is the
+///      paper's §IV-E state explosion),
+///   3. concrete value resolution by bounded fixpoint iteration, rejecting
+///      assignments that are value-, address- or branch-inconsistent,
+///   4. per-location coherence orders, then Cat-model filtering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Enumerator.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+
+using namespace telechat;
+
+namespace {
+
+/// A runtime value: an integer or the address of a named location.
+struct SimVal {
+  enum class Kind { Int, Addr } K = Kind::Int;
+  Value V;         ///< Numeric value (addresses get a synthetic numeric).
+  std::string Sym; ///< Kind::Addr: the location name.
+
+  bool operator==(const SimVal &RHS) const {
+    return K == RHS.K && V == RHS.V && Sym == RHS.Sym;
+  }
+};
+
+/// Per-event mutable state during value resolution.
+struct EvState {
+  SimVal Val;      ///< Value written (W) or read (R).
+  std::string Loc; ///< Resolved location; empty while unknown.
+
+  bool operator==(const EvState &RHS) const {
+    return Val == RHS.Val && Loc == RHS.Loc;
+  }
+};
+
+/// Static (per path-combo) description of one event.
+struct EvInfo {
+  unsigned Thread = 0;
+  unsigned OpIndex = 0; ///< Index into the owning thread's op list.
+  EventKind Kind = EventKind::Read;
+  const SimOp *Op = nullptr; ///< Null for init writes.
+  bool IsInit = false;
+  std::string InitLoc; ///< Init writes: the location.
+};
+
+class EnumeratorImpl {
+public:
+  EnumeratorImpl(const SimProgram &Program, const CatModel &Model,
+                 const SimOptions &Options)
+      : Prog(Program), Model(Model), Opts(Options),
+        Start(std::chrono::steady_clock::now()) {}
+
+  SimResult run() {
+    // Synthetic numeric addresses for locations (0x1000 apart, mirroring
+    // an ELF data section layout).
+    for (unsigned I = 0; I != Prog.Locations.size(); ++I)
+      LocAddr[Prog.Locations[I].Name] = Value(0x1000 * (uint64_t(I) + 1));
+
+    // Odometer over per-thread path choices.
+    std::vector<size_t> PathChoice(Prog.Threads.size(), 0);
+    while (true) {
+      ++Result.Stats.PathCombos;
+      runPathCombo(PathChoice);
+      if (Result.TimedOut || !Result.ok())
+        break;
+      // Advance the odometer.
+      size_t T = 0;
+      for (; T != PathChoice.size(); ++T) {
+        if (++PathChoice[T] < Prog.Threads[T].Paths.size())
+          break;
+        PathChoice[T] = 0;
+      }
+      if (T == PathChoice.size())
+        break;
+    }
+    auto End = std::chrono::steady_clock::now();
+    Result.Stats.Seconds =
+        std::chrono::duration<double>(End - Start).count();
+    return std::move(Result);
+  }
+
+private:
+  /// Steps the budget; returns false when exhausted.
+  bool budget() {
+    ++Steps;
+    if (Steps > Opts.MaxSteps) {
+      Result.TimedOut = true;
+      return false;
+    }
+    if (Opts.TimeoutSeconds > 0 && (Steps & 1023) == 0) {
+      auto Now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(Now - Start).count() >
+          Opts.TimeoutSeconds) {
+        Result.TimedOut = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void runPathCombo(const std::vector<size_t> &PathChoice) {
+    // --- Build the event skeleton. ---
+    Events.clear();
+    OpEvents.clear();
+    Paths.clear();
+    for (const SimLoc &L : Prog.Locations) {
+      EvInfo Init;
+      Init.Kind = EventKind::Write;
+      Init.IsInit = true;
+      Init.InitLoc = L.Name;
+      Events.push_back(Init);
+    }
+    ResolvedStorage.clear();
+    ResolvedStorage.reserve(Prog.Threads.size());
+    for (unsigned T = 0; T != Prog.Threads.size(); ++T) {
+      ResolvedStorage.push_back(
+          resolveStaticAddresses(Prog.Threads[T].Paths[PathChoice[T]]));
+    }
+    for (unsigned T = 0; T != Prog.Threads.size(); ++T) {
+      const SimPath &Path = ResolvedStorage[T];
+      Paths.push_back(&Path);
+      std::vector<std::pair<unsigned, unsigned>> PathEvents;
+      for (unsigned I = 0; I != Path.Ops.size(); ++I) {
+        const SimOp &Op = Path.Ops[I];
+        auto AddEvent = [&](EventKind K) {
+          EvInfo E;
+          E.Thread = T;
+          E.OpIndex = I;
+          E.Kind = K;
+          E.Op = &Op;
+          Events.push_back(E);
+          return unsigned(Events.size() - 1);
+        };
+        switch (Op.K) {
+        case SimOp::Kind::Load:
+          PathEvents.emplace_back(I, AddEvent(EventKind::Read));
+          break;
+        case SimOp::Kind::Store:
+          PathEvents.emplace_back(I, AddEvent(EventKind::Write));
+          break;
+        case SimOp::Kind::Rmw:
+          PathEvents.emplace_back(I, AddEvent(EventKind::Read));
+          PathEvents.emplace_back(I, AddEvent(EventKind::Write));
+          break;
+        case SimOp::Kind::Fence:
+          PathEvents.emplace_back(I, AddEvent(EventKind::Fence));
+          break;
+        case SimOp::Kind::Assign:
+        case SimOp::Kind::AddrOf:
+        case SimOp::Kind::Constraint:
+          break;
+        }
+      }
+      OpEvents.push_back(std::move(PathEvents));
+    }
+    unsigned N = Events.size();
+
+    // Reads and writes of this skeleton.
+    Reads.clear();
+    Writes.clear();
+    for (unsigned I = 0; I != N; ++I) {
+      if (Events[I].Kind == EventKind::Read)
+        Reads.push_back(I);
+      else if (Events[I].Kind == EventKind::Write)
+        Writes.push_back(I);
+    }
+
+    // --- rf candidates per read. ---
+    // Static-address reads take writes that are statically same-location
+    // (plus all dynamic-address writes); dynamic-address reads must
+    // consider every write. This asymmetry is the whole scalability
+    // story: optimised tests are all-static.
+    RfCand.assign(Reads.size(), {});
+    for (unsigned RI = 0; RI != Reads.size(); ++RI) {
+      const EvInfo &R = Events[Reads[RI]];
+      const SimAddr &RA = R.Op->Addr;
+      std::string RLoc =
+          RA.isStatic() ? SimAddr::locName(RA.Sym, RA.Off) : "";
+      for (unsigned W : Writes) {
+        const EvInfo &WE = Events[W];
+        if (WE.IsInit) {
+          if (RLoc.empty() || RLoc == WE.InitLoc)
+            RfCand[RI].push_back(W);
+          continue;
+        }
+        const SimAddr &WA = WE.Op->Addr;
+        if (!RLoc.empty() && WA.isStatic() &&
+            RLoc != SimAddr::locName(WA.Sym, WA.Off))
+          continue;
+        RfCand[RI].push_back(W);
+      }
+    }
+
+    // --- rf odometer. ---
+    std::vector<size_t> RfChoice(Reads.size(), 0);
+    while (true) {
+      if (!budget())
+        return;
+      ++Result.Stats.RfCandidates;
+      if (resolveValues(RfChoice)) {
+        ++Result.Stats.ValueConsistent;
+        enumerateCo(RfChoice);
+        if (Result.TimedOut || !Result.ok())
+          return;
+      }
+      size_t I = 0;
+      for (; I != RfChoice.size(); ++I) {
+        if (++RfChoice[I] < RfCand[I].size())
+          break;
+        RfChoice[I] = 0;
+      }
+      if (I == RfChoice.size())
+        return;
+    }
+  }
+
+  /// Abstract address resolution: registers holding *statically known*
+  /// address constants (AddrOf, copies, constant offsets) turn their
+  /// accesses into static ones, which the rf-candidate filter can then
+  /// restrict by location. Addresses that flow through memory (GOT /
+  /// literal-pool loads in unoptimised compiled tests) stay dynamic --
+  /// the paper's §IV-E state explosion. This mirrors herd: symbolic
+  /// init-state addresses are constants, loaded values are not.
+  SimPath resolveStaticAddresses(const SimPath &In) const {
+    SimPath Out = In;
+    std::map<std::string, std::pair<std::string, int64_t>> Known;
+    auto EvalAddr =
+        [&](const Expr &E) -> std::optional<std::pair<std::string, int64_t>> {
+      if (E.K == Expr::Kind::Reg) {
+        auto It = Known.find(E.RegName);
+        if (It != Known.end())
+          return It->second;
+        return std::nullopt;
+      }
+      if (E.K == Expr::Kind::Add) {
+        const Expr &L = E.Ops[0], &R = E.Ops[1];
+        if (L.K == Expr::Kind::Reg && R.K == Expr::Kind::Imm) {
+          auto It = Known.find(L.RegName);
+          if (It != Known.end())
+            return std::make_pair(It->second.first,
+                                  It->second.second +
+                                      int64_t(R.Imm.Lo));
+        }
+      }
+      return std::nullopt;
+    };
+    for (SimOp &Op : Out.Ops) {
+      auto TryStatic = [&]() {
+        if (Op.Addr.isStatic())
+          return;
+        auto It = Known.find(Op.Addr.Reg);
+        if (It == Known.end())
+          return;
+        int64_t Off = Op.Addr.Off + It->second.second;
+        Op.Addr = SimAddr::staticSym(It->second.first);
+        Op.Addr.Off = Off;
+      };
+      switch (Op.K) {
+      case SimOp::Kind::AddrOf:
+        Known[Op.Dst] = {Op.Sym, 0};
+        break;
+      case SimOp::Kind::Assign:
+        if (auto A = EvalAddr(Op.Val))
+          Known[Op.Dst] = *A;
+        else
+          Known.erase(Op.Dst);
+        break;
+      case SimOp::Kind::Load:
+        TryStatic();
+        if (!Op.Dst.empty())
+          Known.erase(Op.Dst);
+        if (!Op.Dst2.empty())
+          Known.erase(Op.Dst2);
+        break;
+      case SimOp::Kind::Rmw:
+        TryStatic();
+        if (!Op.Dst.empty())
+          Known.erase(Op.Dst);
+        break;
+      case SimOp::Kind::Store:
+        TryStatic();
+        if (!Op.Dst.empty())
+          Known.erase(Op.Dst);
+        break;
+      case SimOp::Kind::Fence:
+      case SimOp::Kind::Constraint:
+        break;
+      }
+    }
+    return Out;
+  }
+
+  /// Evaluates an expression over the current register file.
+  SimVal evalExpr(const Expr &E,
+                  const std::map<std::string, SimVal> &Regs) const {
+    switch (E.K) {
+    case Expr::Kind::Imm:
+      return SimVal{SimVal::Kind::Int, E.Imm, ""};
+    case Expr::Kind::Reg: {
+      auto It = Regs.find(E.RegName);
+      if (It == Regs.end())
+        return SimVal{}; // herd zero-initialises registers
+      return It->second;
+    }
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub:
+    case Expr::Kind::Xor:
+    case Expr::Kind::And: {
+      SimVal L = evalExpr(E.Ops[0], Regs);
+      SimVal R = evalExpr(E.Ops[1], Regs);
+      Value Out;
+      if (E.K == Expr::Kind::Add)
+        Out = L.V.add(R.V);
+      else if (E.K == Expr::Kind::Sub)
+        Out = L.V.sub(R.V);
+      else if (E.K == Expr::Kind::Xor)
+        Out = L.V.bitXor(R.V);
+      else
+        Out = L.V.bitAnd(R.V);
+      // Address arithmetic that adds zero preserves the symbol (ADD
+      // Xd, Xn, #:lo12:sym patterns resolve earlier, but be permissive).
+      if (E.K == Expr::Kind::Add && L.K == SimVal::Kind::Addr &&
+          R.V.isZero())
+        return L;
+      return SimVal{SimVal::Kind::Int, Out, ""};
+    }
+    }
+    return SimVal{};
+  }
+
+  /// One evaluation sweep over all threads. Returns true if any event
+  /// state changed. When \p Verify is non-null, also checks constraints /
+  /// address resolution / rf location agreement, computes dependency
+  /// taints and records observed registers.
+  bool sweep(const std::vector<size_t> &RfChoice, bool *Verify) {
+    bool Changed = false;
+    if (Verify) {
+      AddrDeps.assign(Events.size(), {});
+      DataDeps.assign(Events.size(), {});
+      CtrlDeps.assign(Events.size(), {});
+      ObservedRegs.clear();
+    }
+    for (unsigned T = 0; T != Paths.size(); ++T) {
+      std::map<std::string, SimVal> Regs;
+      std::map<std::string, std::set<unsigned>> Taint;
+      std::set<unsigned> CtrlTaint;
+      auto EvIt = OpEvents[T].begin();
+      const auto EvEnd = OpEvents[T].end();
+      for (unsigned I = 0; I != Paths[T]->Ops.size(); ++I) {
+        const SimOp &Op = Paths[T]->Ops[I];
+        // Events created for this op, in creation order.
+        unsigned Ev0 = ~0u, Ev1 = ~0u;
+        while (EvIt != EvEnd && EvIt->first == I) {
+          (Ev0 == ~0u ? Ev0 : Ev1) = EvIt->second;
+          ++EvIt;
+        }
+        auto ResolveAddr = [&](unsigned Ev) -> std::string {
+          if (Op.Addr.isStatic())
+            return SimAddr::locName(Op.Addr.Sym, Op.Addr.Off);
+          auto It = Regs.find(Op.Addr.Reg);
+          if (It != Regs.end() && It->second.K == SimVal::Kind::Addr) {
+            if (Verify) {
+              auto TIt = Taint.find(Op.Addr.Reg);
+              if (TIt != Taint.end())
+                for (unsigned Src : TIt->second)
+                  AddrDeps[Ev].insert(Src);
+            }
+            return SimAddr::locName(It->second.Sym, Op.Addr.Off);
+          }
+          if (Verify)
+            *Verify = false; // unresolvable dynamic address
+          return "";
+        };
+        auto Update = [&](unsigned Ev, const EvState &NewState) {
+          if (!(State[Ev] == NewState)) {
+            State[Ev] = NewState;
+            Changed = true;
+          }
+        };
+        auto ReadWidthTruncate = [&](const std::string &Loc, SimVal V) {
+          if (const SimLoc *L = Prog.findLocation(Loc))
+            if (V.K == SimVal::Kind::Int)
+              V.V = V.V.truncated(L->Type);
+          return V;
+        };
+        switch (Op.K) {
+        case SimOp::Kind::Assign: {
+          if (Verify) {
+            std::vector<std::string> Used;
+            Op.Val.collectRegs(Used);
+            std::set<unsigned> T2;
+            for (const std::string &U : Used)
+              for (unsigned Src : Taint[U])
+                T2.insert(Src);
+            Taint[Op.Dst] = std::move(T2);
+          }
+          Regs[Op.Dst] = evalExpr(Op.Val, Regs);
+          break;
+        }
+        case SimOp::Kind::AddrOf: {
+          Regs[Op.Dst] =
+              SimVal{SimVal::Kind::Addr, LocAddr.at(Op.Sym), Op.Sym};
+          if (Verify)
+            Taint[Op.Dst].clear();
+          break;
+        }
+        case SimOp::Kind::Constraint: {
+          if (Verify) {
+            SimVal C = evalExpr(Op.Val, Regs);
+            bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
+            if (NonZero != Op.ConstraintNonZero)
+              *Verify = false;
+            std::vector<std::string> Used;
+            Op.Val.collectRegs(Used);
+            for (const std::string &U : Used)
+              for (unsigned Src : Taint[U])
+                CtrlTaint.insert(Src);
+          }
+          break;
+        }
+        case SimOp::Kind::Fence: {
+          if (Verify)
+            for (unsigned Src : CtrlTaint)
+              CtrlDeps[Ev0].insert(Src);
+          break;
+        }
+        case SimOp::Kind::Load: {
+          unsigned ReadEv = Ev0;
+          std::string Loc = ResolveAddr(ReadEv);
+          unsigned RfW = rfSource(RfChoice, ReadEv);
+          SimVal V = State[RfW].Val;
+          if (!Loc.empty())
+            V = ReadWidthTruncate(Loc, V);
+          Update(ReadEv, EvState{V, Loc});
+          if (!Op.Dst.empty()) {
+            if (Op.Is128) {
+              Regs[Op.Dst] = SimVal{SimVal::Kind::Int, Value(V.V.Lo), ""};
+              Regs[Op.Dst2] = SimVal{SimVal::Kind::Int, Value(V.V.Hi), ""};
+              if (Verify) {
+                Taint[Op.Dst] = {ReadEv};
+                Taint[Op.Dst2] = {ReadEv};
+              }
+            } else {
+              Regs[Op.Dst] = V;
+              if (Verify)
+                Taint[Op.Dst] = {ReadEv};
+            }
+          }
+          if (Verify) {
+            for (unsigned Src : CtrlTaint)
+              CtrlDeps[ReadEv].insert(Src);
+            // rf source must be a write to the same resolved location.
+            const std::string &WLoc = State[RfW].Loc;
+            if (Loc.empty() || WLoc != Loc)
+              *Verify = false;
+          }
+          break;
+        }
+        case SimOp::Kind::Store: {
+          unsigned WriteEv = Ev0;
+          std::string Loc = ResolveAddr(WriteEv);
+          SimVal V = evalExpr(Op.Val, Regs);
+          if (Op.Is128) {
+            SimVal Hi = evalExpr(Op.ValHi, Regs);
+            V = SimVal{SimVal::Kind::Int, Value(V.V.Lo, Hi.V.Lo), ""};
+          }
+          if (!Loc.empty())
+            V = ReadWidthTruncate(Loc, V);
+          Update(WriteEv, EvState{V, Loc});
+          if (!Op.Dst.empty()) {
+            // Exclusive-store status register: success (herd assumes
+            // exclusive pairs succeed; failing paths are infeasible).
+            Regs[Op.Dst] =
+                SimVal{SimVal::Kind::Int, Value(Op.StatusSuccess), ""};
+            if (Verify)
+              Taint[Op.Dst].clear();
+          }
+          if (Verify) {
+            std::vector<std::string> Used;
+            Op.Val.collectRegs(Used);
+            Op.ValHi.collectRegs(Used);
+            for (const std::string &U : Used)
+              for (unsigned Src : Taint[U])
+                DataDeps[WriteEv].insert(Src);
+            for (unsigned Src : CtrlTaint)
+              CtrlDeps[WriteEv].insert(Src);
+            if (Loc.empty())
+              *Verify = false;
+          }
+          break;
+        }
+        case SimOp::Kind::Rmw: {
+          unsigned ReadEv = Ev0, WriteEv = Ev1;
+          std::string Loc = ResolveAddr(ReadEv);
+          unsigned RfW = rfSource(RfChoice, ReadEv);
+          SimVal Old = State[RfW].Val;
+          if (!Loc.empty())
+            Old = ReadWidthTruncate(Loc, Old);
+          SimVal Operand = evalExpr(Op.Val, Regs);
+          SimVal New;
+          New.K = SimVal::Kind::Int;
+          switch (Op.RmwOp) {
+          case SimOp::RmwOpKind::Xchg:
+            New.V = Operand.V;
+            break;
+          case SimOp::RmwOpKind::Add:
+            New.V = Old.V.add(Operand.V);
+            break;
+          case SimOp::RmwOpKind::Sub:
+            New.V = Old.V.sub(Operand.V);
+            break;
+          }
+          if (!Loc.empty())
+            New = ReadWidthTruncate(Loc, New);
+          Update(ReadEv, EvState{Old, Loc});
+          Update(WriteEv, EvState{New, Loc});
+          if (!Op.Dst.empty() && !Op.NoRet) {
+            Regs[Op.Dst] = Old;
+            if (Verify)
+              Taint[Op.Dst] = {ReadEv};
+          }
+          if (Verify) {
+            std::vector<std::string> Used;
+            Op.Val.collectRegs(Used);
+            for (const std::string &U : Used)
+              for (unsigned Src : Taint[U])
+                DataDeps[WriteEv].insert(Src);
+            for (unsigned Src : CtrlTaint) {
+              CtrlDeps[ReadEv].insert(Src);
+              CtrlDeps[WriteEv].insert(Src);
+            }
+            const std::string &WLoc = State[RfW].Loc;
+            if (Loc.empty() || WLoc != Loc)
+              *Verify = false;
+          }
+          break;
+        }
+        }
+      }
+      if (Verify)
+        for (const auto &[Reg, Key] : Prog.Threads[T].Observed) {
+          auto It = Regs.find(Reg);
+          ObservedRegs.emplace_back(Key,
+                                    It == Regs.end() ? Value() : It->second.V);
+        }
+    }
+    return Changed;
+  }
+
+  unsigned rfSource(const std::vector<size_t> &RfChoice,
+                    unsigned ReadEv) const {
+    for (unsigned RI = 0; RI != Reads.size(); ++RI)
+      if (Reads[RI] == ReadEv)
+        return RfCand[RI][RfChoice[RI]];
+    return 0; // unreachable for well-formed skeletons
+  }
+
+  /// Fixpoint value resolution; true when this rf assignment is
+  /// consistent (stable values, feasible branches, matching addresses).
+  bool resolveValues(const std::vector<size_t> &RfChoice) {
+    unsigned N = Events.size();
+    State.assign(N, EvState());
+    for (unsigned I = 0; I != N; ++I)
+      if (Events[I].IsInit) {
+        const SimLoc *L = Prog.findLocation(Events[I].InitLoc);
+        SimVal V;
+        if (!L->InitAddrOf.empty())
+          V = SimVal{SimVal::Kind::Addr, LocAddr.at(L->InitAddrOf),
+                     L->InitAddrOf};
+        else
+          V = SimVal{SimVal::Kind::Int, L->Init, ""};
+        State[I] = EvState{V, Events[I].InitLoc};
+      }
+    unsigned MaxRounds = N + 2;
+    bool Stable = false;
+    for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+      if (!sweep(RfChoice, nullptr)) {
+        Stable = true;
+        break;
+      }
+    }
+    if (!Stable)
+      return false;
+    bool Consistent = true;
+    sweep(RfChoice, &Consistent);
+    return Consistent;
+  }
+
+  /// Enumerates per-location coherence orders and model-checks each
+  /// complete candidate.
+  void enumerateCo(const std::vector<size_t> &RfChoice) {
+    // Group non-init writes by resolved location, in po order.
+    std::map<std::string, std::vector<unsigned>> ByLoc;
+    for (unsigned W : Writes)
+      if (!Events[W].IsInit)
+        ByLoc[State[W].Loc].push_back(W);
+    std::vector<std::vector<unsigned>> Groups;
+    for (auto &[Loc, Ws] : ByLoc) {
+      std::sort(Ws.begin(), Ws.end());
+      Groups.push_back(Ws);
+    }
+    // Recursively permute each group.
+    permuteGroups(RfChoice, Groups, 0);
+  }
+
+  void permuteGroups(const std::vector<size_t> &RfChoice,
+                     std::vector<std::vector<unsigned>> &Groups, size_t GI) {
+    if (Result.TimedOut || !Result.ok())
+      return;
+    if (GI == Groups.size()) {
+      if (!budget())
+        return;
+      ++Result.Stats.CoCandidates;
+      checkCandidate(RfChoice, Groups);
+      return;
+    }
+    std::vector<unsigned> &G = Groups[GI];
+    std::sort(G.begin(), G.end());
+    do {
+      permuteGroups(RfChoice, Groups, GI + 1);
+      if (Result.TimedOut || !Result.ok())
+        return;
+    } while (std::next_permutation(G.begin(), G.end()));
+  }
+
+  /// Builds the Execution for the current (paths, rf, values, co) choice
+  /// and runs the model.
+  void checkCandidate(const std::vector<size_t> &RfChoice,
+                      const std::vector<std::vector<unsigned>> &Groups) {
+    unsigned N = Events.size();
+    Execution Ex;
+    Ex.Events.resize(N);
+    for (unsigned I = 0; I != N; ++I) {
+      Event &E = Ex.Events[I];
+      E.Id = I;
+      E.Kind = Events[I].Kind;
+      E.Loc = State[I].Loc;
+      E.Val = State[I].Val.V;
+      if (Events[I].IsInit) {
+        E.Thread = Event::InitThread;
+        E.PoIndex = 0;
+        E.Tags = {"IW"};
+        continue;
+      }
+      E.Thread = Events[I].Thread;
+      E.PoIndex = I; // globally increasing within a thread
+      const SimOp *Op = Events[I].Op;
+      if (Op->K == SimOp::Kind::Rmw) {
+        E.Tags = Events[I].Kind == EventKind::Read ? Op->Tags : Op->WTags;
+        if (Op->NoRet && Events[I].Kind == EventKind::Read)
+          E.Tags.insert("NORET");
+      } else if (Events[I].Kind == EventKind::Write) {
+        E.Tags = Op->WTags;
+      } else {
+        E.Tags = Op->Tags;
+      }
+      if (Events[I].Kind == EventKind::Write)
+        if (const SimLoc *L = Prog.findLocation(E.Loc); L && L->Const)
+          E.Tags.insert("ConstWrite");
+    }
+    Ex.resizeRelations();
+    // po: init writes before every thread event; program order within
+    // threads (transitive).
+    for (unsigned A = 0; A != N; ++A) {
+      for (unsigned B = 0; B != N; ++B) {
+        if (A == B)
+          continue;
+        if (Events[A].IsInit && !Events[B].IsInit)
+          Ex.Po.set(A, B);
+        else if (!Events[A].IsInit && !Events[B].IsInit &&
+                 Events[A].Thread == Events[B].Thread && A < B)
+          Ex.Po.set(A, B);
+      }
+    }
+    // rf.
+    for (unsigned RI = 0; RI != Reads.size(); ++RI)
+      Ex.Rf.set(RfCand[RI][RfChoice[RI]], Reads[RI]);
+    // rmw edges: the two halves of an Rmw op, and LL/SC exclusive pairs
+    // (an exclusive store pairs with the latest exclusive load).
+    for (unsigned T = 0; T != Paths.size(); ++T) {
+      unsigned PrevRead = ~0u;
+      unsigned LastExclusiveRead = ~0u;
+      for (const auto &[OpIdx, Ev] : OpEvents[T]) {
+        const SimOp &Op = Paths[T]->Ops[OpIdx];
+        if (Op.K == SimOp::Kind::Rmw) {
+          if (Events[Ev].Kind == EventKind::Read)
+            PrevRead = Ev;
+          else
+            Ex.Rmw.set(PrevRead, Ev);
+          continue;
+        }
+        if (!Op.Exclusive)
+          continue;
+        if (Op.K == SimOp::Kind::Load)
+          LastExclusiveRead = Ev;
+        else if (Op.K == SimOp::Kind::Store && LastExclusiveRead != ~0u)
+          Ex.Rmw.set(LastExclusiveRead, Ev);
+      }
+    }
+    // co: init write of each location first, then the group permutation.
+    for (const auto &G : Groups) {
+      if (G.empty())
+        continue;
+      const std::string &Loc = State[G.front()].Loc;
+      unsigned InitEv = ~0u;
+      for (unsigned I = 0; I != Prog.Locations.size(); ++I)
+        if (Prog.Locations[I].Name == Loc)
+          InitEv = I;
+      std::vector<unsigned> Chain;
+      if (InitEv != ~0u)
+        Chain.push_back(InitEv);
+      Chain.insert(Chain.end(), G.begin(), G.end());
+      for (size_t A = 0; A != Chain.size(); ++A)
+        for (size_t B = A + 1; B != Chain.size(); ++B)
+          Ex.Co.set(Chain[A], Chain[B]);
+    }
+    // Locations written by nobody still have their init write in co
+    // (singleton chains need no edges).
+    // Dependencies.
+    for (unsigned Ev = 0; Ev != N; ++Ev) {
+      for (unsigned Src : AddrDeps[Ev])
+        Ex.Addr.set(Src, Ev);
+      for (unsigned Src : DataDeps[Ev])
+        Ex.Data.set(Src, Ev);
+      for (unsigned Src : CtrlDeps[Ev])
+        Ex.Ctrl.set(Src, Ev);
+    }
+
+    ModelVerdict Verdict = evaluateCat(Model, Ex);
+    if (!Verdict.ok()) {
+      Result.Error = Verdict.Error;
+      return;
+    }
+    if (!Verdict.Allowed)
+      return;
+    ++Result.Stats.AllowedExecutions;
+    // Outcome: observed registers + observed locations' final values.
+    Outcome O;
+    for (const auto &[Key, V] : ObservedRegs)
+      O.set(Key, V);
+    std::map<std::string, Value> FinalMem = Ex.finalMemory();
+    for (const std::string &Loc : Prog.ObservedLocs) {
+      auto It = FinalMem.find(Loc);
+      O.set(Outcome::locKey(Loc), It == FinalMem.end() ? Value() : It->second);
+    }
+    Result.Allowed.insert(O);
+    for (const std::string &F : Verdict.Flags)
+      Result.Flags.insert(F);
+    if (Opts.CollectExecutions &&
+        Result.Executions.size() < Opts.MaxCollectedExecutions)
+      Result.Executions.push_back(Ex);
+  }
+
+  const SimProgram &Prog;
+  const CatModel &Model;
+  SimOptions Opts;
+  std::chrono::steady_clock::time_point Start;
+  SimResult Result;
+  uint64_t Steps = 0;
+
+  std::map<std::string, Value> LocAddr;
+
+  // Per path-combo state.
+  std::vector<EvInfo> Events;
+  std::vector<SimPath> ResolvedStorage;
+  std::vector<const SimPath *> Paths;
+  /// Per thread: (op index, event id) pairs in creation order.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> OpEvents;
+  std::vector<unsigned> Reads;
+  std::vector<unsigned> Writes;
+  std::vector<std::vector<unsigned>> RfCand;
+
+  // Per rf-candidate state.
+  std::vector<EvState> State;
+  std::vector<std::set<unsigned>> AddrDeps, DataDeps, CtrlDeps;
+  std::vector<std::pair<std::string, Value>> ObservedRegs;
+};
+
+} // namespace
+
+SimResult telechat::enumerateExecutions(const SimProgram &Program,
+                                        const CatModel &Model,
+                                        const SimOptions &Options) {
+  return EnumeratorImpl(Program, Model, Options).run();
+}
+
+bool telechat::finalConditionHolds(const SimProgram &Program,
+                                   const SimResult &Result) {
+  const FinalCond &F = Program.Final;
+  bool AnySatisfies = false;
+  bool AllSatisfy = true;
+  for (const Outcome &O : Result.Allowed) {
+    if (F.P.eval(O))
+      AnySatisfies = true;
+    else
+      AllSatisfy = false;
+  }
+  switch (F.Q) {
+  case FinalCond::Quant::Exists:
+    return AnySatisfies;
+  case FinalCond::Quant::NotExists:
+    return !AnySatisfies;
+  case FinalCond::Quant::Forall:
+    return AllSatisfy && !Result.Allowed.empty();
+  }
+  return false;
+}

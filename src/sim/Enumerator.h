@@ -1,0 +1,77 @@
+//===--- Enumerator.h - Candidate-execution enumeration ---------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The herd-style enumerator: paths x rf x co, with concrete value
+/// resolution by least fixpoint and Cat-model filtering. Bounded testing
+/// exactly as the paper describes (fixed initial state, fixed unrolling,
+/// no recursion), with a step budget standing in for herd's wall-clock
+/// timeout (§IV-E).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SIM_ENUMERATOR_H
+#define TELECHAT_SIM_ENUMERATOR_H
+
+#include "cat/Eval.h"
+#include "events/Execution.h"
+#include "litmus/Outcome.h"
+#include "sim/Program.h"
+
+#include <cstdint>
+#include <set>
+
+namespace telechat {
+
+/// Budgets and collection knobs for one simulation.
+struct SimOptions {
+  /// Budget in enumeration steps (rf/co candidates tried). Exceeding it
+  /// reports a timeout, the simulator's analogue of herd's 1-hour limit.
+  uint64_t MaxSteps = 2'000'000;
+  /// Optional wall-clock limit; 0 disables.
+  double TimeoutSeconds = 0.0;
+  /// Keep allowed executions (for figures/DOT output).
+  bool CollectExecutions = false;
+  unsigned MaxCollectedExecutions = 64;
+};
+
+/// Counters for one simulation run.
+struct SimStats {
+  uint64_t PathCombos = 0;
+  uint64_t RfCandidates = 0;
+  uint64_t ValueConsistent = 0;
+  uint64_t CoCandidates = 0;
+  uint64_t AllowedExecutions = 0;
+  double Seconds = 0.0;
+};
+
+/// The result of simulating a program under a model.
+struct SimResult {
+  OutcomeSet Allowed;           ///< Outcomes of model-allowed executions.
+  std::set<std::string> Flags;  ///< Flags fired on allowed executions
+                                ///< ("race", "const-violation", ...).
+  bool TimedOut = false;
+  std::string Error;            ///< Model evaluation error, empty if ok.
+  SimStats Stats;
+  std::vector<Execution> Executions; ///< If requested: allowed executions.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Enumerates all candidate executions of \p Program, filters them through
+/// \p Model, and collects outcomes of the allowed ones.
+SimResult enumerateExecutions(const SimProgram &Program,
+                              const CatModel &Model,
+                              const SimOptions &Options = SimOptions());
+
+/// True when the final condition of \p Program holds for \p Result
+/// (exists: some allowed outcome satisfies it; forall: all do; ~exists:
+/// none does).
+bool finalConditionHolds(const SimProgram &Program, const SimResult &Result);
+
+} // namespace telechat
+
+#endif // TELECHAT_SIM_ENUMERATOR_H

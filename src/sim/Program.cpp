@@ -1,0 +1,16 @@
+//===--- Program.cpp - Symbolic programs for simulation -------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Program.h"
+
+using namespace telechat;
+
+const SimLoc *SimProgram::findLocation(const std::string &Name) const {
+  for (const SimLoc &L : Locations)
+    if (L.Name == Name)
+      return &L;
+  return nullptr;
+}

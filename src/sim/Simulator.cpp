@@ -1,0 +1,25 @@
+//===--- Simulator.cpp - High-level simulation entry points ---------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "models/Registry.h"
+#include "sim/CFrontend.h"
+
+using namespace telechat;
+
+SimResult telechat::simulateC(const LitmusTest &Test,
+                              const std::string &ModelName,
+                              const SimOptions &Options) {
+  SimProgram Program = lowerLitmusC(Test);
+  return enumerateExecutions(Program, getModel(ModelName), Options);
+}
+
+SimResult telechat::simulateProgram(const SimProgram &Program,
+                                    const std::string &ModelName,
+                                    const SimOptions &Options) {
+  return enumerateExecutions(Program, getModel(ModelName), Options);
+}

@@ -1,0 +1,31 @@
+//===--- Simulator.h - High-level simulation entry points -------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SIM_SIMULATOR_H
+#define TELECHAT_SIM_SIMULATOR_H
+
+#include "litmus/Ast.h"
+#include "sim/Enumerator.h"
+#include "sim/Program.h"
+
+#include <string>
+
+namespace telechat {
+
+/// Simulates a C litmus test under a registry model ("rc11", "sc", ...).
+/// Steps 1+3 of the paper's Fig. 5 pipeline.
+SimResult simulateC(const LitmusTest &Test, const std::string &ModelName,
+                    const SimOptions &Options = SimOptions());
+
+/// Simulates an already-lowered program under a registry model (used for
+/// compiled/assembly tests, step 4 of Fig. 5).
+SimResult simulateProgram(const SimProgram &Program,
+                          const std::string &ModelName,
+                          const SimOptions &Options = SimOptions());
+
+} // namespace telechat
+
+#endif // TELECHAT_SIM_SIMULATOR_H

@@ -1,0 +1,65 @@
+//===--- Error.h - Lightweight recoverable-error type -----------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal ErrorOr<T> in the spirit of llvm::Expected for the parsers and
+/// pipeline stages. Library code never throws; failures carry a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SUPPORT_ERROR_H
+#define TELECHAT_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace telechat {
+
+/// Tag type carrying a failure message.
+struct Err {
+  std::string Msg;
+};
+
+/// Convenience constructor for failures.
+inline Err makeError(std::string Msg) { return Err{std::move(Msg)}; }
+
+/// Either a value of type T or an error message. Converts to true on
+/// success; get() asserts success, error() asserts failure.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Err E) : Storage(std::move(E)) {}
+
+  explicit operator bool() const { return Storage.index() == 0; }
+  bool hasValue() const { return Storage.index() == 0; }
+
+  T &get() {
+    assert(hasValue() && "ErrorOr::get on error value");
+    return std::get<0>(Storage);
+  }
+  const T &get() const {
+    assert(hasValue() && "ErrorOr::get on error value");
+    return std::get<0>(Storage);
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const std::string &error() const {
+    assert(!hasValue() && "ErrorOr::error on success value");
+    return std::get<1>(Storage).Msg;
+  }
+
+private:
+  std::variant<T, Err> Storage;
+};
+
+} // namespace telechat
+
+#endif // TELECHAT_SUPPORT_ERROR_H

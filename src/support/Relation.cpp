@@ -1,0 +1,174 @@
+//===--- Relation.cpp - Binary relations over small universes ------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Relation.h"
+
+#include <cstddef>
+
+using namespace telechat;
+using std::size_t;
+
+Relation Relation::identity(unsigned N) {
+  Relation R(N);
+  for (unsigned I = 0; I != N; ++I)
+    R.set(I, I);
+  return R;
+}
+
+Relation Relation::full(unsigned N) {
+  Relation R(N);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned WI = 0; WI != R.WordsPerRow; ++WI)
+      R.row(A)[WI] = ~uint64_t(0);
+  // Clear bits beyond N in the last word of every row.
+  if (N % 64 != 0) {
+    uint64_t Mask = (uint64_t(1) << (N % 64)) - 1;
+    for (unsigned A = 0; A != N; ++A)
+      R.row(A)[R.WordsPerRow - 1] &= Mask;
+  }
+  return R;
+}
+
+Relation Relation::cross(const Bitset &A, const Bitset &B) {
+  assert(A.universeSize() == B.universeSize() && "universe mismatch");
+  Relation R(A.universeSize());
+  A.forEach([&](unsigned I) {
+    B.forEach([&](unsigned J) { R.set(I, J); });
+  });
+  return R;
+}
+
+Relation Relation::identityOn(const Bitset &S) {
+  Relation R(S.universeSize());
+  S.forEach([&](unsigned I) { R.set(I, I); });
+  return R;
+}
+
+unsigned Relation::count() const {
+  unsigned Total = 0;
+  for (uint64_t W : Bits)
+    Total += __builtin_popcountll(W);
+  return Total;
+}
+
+bool Relation::empty() const {
+  for (uint64_t W : Bits)
+    if (W)
+      return false;
+  return true;
+}
+
+Relation &Relation::operator|=(const Relation &RHS) {
+  assert(N == RHS.N && "universe mismatch");
+  for (size_t I = 0, E = Bits.size(); I != E; ++I)
+    Bits[I] |= RHS.Bits[I];
+  return *this;
+}
+
+Relation &Relation::operator&=(const Relation &RHS) {
+  assert(N == RHS.N && "universe mismatch");
+  for (size_t I = 0, E = Bits.size(); I != E; ++I)
+    Bits[I] &= RHS.Bits[I];
+  return *this;
+}
+
+Relation &Relation::operator-=(const Relation &RHS) {
+  assert(N == RHS.N && "universe mismatch");
+  for (size_t I = 0, E = Bits.size(); I != E; ++I)
+    Bits[I] &= ~RHS.Bits[I];
+  return *this;
+}
+
+Relation Relation::seq(const Relation &RHS) const {
+  assert(N == RHS.N && "universe mismatch");
+  Relation Out(N);
+  for (unsigned A = 0; A != N; ++A) {
+    const uint64_t *RowA = row(A);
+    uint64_t *RowOut = Out.row(A);
+    for (unsigned WI = 0; WI != WordsPerRow; ++WI) {
+      uint64_t W = RowA[WI];
+      while (W) {
+        unsigned B = WI * 64 + __builtin_ctzll(W);
+        W &= W - 1;
+        const uint64_t *RowB = RHS.row(B);
+        for (unsigned WJ = 0; WJ != WordsPerRow; ++WJ)
+          RowOut[WJ] |= RowB[WJ];
+      }
+    }
+  }
+  return Out;
+}
+
+Relation Relation::inverse() const {
+  Relation Out(N);
+  forEach([&](unsigned A, unsigned B) { Out.set(B, A); });
+  return Out;
+}
+
+Relation Relation::transitiveClosure() const {
+  // Warshall's algorithm with bit-parallel row unions: if (A,K) then
+  // row(A) |= row(K). Iterating K in the outer loop preserves correctness.
+  Relation Out = *this;
+  for (unsigned K = 0; K != N; ++K) {
+    const uint64_t *RowK = Out.row(K);
+    for (unsigned A = 0; A != N; ++A) {
+      if (!Out.test(A, K))
+        continue;
+      uint64_t *RowA = Out.row(A);
+      if (A == K)
+        continue;
+      for (unsigned WI = 0; WI != WordsPerRow; ++WI)
+        RowA[WI] |= RowK[WI];
+    }
+  }
+  return Out;
+}
+
+Relation Relation::reflexiveTransitiveClosure() const {
+  Relation Out = transitiveClosure();
+  return Out |= identity(N);
+}
+
+Relation Relation::optional() const { return *this | identity(N); }
+
+bool Relation::isAcyclic() const {
+  Relation Closed = transitiveClosure();
+  return Closed.isIrreflexive();
+}
+
+bool Relation::isIrreflexive() const {
+  for (unsigned I = 0; I != N; ++I)
+    if (test(I, I))
+      return false;
+  return true;
+}
+
+Relation Relation::restricted(const Bitset &Dom, const Bitset &Ran) const {
+  Relation Out(N);
+  forEach([&](unsigned A, unsigned B) {
+    if (Dom.test(A) && Ran.test(B))
+      Out.set(A, B);
+  });
+  return Out;
+}
+
+Bitset Relation::domain() const {
+  Bitset Out(N);
+  forEach([&](unsigned A, unsigned) { Out.set(A); });
+  return Out;
+}
+
+Bitset Relation::range() const {
+  Bitset Out(N);
+  forEach([&](unsigned, unsigned B) { Out.set(B); });
+  return Out;
+}
+
+std::vector<std::pair<unsigned, unsigned>> Relation::pairs() const {
+  std::vector<std::pair<unsigned, unsigned>> Out;
+  forEach([&](unsigned A, unsigned B) { Out.emplace_back(A, B); });
+  return Out;
+}

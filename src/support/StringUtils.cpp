@@ -1,0 +1,60 @@
+//===--- StringUtils.cpp - Small string helpers ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace telechat;
+
+std::vector<std::string> telechat::splitString(std::string_view Text,
+                                               char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view telechat::trim(std::string_view Text) {
+  while (!Text.empty() && isspace(static_cast<unsigned char>(Text.front())))
+    Text.remove_prefix(1);
+  while (!Text.empty() && isspace(static_cast<unsigned char>(Text.back())))
+    Text.remove_suffix(1);
+  return Text;
+}
+
+std::string telechat::joinStrings(const std::vector<std::string> &Parts,
+                                  std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string telechat::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out(Len > 0 ? Len : 0, '\0');
+  if (Len > 0)
+    vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}

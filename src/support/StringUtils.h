@@ -1,0 +1,32 @@
+//===--- StringUtils.h - Small string helpers -------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SUPPORT_STRINGUTILS_H
+#define TELECHAT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace telechat {
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace telechat
+
+#endif // TELECHAT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,282 @@
+//===--- cat_test.cpp - Cat lexer, parser, evaluator tests ----------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cat/Eval.h"
+#include "cat/Lexer.h"
+#include "cat/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+/// A tiny two-thread execution: init writes ix, iy; P0: Wx=1, Wy=1 (po);
+/// P1: Ry=1, Rx=0 (po); rf: Wy->Ry, ix->Rx; co: ix->Wx, iy->Wy.
+/// This is the classic MP "stale read" candidate.
+Execution mpExecution() {
+  Execution Ex;
+  auto Add = [&](EventKind K, unsigned Thread, const char *Loc, uint64_t V,
+                 std::set<std::string> Tags = {}) {
+    Event E;
+    E.Id = Ex.Events.size();
+    E.Kind = K;
+    E.Thread = Thread;
+    E.Loc = Loc;
+    E.Val = Value(V);
+    E.Tags = std::move(Tags);
+    Ex.Events.push_back(E);
+    return E.Id;
+  };
+  unsigned Ix = Add(EventKind::Write, Event::InitThread, "x", 0, {"IW"});
+  unsigned Iy = Add(EventKind::Write, Event::InitThread, "y", 0, {"IW"});
+  unsigned Wx = Add(EventKind::Write, 0, "x", 1, {"RLX", "ATOMIC"});
+  unsigned Wy = Add(EventKind::Write, 0, "y", 1, {"RLX", "ATOMIC"});
+  unsigned Ry = Add(EventKind::Read, 1, "y", 1, {"ACQ", "ATOMIC"});
+  unsigned Rx = Add(EventKind::Read, 1, "x", 0, {"RLX", "ATOMIC"});
+  Ex.resizeRelations();
+  for (unsigned Init : {Ix, Iy})
+    for (unsigned E : {Wx, Wy, Ry, Rx})
+      Ex.Po.set(Init, E);
+  Ex.Po.set(Wx, Wy);
+  Ex.Po.set(Ry, Rx);
+  Ex.Rf.set(Wy, Ry);
+  Ex.Rf.set(Ix, Rx);
+  Ex.Co.set(Ix, Wx);
+  Ex.Co.set(Iy, Wy);
+  return Ex;
+}
+
+ModelVerdict evalOn(const char *ModelText, const Execution &Ex) {
+  ErrorOr<CatModel> M = parseCat(ModelText);
+  EXPECT_TRUE(M.hasValue()) << (M.hasValue() ? "" : M.error());
+  return evaluateCat(*M, Ex);
+}
+
+} // namespace
+
+TEST(CatLexerTest, TokensAndIdents) {
+  std::vector<CatToken> Toks = lexCat("let po-loc = po & loc");
+  ASSERT_GE(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].K, CatToken::Kind::Keyword);
+  EXPECT_EQ(Toks[1].Text, "po-loc");
+  EXPECT_EQ(Toks[3].Text, "po");
+  EXPECT_EQ(Toks[4].Text, "&");
+}
+
+TEST(CatLexerTest, DottedIdentifiers) {
+  std::vector<CatToken> Toks = lexCat("fencerel(DMB.ISHLD)");
+  EXPECT_EQ(Toks[2].Text, "DMB.ISHLD");
+}
+
+TEST(CatLexerTest, PostfixOperators) {
+  std::vector<CatToken> Toks = lexCat("r^-1 r^+ r^*");
+  EXPECT_EQ(Toks[1].K, CatToken::Kind::InvOp);
+  EXPECT_EQ(Toks[3].K, CatToken::Kind::PlusOp);
+  EXPECT_EQ(Toks[5].K, CatToken::Kind::StarOp);
+}
+
+TEST(CatLexerTest, CommentsNest) {
+  std::vector<CatToken> Toks = lexCat("(* a (* b *) c *) let x = 0");
+  EXPECT_EQ(Toks[0].K, CatToken::Kind::Keyword);
+  EXPECT_EQ(Toks[0].Text, "let");
+}
+
+TEST(CatLexerTest, LineComments) {
+  std::vector<CatToken> Toks = lexCat("// nothing\nacyclic po");
+  EXPECT_EQ(Toks[0].Text, "acyclic");
+}
+
+TEST(CatLexerTest, ReportsBadCharacter) {
+  std::vector<CatToken> Toks = lexCat("let x = $");
+  EXPECT_EQ(Toks.back().K, CatToken::Kind::End);
+  EXPECT_FALSE(Toks.back().Text.empty());
+}
+
+TEST(CatParserTest, ModelNameAndStatements) {
+  ErrorOr<CatModel> M = parseCat("MYMODEL\nlet a = po\nacyclic a as ax\n");
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  EXPECT_EQ(M->Name, "MYMODEL");
+  ASSERT_EQ(M->Stmts.size(), 2u);
+  EXPECT_EQ(M->Stmts[1].Check.Name, "ax");
+}
+
+TEST(CatParserTest, PrecedenceUnionLoosest) {
+  // a | b ; c parses as a | (b ; c).
+  ErrorOr<CatModel> M = parseCat("let x = po | rf ; co\n");
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  const CatExpr &E = M->Stmts[0].Bindings[0].Body;
+  EXPECT_EQ(E.K, CatExpr::Kind::Union);
+  EXPECT_EQ(E.Ops[1].K, CatExpr::Kind::Seq);
+}
+
+TEST(CatParserTest, LetRecAnd) {
+  ErrorOr<CatModel> M =
+      parseCat("let rec a = b and b = a | po\nacyclic a\n");
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  EXPECT_EQ(M->Stmts[0].K, CatStmt::Kind::LetRec);
+  EXPECT_EQ(M->Stmts[0].Bindings.size(), 2u);
+}
+
+TEST(CatParserTest, FlagAndNegation) {
+  ErrorOr<CatModel> M = parseCat("flag ~empty po as races\n");
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  EXPECT_TRUE(M->Stmts[0].Check.IsFlag);
+  EXPECT_TRUE(M->Stmts[0].Check.Negated);
+  EXPECT_EQ(M->Stmts[0].Check.Name, "races");
+}
+
+TEST(CatParserTest, ShowIsDiscarded) {
+  ErrorOr<CatModel> M = parseCat("show po as myrel\nacyclic po\n");
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  EXPECT_EQ(M->Stmts.size(), 1u);
+}
+
+TEST(CatParserTest, ErrorOnGarbage) {
+  EXPECT_FALSE(parseCat("let = po\n").hasValue());
+  EXPECT_FALSE(parseCat("acyclic (po\n").hasValue());
+  EXPECT_FALSE(parseCat("frobnicate po\n").hasValue());
+}
+
+TEST(CatEvalTest, BaseRelations) {
+  Execution Ex = mpExecution();
+  // fr = rf^-1;co: Rx read init x, init co-before Wx => fr(Rx, Wx).
+  EXPECT_FALSE(evalOn("acyclic fr as a\n", Ex).Allowed
+                   ? false
+                   : true); // fr acyclic here
+  ModelVerdict V = evalOn("empty fr as nofr\n", Ex);
+  EXPECT_FALSE(V.Allowed); // fr is nonempty
+  EXPECT_EQ(V.FailedChecks, std::vector<std::string>{"nofr"});
+}
+
+TEST(CatEvalTest, ScForbidsMpStaleRead) {
+  // po | com has a cycle in the MP stale-read candidate under SC.
+  ModelVerdict V =
+      evalOn("let com = rf | co | fr\nacyclic po | com as sc\n",
+             mpExecution());
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_FALSE(V.Allowed);
+}
+
+TEST(CatEvalTest, TagSetsResolve) {
+  // ACQ tagged on Ry only.
+  ModelVerdict V = evalOn("empty [ACQ] as noacq\n", mpExecution());
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_FALSE(V.Allowed);
+  // Unknown tags are empty sets, not errors.
+  ModelVerdict V2 = evalOn("empty [NOSUCHTAG] as none\n", mpExecution());
+  ASSERT_TRUE(V2.ok()) << V2.Error;
+  EXPECT_TRUE(V2.Allowed);
+}
+
+TEST(CatEvalTest, SetOperations) {
+  Execution Ex = mpExecution();
+  // R and W partition the memory events; M = R | W.
+  ModelVerdict V =
+      evalOn("empty (R & W) as disjoint\nempty (M \\ (R | W)) as covered\n",
+             Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+}
+
+TEST(CatEvalTest, CrossAndBracket) {
+  Execution Ex = mpExecution();
+  // [W] ; (W * R) ; [R] is nonempty (some write, some read).
+  ModelVerdict V = evalOn("empty [W]; (W * R); [R] as x\n", Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_FALSE(V.Allowed);
+}
+
+TEST(CatEvalTest, DomainRange) {
+  Execution Ex = mpExecution();
+  // domain(rf) are writes; range(rf) are reads.
+  ModelVerdict V = evalOn(
+      "empty (domain(rf) \\ W) as d\nempty (range(rf) \\ R) as r\n", Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+}
+
+TEST(CatEvalTest, FenceRel) {
+  // Rebuild the MP execution with a DMB ISH between P0's writes.
+  Execution Ex = mpExecution();
+  Event F;
+  F.Id = Ex.Events.size();
+  F.Kind = EventKind::Fence;
+  F.Thread = 0;
+  F.Tags = {"DMB.ISH"};
+  Ex.Events.push_back(F);
+  Ex.resizeRelations(); // relations regrown for 7 events
+  // po: init->all, Wx -> F -> Wy, Ry -> Rx (ids: 0=ix 1=iy 2=Wx 3=Wy
+  // 4=Ry 5=Rx 6=F).
+  for (unsigned Init : {0u, 1u})
+    for (unsigned E = 2; E != Ex.size(); ++E)
+      Ex.Po.set(Init, E);
+  Ex.Po.set(2, 6);
+  Ex.Po.set(6, 3);
+  Ex.Po.set(2, 3);
+  Ex.Po.set(4, 5);
+  Ex.Rf.set(3, 4);
+  Ex.Rf.set(0, 5);
+  Ex.Co.set(0, 2);
+  Ex.Co.set(1, 3);
+  ModelVerdict V = evalOn("empty fencerel(DMB.ISH) & (W * W) as f\n", Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_FALSE(V.Allowed) << "Wx -[fence]-> Wy should be related";
+}
+
+TEST(CatEvalTest, LetRecFixpoint) {
+  // Transitive closure via recursion: rec r = po | (r; r) equals po^+.
+  Execution Ex = mpExecution();
+  ModelVerdict V = evalOn(
+      "let rec r = po | (r; r)\nempty (r \\ po^+) as sub\n"
+      "empty (po^+ \\ r) as sup\n",
+      Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+}
+
+TEST(CatEvalTest, ZeroAdapts) {
+  Execution Ex = mpExecution();
+  ModelVerdict V = evalOn("let a = 0 | po\nempty (a \\ po) as same\n"
+                          "empty (0 & R) as zs\n",
+                          Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+}
+
+TEST(CatEvalTest, TypeErrors) {
+  Execution Ex = mpExecution();
+  EXPECT_FALSE(evalOn("acyclic R as bad\n", Ex).ok());
+  EXPECT_FALSE(evalOn("let x = po & R\nacyclic x\n", Ex).ok());
+  EXPECT_FALSE(evalOn("let x = po * po\nacyclic x\n", Ex).ok());
+}
+
+TEST(CatEvalTest, FlagsFire) {
+  Execution Ex = mpExecution();
+  ModelVerdict V = evalOn("flag ~empty rf as hasrf\nacyclic po as ok\n", Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed); // flags do not forbid
+  EXPECT_TRUE(V.hasFlag("hasrf"));
+}
+
+TEST(CatEvalTest, IrreflexiveCheck) {
+  Execution Ex = mpExecution();
+  ModelVerdict V = evalOn("irreflexive po as irr\n", Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+  ModelVerdict V2 = evalOn("irreflexive (po; po^-1) as irr\n", Ex);
+  ASSERT_TRUE(V2.ok()) << V2.Error;
+  EXPECT_FALSE(V2.Allowed);
+}
+
+TEST(CatEvalTest, ExtIntPartition) {
+  Execution Ex = mpExecution();
+  ModelVerdict V = evalOn(
+      "empty (rfe & rfi) as disjoint\nempty (rf \\ (rfe | rfi)) as all\n",
+      Ex);
+  ASSERT_TRUE(V.ok()) << V.Error;
+  EXPECT_TRUE(V.Allowed);
+}

@@ -1,0 +1,365 @@
+//===--- compiler_test.cpp - Mini-compiler tests --------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "compiler/Passes.h"
+#include "core/LitmusToC.h"
+#include "diy/Classics.h"
+#include "litmus/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+/// Mnemonics emitted for thread \p T under \p P.
+std::vector<std::string> mnemonics(const LitmusTest &Test, const Profile &P,
+                                   unsigned T = 0) {
+  ErrorOr<CompileOutput> Out = compileLitmus(Test, P);
+  EXPECT_TRUE(Out.hasValue()) << (Out.hasValue() ? "" : Out.error());
+  std::vector<std::string> M;
+  for (const AsmInst &I : Out->Asm.Threads[T].Code)
+    M.push_back(I.Mnemonic);
+  return M;
+}
+
+bool contains(const std::vector<std::string> &Haystack,
+              const std::string &Needle) {
+  return std::find(Haystack.begin(), Haystack.end(), Needle) !=
+         Haystack.end();
+}
+
+LitmusTest acquireLoadTest() {
+  auto T = parseLitmusC(R"(C acq
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_acquire);
+  *x = r0;
+}
+exists (x=0)
+)");
+  return *T;
+}
+
+LitmusTest releaseStoreTest() {
+  auto T = parseLitmusC(R"(C rel
+{ *x = 0; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_release);
+}
+exists (x=1)
+)");
+  return *T;
+}
+
+LitmusTest seqCstStoreTest() {
+  auto T = parseLitmusC(R"(C scst
+{ *x = 0; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_seq_cst);
+}
+exists (x=1)
+)");
+  return *T;
+}
+
+LitmusTest fetchAddDeadTest() {
+  auto T = parseLitmusC(R"(C fad
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+)");
+  return *T;
+}
+
+} // namespace
+
+TEST(ProfileTest, Names) {
+  EXPECT_EQ(
+      Profile::current(CompilerKind::Llvm, OptLevel::O3, Arch::AArch64)
+          .name(),
+      "llvm-O3-AArch64");
+  EXPECT_EQ(Profile::current(CompilerKind::Gcc, OptLevel::Og, Arch::Mips)
+                .name(),
+            "gcc-Og-MIPS");
+}
+
+TEST(ProfileTest, NamedProfilesCarryBugs) {
+  EXPECT_TRUE(Profile::llvm11(OptLevel::O2, Arch::AArch64).Bugs.any());
+  EXPECT_FALSE(Profile::llvm11(OptLevel::O2, Arch::X86_64).Bugs.any());
+  EXPECT_TRUE(Profile::llvmOldLse(OptLevel::O1).Bugs.StaddNoRet);
+  EXPECT_FALSE(
+      Profile::current(CompilerKind::Gcc, OptLevel::O2, Arch::Ppc)
+          .Bugs.any());
+}
+
+TEST(MappingTest, AArch64AcquireLoad) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  EXPECT_TRUE(contains(mnemonics(acquireLoadTest(), P), "ldar"));
+  P.Features.Rcpc = true; // Armv8.3: acquire loads become LDAPR
+  std::vector<std::string> M = mnemonics(acquireLoadTest(), P);
+  EXPECT_TRUE(contains(M, "ldapr"));
+  EXPECT_FALSE(contains(M, "ldar"));
+}
+
+TEST(MappingTest, AArch64ReleaseAndSeqCstStores) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  EXPECT_TRUE(contains(mnemonics(releaseStoreTest(), P), "stlr"));
+  EXPECT_TRUE(contains(mnemonics(seqCstStoreTest(), P), "stlr"));
+}
+
+TEST(MappingTest, AArch64RmwLlscVersusLse) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  std::vector<std::string> Llsc = mnemonics(fetchAddDeadTest(), P);
+  EXPECT_TRUE(contains(Llsc, "ldxr"));
+  EXPECT_TRUE(contains(Llsc, "stxr"));
+  P.Features.Lse = true;
+  std::vector<std::string> Lse = mnemonics(fetchAddDeadTest(), P);
+  EXPECT_TRUE(contains(Lse, "ldadd"));
+  EXPECT_FALSE(contains(Lse, "ldxr"));
+}
+
+TEST(MappingTest, AArch64BugModels) {
+  Profile P = Profile::llvmOldLse(OptLevel::O2);
+  // StaddNoRet: dead fetch_add result -> ST-form.
+  std::vector<std::string> M = mnemonics(fetchAddDeadTest(), P);
+  EXPECT_TRUE(contains(M, "stadd"));
+  // XchgNoRet applies to exchanges with discarded results.
+  Profile X = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  X.Features.Lse = true;
+  X.Bugs.XchgNoRet = true;
+  std::vector<std::string> M2 = mnemonics(paperFig1(), X, 1);
+  EXPECT_TRUE(contains(M2, "swpl"));
+}
+
+TEST(MappingTest, Armv7DmbBrackets) {
+  Profile P = Profile::current(CompilerKind::Gcc, OptLevel::O2,
+                               Arch::Armv7);
+  std::vector<std::string> M = mnemonics(acquireLoadTest(), P);
+  EXPECT_TRUE(contains(M, "ldr"));
+  EXPECT_TRUE(contains(M, "dmb"));
+  EXPECT_TRUE(contains(mnemonics(fetchAddDeadTest(), P), "ldrex"));
+}
+
+TEST(MappingTest, X86SeqCstStoreDiffersByCompiler) {
+  // A real-world LLVM/GCC difference the campaign exercises.
+  Profile Llvm = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                  Arch::X86_64);
+  Profile Gcc = Profile::current(CompilerKind::Gcc, OptLevel::O2,
+                                 Arch::X86_64);
+  EXPECT_TRUE(contains(mnemonics(seqCstStoreTest(), Llvm), "xchg"));
+  EXPECT_TRUE(contains(mnemonics(seqCstStoreTest(), Gcc), "mfence"));
+}
+
+TEST(MappingTest, X86DeadRmwUsesLockAdd) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::X86_64);
+  EXPECT_TRUE(contains(mnemonics(fetchAddDeadTest(), P), "lock.add"));
+}
+
+TEST(MappingTest, RiscVFenceStrengthByCompiler) {
+  Profile Llvm = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                  Arch::RiscV);
+  Profile Gcc = Profile::current(CompilerKind::Gcc, OptLevel::O2,
+                                 Arch::RiscV);
+  ErrorOr<CompileOutput> L = compileLitmus(acquireLoadTest(), Llvm);
+  ErrorOr<CompileOutput> G = compileLitmus(acquireLoadTest(), Gcc);
+  ASSERT_TRUE(L.hasValue() && G.hasValue());
+  auto FenceKind = [](const CompileOutput &O) -> std::string {
+    for (const AsmInst &I : O.Asm.Threads[0].Code)
+      if (I.Mnemonic == "fence")
+        return I.Ops[0].Sym + "," + I.Ops[1].Sym;
+    return "";
+  };
+  EXPECT_EQ(FenceKind(*L), "r,rw");
+  EXPECT_EQ(FenceKind(*G), "rw,rw"); // conservative
+}
+
+TEST(MappingTest, RiscVAmoAnnotations) {
+  auto T = parseLitmusC(R"(C amo
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_acq_rel);
+  *x = r0;
+}
+exists (x=1)
+)");
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::RiscV);
+  EXPECT_TRUE(contains(mnemonics(*T, P), "amoadd.w.aqrl"));
+}
+
+TEST(MappingTest, PpcSyncLayering) {
+  Profile P = Profile::current(CompilerKind::Gcc, OptLevel::O2, Arch::Ppc);
+  std::vector<std::string> Acq = mnemonics(acquireLoadTest(), P);
+  EXPECT_TRUE(contains(Acq, "lwsync"));
+  std::vector<std::string> Sc = mnemonics(seqCstStoreTest(), P);
+  EXPECT_TRUE(contains(Sc, "sync"));
+  std::vector<std::string> Rmw = mnemonics(fetchAddDeadTest(), P);
+  EXPECT_TRUE(contains(Rmw, "lwarx"));
+  EXPECT_TRUE(contains(Rmw, "stwcx."));
+}
+
+TEST(MappingTest, MipsDelaySlots) {
+  Profile P = Profile::current(CompilerKind::Gcc, OptLevel::O2, Arch::Mips);
+  std::vector<std::string> M = mnemonics(fetchAddDeadTest(), P);
+  EXPECT_TRUE(contains(M, "ll"));
+  EXPECT_TRUE(contains(M, "sc"));
+  EXPECT_TRUE(contains(M, "nop")); // unfilled delay slot (GCC PR 110573)
+  Profile Opt = P;
+  Opt.Bugs.MipsFillAtomicDelaySlots = true;
+  std::vector<std::string> M2 = mnemonics(fetchAddDeadTest(), Opt);
+  EXPECT_LT(M2.size(), M.size());
+}
+
+TEST(MappingTest, RelaxedFencesCompileToNothing) {
+  // The Fig. 7 mechanism: a relaxed fence leaves no instruction.
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  std::vector<std::string> M = mnemonics(paperFig7(), P);
+  EXPECT_FALSE(contains(M, "dmb"));
+}
+
+TEST(Mapping128Test, WrongEndianFlipsRegisters) {
+  auto T = parseLitmusC(R"(C w128
+{ __int128 *x = 0; }
+void P0(atomic_int128* x) {
+  atomic_store_explicit(x, 2:1, memory_order_relaxed);
+}
+exists (x=2:1)
+)");
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  P.Features.Lse2 = true;
+  ErrorOr<CompileOutput> Ok = compileLitmus(*T, P);
+  ASSERT_TRUE(Ok.hasValue()) << Ok.error();
+  P.Bugs.Stp128WrongEndian = true;
+  ErrorOr<CompileOutput> Bad = compileLitmus(*T, P);
+  ASSERT_TRUE(Bad.hasValue()) << Bad.error();
+  auto StpOperands = [](const CompileOutput &O) {
+    for (const AsmInst &I : O.Asm.Threads[0].Code)
+      if (I.Mnemonic == "stp")
+        return std::make_pair(I.Ops[0].Reg, I.Ops[1].Reg);
+    return std::make_pair(std::string(), std::string());
+  };
+  auto [OkLo, OkHi] = StpOperands(*Ok);
+  auto [BadLo, BadHi] = StpOperands(*Bad);
+  EXPECT_EQ(OkLo, BadHi);
+  EXPECT_EQ(OkHi, BadLo);
+}
+
+TEST(Mapping128Test, NonAArch64Rejects128) {
+  auto T = parseLitmusC(R"(C w128b
+{ __int128 *x = 0; }
+void P0(atomic_int128* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+)");
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::X86_64);
+  EXPECT_FALSE(compileLitmus(*T, P).hasValue());
+}
+
+TEST(PassesTest, DeadLocalMarking) {
+  auto T = parseLitmusC(R"(C dl
+{ *x = 0; *y = 0; }
+void P0(int* x, int* y) {
+  int r0 = *x;
+  int r1 = *x;
+  *y = r1;
+}
+exists (y=1)
+)");
+  markDeadLocals(*T);
+  EXPECT_TRUE(T->Threads[0].Body[0].DstUsedNowhere);  // r0 unused
+  EXPECT_FALSE(T->Threads[0].Body[1].DstUsedNowhere); // r1 stored
+}
+
+TEST(PassesTest, EraseDeadPlainLoads) {
+  LitmusTest T = paperFig9();
+  markDeadLocals(T);
+  eraseDeadPlainLoads(T);
+  for (const Thread &Th : T.Threads)
+    EXPECT_EQ(Th.Body.size(), 1u); // only the store remains
+}
+
+TEST(PassesTest, StoreDiamondMerge) {
+  LitmusTest T = classicTest("LB+ctrls");
+  markDeadLocals(T);
+  mergeStoreDiamonds(T, /*KeepDataDep=*/false);
+  for (const Thread &Th : T.Threads)
+    for (const Stmt &S : Th.Body)
+      EXPECT_NE(S.K, Stmt::Kind::If) << "diamond not merged";
+}
+
+TEST(PassesTest, StoreDiamondMergeKeepsDataDep) {
+  LitmusTest T = classicTest("LB+ctrls");
+  markDeadLocals(T);
+  mergeStoreDiamonds(T, /*KeepDataDep=*/true);
+  bool SawDepValue = false;
+  for (const Thread &Th : T.Threads)
+    for (const Stmt &S : Th.Body)
+      if (S.K == Stmt::Kind::Store && S.Val.K == Expr::Kind::Add)
+        SawDepValue = true;
+  EXPECT_TRUE(SawDepValue);
+}
+
+TEST(PassesTest, MiddleEndOnlyFiresAtO1Plus) {
+  LitmusTest T = paperFig9();
+  Profile O0 = Profile::current(CompilerKind::Llvm, OptLevel::O0,
+                                Arch::AArch64);
+  std::vector<std::string> Notes = runMiddleEnd(T, O0);
+  EXPECT_TRUE(Notes.empty());
+  EXPECT_EQ(T.Threads[0].Body.size(), 2u); // nothing deleted
+}
+
+TEST(CompileOutputTest, KeyMapAndDeletedLocals) {
+  // MP's registers survive an -O0 build and map to machine registers.
+  LitmusTest T = classicTest("MP");
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O0,
+                               Arch::AArch64);
+  ErrorOr<CompileOutput> Out = compileLitmus(T, P);
+  ASSERT_TRUE(Out.hasValue()) << Out.error();
+  unsigned RegMappings = 0;
+  for (const auto &[From, To] : Out->KeyMap)
+    if (From.find(':') != std::string::npos)
+      ++RegMappings;
+  EXPECT_EQ(RegMappings, 2u);
+  EXPECT_TRUE(Out->DeletedLocals.empty());
+  // At -O2 the unused atomic-load results lose their registers.
+  Profile P2 = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                Arch::AArch64);
+  ErrorOr<CompileOutput> Out2 = compileLitmus(classicTest("LB"), P2);
+  ASSERT_TRUE(Out2.hasValue());
+  EXPECT_EQ(Out2->DeletedLocals.size(), 2u);
+}
+
+TEST(CompileOutputTest, SyntheticLocationsDeclared) {
+  LitmusTest T = classicTest("MP");
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  ErrorOr<CompileOutput> Out = compileLitmus(T, P);
+  ASSERT_TRUE(Out.hasValue());
+  bool Got = false, Stack = false;
+  for (const SimLoc &L : Out->Asm.Locations) {
+    if (L.Name.rfind("got.", 0) == 0) {
+      Got = true;
+      EXPECT_FALSE(L.InitAddrOf.empty());
+    }
+    if (L.Name.rfind("stack.", 0) == 0)
+      Stack = true;
+  }
+  EXPECT_TRUE(Got);
+  EXPECT_TRUE(Stack);
+}

@@ -1,0 +1,233 @@
+//===--- diy_test.cpp - Test generator tests ------------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Classics.h"
+#include "diy/Config.h"
+#include "diy/Cycle.h"
+#include "diy/Generator.h"
+#include "sim/CFrontend.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace telechat;
+
+TEST(CycleParseTest, AcceptsDiySyntax) {
+  auto E = parseCycle("Rfe PodRR Fre PodWW");
+  ASSERT_TRUE(E.hasValue()) << E.error();
+  ASSERT_EQ(E->size(), 4u);
+  EXPECT_EQ((*E)[0].K, CycleEdge::Kind::Rfe);
+  EXPECT_EQ((*E)[1].K, CycleEdge::Kind::Po);
+  EXPECT_FALSE((*E)[1].SameLoc);
+  EXPECT_EQ((*E)[1].From, EventKind::Read);
+}
+
+TEST(CycleParseTest, FencedWithOrders) {
+  auto E = parseCycle("FencedWW.rel Rfe FencedRR.acq Fre");
+  ASSERT_TRUE(E.hasValue()) << E.error();
+  EXPECT_EQ((*E)[0].K, CycleEdge::Kind::Fenced);
+  EXPECT_EQ((*E)[0].FenceOrder, MemOrder::Release);
+  EXPECT_EQ((*E)[2].FenceOrder, MemOrder::Acquire);
+}
+
+TEST(CycleParseTest, RejectsBadEdges) {
+  EXPECT_FALSE(parseCycle("Nope").hasValue());
+  EXPECT_FALSE(parseCycle("PoxRR").hasValue());
+  EXPECT_FALSE(parseCycle("FencedWW.zzz").hasValue());
+  EXPECT_FALSE(parseCycle("").hasValue());
+}
+
+TEST(CycleGenTest, RejectsNonChainingCycles) {
+  // Rfe ends at a Read; Coe starts at a Write: cannot chain.
+  CycleSpec Spec;
+  Spec.Edges = *parseCycle("Rfe Coe");
+  EXPECT_FALSE(generateFromCycle(Spec).hasValue());
+}
+
+TEST(CycleGenTest, RejectsAllInternalCycles) {
+  CycleSpec Spec;
+  Spec.Edges = *parseCycle("PodRW PodWR");
+  // Chains but has no external edge.
+  EXPECT_FALSE(generateFromCycle(Spec).hasValue());
+}
+
+TEST(CycleGenTest, MpShape) {
+  LitmusTest T = classicTest("MP");
+  EXPECT_EQ(T.Threads.size(), 2u);
+  EXPECT_EQ(T.Locations.size(), 2u);
+  // One thread has two stores, the other two loads.
+  std::multiset<size_t> Sizes;
+  for (const Thread &Th : T.Threads)
+    Sizes.insert(Th.Body.size());
+  EXPECT_EQ(Sizes, (std::multiset<size_t>{2, 2}));
+}
+
+TEST(CycleGenTest, IriwHasFourThreads) {
+  LitmusTest T = classicTest("IRIW");
+  EXPECT_EQ(T.Threads.size(), 4u);
+  EXPECT_EQ(T.Locations.size(), 2u);
+}
+
+TEST(CycleGenTest, FencedCyclesEmitFences) {
+  LitmusTest T = classicTest("MP+fences");
+  unsigned Fences = 0;
+  for (const Thread &Th : T.Threads)
+    forEachStmt(Th.Body, [&](const Stmt &S) {
+      if (S.K == Stmt::Kind::Fence)
+        ++Fences;
+    });
+  EXPECT_EQ(Fences, 2u);
+}
+
+TEST(CycleGenTest, DataDepUsesSourceRegister) {
+  LitmusTest T = classicTest("LB+datas");
+  bool SawDep = false;
+  for (const Thread &Th : T.Threads)
+    forEachStmt(Th.Body, [&](const Stmt &S) {
+      if (S.K == Stmt::Kind::Store && S.Val.K == Expr::Kind::Add)
+        SawDep = true;
+    });
+  EXPECT_TRUE(SawDep);
+}
+
+TEST(CycleGenTest, CoeOrientationIn22W) {
+  // 2+2W's witness pins each location to its co-last write, which the
+  // Coe edges orient against program order.
+  LitmusTest T = classicTest("2+2W");
+  SimProgram P = lowerLitmusC(T);
+  SimResult Sc = simulateProgram(P, "sc");
+  ASSERT_TRUE(Sc.ok());
+  EXPECT_FALSE(finalConditionHolds(P, Sc)) << "2+2W witness must be "
+                                              "SC-forbidden";
+  SimResult Rc11 = simulateProgram(P, "rc11");
+  EXPECT_TRUE(finalConditionHolds(P, Rc11));
+}
+
+namespace {
+
+class WitnessForbiddenUnderScTest
+    : public testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(WitnessForbiddenUnderScTest, CycleWitnessIsAnSCViolation) {
+  // Every generated relaxation cycle witnesses a non-SC execution, so SC
+  // must forbid it -- the diy construction's defining property.
+  LitmusTest T = classicTest(GetParam());
+  SimProgram P = lowerLitmusC(T);
+  SimResult R = simulateProgram(P, "sc");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_FALSE(R.TimedOut);
+  EXPECT_FALSE(finalConditionHolds(P, R)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Classics, WitnessForbiddenUnderScTest,
+                         testing::ValuesIn(classicNames()));
+
+TEST(RandomGenTest, DeterministicInSeed) {
+  RandomGenOptions Opts;
+  Opts.Seed = 7;
+  Opts.Count = 8;
+  std::vector<LitmusTest> A = generateRandomTests(Opts);
+  std::vector<LitmusTest> B = generateRandomTests(Opts);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I].Final.toString(), B[I].Final.toString());
+}
+
+TEST(RandomGenTest, GeneratedTestsAreValidAndScForbidden) {
+  RandomGenOptions Opts;
+  Opts.Seed = 99;
+  Opts.Count = 12;
+  std::vector<LitmusTest> Tests = generateRandomTests(Opts);
+  EXPECT_GE(Tests.size(), 6u);
+  for (const LitmusTest &T : Tests) {
+    EXPECT_TRUE(T.validate().empty()) << T.validate();
+    SimProgram P = lowerLitmusC(T);
+    SimOptions Budget;
+    Budget.MaxSteps = 500'000;
+    SimResult R = simulateProgram(P, "sc", Budget);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    if (!R.TimedOut)
+      EXPECT_FALSE(finalConditionHolds(P, R)) << T.Name;
+  }
+}
+
+TEST(ConfigTest, C11SuiteCoversTableIIIConstructs) {
+  SuiteConfig C = SuiteConfig::c11();
+  std::vector<LitmusTest> Suite = generateSuite(C);
+  EXPECT_GT(Suite.size(), 500u);
+  bool Fences = false, Ctrl = false, Data = false, NonAtomic = false,
+       Wide = false, Unsigned8 = false;
+  for (const LitmusTest &T : Suite) {
+    for (const Thread &Th : T.Threads)
+      forEachStmt(Th.Body, [&](const Stmt &S) {
+        if (S.K == Stmt::Kind::Fence)
+          Fences = true;
+        if (S.K == Stmt::Kind::If)
+          Ctrl = true;
+        if (S.K == Stmt::Kind::Store && S.Val.K == Expr::Kind::Add)
+          Data = true;
+        if (S.K == Stmt::Kind::Store && S.Order == MemOrder::NA)
+          NonAtomic = true;
+      });
+    for (const LocDecl &L : T.Locations) {
+      if (L.Type.Bits == 64)
+        Wide = true;
+      if (L.Type.Bits == 8 && !L.Type.Signed)
+        Unsigned8 = true;
+    }
+  }
+  EXPECT_TRUE(Fences);
+  EXPECT_TRUE(Ctrl);
+  EXPECT_TRUE(Data);
+  EXPECT_TRUE(NonAtomic);
+  EXPECT_TRUE(Wide);
+  EXPECT_TRUE(Unsigned8);
+}
+
+TEST(ConfigTest, NamesAreUnique) {
+  SuiteConfig C = SuiteConfig::c11();
+  C.Limit = 400;
+  std::vector<LitmusTest> Suite = generateSuite(C);
+  std::set<std::string> Names;
+  for (const LitmusTest &T : Suite)
+    EXPECT_TRUE(Names.insert(T.Name).second) << "duplicate " << T.Name;
+}
+
+TEST(ConfigTest, LimitIsRespected) {
+  SuiteConfig C = SuiteConfig::c11();
+  C.Limit = 17;
+  EXPECT_EQ(generateSuite(C).size(), 17u);
+}
+
+TEST(ConfigTest, AcqConfigUsesAcquireLoads) {
+  for (const LitmusTest &T : generateSuite(SuiteConfig::c11Acq()))
+    for (const Thread &Th : T.Threads)
+      forEachStmt(Th.Body, [&](const Stmt &S) {
+        if (S.K == Stmt::Kind::Load)
+          EXPECT_TRUE(S.Order == MemOrder::Acquire ||
+                      S.Order == MemOrder::SeqCst);
+      });
+}
+
+TEST(ClassicsTest, AllNamesConstruct) {
+  for (const std::string &Name : classicNames()) {
+    LitmusTest T = classicTest(Name);
+    EXPECT_TRUE(T.validate().empty()) << Name << ": " << T.validate();
+    EXPECT_GE(T.Threads.size(), 1u);
+  }
+}
+
+TEST(ClassicsTest, PaperFiguresParse) {
+  EXPECT_EQ(paperFig1().Threads.size(), 2u);
+  EXPECT_EQ(paperFig7().Threads.size(), 2u);
+  EXPECT_EQ(paperFig9().Threads.size(), 2u);
+  EXPECT_EQ(paperFig10().Threads.size(), 2u);
+  EXPECT_EQ(paperFig11().Threads.size(), 3u);
+}

@@ -1,0 +1,140 @@
+//===--- events_test.cpp - Execution-graph tests --------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "events/Dot.h"
+#include "events/Execution.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+/// Two threads over one location: init, W(T0)=1, R(T1)=1, plus a fence.
+Execution smallExecution() {
+  Execution Ex;
+  auto Add = [&](EventKind K, unsigned Thread, const char *Loc,
+                 uint64_t V) {
+    Event E;
+    E.Id = Ex.Events.size();
+    E.Kind = K;
+    E.Thread = Thread;
+    E.Loc = Loc;
+    E.Val = Value(V);
+    Ex.Events.push_back(E);
+    return E.Id;
+  };
+  unsigned I = Add(EventKind::Write, Event::InitThread, "x", 0);
+  unsigned W = Add(EventKind::Write, 0, "x", 1);
+  unsigned R = Add(EventKind::Read, 1, "x", 1);
+  unsigned F = Add(EventKind::Fence, 1, "", 0);
+  Ex.Events[F].Tags = {"DMB.ISH"};
+  Ex.resizeRelations();
+  Ex.Po.set(I, W);
+  Ex.Po.set(I, R);
+  Ex.Po.set(I, F);
+  Ex.Po.set(R, F);
+  Ex.Rf.set(W, R);
+  Ex.Co.set(I, W);
+  return Ex;
+}
+
+} // namespace
+
+TEST(EventTest, Predicates) {
+  Event E;
+  E.Kind = EventKind::Read;
+  EXPECT_TRUE(E.isRead());
+  EXPECT_TRUE(E.isMemAccess());
+  EXPECT_FALSE(E.isWrite());
+  E.Kind = EventKind::Fence;
+  EXPECT_TRUE(E.isFence());
+  EXPECT_FALSE(E.isMemAccess());
+  EXPECT_TRUE(E.isInit());
+  E.Thread = 0;
+  EXPECT_FALSE(E.isInit());
+}
+
+TEST(EventTest, ToStringNotation) {
+  Event E;
+  E.Id = 0;
+  E.Kind = EventKind::Write;
+  E.Loc = "x";
+  E.Val = Value(1);
+  E.Tags = {"RLX"};
+  EXPECT_EQ(E.toString(), "a: W(RLX)[x]=1");
+}
+
+TEST(ExecutionTest, DerivedRelations) {
+  Execution Ex = smallExecution();
+  // fr: the read reads W (co-max), so no from-read edge to a later write.
+  EXPECT_TRUE(Ex.fr().empty());
+  // loc: W, R, and init all on x; fence excluded.
+  Relation Loc = Ex.loc();
+  EXPECT_TRUE(Loc.test(1, 2));
+  EXPECT_TRUE(Loc.test(0, 1));
+  EXPECT_FALSE(Loc.test(1, 3));
+  // poLoc subset of po.
+  EXPECT_TRUE((Ex.poLoc() - Ex.Po).empty());
+}
+
+TEST(ExecutionTest, FrDerivation) {
+  Execution Ex = smallExecution();
+  // Re-point the read at the initial write: fr(R, W) appears.
+  Ex.Rf = Relation(Ex.size());
+  Ex.Rf.set(0, 2);
+  Relation Fr = Ex.fr();
+  EXPECT_TRUE(Fr.test(2, 1));
+  EXPECT_EQ(Fr.count(), 1u);
+}
+
+TEST(ExecutionTest, ExtIntPartitionDistinctEvents) {
+  Execution Ex = smallExecution();
+  Relation E = Ex.ext(), I = Ex.internal();
+  EXPECT_TRUE((E & I).empty());
+  // R (thread 1) and F (thread 1) are internal; W (thread 0) vs R ext.
+  EXPECT_TRUE(I.test(2, 3));
+  EXPECT_TRUE(E.test(1, 2));
+  // Init writes are external to everything.
+  EXPECT_TRUE(E.test(0, 1));
+}
+
+TEST(ExecutionTest, KindAndTagSets) {
+  Execution Ex = smallExecution();
+  EXPECT_EQ(Ex.kindSet(EventKind::Write).count(), 2u);
+  EXPECT_EQ(Ex.kindSet(EventKind::Read).count(), 1u);
+  EXPECT_EQ(Ex.kindSet(EventKind::Fence).count(), 1u);
+  EXPECT_EQ(Ex.tagSet("DMB.ISH").count(), 1u);
+  EXPECT_TRUE(Ex.tagSet("NOSUCH").empty());
+  EXPECT_EQ(Ex.initWrites().count(), 1u);
+  EXPECT_EQ(Ex.universe().count(), 4u);
+}
+
+TEST(ExecutionTest, FinalMemoryIsCoMaximal) {
+  Execution Ex = smallExecution();
+  std::map<std::string, Value> Mem = Ex.finalMemory();
+  ASSERT_TRUE(Mem.count("x"));
+  EXPECT_EQ(Mem["x"], Value(1));
+}
+
+TEST(DotTest, RendersAllEdges) {
+  Execution Ex = smallExecution();
+  std::string Dot = executionToDot(Ex, "small");
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("rf"), std::string::npos);
+  EXPECT_NE(Dot.find("po"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dotted"), std::string::npos); // init write
+  // Transitive po edges are elided: init->F has po via R.
+  EXPECT_EQ(Dot.find("e0 -> e3 [label=\"po\""), std::string::npos);
+}
+
+TEST(ExecutionTest, ToStringListsRelations) {
+  Execution Ex = smallExecution();
+  std::string S = Ex.toString();
+  EXPECT_NE(S.find("po:"), std::string::npos);
+  EXPECT_NE(S.find("rf:"), std::string::npos);
+  EXPECT_NE(S.find("(1,2)"), std::string::npos);
+}

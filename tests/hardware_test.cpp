@@ -1,0 +1,247 @@
+//===--- hardware_test.cpp - Operational machine and C4 tests -------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/AsmParser.h"
+#include "diy/Classics.h"
+#include "hardware/C4.h"
+#include "hardware/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+AsmLitmusTest parseAsm(const char *Text) {
+  ErrorOr<AsmLitmusTest> T = parseAsmLitmus(Text);
+  EXPECT_TRUE(T.hasValue()) << (T.hasValue() ? "" : T.error());
+  return *T;
+}
+
+const char *SbAsm = R"(AArch64 sb
+{
+  x = 0;
+  y = 0;
+  P0:x0 = &x;
+  P0:x1 = &y;
+  P1:x0 = &x;
+  P1:x1 = &y;
+}
+P0 {
+  mov w2, #1
+  str w2, [x0]
+  ldr w3, [x1]
+  ret
+}
+P1 {
+  mov w2, #1
+  str w2, [x1]
+  ldr w3, [x0]
+  ret
+}
+exists (P0:X3=0 /\ P1:X3=0)
+)";
+
+const char *LbAsm = R"(AArch64 lb
+{
+  x = 0;
+  y = 0;
+  P0:x0 = &x;
+  P0:x1 = &y;
+  P1:x0 = &x;
+  P1:x1 = &y;
+}
+P0 {
+  ldr w2, [x0]
+  mov w3, #1
+  str w3, [x1]
+  ret
+}
+P1 {
+  ldr w2, [x1]
+  mov w3, #1
+  str w3, [x0]
+  ret
+}
+exists (P0:X2=1 /\ P1:X2=1)
+)";
+
+const char *CoRRAsm = R"(AArch64 corr
+{
+  x = 0;
+  P0:x0 = &x;
+  P1:x0 = &x;
+}
+P0 {
+  mov w1, #1
+  str w1, [x0]
+  ret
+}
+P1 {
+  ldr w1, [x0]
+  ldr w2, [x0]
+  ret
+}
+exists (P1:X1=1 /\ P1:X2=0)
+)";
+
+bool observes(const HwResult &R, const Outcome &O) {
+  return R.Observed.count(O) != 0;
+}
+
+Outcome bothRegs(const char *K0, uint64_t V0, const char *K1, uint64_t V1) {
+  Outcome O;
+  O.set(K0, Value(V0));
+  O.set(K1, Value(V1));
+  return O;
+}
+
+} // namespace
+
+TEST(MachineTest, DeterministicInSeed) {
+  AsmLitmusTest T = parseAsm(SbAsm);
+  HwConfig C = HwConfig::raspberryPiLike();
+  C.Runs = 200;
+  HwResult A = runOnHardware(T, C);
+  HwResult B = runOnHardware(T, C);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(A.Observed, B.Observed);
+}
+
+TEST(MachineTest, StoreBufferExhibitsSB) {
+  AsmLitmusTest T = parseAsm(SbAsm);
+  HwConfig C = HwConfig::raspberryPiLike();
+  C.Runs = 3000;
+  HwResult R = runOnHardware(T, C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(observes(R, bothRegs("P0:X3", 0, "P1:X3", 0)))
+      << "store buffering must be visible on every config";
+}
+
+TEST(MachineTest, RaspberryPiNeverExhibitsLB) {
+  AsmLitmusTest T = parseAsm(LbAsm);
+  HwConfig C = HwConfig::raspberryPiLike();
+  C.Runs = 3000;
+  HwResult R = runOnHardware(T, C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(observes(R, bothRegs("P0:X2", 1, "P1:X2", 1)))
+      << "an in-order-issue machine cannot produce LB";
+}
+
+TEST(MachineTest, AppleA9ExhibitsLBUnderStress) {
+  AsmLitmusTest T = parseAsm(LbAsm);
+  HwConfig C = HwConfig::appleA9Like();
+  C.Runs = 4000;
+  HwResult R = runOnHardware(T, C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(observes(R, bothRegs("P0:X2", 1, "P1:X2", 1)))
+      << "the A9-like configuration defers loads, enabling LB";
+}
+
+TEST(MachineTest, CoherenceHoldsOnBothConfigs) {
+  AsmLitmusTest T = parseAsm(CoRRAsm);
+  for (HwConfig C : {HwConfig::raspberryPiLike(), HwConfig::appleA9Like()}) {
+    C.Runs = 3000;
+    HwResult R = runOnHardware(T, C);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_FALSE(observes(R, bothRegs("P1:X1", 1, "P1:X2", 0)))
+        << "same-location reads must not go backwards";
+  }
+}
+
+TEST(MachineTest, DmbForbidsSB) {
+  std::string Text = SbAsm;
+  // Insert a DMB ISH between the store and the load of each thread.
+  size_t Pos;
+  while ((Pos = Text.find("  ldr w3")) != std::string::npos)
+    Text.replace(Pos, 8, "  dmb ish\n  xldr w3");
+  while ((Pos = Text.find("xldr")) != std::string::npos)
+    Text.replace(Pos, 4, "ldr ");
+  AsmLitmusTest T = parseAsm(Text.c_str());
+  HwConfig C = HwConfig::appleA9Like();
+  C.Runs = 3000;
+  HwResult R = runOnHardware(T, C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(observes(R, bothRegs("P0:X3", 0, "P1:X3", 0)));
+}
+
+TEST(MachineTest, ExclusivesImplementAtomicIncrements) {
+  const char *Incr = R"(AArch64 incr
+{
+  x = 0;
+  P0:x0 = &x;
+  P1:x0 = &x;
+}
+P0 {
+.L0:
+  ldxr w1, [x0]
+  add w2, w1, #1
+  stxr w3, w2, [x0]
+  cbnz w3, .L0
+  ret
+}
+P1 {
+.L0:
+  ldxr w1, [x0]
+  add w2, w1, #1
+  stxr w3, w2, [x0]
+  cbnz w3, .L0
+  ret
+}
+exists ([x]=2)
+)";
+  AsmLitmusTest T = parseAsm(Incr);
+  HwConfig C = HwConfig::appleA9Like();
+  C.Runs = 2000;
+  HwResult R = runOnHardware(T, C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  Outcome Two;
+  Two.set("[x]", Value(2));
+  ASSERT_EQ(R.Observed.size(), 1u) << "increments must never be lost";
+  EXPECT_TRUE(observes(R, Two));
+}
+
+TEST(MachineTest, RejectsNonAArch64) {
+  AsmLitmusTest T;
+  T.TargetArch = Arch::X86_64;
+  EXPECT_FALSE(runOnHardware(T, HwConfig()).ok());
+}
+
+TEST(C4Test, FindsNothingOnStrongHardwareForLB) {
+  C4Result R = runC4(paperFig7(),
+                     Profile::current(CompilerKind::Llvm, OptLevel::O3,
+                                      Arch::AArch64));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.foundDifference())
+      << "RPi-like hardware cannot witness LB (paper §IV-A)";
+}
+
+TEST(C4Test, FindsLBOnWeakHardware) {
+  C4Options O;
+  O.Hardware = HwConfig::appleA9Like();
+  O.Hardware.Runs = 4000;
+  C4Result R = runC4(paperFig7(),
+                     Profile::current(CompilerKind::Llvm, OptLevel::O3,
+                                      Arch::AArch64),
+                     O);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.foundDifference());
+}
+
+TEST(C4Test, HardwareOutcomesAreSoundForSynchronisedTests) {
+  // Hardware runs of a correctly-synchronised test stay within the
+  // source model's outcomes.
+  for (const char *Name : {"MP+rel+acq", "SB+scs"}) {
+    C4Options O;
+    O.Hardware = HwConfig::appleA9Like();
+    C4Result R = runC4(classicTest(Name),
+                       Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                        Arch::AArch64),
+                       O);
+    ASSERT_TRUE(R.ok()) << Name << ": " << R.Error;
+    EXPECT_FALSE(R.foundDifference()) << Name;
+  }
+}

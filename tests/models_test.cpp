@@ -1,0 +1,189 @@
+//===--- models_test.cpp - Memory-model library tests ---------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the Cat model library against the classic litmus families:
+/// a behaviour matrix (is the witness allowed?) per (test, source model),
+/// and inclusion properties between models (SC refines RC11 refines
+/// RC11+LB).
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/Classics.h"
+#include "models/Models.h"
+#include "models/Registry.h"
+#include "sim/CFrontend.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+TEST(ModelRegistryTest, AllEmbeddedModelsParse) {
+  for (const std::string &Name : modelNames()) {
+    const CatModel &M = getModel(Name); // aborts on parse failure
+    EXPECT_FALSE(M.Stmts.empty()) << Name;
+  }
+}
+
+TEST(ModelRegistryTest, ExpectedModelsPresent) {
+  std::vector<std::string> Names = modelNames();
+  for (const char *Expected :
+       {"sc", "rc11", "rc11+lb", "c11-simp", "aarch64", "aarch64+const",
+        "armv7", "armv7-buggy", "x86tso", "riscv", "ppc", "mips"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Expected), Names.end())
+        << Expected;
+}
+
+TEST(ModelRegistryTest, UserModelTextParses) {
+  ErrorOr<CatModel> M = parseModelText("let a = po\nacyclic a\n");
+  EXPECT_TRUE(M.hasValue());
+  EXPECT_FALSE(parseModelText("acyclic (").hasValue());
+}
+
+namespace {
+
+/// (classic test, model, witness allowed?).
+struct MatrixCase {
+  const char *Test;
+  const char *Model;
+  bool WitnessAllowed;
+};
+
+/// The expected behaviour matrix for C source models. The witness of each
+/// classic is its relaxed outcome.
+const MatrixCase Matrix[] = {
+    // Sequential consistency forbids every relaxation cycle.
+    {"MP", "sc", false},
+    {"SB", "sc", false},
+    {"LB", "sc", false},
+    {"2+2W", "sc", false},
+    {"IRIW", "sc", false},
+    {"R", "sc", false},
+    {"S", "sc", false},
+    {"CoRR", "sc", false},
+    // RC11 with relaxed atomics: store buffering and friends appear, but
+    // no-thin-air forbids LB and coherence forbids CoRR/CoWW.
+    {"MP", "rc11", true},
+    {"SB", "rc11", true},
+    {"R", "rc11", true},
+    {"S", "rc11", true},
+    {"2+2W", "rc11", true},
+    {"IRIW", "rc11", true},
+    {"LB", "rc11", false},
+    {"LB+datas", "rc11", false},
+    {"LB+ctrls", "rc11", false},
+    {"CoRR", "rc11", false},
+    {"CoWW", "rc11", false},
+    // Synchronised variants are forbidden again.
+    {"MP+fences", "rc11", false},
+    {"MP+rel+acq", "rc11", false},
+    {"SB+scs", "rc11", false},
+    {"SB+scfences", "rc11", false},
+    {"IRIW+scs", "rc11", false},
+    {"LB+rel+acq", "rc11", false},
+    // rc11+lb permits LB -- including the syntactic-dependency variants,
+    // since C/C++ models ignore syntactic dependencies (their stored
+    // values are constants, so no thin-air value is needed). Coherence
+    // violations stay forbidden.
+    {"LB", "rc11+lb", true},
+    {"LB+datas", "rc11+lb", true},
+    {"CoRR", "rc11+lb", false},
+    {"MP+rel+acq", "rc11+lb", false},
+    // The simplified C11 fragment behaves like rc11 on these.
+    {"MP+rel+acq", "c11-simp", false},
+    {"LB", "c11-simp", false},
+    {"SB", "c11-simp", true},
+};
+
+class SourceModelMatrixTest : public testing::TestWithParam<MatrixCase> {};
+
+} // namespace
+
+TEST_P(SourceModelMatrixTest, WitnessMatchesExpectation) {
+  const MatrixCase &C = GetParam();
+  LitmusTest T = classicTest(C.Test);
+  SimProgram P = lowerLitmusC(T);
+  SimResult R = simulateProgram(P, C.Model);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_FALSE(R.TimedOut);
+  EXPECT_EQ(finalConditionHolds(P, R), C.WitnessAllowed)
+      << C.Test << " under " << C.Model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SourceModelMatrixTest, testing::ValuesIn(Matrix),
+    [](const testing::TestParamInfo<MatrixCase> &Info) {
+      std::string Name = std::string(Info.param.Test) + "_under_" +
+                         Info.param.Model;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+namespace {
+
+class ModelInclusionTest : public testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(ModelInclusionTest, ScRefinesRc11RefinesRc11Lb) {
+  // outcomes(sc) subset of outcomes(rc11) subset of outcomes(rc11+lb):
+  // each weaker model only adds behaviours.
+  LitmusTest T = classicTest(GetParam());
+  SimResult Sc = simulateC(T, "sc");
+  SimResult Rc11 = simulateC(T, "rc11");
+  SimResult Lb = simulateC(T, "rc11+lb");
+  ASSERT_TRUE(Sc.ok() && Rc11.ok() && Lb.ok());
+  for (const Outcome &O : Sc.Allowed)
+    EXPECT_TRUE(Rc11.Allowed.count(O)) << O.toString();
+  for (const Outcome &O : Rc11.Allowed)
+    EXPECT_TRUE(Lb.Allowed.count(O)) << O.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Classics, ModelInclusionTest,
+                         testing::ValuesIn(classicNames()));
+
+TEST(ModelsTest, RaceFlagFiresOnPlainAccesses) {
+  SimResult R = simulateC(paperFig9(), "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Flags.count("race"));
+}
+
+TEST(ModelsTest, NoRaceFlagOnAtomics) {
+  SimResult R = simulateC(paperFig7(), "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.Flags.count("race"));
+}
+
+TEST(ModelsTest, Rc11ScAxiomOrdersScAccesses) {
+  // SB with seq_cst accesses: psc forbids both-zero.
+  LitmusTest T = classicTest("SB+scs");
+  SimProgram P = lowerLitmusC(T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(finalConditionHolds(P, R));
+}
+
+TEST(ModelsTest, Rc11ScFencesRestoreOrder) {
+  LitmusTest T = classicTest("SB+scfences");
+  SimProgram P = lowerLitmusC(T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(finalConditionHolds(P, R));
+}
+
+TEST(ModelsTest, Fig1OutcomesMatchPaperFig3) {
+  // The paper's Fig. 3: exactly three outcomes under RC11.
+  SimResult R = simulateC(paperFig1(), "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Allowed.size(), 3u);
+  Outcome Forbidden;
+  Forbidden.set("P1:r0", Value(0));
+  Forbidden.set("[y]", Value(2));
+  EXPECT_FALSE(R.Allowed.count(Forbidden));
+}

@@ -1,0 +1,217 @@
+//===--- pipeline_test.cpp - Paper-claim integration tests ----------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests pinned to the paper's claims (artefact appendix §F):
+///  claim 1/2: Fig. 7's LB behaviour appears when compiled for AArch64;
+///  claim 4:  positive differences vanish under rc11+lb;
+///  claim 5:  optimised Fig. 11 simulates quickly, unoptimised does not;
+///  plus the §IV-B/-C/-E bug reproductions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/Semantics.h"
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "litmus/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+Profile llvmO3A64() {
+  return Profile::current(CompilerKind::Llvm, OptLevel::O3, Arch::AArch64);
+}
+
+} // namespace
+
+TEST(PaperClaim1, Fig7HasFig8Outcomes) {
+  TelechatResult R = runTelechat(paperFig7(), llvmO3A64());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.SourceSim.Allowed.size(), 3u); // Fig. 8 left
+  EXPECT_EQ(R.TargetSim.Allowed.size(), 4u); // Fig. 8 right
+  ASSERT_EQ(R.Compare.K, CompareResult::Kind::Positive);
+  ASSERT_EQ(R.Compare.Witnesses.size(), 1u);
+  Outcome Expected;
+  Expected.set("[obs_P0_r0]", Value(1));
+  Expected.set("[obs_P1_r0]", Value(1));
+  EXPECT_EQ(R.Compare.Witnesses[0], Expected);
+}
+
+TEST(PaperClaim2, LbBehaviourFoundDeterministically) {
+  TelechatResult A = runTelechat(paperFig7(), llvmO3A64());
+  TelechatResult B = runTelechat(paperFig7(), llvmO3A64());
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_TRUE(A.isBug());
+  EXPECT_EQ(A.TargetSim.Allowed, B.TargetSim.Allowed);
+}
+
+TEST(PaperClaim4, PositiveDifferencesVanishUnderRc11Lb) {
+  TestOptions O;
+  O.SourceModel = "rc11+lb";
+  for (const char *Name : {"LB", "LB+ctrls"}) {
+    for (Arch A : AllArchs) {
+      TelechatResult R = runTelechat(
+          classicTest(Name), Profile::current(CompilerKind::Gcc,
+                                              OptLevel::O1, A),
+          O);
+      ASSERT_TRUE(R.ok()) << R.Error;
+      EXPECT_FALSE(R.isBug()) << Name << " on " << archName(A);
+    }
+  }
+}
+
+TEST(PaperClaim5, OptimisedFig11TerminatesUnoptimisedDoesNot) {
+  TestOptions Fast;
+  Fast.Sim.MaxSteps = 400'000;
+  TelechatResult Optimised = runTelechat(paperFig11(), llvmO3A64(), Fast);
+  ASSERT_TRUE(Optimised.ok()) << Optimised.Error;
+  EXPECT_FALSE(Optimised.timedOut());
+  EXPECT_LT(Optimised.TargetSim.Stats.Seconds, 5.0);
+
+  TestOptions Raw = Fast;
+  Raw.OptimiseCompiled = false;
+  TelechatResult Unoptimised = runTelechat(paperFig11(), llvmO3A64(), Raw);
+  ASSERT_TRUE(Unoptimised.ok()) << Unoptimised.Error;
+  EXPECT_TRUE(Unoptimised.timedOut())
+      << "the unoptimised compiled test should exhaust the budget";
+}
+
+TEST(PaperSectionIVB, Fig10HeisenbugLifecycle) {
+  // Buggy era: found; observing r1: masked; today: fixed.
+  TelechatResult Buggy =
+      runTelechat(paperFig10(), Profile::llvmOldLse(OptLevel::O2));
+  ASSERT_TRUE(Buggy.ok()) << Buggy.Error;
+  EXPECT_TRUE(Buggy.isBug());
+  Outcome Witness;
+  Witness.set("[obs_P1_r0]", Value(0));
+  Witness.set("[y]", Value(2));
+  ASSERT_FALSE(Buggy.Compare.Witnesses.empty());
+  EXPECT_EQ(Buggy.Compare.Witnesses[0], Witness);
+
+  Profile Fixed = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                   Arch::AArch64);
+  Fixed.Features.Lse = true;
+  TelechatResult Clean = runTelechat(paperFig10(), Fixed);
+  ASSERT_TRUE(Clean.ok()) << Clean.Error;
+  EXPECT_FALSE(Clean.isBug());
+}
+
+TEST(PaperSectionIVB, Fig1ExchangeBug) {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  P.Features.Lse = true;
+  P.Bugs.XchgNoRet = true;
+  TelechatResult R = runTelechat(paperFig1(), P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.isBug());
+  P.Bugs.XchgNoRet = false;
+  TelechatResult Fixed = runTelechat(paperFig1(), P);
+  ASSERT_TRUE(Fixed.ok()) << Fixed.Error;
+  EXPECT_FALSE(Fixed.isBug());
+}
+
+TEST(PaperSectionIVE, Armv7ModelBugVisibleOnSB) {
+  LitmusTest SB = classicTest("SB+scs");
+  Profile P = Profile::current(CompilerKind::Gcc, OptLevel::O2,
+                               Arch::Armv7);
+  TelechatResult R = runTelechat(SB, P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(R.isBug()) << "fixed Armv7 model must be clean";
+  // Re-simulate the compiled test under the buggy model.
+  ErrorOr<SimProgram> L = lowerAsmTest(R.OptAsm);
+  ASSERT_TRUE(L.hasValue()) << L.error();
+  SimResult Buggy = simulateProgram(*L, "armv7-buggy");
+  ASSERT_TRUE(Buggy.ok()) << Buggy.Error;
+  CompareResult C = mcompare(R.SourceSim, Buggy, R.Compiled.KeyMap);
+  EXPECT_EQ(C.K, CompareResult::Kind::Positive)
+      << "the pre-fix model lets the SB outcome through";
+}
+
+TEST(PaperSectionIVE, ConstViolationNeedsAugmentedModel) {
+  auto T = parseLitmusC(R"(C c128
+{ const __int128 *c = 5; }
+void P0(atomic_int128* c) {
+  int r0 = atomic_load_explicit(c, memory_order_seq_cst);
+}
+exists (P0:r0=5)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64); // v8.0: LDXP/STXP loop
+  TestOptions Plain;
+  TelechatResult Missed = runTelechat(*T, P, Plain);
+  ASSERT_TRUE(Missed.ok()) << Missed.Error;
+  EXPECT_TRUE(Missed.Compare.TargetFlags.empty());
+  TestOptions Augmented;
+  Augmented.ConstAugmentedModel = true;
+  TelechatResult Caught = runTelechat(*T, P, Augmented);
+  ASSERT_TRUE(Caught.ok()) << Caught.Error;
+  EXPECT_EQ(Caught.Compare.TargetFlags,
+            std::vector<std::string>{"const-violation"});
+}
+
+TEST(PaperSectionIVF, LdaprMappingSafeOnAcquireCorpus) {
+  Profile Ldapr = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                                   Arch::AArch64);
+  Ldapr.Features.Rcpc = true;
+  for (const char *Name : {"MP+rel+acq", "SB+scs", "LB+rel+acq"}) {
+    TelechatResult R = runTelechat(classicTest(Name), Ldapr);
+    ASSERT_TRUE(R.ok()) << Name << ": " << R.Error;
+    EXPECT_FALSE(R.isBug()) << Name;
+  }
+}
+
+TEST(PaperTableIV, Armv7GccO1ControlDependencyAnomaly) {
+  // The 3480-vs-2352 cell: gcc -O1 on Armv7 merges identical-store
+  // diamonds, dropping the control dependency.
+  LitmusTest T = classicTest("LB+ctrls");
+  TelechatResult GccO1 = runTelechat(
+      T, Profile::current(CompilerKind::Gcc, OptLevel::O1, Arch::Armv7));
+  TelechatResult GccO2 = runTelechat(
+      T, Profile::current(CompilerKind::Gcc, OptLevel::O2, Arch::Armv7));
+  TelechatResult LlvmO1 = runTelechat(
+      T, Profile::current(CompilerKind::Llvm, OptLevel::O1, Arch::Armv7));
+  ASSERT_TRUE(GccO1.ok() && GccO2.ok() && LlvmO1.ok());
+  EXPECT_TRUE(GccO1.isBug()) << "ctrl dep removed at -O1";
+  EXPECT_FALSE(GccO2.isBug()) << "masked by the data dependency at -O2";
+  EXPECT_FALSE(LlvmO1.isBug()) << "llvm keeps the branch";
+}
+
+TEST(PaperTableIV, StrongArchitecturesShowNoPositives) {
+  for (const char *Name : {"LB", "SB", "MP", "2+2W"}) {
+    for (Arch A : {Arch::X86_64, Arch::Mips}) {
+      TelechatResult R = runTelechat(
+          classicTest(Name),
+          Profile::current(CompilerKind::Llvm, OptLevel::O3, A));
+      ASSERT_TRUE(R.ok()) << R.Error;
+      EXPECT_FALSE(R.isBug()) << Name << " on " << archName(A);
+    }
+  }
+}
+
+TEST(PipelineRobustness, TimeoutsAreReportedNotFatal) {
+  TestOptions O;
+  O.Sim.MaxSteps = 10;
+  TelechatResult R = runTelechat(classicTest("IRIW"), llvmO3A64(), O);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.timedOut());
+  EXPECT_FALSE(R.isBug());
+}
+
+TEST(PipelineRobustness, EveryArchCompilesTheWholeClassicSuite) {
+  for (const std::string &Name : classicNames()) {
+    for (Arch A : AllArchs) {
+      ErrorOr<CompileOutput> Out = compileLitmus(
+          augmentLocalObservations(classicTest(Name)),
+          Profile::current(CompilerKind::Gcc, OptLevel::O2, A));
+      EXPECT_TRUE(Out.hasValue())
+          << Name << " on " << archName(A) << ": " << Out.error();
+    }
+  }
+}

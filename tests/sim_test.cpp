@@ -1,0 +1,265 @@
+//===--- sim_test.cpp - herd-style enumerator tests -----------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diy/Classics.h"
+#include "litmus/Parser.h"
+#include "models/Registry.h"
+#include "sim/CFrontend.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+TEST(CFrontendTest, PathsExpandBranches) {
+  auto T = parseLitmusC(R"(C b
+{ *x = 0; *y = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  if (r0) { atomic_store_explicit(y, 2, memory_order_relaxed); }
+}
+exists (y=1)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  EXPECT_EQ(P.Threads[0].Paths.size(), 4u); // 2 branches -> 4 paths
+}
+
+TEST(CFrontendTest, ObservedFromPredicate) {
+  LitmusTest T = classicTest("MP");
+  SimProgram P = lowerLitmusC(T);
+  unsigned Observed = 0;
+  for (const SimThread &Th : P.Threads)
+    Observed += Th.Observed.size();
+  EXPECT_EQ(Observed, 2u);
+}
+
+TEST(CFrontendTest, TagsFollowOrders) {
+  LitmusTest T = classicTest("MP+rel+acq");
+  SimProgram P = lowerLitmusC(T);
+  bool SawAcq = false, SawRel = false;
+  for (const SimThread &Th : P.Threads)
+    for (const SimPath &Path : Th.Paths)
+      for (const SimOp &Op : Path.Ops) {
+        if (Op.Tags.count("ACQ"))
+          SawAcq = true;
+        if (Op.WTags.count("REL"))
+          SawRel = true;
+      }
+  EXPECT_TRUE(SawAcq);
+  EXPECT_TRUE(SawRel);
+}
+
+TEST(SimulatorTest, MpOutcomeCount) {
+  SimResult R = simulateC(classicTest("MP+rel+acq"), "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // Stale read forbidden: three outcomes remain.
+  EXPECT_EQ(R.Allowed.size(), 3u);
+}
+
+TEST(SimulatorTest, LbOutcomeCountUnderBothModels) {
+  EXPECT_EQ(simulateC(classicTest("LB"), "rc11").Allowed.size(), 3u);
+  EXPECT_EQ(simulateC(classicTest("LB"), "rc11+lb").Allowed.size(), 4u);
+}
+
+TEST(SimulatorTest, StatsArePopulated) {
+  SimResult R = simulateC(classicTest("SB"), "rc11");
+  ASSERT_TRUE(R.ok());
+  EXPECT_GE(R.Stats.PathCombos, 1u);
+  EXPECT_GT(R.Stats.RfCandidates, 0u);
+  EXPECT_GT(R.Stats.ValueConsistent, 0u);
+  EXPECT_GT(R.Stats.AllowedExecutions, 0u);
+  EXPECT_GE(R.Stats.Seconds, 0.0);
+}
+
+TEST(SimulatorTest, BudgetExhaustionReportsTimeout) {
+  SimOptions Tight;
+  Tight.MaxSteps = 2;
+  SimResult R = simulateC(classicTest("IRIW"), "rc11", Tight);
+  EXPECT_TRUE(R.TimedOut);
+}
+
+TEST(SimulatorTest, CollectExecutionsForFig2) {
+  SimOptions Opts;
+  Opts.CollectExecutions = true;
+  SimResult R = simulateC(paperFig1(), "rc11", Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // The paper's Fig. 2 draws four candidate executions of which dabc is
+  // forbidden; three distinct (rf, co) graphs remain (acbd and cabd are
+  // the same axiomatic execution).
+  EXPECT_EQ(R.Stats.AllowedExecutions, 3u);
+  EXPECT_EQ(R.Executions.size(), 3u);
+  for (const Execution &Ex : R.Executions) {
+    EXPECT_GT(Ex.size(), 0u);
+    EXPECT_FALSE(Ex.Rf.empty());
+  }
+}
+
+TEST(SimulatorTest, RmwValueSemantics) {
+  auto T = parseLitmusC(R"(C addtwice
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 2, memory_order_relaxed);
+  int r1 = atomic_fetch_add_explicit(x, 3, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P0:r1=2 /\ x=5)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(finalConditionHolds(P, R));
+}
+
+TEST(SimulatorTest, FetchSubAndXchg) {
+  auto T = parseLitmusC(R"(C subx
+{ *x = 0; }
+void P0(atomic_int* x) {
+  int r0 = atomic_exchange_explicit(x, 7, memory_order_relaxed);
+  int r1 = atomic_fetch_sub_explicit(x, 2, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P0:r1=7 /\ x=5)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(finalConditionHolds(P, R));
+}
+
+TEST(SimulatorTest, RmwAtomicityForbidsInterleaving) {
+  // Two concurrent increments: final value must be 2, never 1.
+  auto T = parseLitmusC(R"(C incs
+{ *x = 0; }
+void P0(atomic_int* x) {
+  atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+void P1(atomic_int* x) {
+  atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (x=1)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_FALSE(finalConditionHolds(P, R)) << "lost update slipped through";
+  Outcome Two;
+  Two.set("[x]", Value(2));
+  EXPECT_TRUE(R.Allowed.count(Two));
+}
+
+TEST(SimulatorTest, NoThinAirValues) {
+  // LB where each store forwards the loaded *value*: observing 1 would
+  // require the value to appear from thin air. Even rc11+lb (no
+  // no-thin-air axiom) cannot show it -- concrete value resolution has
+  // no stable fixpoint justifying it, exactly like herd.
+  auto T = parseLitmusC(R"(C oota
+{ *x = 0; *y = 0; }
+void P0(atomic_int* y, atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, r0, memory_order_relaxed);
+}
+void P1(atomic_int* y, atomic_int* x) {
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, r1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r1=1)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11+lb");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Allowed.size(), 1u) << outcomeSetToString(R.Allowed);
+  EXPECT_FALSE(finalConditionHolds(P, R));
+  // By contrast the constant-value variant (LB+datas) is fine under
+  // rc11+lb: its stored values do not depend on the loads.
+  LitmusTest Datas = classicTest("LB+datas");
+  SimProgram P2 = lowerLitmusC(Datas);
+  SimResult R2 = simulateProgram(P2, "rc11+lb");
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(finalConditionHolds(P2, R2));
+}
+
+TEST(SimulatorTest, BranchConstraintsPruneInfeasiblePaths) {
+  auto T = parseLitmusC(R"(C feas
+{ *x = 0; *y = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0) {
+    atomic_store_explicit(y, 1, memory_order_relaxed);
+  } else {
+    atomic_store_explicit(y, 2, memory_order_relaxed);
+  }
+}
+exists (y=1)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  // x is never written: r0 = 0 always, so y = 2 is the only final value.
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Allowed.size(), 1u);
+  EXPECT_EQ(R.Allowed.begin()->lookup("[y]"), Value(2));
+}
+
+TEST(SimulatorTest, WidthTruncationOnNarrowLocations) {
+  auto T = parseLitmusC(R"(C narrow
+{ uint8_t *x = 0; }
+void P0(atomic_int* x) {
+  atomic_store_explicit(x, 300, memory_order_relaxed);
+}
+exists (x=44)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(finalConditionHolds(P, R)) << "300 mod 256 = 44";
+}
+
+TEST(SimulatorTest, ConstWriteGetsTagged) {
+  auto T = parseLitmusC(R"(C cw
+{ const *c = 5; }
+void P0(int* c) { *c = 6; }
+exists (c=6)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  // A model flagging ConstWrite sees the tag.
+  SimProgram P = lowerLitmusC(*T);
+  ErrorOr<CatModel> M = parseModelText(
+      "flag ~empty ConstWrite as const-violation\nacyclic po as ok\n");
+  ASSERT_TRUE(M.hasValue());
+  SimResult R = enumerateExecutions(P, *M);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.Flags.count("const-violation"));
+}
+
+TEST(SimulatorTest, FinalConditionQuantifiers) {
+  auto T = parseLitmusC(R"(C q
+{ *x = 0; }
+void P0(atomic_int* x) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+forall (x=1)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult R = simulateProgram(P, "rc11");
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(finalConditionHolds(P, R));
+  P.Final.Q = FinalCond::Quant::NotExists;
+  EXPECT_FALSE(finalConditionHolds(P, R));
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  // The paper's Table II: Télétchat observes the same outcomes every
+  // time.
+  for (const char *Name : {"MP", "SB", "IRIW"}) {
+    SimResult A = simulateC(classicTest(Name), "rc11");
+    SimResult B = simulateC(classicTest(Name), "rc11");
+    EXPECT_EQ(A.Allowed, B.Allowed) << Name;
+  }
+}

@@ -1,0 +1,276 @@
+//===--- support_test.cpp - Bitset and Relation tests ---------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Relation.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace telechat;
+
+TEST(BitsetTest, EmptyAndSize) {
+  Bitset B(10);
+  EXPECT_EQ(B.universeSize(), 10u);
+  EXPECT_TRUE(B.empty());
+  EXPECT_EQ(B.count(), 0u);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset B(70); // spans two words
+  B.set(0);
+  B.set(69);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(69));
+  EXPECT_FALSE(B.test(35));
+  EXPECT_EQ(B.count(), 2u);
+  B.reset(0);
+  EXPECT_FALSE(B.test(0));
+}
+
+TEST(BitsetTest, AllAndComplement) {
+  Bitset B = Bitset::all(65);
+  EXPECT_EQ(B.count(), 65u);
+  Bitset C = B.complement();
+  EXPECT_TRUE(C.empty());
+  Bitset D(65);
+  D.set(3);
+  EXPECT_EQ(D.complement().count(), 64u);
+  EXPECT_FALSE(D.complement().test(3));
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  Bitset A(8), B(8);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  B.set(3);
+  EXPECT_EQ((A | B).count(), 3u);
+  EXPECT_EQ((A & B).count(), 1u);
+  EXPECT_TRUE((A & B).test(2));
+  EXPECT_EQ((A - B).count(), 1u);
+  EXPECT_TRUE((A - B).test(1));
+}
+
+TEST(BitsetTest, ForEachInOrder) {
+  Bitset B(100);
+  B.set(5);
+  B.set(64);
+  B.set(99);
+  std::vector<unsigned> Seen;
+  B.forEach([&](unsigned I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<unsigned>{5, 64, 99}));
+  EXPECT_EQ(B.elements(), Seen);
+}
+
+TEST(RelationTest, Identity) {
+  Relation R = Relation::identity(5);
+  EXPECT_EQ(R.count(), 5u);
+  EXPECT_TRUE(R.test(3, 3));
+  EXPECT_FALSE(R.test(3, 4));
+  EXPECT_FALSE(R.isIrreflexive());
+}
+
+TEST(RelationTest, FullHasAllPairs) {
+  Relation R = Relation::full(7);
+  EXPECT_EQ(R.count(), 49u);
+}
+
+TEST(RelationTest, Cross) {
+  Bitset A(6), B(6);
+  A.set(0);
+  A.set(1);
+  B.set(4);
+  Relation R = Relation::cross(A, B);
+  EXPECT_EQ(R.count(), 2u);
+  EXPECT_TRUE(R.test(0, 4));
+  EXPECT_TRUE(R.test(1, 4));
+}
+
+TEST(RelationTest, IdentityOn) {
+  Bitset S(6);
+  S.set(2);
+  S.set(5);
+  Relation R = Relation::identityOn(S);
+  EXPECT_EQ(R.count(), 2u);
+  EXPECT_TRUE(R.test(2, 2));
+  EXPECT_TRUE(R.test(5, 5));
+}
+
+TEST(RelationTest, SeqComposition) {
+  Relation A(4), B(4);
+  A.set(0, 1);
+  B.set(1, 2);
+  B.set(1, 3);
+  Relation C = A.seq(B);
+  EXPECT_EQ(C.count(), 2u);
+  EXPECT_TRUE(C.test(0, 2));
+  EXPECT_TRUE(C.test(0, 3));
+}
+
+TEST(RelationTest, Inverse) {
+  Relation A(3);
+  A.set(0, 2);
+  Relation Inv = A.inverse();
+  EXPECT_TRUE(Inv.test(2, 0));
+  EXPECT_EQ(Inv.count(), 1u);
+}
+
+TEST(RelationTest, TransitiveClosureChain) {
+  Relation A(5);
+  A.set(0, 1);
+  A.set(1, 2);
+  A.set(2, 3);
+  Relation C = A.transitiveClosure();
+  EXPECT_TRUE(C.test(0, 3));
+  EXPECT_TRUE(C.test(1, 3));
+  EXPECT_FALSE(C.test(3, 0));
+  EXPECT_EQ(C.count(), 6u);
+}
+
+TEST(RelationTest, AcyclicityDetectsCycle) {
+  Relation A(3);
+  A.set(0, 1);
+  A.set(1, 2);
+  EXPECT_TRUE(A.isAcyclic());
+  A.set(2, 0);
+  EXPECT_FALSE(A.isAcyclic());
+}
+
+TEST(RelationTest, SelfLoopIsCyclic) {
+  Relation A(2);
+  A.set(1, 1);
+  EXPECT_FALSE(A.isAcyclic());
+  EXPECT_FALSE(A.isIrreflexive());
+}
+
+TEST(RelationTest, DomainRange) {
+  Relation A(5);
+  A.set(1, 3);
+  A.set(1, 4);
+  A.set(2, 3);
+  EXPECT_EQ(A.domain().elements(), (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(A.range().elements(), (std::vector<unsigned>{3, 4}));
+}
+
+TEST(RelationTest, Restricted) {
+  Relation A = Relation::full(4);
+  Bitset D(4), R(4);
+  D.set(0);
+  R.set(1);
+  R.set(2);
+  Relation Out = A.restricted(D, R);
+  EXPECT_EQ(Out.count(), 2u);
+  EXPECT_TRUE(Out.test(0, 1));
+}
+
+TEST(RelationTest, OptionalAddsIdentity) {
+  Relation A(3);
+  A.set(0, 1);
+  Relation O = A.optional();
+  EXPECT_EQ(O.count(), 4u);
+  EXPECT_TRUE(O.test(2, 2));
+}
+
+TEST(RelationTest, EmptyRelationIsAcyclic) {
+  EXPECT_TRUE(Relation(6).isAcyclic());
+  EXPECT_TRUE(Relation(0).isAcyclic());
+}
+
+namespace {
+
+Relation randomRelation(std::mt19937_64 &Rng, unsigned N, double Density) {
+  Relation R(N);
+  std::uniform_real_distribution<double> Dist(0.0, 1.0);
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (Dist(Rng) < Density)
+        R.set(A, B);
+  return R;
+}
+
+class RelationPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RelationPropertyTest, ClosureIsIdempotent) {
+  std::mt19937_64 Rng(GetParam());
+  Relation R = randomRelation(Rng, 24, 0.08);
+  Relation C = R.transitiveClosure();
+  EXPECT_EQ(C, C.transitiveClosure());
+}
+
+TEST_P(RelationPropertyTest, ClosureContainsOriginal) {
+  std::mt19937_64 Rng(GetParam());
+  Relation R = randomRelation(Rng, 24, 0.1);
+  Relation C = R.transitiveClosure();
+  EXPECT_EQ(C | R, C);
+}
+
+TEST_P(RelationPropertyTest, InverseOfSeq) {
+  std::mt19937_64 Rng(GetParam());
+  Relation A = randomRelation(Rng, 16, 0.2);
+  Relation B = randomRelation(Rng, 16, 0.2);
+  // (A;B)^-1 == B^-1 ; A^-1
+  EXPECT_EQ(A.seq(B).inverse(), B.inverse().seq(A.inverse()));
+}
+
+TEST_P(RelationPropertyTest, DeMorganOnPairs) {
+  std::mt19937_64 Rng(GetParam());
+  Relation A = randomRelation(Rng, 16, 0.3);
+  Relation B = randomRelation(Rng, 16, 0.3);
+  // A - B == A & (full - B)
+  EXPECT_EQ(A - B, A & (Relation::full(16) - B));
+}
+
+TEST_P(RelationPropertyTest, SubrelationOfAcyclicIsAcyclic) {
+  std::mt19937_64 Rng(GetParam());
+  // Build an acyclic relation (edges only increase), take a subrelation.
+  Relation R(20);
+  std::uniform_int_distribution<unsigned> Dist(0, 19);
+  for (unsigned I = 0; I != 40; ++I) {
+    unsigned A = Dist(Rng), B = Dist(Rng);
+    if (A < B)
+      R.set(A, B);
+  }
+  ASSERT_TRUE(R.isAcyclic());
+  Relation Sub = R & randomRelation(Rng, 20, 0.5);
+  EXPECT_TRUE(Sub.isAcyclic());
+}
+
+TEST_P(RelationPropertyTest, StarEqualsPlusUnionId) {
+  std::mt19937_64 Rng(GetParam());
+  Relation R = randomRelation(Rng, 18, 0.1);
+  EXPECT_EQ(R.reflexiveTransitiveClosure(),
+            R.transitiveClosure() | Relation::identity(18));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(StringUtilsTest, Split) {
+  EXPECT_EQ(splitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(joinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StringUtilsTest, Format) {
+  EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strFormat("%s", std::string(300, 'a').c_str()),
+            std::string(300, 'a'));
+}

@@ -1,0 +1,118 @@
+//===--- litmus_sim.cpp - Standalone litmus simulator (herd analogue) -----===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates a litmus test under a model, like invoking herd directly:
+///
+///   litmus-sim test.litmus [--model rc11] [--dot] [--stats]
+///
+/// Accepts both C litmus tests and assembly litmus tests (the format
+/// printed by the pipeline); assembly tests default to their target's
+/// architecture model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/AsmParser.h"
+#include "asmcore/Semantics.h"
+#include "events/Dot.h"
+#include "litmus/Parser.h"
+#include "sim/CFrontend.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace telechat;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    fprintf(stderr,
+            "usage: litmus-sim <test.litmus> [--model <name>] [--dot] "
+            "[--stats]\n");
+    return 1;
+  }
+  std::string Path = argv[1];
+  std::string Model;
+  bool Dot = false, Stats = false;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--model" && I + 1 < argc)
+      Model = argv[++I];
+    else if (Arg == "--dot")
+      Dot = true;
+    else if (Arg == "--stats")
+      Stats = true;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  // C tests begin with "C "; everything else is assembly.
+  SimProgram Program;
+  if (Text.rfind("C ", 0) == 0 || Text.rfind("{", 0) == 0) {
+    ErrorOr<LitmusTest> T = parseLitmusC(Text);
+    if (!T) {
+      fprintf(stderr, "parse error: %s\n", T.error().c_str());
+      return 1;
+    }
+    Program = lowerLitmusC(*T);
+    if (Model.empty())
+      Model = "rc11";
+  } else {
+    ErrorOr<AsmLitmusTest> T = parseAsmLitmus(Text);
+    if (!T) {
+      fprintf(stderr, "parse error: %s\n", T.error().c_str());
+      return 1;
+    }
+    ErrorOr<SimProgram> Lowered = lowerAsmTest(*T);
+    if (!Lowered) {
+      fprintf(stderr, "lowering error: %s\n", Lowered.error().c_str());
+      return 1;
+    }
+    Program = std::move(*Lowered);
+    if (Model.empty())
+      Model = archModelName(T->TargetArch);
+  }
+
+  SimOptions Opts;
+  Opts.CollectExecutions = Dot;
+  SimResult R = simulateProgram(Program, Model, Opts);
+  if (!R.ok()) {
+    fprintf(stderr, "simulation error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  printf("Test %s %s\n", Program.Name.c_str(),
+         Program.Final.Q == FinalCond::Quant::Forall ? "Required"
+                                                     : "Allowed");
+  printf("States %zu\n", R.Allowed.size());
+  printf("%s", outcomeSetToString(R.Allowed).c_str());
+  bool Witness = finalConditionHolds(Program, R);
+  printf("%s\n", Witness ? "Ok" : "No");
+  printf("Condition %s\n", Program.Final.toString().c_str());
+  if (R.TimedOut)
+    printf("TIMEOUT (budget exhausted)\n");
+  if (Stats)
+    printf("Time %s %.4f (paths=%llu rf=%llu consistent=%llu co=%llu "
+           "allowed=%llu)\n",
+           Program.Name.c_str(), R.Stats.Seconds,
+           static_cast<unsigned long long>(R.Stats.PathCombos),
+           static_cast<unsigned long long>(R.Stats.RfCandidates),
+           static_cast<unsigned long long>(R.Stats.ValueConsistent),
+           static_cast<unsigned long long>(R.Stats.CoCandidates),
+           static_cast<unsigned long long>(R.Stats.AllowedExecutions));
+  if (Dot)
+    for (size_t I = 0; I != R.Executions.size() && I < 4; ++I)
+      printf("%s", executionToDot(R.Executions[I],
+                                  Program.Name + std::to_string(I))
+                       .c_str());
+  return 0;
+}

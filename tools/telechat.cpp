@@ -1,0 +1,175 @@
+//===--- telechat.cpp - The Télétchat command-line tool -------------------==//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end CLI, the analogue of the artefact's Makefile entry
+/// point: reads a C litmus test, runs the Fig. 5 pipeline against a
+/// profile, prints outcomes and the verdict. Exit status: 0 clean /
+/// negative, 1 usage or pipeline error, 2 bug found -- suitable for
+/// regression gates (paper §IV-F).
+///
+///   telechat test.litmus --profile llvm-O2-AArch64 [--model rc11]
+///            [--no-augment] [--no-optimise] [--const-model]
+///            [--show-asm] [--fuzz-seed N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmcore/AsmPrinter.h"
+#include "core/Fuzz.h"
+#include "core/Telechat.h"
+#include "litmus/Parser.h"
+#include "litmus/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace telechat;
+
+static void usage() {
+  fprintf(stderr,
+          "usage: telechat <test.litmus> --profile <name> [options]\n"
+          "  --profile <name>   e.g. llvm-O2-AArch64, gcc-O1-ARMv7,\n"
+          "                     llvm-O3-AArch64+lse+rcpc\n"
+          "  --model <name>     source model (default rc11)\n"
+          "  --no-augment       disable local-variable augmentation\n"
+          "  --no-optimise      disable the s2l litmus optimiser\n"
+          "  --const-model      use the const-violation-flagging model\n"
+          "  --show-asm         print raw and optimised assembly tests\n"
+          "  --fuzz-seed <n>    apply semantics-preserving mutations\n"
+          "  --max-steps <n>    simulation budget (default 2000000)\n");
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Path = argv[1];
+  std::string ProfileName = "llvm-O2-AArch64";
+  TestOptions Options;
+  bool ShowAsm = false;
+  uint64_t FuzzSeed = 0;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--profile") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      ProfileName = V;
+    } else if (Arg == "--model") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      Options.SourceModel = V;
+    } else if (Arg == "--no-augment") {
+      Options.AugmentLocals = false;
+    } else if (Arg == "--no-optimise") {
+      Options.OptimiseCompiled = false;
+    } else if (Arg == "--const-model") {
+      Options.ConstAugmentedModel = true;
+    } else if (Arg == "--show-asm") {
+      ShowAsm = true;
+    } else if (Arg == "--fuzz-seed") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      FuzzSeed = strtoull(V, nullptr, 0);
+    } else if (Arg == "--max-steps") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      Options.Sim.MaxSteps = strtoull(V, nullptr, 0);
+    } else {
+      fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  Profile P;
+  if (!profileFromName(ProfileName, P)) {
+    fprintf(stderr, "error: unknown profile '%s'\n", ProfileName.c_str());
+    return 1;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  ErrorOr<LitmusTest> Test = parseLitmusC(Buffer.str());
+  if (!Test) {
+    fprintf(stderr, "error: %s: %s\n", Path.c_str(), Test.error().c_str());
+    return 1;
+  }
+  LitmusTest Input = *Test;
+  if (FuzzSeed) {
+    FuzzOptions F;
+    F.Seed = FuzzSeed;
+    Input = mutateTest(Input, F);
+    printf("fuzzed test (seed %llu):\n%s\n",
+           static_cast<unsigned long long>(FuzzSeed),
+           printLitmusC(Input).c_str());
+  }
+
+  TelechatResult R = runTelechat(Input, P, Options);
+  if (!R.ok()) {
+    fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (ShowAsm) {
+    printf("--- raw disassembly ---\n%s\n", R.RawAsmText.c_str());
+    printf("--- optimised litmus test (s2l: -%u instructions) ---\n%s\n",
+           R.OptStats.RemovedInstructions,
+           printAsmLitmus(R.OptAsm).c_str());
+  }
+  printf("test        : %s\n", Input.Name.c_str());
+  printf("profile     : %s\n", P.name().c_str());
+  printf("source model: %s\n", Options.SourceModel.c_str());
+  printf("\nsource outcomes (%zu):\n%s", R.SourceSim.Allowed.size(),
+         outcomeSetToString(R.SourceSim.Allowed).c_str());
+  printf("compiled outcomes (%zu):\n%s", R.TargetSim.Allowed.size(),
+         outcomeSetToString(R.TargetSim.Allowed).c_str());
+  if (R.timedOut()) {
+    printf("\nverdict: TIMEOUT (budget exhausted)\n");
+    return 1;
+  }
+  for (const std::string &F : R.Compare.TargetFlags)
+    printf("flag: %s\n", F.c_str());
+  switch (R.Compare.K) {
+  case CompareResult::Kind::Equal:
+    printf("\nverdict: equal outcome sets\n");
+    return 0;
+  case CompareResult::Kind::Negative:
+    printf("\nverdict: negative difference (compiled is stronger; sound)\n");
+    return 0;
+  case CompareResult::Kind::Positive:
+    if (R.Compare.SourceRace) {
+      printf("\nverdict: positive difference on a RACY source test "
+             "(undefined behaviour; ignored)\n");
+      return 0;
+    }
+    printf("\nverdict: POSITIVE DIFFERENCE -- compiler bug candidate\n");
+    for (const Outcome &W : R.Compare.Witnesses)
+      printf("  witness: %s\n", W.toString().c_str());
+    return 2;
+  }
+  return 0;
+}
