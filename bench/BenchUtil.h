@@ -26,6 +26,13 @@ inline bool fullScale() {
   return Env && strcmp(Env, "full") == 0;
 }
 
+/// Worker threads for the campaign-style benches; TELECHAT_BENCH_JOBS
+/// overrides, default 0 = one per hardware thread.
+inline unsigned benchJobs() {
+  const char *Env = getenv("TELECHAT_BENCH_JOBS");
+  return Env ? unsigned(strtoul(Env, nullptr, 0)) : 0;
+}
+
 inline void header(const std::string &Title) {
   printf("\n============================================================\n");
   printf("%s\n", Title.c_str());

@@ -8,7 +8,9 @@
 //    terminating within an hour: every GOT load is a memory read whose
 //    unresolvable address forces the enumerator to consider all writes;
 //  - the s2l-optimised test simulates in milliseconds;
-//  - timing sweeps over thread count show the optimised path scaling.
+//  - timing sweeps over thread count show the optimised path scaling;
+//  - a -j sweep over the sharded enumeration engine shows the parallel
+//    speedup (SimOptions::Jobs) with bit-identical outcome sets.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,14 +18,49 @@
 #include "asmcore/Semantics.h"
 #include "core/Telechat.h"
 #include "diy/Classics.h"
+#include "litmus/Parser.h"
+#include "sim/CFrontend.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace telechat;
 using namespace telechat_bench;
 
 namespace {
+
+/// A 4-thread workload whose candidate space (~31k enumeration steps) is
+/// large enough to amortise sharding yet completes within budget, so the
+/// jobs sweep can assert bit-identical outcome sets.
+const char *ScalabilityWorkload = R"(C jobs_sweep
+{ *x = 0; *y = 0; }
+void P0(atomic_int* x) { atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_store_explicit(x, 2, memory_order_relaxed); }
+void P1(atomic_int* x) { atomic_store_explicit(x, 3, memory_order_relaxed);
+  atomic_store_explicit(x, 4, memory_order_relaxed); }
+void P2(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed); }
+void P3(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+  int r2 = atomic_load_explicit(x, memory_order_relaxed); }
+exists (P2:r0=2 /\ P3:r0=1)
+)";
+
+SimProgram scalabilityProgram() {
+  ErrorOr<LitmusTest> T = parseLitmusC(ScalabilityWorkload);
+  if (!T) {
+    fprintf(stderr, "fatal: scalability workload fails to parse: %s\n",
+            T.error().c_str());
+    exit(1);
+  }
+  return lowerLitmusC(*T);
+}
 
 Profile llvmO3() {
   return Profile::current(CompilerKind::Llvm, OptLevel::O3, Arch::AArch64);
@@ -68,6 +105,50 @@ void BM_SourceSimulationFig11(benchmark::State &State) {
 }
 BENCHMARK(BM_SourceSimulationFig11);
 
+/// The -j sweep: the same completing workload under rc11 at 1..N workers.
+void BM_ShardedEnumeration_Jobs(benchmark::State &State) {
+  SimProgram P = scalabilityProgram();
+  SimOptions Opts;
+  Opts.Jobs = unsigned(State.range(0));
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(P, "rc11", Opts);
+    Steps = R.Stats.RfCandidates + R.Stats.CoCandidates;
+    benchmark::DoNotOptimize(R.Allowed.size());
+  }
+  State.counters["steps"] = double(Steps);
+  State.counters["steps/s"] = benchmark::Counter(
+      double(Steps) * State.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedEnumeration_Jobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Budget-bound throughput: the unoptimised (§IV-E explosion) Fig. 11,
+/// time to exhaust a fixed step budget -- the herd-timeout regime where
+/// extra cores buy proportionally more explored candidates per second.
+void BM_RawFig11Budget_Jobs(benchmark::State &State) {
+  SimProgram Raw = prepare(paperFig11(), /*Optimise=*/false);
+  SimOptions Opts;
+  Opts.Jobs = unsigned(State.range(0));
+  Opts.MaxSteps = 100'000;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(Raw, "aarch64", Opts);
+    benchmark::DoNotOptimize(R.Stats.RfCandidates);
+  }
+}
+BENCHMARK(BM_RawFig11Budget_Jobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -111,9 +192,45 @@ int main(int argc, char **argv) {
            (!R.TimedOut && RawRun.TimedOut) ? "REPRODUCED" : "NOT shown");
   }
 
+  // Parallel sharded enumeration: sweep SimOptions::Jobs on a workload
+  // that completes, so outcome sets must be bit-identical across -j.
+  bool Identical = true;
+  {
+    unsigned HW = resolveJobs(0);
+    printf("\nsharded enumeration -j sweep (%u hardware threads):\n", HW);
+    SimProgram P = scalabilityProgram();
+    SimOptions Base;
+    SimResult Ref = simulateProgram(P, "rc11", Base);
+    double T1 = 0.0;
+    std::vector<unsigned> Sweep;
+    for (unsigned J = 1; J < HW; J *= 2)
+      Sweep.push_back(J);
+    Sweep.push_back(HW); // always measure full hardware parallelism
+    for (unsigned J : Sweep) {
+      SimOptions Opts;
+      Opts.Jobs = J;
+      auto S = std::chrono::steady_clock::now();
+      SimResult R = simulateProgram(P, "rc11", Opts);
+      double Secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - S)
+                        .count();
+      if (J == 1)
+        T1 = Secs;
+      bool Same = R.Allowed == Ref.Allowed && R.Flags == Ref.Flags &&
+                  R.TimedOut == Ref.TimedOut;
+      Identical = Identical && Same;
+      printf("  -j %-3u %8.1f ms  speedup %5.2fx  outcomes %s\n", J,
+             Secs * 1e3, T1 / Secs, Same ? "identical" : "DIFFERENT!");
+    }
+    printf("-> allowed-outcome sets bit-identical across -j: %s\n",
+           Identical ? "yes" : "NO (BUG)");
+  }
+
   printf("\nTimed sections (google-benchmark):\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  // A determinism regression must fail the CI smoke step, not just
+  // print; the sweep above is the gate.
+  return Identical ? 0 : 1;
 }

@@ -40,8 +40,17 @@ int main() {
   unsigned TvFound = 0, C4RpiFound = 0, C4A9Found = 0;
   unsigned C4Subset = 0, Total = 0;
   bool Deterministic = true;
-  for (const LitmusTest &T : Corpus) {
-    TelechatResult TV = runTelechat(T, P);
+  // Télétchat side as two thread-pooled campaigns; determinism must hold
+  // across the repeat (and across worker scheduling).
+  std::vector<TelechatResult> TvRun = runTelechatMany(Corpus, P,
+                                                      TestOptions(),
+                                                      benchJobs());
+  std::vector<TelechatResult> TvRepeat = runTelechatMany(Corpus, P,
+                                                         TestOptions(),
+                                                         benchJobs());
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    const LitmusTest &T = Corpus[I];
+    const TelechatResult &TV = TvRun[I];
     if (!TV.ok())
       continue;
     ++Total;
@@ -49,7 +58,7 @@ int main() {
                  !TV.Compare.SourceRace;
     TvFound += TvPos;
     // Determinism: a second run must agree exactly.
-    TelechatResult TV2 = runTelechat(T, P);
+    const TelechatResult &TV2 = TvRepeat[I];
     if (!(TV2.ok() && TV2.TargetSim.Allowed == TV.TargetSim.Allowed))
       Deterministic = false;
 

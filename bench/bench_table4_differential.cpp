@@ -71,16 +71,18 @@ int main() {
     // cell key: (arch, compiler, opt)
     std::map<std::tuple<Arch, CompilerKind, OptLevel>, Cell> Cells;
     unsigned Compiled = 0;
-    for (const LitmusTest &T : Suite) {
-      for (Arch A : AllArchs) {
-        for (CompilerKind C : Compilers) {
-          for (OptLevel O : Opts) {
-            if (O == OptLevel::Og && C == CompilerKind::Llvm)
-              continue; // clang does not support -Og (paper Table IV)
-            TestOptions TO;
-            TO.SourceModel = SourceModel;
-            TelechatResult R =
-                runTelechat(T, Profile::current(C, O, A), TO);
+    // One thread-pooled campaign per cell: the whole suite fans out over
+    // the workers, results come back in input order (see runTelechatMany).
+    for (Arch A : AllArchs) {
+      for (CompilerKind C : Compilers) {
+        for (OptLevel O : Opts) {
+          if (O == OptLevel::Og && C == CompilerKind::Llvm)
+            continue; // clang does not support -Og (paper Table IV)
+          TestOptions TO;
+          TO.SourceModel = SourceModel;
+          std::vector<TelechatResult> Results = runTelechatMany(
+              Suite, Profile::current(C, O, A), TO, benchJobs());
+          for (const TelechatResult &R : Results) {
             if (!R.ok() || R.timedOut())
               continue;
             ++Compiled;

@@ -28,6 +28,9 @@ int main(int argc, char **argv) {
   SimOptions Opts;
   Opts.CollectExecutions = true;
   Opts.MaxCollectedExecutions = 8;
+  // Shard over all hardware threads: the collected executions (and every
+  // other field) are identical to a sequential Jobs=1 run.
+  Opts.Jobs = 0;
   SimResult R = simulateC(Test, Model, Opts);
   if (!R.ok()) {
     fprintf(stderr, "error: %s\n", R.Error.c_str());

@@ -6,6 +6,8 @@
 
 #include "core/MCompare.h"
 
+#include "support/ThreadPool.h"
+
 using namespace telechat;
 
 CompareResult telechat::mcompare(
@@ -45,4 +47,14 @@ CompareResult telechat::mcompare(
   Out.K = TgtProj.size() < SrcProj.size() ? CompareResult::Kind::Negative
                                           : CompareResult::Kind::Equal;
   return Out;
+}
+
+std::vector<CompareResult>
+telechat::mcompareMany(const std::vector<ComparePair> &Pairs, unsigned Jobs) {
+  std::vector<CompareResult> Results(Pairs.size());
+  ThreadPool Pool(resolveJobs(Jobs));
+  Pool.parallelFor(Pairs.size(), [&](size_t I) {
+    Results[I] = mcompare(*Pairs[I].Source, *Pairs[I].Target, *Pairs[I].KeyMap);
+  });
+  return Results;
 }

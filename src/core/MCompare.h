@@ -51,6 +51,21 @@ CompareResult
 mcompare(const SimResult &Source, const SimResult &Target,
          const std::vector<std::pair<std::string, std::string>> &KeyMap);
 
+/// One comparison job for the batched driver. Pointees must outlive the
+/// mcompareMany call.
+struct ComparePair {
+  const SimResult *Source = nullptr;
+  const SimResult *Target = nullptr;
+  const std::vector<std::pair<std::string, std::string>> *KeyMap = nullptr;
+};
+
+/// Batched mcompare over a thread pool of \p Jobs workers (0 = one per
+/// hardware thread). Results come back in input order, identical to
+/// calling mcompare per element. Projection/renaming dominates on
+/// campaign-sized outcome sets, which is why this is worth pooling.
+std::vector<CompareResult> mcompareMany(const std::vector<ComparePair> &Pairs,
+                                        unsigned Jobs = 0);
+
 } // namespace telechat
 
 #endif // TELECHAT_CORE_MCOMPARE_H

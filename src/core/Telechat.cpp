@@ -7,6 +7,7 @@
 #include "core/Telechat.h"
 
 #include "asmcore/Semantics.h"
+#include "support/ThreadPool.h"
 
 using namespace telechat;
 
@@ -58,4 +59,18 @@ TelechatResult telechat::runTelechat(const LitmusTest &S, const Profile &P,
   // Step 5: mcompare through the state mapping.
   R.Compare = mcompare(R.SourceSim, R.TargetSim, R.Compiled.KeyMap);
   return R;
+}
+
+std::vector<TelechatResult>
+telechat::runTelechatMany(const std::vector<LitmusTest> &Tests,
+                          const Profile &P, const TestOptions &O,
+                          unsigned Jobs) {
+  std::vector<TelechatResult> Results(Tests.size());
+  TestOptions PerTest = O;
+  PerTest.Sim.Jobs = 1; // Outer parallelism: one test per pool worker.
+  ThreadPool Pool(resolveJobs(Jobs));
+  Pool.parallelFor(Tests.size(), [&](size_t I) {
+    Results[I] = runTelechat(Tests[I], P, PerTest);
+  });
+  return Results;
 }

@@ -70,6 +70,16 @@ struct TelechatResult {
 TelechatResult runTelechat(const LitmusTest &S, const Profile &P,
                            const TestOptions &O = TestOptions());
 
+/// Campaign driver: runs the full pipeline on every test, spread over a
+/// thread pool of \p Jobs workers (0 = one per hardware thread). Results
+/// come back in input order and are identical to calling runTelechat per
+/// element; the per-test simulations run with Jobs=1 because campaign
+/// throughput wants the parallelism across tests, not inside one.
+std::vector<TelechatResult> runTelechatMany(const std::vector<LitmusTest> &Tests,
+                                            const Profile &P,
+                                            const TestOptions &O = TestOptions(),
+                                            unsigned Jobs = 0);
+
 } // namespace telechat
 
 #endif // TELECHAT_CORE_TELECHAT_H

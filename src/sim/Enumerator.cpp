@@ -14,15 +14,27 @@
 ///      assignments that are value-, address- or branch-inconsistent,
 ///   4. per-location coherence orders, then Cat-model filtering.
 ///
+/// The candidate space is embarrassingly parallel: stage 1 and 2 form a
+/// mixed-radix index space (path combo x rf assignment) that is cut into
+/// contiguous *shards* and consumed by a work-stealing scheduler
+/// (ShardScheduler.h). Workers keep private stats/outcome/flag state and
+/// draw enumeration steps from one shared atomic budget; the merge step
+/// reassembles per-shard results in enumeration order, so completed runs
+/// are bit-identical for any SimOptions::Jobs value.
+///
 //===----------------------------------------------------------------------===//
 
 #include "sim/Enumerator.h"
 
+#include "sim/ShardScheduler.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 
 using namespace telechat;
@@ -60,62 +72,116 @@ struct EvInfo {
   std::string InitLoc; ///< Init writes: the location.
 };
 
-class EnumeratorImpl {
-public:
-  EnumeratorImpl(const SimProgram &Program, const CatModel &Model,
-                 const SimOptions &Options)
-      : Prog(Program), Model(Model), Opts(Options),
-        Start(std::chrono::steady_clock::now()) {}
+constexpr uint64_t kFullRange = ~uint64_t(0);
 
-  SimResult run() {
+/// One unit of schedulable work: a contiguous range [RfLo, RfHi) of the
+/// rf index space of one path combo. RfHi == kFullRange means "to the
+/// end". Index is the shard's position in global enumeration order.
+struct Shard {
+  uint64_t Combo = 0;
+  uint64_t RfLo = 0;
+  uint64_t RfHi = kFullRange;
+  size_t Index = 0;
+};
+
+/// Multiplication saturating at UINT64_MAX (candidate spaces overflow
+/// 64 bits long before the step budget lets anyone visit them).
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > kFullRange / B)
+    return kFullRange;
+  return A * B;
+}
+
+/// State shared by all workers of one enumeration run.
+struct SharedState {
+  uint64_t MaxSteps = 0;
+  double TimeoutSeconds = 0.0;
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<bool> TimedOut{false};
+  std::atomic<bool> Aborted{false}; ///< Model error: stop all workers.
+
+  bool stopped() const {
+    return TimedOut.load(std::memory_order_relaxed) ||
+           Aborted.load(std::memory_order_relaxed);
+  }
+
+  /// Draws one enumeration step from the shared budget. Mirrors the
+  /// sequential semantics exactly: step MaxSteps succeeds, step
+  /// MaxSteps+1 trips the timeout.
+  bool take() {
+    if (stopped())
+      return false;
+    uint64_t Old = Steps.fetch_add(1, std::memory_order_relaxed);
+    if (Old >= MaxSteps) {
+      TimedOut.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Everything one worker accumulates; merged in shard order at the end.
+struct WorkerResult {
+  OutcomeSet Allowed;
+  std::set<std::string> Flags;
+  SimStats Stats;
+  /// Shard index -> executions collected from that shard, in enumeration
+  /// order (each capped at MaxCollectedExecutions).
+  std::map<size_t, std::vector<Execution>> Execs;
+  std::string Error;
+  size_t ErrorShard = ~size_t(0);
+};
+
+/// A worker: owns all per-combo scratch state and processes shards. The
+/// last-prepared combo skeleton is cached, so a worker draining its
+/// contiguous shard range re-prepares only on combo boundaries.
+class ShardWorker {
+public:
+  ShardWorker(const SimProgram &Program, const CatModel &Model,
+              const SimOptions &Options, SharedState &Shared)
+      : Prog(Program), Model(Model), Opts(Options), Shared(Shared) {
     // Synthetic numeric addresses for locations (0x1000 apart, mirroring
     // an ELF data section layout).
     for (unsigned I = 0; I != Prog.Locations.size(); ++I)
       LocAddr[Prog.Locations[I].Name] = Value(0x1000 * (uint64_t(I) + 1));
+  }
 
-    // Odometer over per-thread path choices.
+  WorkerResult WR;
+
+  bool shouldStop() const { return LocalStop || Shared.stopped(); }
+
+  void processShard(const Shard &S) {
+    if (shouldStop())
+      return;
+    CurShardIdx = S.Index;
+    if (S.Combo != CurCombo) {
+      prepareCombo(S.Combo);
+      CurCombo = S.Combo;
+    }
+    // The shard at the origin of the combo's rf space owns the
+    // PathCombos count (exactly one such shard exists per combo).
+    if (S.RfLo == 0)
+      ++WR.Stats.PathCombos;
+    uint64_t Hi = std::min(RfSpace, S.RfHi);
+    if (S.RfLo >= Hi)
+      return; // Empty rf space (a read with no candidate writes).
+    runRfRange(S.RfLo, Hi);
+  }
+
+  /// Builds the event skeleton and rf candidates for one path combo and
+  /// returns the size of its rf index space (saturating). Used both by
+  /// shard processing and by the driver's splitting pre-pass.
+  uint64_t prepareCombo(uint64_t Combo) {
     std::vector<size_t> PathChoice(Prog.Threads.size(), 0);
-    while (true) {
-      ++Result.Stats.PathCombos;
-      runPathCombo(PathChoice);
-      if (Result.TimedOut || !Result.ok())
-        break;
-      // Advance the odometer.
-      size_t T = 0;
-      for (; T != PathChoice.size(); ++T) {
-        if (++PathChoice[T] < Prog.Threads[T].Paths.size())
-          break;
-        PathChoice[T] = 0;
-      }
-      if (T == PathChoice.size())
-        break;
+    for (size_t T = 0; T != PathChoice.size(); ++T) {
+      size_t N = Prog.Threads[T].Paths.size();
+      PathChoice[T] = size_t(Combo % N);
+      Combo /= N;
     }
-    auto End = std::chrono::steady_clock::now();
-    Result.Stats.Seconds =
-        std::chrono::duration<double>(End - Start).count();
-    return std::move(Result);
-  }
 
-private:
-  /// Steps the budget; returns false when exhausted.
-  bool budget() {
-    ++Steps;
-    if (Steps > Opts.MaxSteps) {
-      Result.TimedOut = true;
-      return false;
-    }
-    if (Opts.TimeoutSeconds > 0 && (Steps & 1023) == 0) {
-      auto Now = std::chrono::steady_clock::now();
-      if (std::chrono::duration<double>(Now - Start).count() >
-          Opts.TimeoutSeconds) {
-        Result.TimedOut = true;
-        return false;
-      }
-    }
-    return true;
-  }
-
-  void runPathCombo(const std::vector<size_t> &PathChoice) {
     // --- Build the event skeleton. ---
     Events.clear();
     OpEvents.clear();
@@ -208,16 +274,50 @@ private:
       }
     }
 
-    // --- rf odometer. ---
-    std::vector<size_t> RfChoice(Reads.size(), 0);
-    while (true) {
+    RfSpace = 1;
+    for (const std::vector<unsigned> &C : RfCand)
+      RfSpace = satMul(RfSpace, C.size());
+    return RfSpace;
+  }
+
+private:
+  /// Draws one step; on exhaustion (or another worker stopping) requests
+  /// local unwinding.
+  bool budget() {
+    if (!Shared.take()) {
+      LocalStop = true;
+      return false;
+    }
+    if (Shared.TimeoutSeconds > 0 && (++LocalSteps & 1023) == 0) {
+      auto Now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(Now - Shared.Start).count() >
+          Shared.TimeoutSeconds) {
+        Shared.TimedOut.store(true, std::memory_order_relaxed);
+        LocalStop = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Iterates rf assignments [Lo, Hi) of the prepared combo. The rf index
+  /// space is mixed-radix with RfChoice[0] least significant, matching
+  /// the sequential odometer order.
+  void runRfRange(uint64_t Lo, uint64_t Hi) {
+    RfChoice.assign(Reads.size(), 0);
+    uint64_t Tmp = Lo;
+    for (size_t I = 0; I != RfChoice.size() && Tmp != 0; ++I) {
+      RfChoice[I] = size_t(Tmp % RfCand[I].size());
+      Tmp /= RfCand[I].size();
+    }
+    for (uint64_t Count = Hi - Lo; Count != 0; --Count) {
       if (!budget())
         return;
-      ++Result.Stats.RfCandidates;
+      ++WR.Stats.RfCandidates;
       if (resolveValues(RfChoice)) {
-        ++Result.Stats.ValueConsistent;
+        ++WR.Stats.ValueConsistent;
         enumerateCo(RfChoice);
-        if (Result.TimedOut || !Result.ok())
+        if (shouldStop())
           return;
       }
       size_t I = 0;
@@ -227,7 +327,7 @@ private:
         RfChoice[I] = 0;
       }
       if (I == RfChoice.size())
-        return;
+        return; // Wrapped: the whole space is exhausted.
     }
   }
 
@@ -622,12 +722,12 @@ private:
 
   void permuteGroups(const std::vector<size_t> &RfChoice,
                      std::vector<std::vector<unsigned>> &Groups, size_t GI) {
-    if (Result.TimedOut || !Result.ok())
+    if (shouldStop())
       return;
     if (GI == Groups.size()) {
       if (!budget())
         return;
-      ++Result.Stats.CoCandidates;
+      ++WR.Stats.CoCandidates;
       checkCandidate(RfChoice, Groups);
       return;
     }
@@ -635,7 +735,7 @@ private:
     std::sort(G.begin(), G.end());
     do {
       permuteGroups(RfChoice, Groups, GI + 1);
-      if (Result.TimedOut || !Result.ok())
+      if (shouldStop())
         return;
     } while (std::next_permutation(G.begin(), G.end()));
   }
@@ -745,12 +845,17 @@ private:
 
     ModelVerdict Verdict = evaluateCat(Model, Ex);
     if (!Verdict.ok()) {
-      Result.Error = Verdict.Error;
+      if (WR.Error.empty() || CurShardIdx < WR.ErrorShard) {
+        WR.Error = Verdict.Error;
+        WR.ErrorShard = CurShardIdx;
+      }
+      Shared.Aborted.store(true, std::memory_order_relaxed);
+      LocalStop = true;
       return;
     }
     if (!Verdict.Allowed)
       return;
-    ++Result.Stats.AllowedExecutions;
+    ++WR.Stats.AllowedExecutions;
     // Outcome: observed registers + observed locations' final values.
     Outcome O;
     for (const auto &[Key, V] : ObservedRegs)
@@ -760,20 +865,43 @@ private:
       auto It = FinalMem.find(Loc);
       O.set(Outcome::locKey(Loc), It == FinalMem.end() ? Value() : It->second);
     }
-    Result.Allowed.insert(O);
+    WR.Allowed.insert(O);
     for (const std::string &F : Verdict.Flags)
-      Result.Flags.insert(F);
-    if (Opts.CollectExecutions &&
-        Result.Executions.size() < Opts.MaxCollectedExecutions)
-      Result.Executions.push_back(Ex);
+      WR.Flags.insert(F);
+    if (Opts.CollectExecutions)
+      collectExecution(Ex);
+  }
+
+  void collectExecution(const Execution &Ex) {
+    std::vector<Execution> &Bucket = WR.Execs[CurShardIdx];
+    if (Bucket.size() < Opts.MaxCollectedExecutions)
+      Bucket.push_back(Ex);
+    // Prune buckets this worker can prove unreachable: once its own
+    // lower-indexed shards alone hold MaxCollectedExecutions executions,
+    // the shard-ordered merge can never select anything from its
+    // higher-indexed buckets. Keeps memory bounded under stealing.
+    size_t Cum = 0;
+    auto It = WR.Execs.begin();
+    for (; It != WR.Execs.end(); ++It) {
+      Cum += It->second.size();
+      if (Cum >= Opts.MaxCollectedExecutions) {
+        ++It;
+        break;
+      }
+    }
+    WR.Execs.erase(It, WR.Execs.end());
   }
 
   const SimProgram &Prog;
   const CatModel &Model;
   SimOptions Opts;
-  std::chrono::steady_clock::time_point Start;
-  SimResult Result;
-  uint64_t Steps = 0;
+  SharedState &Shared;
+
+  bool LocalStop = false;
+  uint64_t LocalSteps = 0;
+  uint64_t CurCombo = kFullRange;
+  size_t CurShardIdx = 0;
+  uint64_t RfSpace = 0;
 
   std::map<std::string, Value> LocAddr;
 
@@ -786,6 +914,7 @@ private:
   std::vector<unsigned> Reads;
   std::vector<unsigned> Writes;
   std::vector<std::vector<unsigned>> RfCand;
+  std::vector<size_t> RfChoice;
 
   // Per rf-candidate state.
   std::vector<EvState> State;
@@ -793,12 +922,136 @@ private:
   std::vector<std::pair<std::string, Value>> ObservedRegs;
 };
 
+/// Merges per-worker results in shard order into one SimResult.
+SimResult mergeResults(std::vector<std::unique_ptr<ShardWorker>> &Workers,
+                       const SharedState &Shared, const SimOptions &Opts) {
+  SimResult R;
+  size_t ErrorShard = ~size_t(0);
+  std::map<size_t, std::vector<Execution>> Execs;
+  for (std::unique_ptr<ShardWorker> &W : Workers) {
+    WorkerResult &WRes = W->WR;
+    R.Allowed.insert(WRes.Allowed.begin(), WRes.Allowed.end());
+    R.Flags.insert(WRes.Flags.begin(), WRes.Flags.end());
+    R.Stats.PathCombos += WRes.Stats.PathCombos;
+    R.Stats.RfCandidates += WRes.Stats.RfCandidates;
+    R.Stats.ValueConsistent += WRes.Stats.ValueConsistent;
+    R.Stats.CoCandidates += WRes.Stats.CoCandidates;
+    R.Stats.AllowedExecutions += WRes.Stats.AllowedExecutions;
+    if (!WRes.Error.empty() && WRes.ErrorShard < ErrorShard) {
+      ErrorShard = WRes.ErrorShard;
+      R.Error = WRes.Error;
+    }
+    for (auto &[Idx, Bucket] : WRes.Execs)
+      Execs[Idx] = std::move(Bucket);
+  }
+  if (Opts.CollectExecutions)
+    for (auto &[Idx, Bucket] : Execs)
+      for (Execution &Ex : Bucket) {
+        if (R.Executions.size() >= Opts.MaxCollectedExecutions)
+          break;
+        R.Executions.push_back(std::move(Ex));
+      }
+  R.TimedOut = Shared.TimedOut.load(std::memory_order_relaxed);
+  return R;
+}
+
 } // namespace
 
 SimResult telechat::enumerateExecutions(const SimProgram &Program,
                                         const CatModel &Model,
                                         const SimOptions &Options) {
-  return EnumeratorImpl(Program, Model, Options).run();
+  SharedState Shared;
+  Shared.MaxSteps = Options.MaxSteps;
+  Shared.TimeoutSeconds = Options.TimeoutSeconds;
+  Shared.Start = std::chrono::steady_clock::now();
+
+  // Path combos form a mixed-radix space over per-thread path counts
+  // (index 0 least significant, matching the sequential odometer). The
+  // empty product (no threads) is one combo: the init-only execution.
+  uint64_t ComboCount = 1;
+  for (const SimThread &T : Program.Threads)
+    ComboCount = satMul(ComboCount, T.Paths.size());
+
+  unsigned Jobs = resolveJobs(Options.Jobs);
+  std::vector<std::unique_ptr<ShardWorker>> Workers;
+
+  if (Jobs <= 1) {
+    // Sequential: one worker walks every combo in order; shards are never
+    // materialised. Identical code path, zero threading overhead.
+    Workers.push_back(
+        std::make_unique<ShardWorker>(Program, Model, Options, Shared));
+    ShardWorker &W = *Workers.front();
+    for (uint64_t C = 0; C != ComboCount && !W.shouldStop(); ++C) {
+      Shard S;
+      S.Combo = C;
+      S.Index = size_t(C);
+      W.processShard(S);
+    }
+  } else {
+    for (unsigned J = 0; J != Jobs; ++J)
+      Workers.push_back(
+          std::make_unique<ShardWorker>(Program, Model, Options, Shared));
+
+    // Shards are built in waves so combo-heavy programs (many branches)
+    // never materialise an unbounded shard vector; each wave runs on the
+    // work-stealing scheduler.
+    constexpr uint64_t kWaveCombos = 1 << 18;
+    // Splitting pre-pass scratch (prepares skeletons to size rf spaces).
+    ShardWorker Scratch(Program, Model, Options, Shared);
+
+    uint64_t NextCombo = 0;
+    size_t NextIndex = 0;
+    while (NextCombo < ComboCount && !Shared.stopped()) {
+      std::vector<Shard> Wave;
+      if (ComboCount < uint64_t(Jobs) * 4) {
+        // Few combos: split each combo's rf space into chunks so all
+        // workers share even a single-combo test (the common litmus
+        // case, and the paper's §IV-E explosion case).
+        for (uint64_t C = NextCombo; C != ComboCount; ++C) {
+          uint64_t Space = Scratch.prepareCombo(C);
+          uint64_t MaxChunks = uint64_t(Jobs) * 8;
+          uint64_t Chunk =
+              std::max<uint64_t>(16, Space / MaxChunks + (Space % MaxChunks
+                                                              ? 1
+                                                              : 0));
+          uint64_t Lo = 0;
+          do {
+            Shard S;
+            S.Combo = C;
+            S.RfLo = Lo;
+            S.RfHi = (Space - Lo <= Chunk) ? Space : Lo + Chunk;
+            if (Space == 0)
+              S.RfHi = 0; // Keep the PathCombos-owning shard.
+            S.Index = NextIndex++;
+            Wave.push_back(S);
+            Lo = S.RfHi;
+          } while (Lo < Space);
+        }
+        NextCombo = ComboCount;
+      } else {
+        uint64_t End = NextCombo + std::min<uint64_t>(
+                                       kWaveCombos, ComboCount - NextCombo);
+        for (uint64_t C = NextCombo; C != End; ++C) {
+          Shard S;
+          S.Combo = C;
+          S.Index = NextIndex++;
+          Wave.push_back(S);
+        }
+        NextCombo = End;
+      }
+
+      ShardScheduler::run(
+          Wave.size(), Jobs,
+          [&](unsigned W, size_t I) { Workers[W]->processShard(Wave[I]); },
+          [&] { return Shared.stopped(); });
+    }
+  }
+
+  SimResult Result = mergeResults(Workers, Shared, Options);
+  auto End = std::chrono::steady_clock::now();
+  Result.Stats.Seconds =
+      std::chrono::duration<double>(End - Shared.Start).count();
+  return Result;
 }
 
 bool telechat::finalConditionHolds(const SimProgram &Program,

@@ -36,6 +36,17 @@ struct SimOptions {
   /// Keep allowed executions (for figures/DOT output).
   bool CollectExecutions = false;
   unsigned MaxCollectedExecutions = 64;
+  /// Worker threads for sharded enumeration. 1 = sequential, 0 = one per
+  /// hardware thread. The candidate space (path combos x rf assignments)
+  /// is partitioned into shards consumed by a work-stealing scheduler;
+  /// results merge in enumeration order, so a run that completes within
+  /// budget is bit-identical for every Jobs value. Timed-out runs share
+  /// one atomic step budget: total work stays bounded by MaxSteps, but
+  /// *which* prefix of the space was explored depends on scheduling.
+  /// Model-error runs likewise stop all workers at the first *observed*
+  /// error; with several distinct error sites the reported Error text
+  /// may differ across Jobs values (the run is aborted either way).
+  unsigned Jobs = 1;
 };
 
 /// Counters for one simulation run.

@@ -8,6 +8,7 @@
 
 #include "models/Registry.h"
 #include "sim/CFrontend.h"
+#include "support/ThreadPool.h"
 
 using namespace telechat;
 
@@ -22,4 +23,21 @@ SimResult telechat::simulateProgram(const SimProgram &Program,
                                     const std::string &ModelName,
                                     const SimOptions &Options) {
   return enumerateExecutions(Program, getModel(ModelName), Options);
+}
+
+std::vector<SimResult>
+telechat::simulateMany(const std::vector<SimProgram> &Programs,
+                       const std::string &ModelName,
+                       const SimOptions &Options) {
+  // Parse/cache the model once up front so pool workers do not stampede
+  // the registry mutex on first use.
+  const CatModel &Model = getModel(ModelName);
+  std::vector<SimResult> Results(Programs.size());
+  SimOptions PerSim = Options;
+  PerSim.Jobs = 1; // Outer parallelism: one test per pool worker.
+  ThreadPool Pool(resolveJobs(Options.Jobs));
+  Pool.parallelFor(Programs.size(), [&](size_t I) {
+    Results[I] = enumerateExecutions(Programs[I], Model, PerSim);
+  });
+  return Results;
 }

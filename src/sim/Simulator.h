@@ -12,6 +12,7 @@
 #include "sim/Program.h"
 
 #include <string>
+#include <vector>
 
 namespace telechat {
 
@@ -25,6 +26,16 @@ SimResult simulateC(const LitmusTest &Test, const std::string &ModelName,
 SimResult simulateProgram(const SimProgram &Program,
                           const std::string &ModelName,
                           const SimOptions &Options = SimOptions());
+
+/// Batch entry point: simulates every program under the same model,
+/// spread over a thread pool of Options.Jobs workers (0 = one per
+/// hardware thread). Results come back in input order and are identical
+/// to calling simulateProgram per element; parallelism is applied
+/// *across* tests (each individual simulation runs with Jobs=1), which
+/// is the right trade for campaign throughput.
+std::vector<SimResult> simulateMany(const std::vector<SimProgram> &Programs,
+                                    const std::string &ModelName,
+                                    const SimOptions &Options = SimOptions());
 
 } // namespace telechat
 

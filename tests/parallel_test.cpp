@@ -1,0 +1,223 @@
+//===--- parallel_test.cpp - Sharded-enumeration determinism tests --------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// The contract under test (SimOptions::Jobs): any run that completes
+// within budget is bit-identical no matter how many workers enumerate
+// it, and the shared step budget bounds *total* work across workers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MCompare.h"
+#include "core/Telechat.h"
+#include "diy/Classics.h"
+#include "events/Dot.h"
+#include "litmus/Parser.h"
+#include "sim/CFrontend.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace telechat;
+
+namespace {
+
+/// Everything that must match between a sequential and a sharded run of
+/// the same test (Seconds is wall clock and excluded by design).
+void expectIdentical(const SimResult &Seq, const SimResult &Par,
+                     const std::string &What) {
+  EXPECT_EQ(Seq.Error, Par.Error) << What;
+  EXPECT_EQ(Seq.TimedOut, Par.TimedOut) << What;
+  EXPECT_EQ(Seq.Allowed, Par.Allowed) << What;
+  EXPECT_EQ(Seq.Flags, Par.Flags) << What;
+  EXPECT_EQ(Seq.Stats.PathCombos, Par.Stats.PathCombos) << What;
+  EXPECT_EQ(Seq.Stats.RfCandidates, Par.Stats.RfCandidates) << What;
+  EXPECT_EQ(Seq.Stats.ValueConsistent, Par.Stats.ValueConsistent) << What;
+  EXPECT_EQ(Seq.Stats.CoCandidates, Par.Stats.CoCandidates) << What;
+  EXPECT_EQ(Seq.Stats.AllowedExecutions, Par.Stats.AllowedExecutions) << What;
+}
+
+/// A branchy two-thread test: 8 path combos, so sharding covers both the
+/// combo and the rf dimension.
+const char *Branchy = R"(C branchy
+{ *x = 0; *y = 0; *z = 0; }
+void P0(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(z, 1, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(z, memory_order_relaxed);
+  if (r1) { atomic_store_explicit(y, 2, memory_order_relaxed); }
+}
+void P1(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  if (r0) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(z, r1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=2)
+)";
+
+TEST(ParallelEnumerationTest, ClassicsIdenticalAcrossJobs) {
+  for (const std::string &Name : classicNames()) {
+    SimOptions Seq;
+    Seq.Jobs = 1;
+    SimOptions Par;
+    Par.Jobs = 4;
+    SimResult A = simulateC(classicTest(Name), "rc11", Seq);
+    SimResult B = simulateC(classicTest(Name), "rc11", Par);
+    ASSERT_TRUE(A.ok()) << Name;
+    expectIdentical(A, B, Name);
+    EXPECT_FALSE(A.TimedOut) << Name;
+  }
+}
+
+TEST(ParallelEnumerationTest, PathCombosShardIdentically) {
+  auto T = parseLitmusC(Branchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimOptions Seq;
+  Seq.Jobs = 1;
+  SimResult A = simulateC(*T, "rc11", Seq);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  EXPECT_EQ(A.Stats.PathCombos, 8u); // 4 paths x 2 paths
+  for (unsigned J : {2u, 3u, 4u, 8u}) {
+    SimOptions Par;
+    Par.Jobs = J;
+    SimResult B = simulateC(*T, "rc11", Par);
+    expectIdentical(A, B, "branchy -j " + std::to_string(J));
+  }
+}
+
+TEST(ParallelEnumerationTest, JobsZeroUsesHardwareAndMatches) {
+  SimOptions Auto;
+  Auto.Jobs = 0; // one worker per hardware thread
+  SimResult A = simulateC(classicTest("IRIW"), "rc11");
+  SimResult B = simulateC(classicTest("IRIW"), "rc11", Auto);
+  expectIdentical(A, B, "IRIW -j auto");
+}
+
+TEST(ParallelEnumerationTest, CollectedExecutionsIdentical) {
+  SimOptions Seq;
+  Seq.Jobs = 1;
+  Seq.CollectExecutions = true;
+  Seq.MaxCollectedExecutions = 7; // force truncation mid-stream
+  SimOptions Par = Seq;
+  Par.Jobs = 4;
+  SimResult A = simulateC(classicTest("IRIW"), "rc11", Seq);
+  SimResult B = simulateC(classicTest("IRIW"), "rc11", Par);
+  ASSERT_TRUE(A.ok());
+  ASSERT_EQ(A.Executions.size(), 7u);
+  ASSERT_EQ(B.Executions.size(), 7u);
+  // Executions must come back in enumeration order: DOT is a faithful
+  // serialisation, so compare the rendered graphs.
+  for (size_t I = 0; I != A.Executions.size(); ++I)
+    EXPECT_EQ(executionToDot(A.Executions[I], "g"),
+              executionToDot(B.Executions[I], "g"))
+        << "execution " << I;
+}
+
+TEST(ParallelEnumerationTest, SharedBudgetBoundsTotalWork) {
+  // IRIW needs 32 enumeration steps (16 rf + 16 co); every worker draws
+  // from one atomic budget, so the counted work can never exceed
+  // MaxSteps no matter how many workers run.
+  for (unsigned J : {1u, 4u}) {
+    SimOptions Tight;
+    Tight.MaxSteps = 20;
+    Tight.Jobs = J;
+    SimResult R = simulateC(classicTest("IRIW"), "rc11", Tight);
+    EXPECT_TRUE(R.TimedOut) << "-j " << J;
+    EXPECT_LE(R.Stats.RfCandidates + R.Stats.CoCandidates, Tight.MaxSteps)
+        << "-j " << J;
+  }
+}
+
+TEST(ParallelEnumerationTest, TimeoutFlagMatchesAcrossJobs) {
+  // Generous budget: nobody times out; tiny budget: everybody does.
+  for (uint64_t Budget : {uint64_t(2'000'000), uint64_t(50)}) {
+    SimOptions Seq;
+    Seq.MaxSteps = Budget;
+    Seq.Jobs = 1;
+    SimOptions Par = Seq;
+    Par.Jobs = 4;
+    SimResult A = simulateC(classicTest("IRIW"), "rc11", Seq);
+    SimResult B = simulateC(classicTest("IRIW"), "rc11", Par);
+    EXPECT_EQ(A.TimedOut, B.TimedOut) << "budget " << Budget;
+  }
+}
+
+TEST(ParallelEnumerationTest, CompiledTestIdenticalAcrossJobs) {
+  // End-to-end: the compiled (assembly-model) side shards identically
+  // too, including under the architecture model.
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  TestOptions Seq;
+  Seq.Sim.Jobs = 1;
+  TestOptions Par;
+  Par.Sim.Jobs = 4;
+  TelechatResult A = runTelechat(classicTest("MP+rel+acq"), P, Seq);
+  TelechatResult B = runTelechat(classicTest("MP+rel+acq"), P, Par);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_EQ(A.SourceSim.Allowed, B.SourceSim.Allowed);
+  EXPECT_EQ(A.TargetSim.Allowed, B.TargetSim.Allowed);
+  EXPECT_EQ(A.Compare.K, B.Compare.K);
+}
+
+TEST(BatchApiTest, SimulateManyMatchesIndividual) {
+  std::vector<SimProgram> Programs;
+  for (const std::string &Name : {"MP", "SB", "LB", "2+2W", "WRC"})
+    Programs.push_back(lowerLitmusC(classicTest(Name)));
+  SimOptions Opts;
+  Opts.Jobs = 4;
+  std::vector<SimResult> Batch = simulateMany(Programs, "rc11", Opts);
+  ASSERT_EQ(Batch.size(), Programs.size());
+  for (size_t I = 0; I != Programs.size(); ++I) {
+    SimResult Single = simulateProgram(Programs[I], "rc11");
+    expectIdentical(Single, Batch[I], Programs[I].Name);
+  }
+}
+
+TEST(BatchApiTest, RunTelechatManyMatchesIndividual) {
+  std::vector<LitmusTest> Tests;
+  for (const std::string &Name : {"MP", "LB", "SB"})
+    Tests.push_back(classicTest(Name));
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  std::vector<TelechatResult> Batch = runTelechatMany(Tests, P,
+                                                      TestOptions(), 4);
+  ASSERT_EQ(Batch.size(), Tests.size());
+  for (size_t I = 0; I != Tests.size(); ++I) {
+    TelechatResult Single = runTelechat(Tests[I], P);
+    EXPECT_EQ(Single.Error, Batch[I].Error);
+    EXPECT_EQ(Single.SourceSim.Allowed, Batch[I].SourceSim.Allowed);
+    EXPECT_EQ(Single.TargetSim.Allowed, Batch[I].TargetSim.Allowed);
+    EXPECT_EQ(Single.Compare.K, Batch[I].Compare.K);
+    EXPECT_EQ(Single.isBug(), Batch[I].isBug());
+  }
+}
+
+TEST(BatchApiTest, McompareManyMatchesIndividual) {
+  std::vector<SimResult> Sources, Targets;
+  std::vector<std::vector<std::pair<std::string, std::string>>> Maps;
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  for (const std::string &Name : {"MP", "SB", "LB"}) {
+    TelechatResult R = runTelechat(classicTest(Name), P);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    Sources.push_back(R.SourceSim);
+    Targets.push_back(R.TargetSim);
+    Maps.push_back(R.Compiled.KeyMap);
+  }
+  std::vector<ComparePair> Pairs;
+  for (size_t I = 0; I != Sources.size(); ++I)
+    Pairs.push_back(ComparePair{&Sources[I], &Targets[I], &Maps[I]});
+  std::vector<CompareResult> Batch = mcompareMany(Pairs, 4);
+  ASSERT_EQ(Batch.size(), Pairs.size());
+  for (size_t I = 0; I != Pairs.size(); ++I) {
+    CompareResult Single = mcompare(Sources[I], Targets[I], Maps[I]);
+    EXPECT_EQ(Single.K, Batch[I].K);
+    EXPECT_EQ(Single.SourceRace, Batch[I].SourceRace);
+    EXPECT_EQ(Single.Witnesses.size(), Batch[I].Witnesses.size());
+  }
+}
+
+} // namespace

@@ -6,9 +6,11 @@
 
 #include "support/Relation.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 
 using namespace telechat;
@@ -273,4 +275,44 @@ TEST(StringUtilsTest, Format) {
   EXPECT_EQ(strFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(strFormat("%s", std::string(300, 'a').c_str()),
             std::string(300, 'a'));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(257);
+  for (auto &H : Hits)
+    H = 0;
+  Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool Pool(2);
+  unsigned Calls = 0;
+  Pool.parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  Pool.parallelFor(1, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrains) {
+  ThreadPool Pool(3);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 100; ++I)
+    Pool.submit([&Sum, I] { Sum.fetch_add(I); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool Pool(2);
+  Pool.wait(); // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ResolveJobsSemantics) {
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(7), 7u);
+  EXPECT_GE(resolveJobs(0), 1u); // hardware concurrency, at least one
 }

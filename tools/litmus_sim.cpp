@@ -7,7 +7,8 @@
 /// \file
 /// Simulates a litmus test under a model, like invoking herd directly:
 ///
-///   litmus-sim test.litmus [--model rc11] [--dot] [--stats]
+///   litmus-sim test.litmus [--model rc11] [-j N] [--max-steps N]
+///              [--dot] [--stats]
 ///
 /// Accepts both C litmus tests and assembly litmus tests (the format
 /// printed by the pipeline); assembly tests default to their target's
@@ -23,6 +24,7 @@
 #include "sim/Simulator.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -31,17 +33,30 @@ using namespace telechat;
 int main(int argc, char **argv) {
   if (argc < 2) {
     fprintf(stderr,
-            "usage: litmus-sim <test.litmus> [--model <name>] [--dot] "
-            "[--stats]\n");
+            "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
+            "[--max-steps <n>] [--dot] [--stats]\n"
+            "  -j <n>   enumeration worker threads (0 = all hardware "
+            "threads; default 1)\n");
     return 1;
   }
   std::string Path = argv[1];
   std::string Model;
   bool Dot = false, Stats = false;
+  unsigned Jobs = 1;
+  uint64_t MaxSteps = 0;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--model" && I + 1 < argc)
       Model = argv[++I];
+    else if ((Arg == "-j" || Arg == "--jobs") && I + 1 < argc) {
+      char *End = nullptr;
+      Jobs = unsigned(strtoul(argv[++I], &End, 0));
+      if (End == argv[I] || *End != '\0') {
+        fprintf(stderr, "error: -j expects a number, got '%s'\n", argv[I]);
+        return 1;
+      }
+    } else if (Arg == "--max-steps" && I + 1 < argc)
+      MaxSteps = strtoull(argv[++I], nullptr, 0);
     else if (Arg == "--dot")
       Dot = true;
     else if (Arg == "--stats")
@@ -85,6 +100,9 @@ int main(int argc, char **argv) {
 
   SimOptions Opts;
   Opts.CollectExecutions = Dot;
+  Opts.Jobs = Jobs;
+  if (MaxSteps)
+    Opts.MaxSteps = MaxSteps;
   SimResult R = simulateProgram(Program, Model, Opts);
   if (!R.ok()) {
     fprintf(stderr, "simulation error: %s\n", R.Error.c_str());

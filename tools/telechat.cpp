@@ -13,7 +13,7 @@
 ///
 ///   telechat test.litmus --profile llvm-O2-AArch64 [--model rc11]
 ///            [--no-augment] [--no-optimise] [--const-model]
-///            [--show-asm] [--fuzz-seed N]
+///            [--show-asm] [--fuzz-seed N] [-j N]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +41,9 @@ static void usage() {
           "  --const-model      use the const-violation-flagging model\n"
           "  --show-asm         print raw and optimised assembly tests\n"
           "  --fuzz-seed <n>    apply semantics-preserving mutations\n"
-          "  --max-steps <n>    simulation budget (default 2000000)\n");
+          "  --max-steps <n>    simulation budget (default 2000000)\n"
+          "  -j, --jobs <n>     enumeration worker threads per simulation\n"
+          "                     (0 = all hardware threads; default 1)\n");
 }
 
 int main(int argc, char **argv) {
@@ -95,6 +97,18 @@ int main(int argc, char **argv) {
         return 1;
       }
       Options.Sim.MaxSteps = strtoull(V, nullptr, 0);
+    } else if (Arg == "-j" || Arg == "--jobs") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      char *End = nullptr;
+      Options.Sim.Jobs = unsigned(strtoul(V, &End, 0));
+      if (End == V || *End != '\0') {
+        fprintf(stderr, "error: -j expects a number, got '%s'\n", V);
+        return 1;
+      }
     } else {
       fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
