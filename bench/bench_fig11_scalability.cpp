@@ -111,14 +111,19 @@ void BM_ShardedEnumeration_Jobs(benchmark::State &State) {
   SimOptions Opts;
   Opts.Jobs = unsigned(State.range(0));
   uint64_t Steps = 0;
+  SimStats Last;
   for (auto _ : State) {
     SimResult R = simulateProgram(P, "rc11", Opts);
     Steps = R.Stats.RfCandidates + R.Stats.CoCandidates;
+    Last = R.Stats;
     benchmark::DoNotOptimize(R.Allowed.size());
   }
   State.counters["steps"] = double(Steps);
   State.counters["steps/s"] = benchmark::Counter(
       double(Steps) * State.iterations(), benchmark::Counter::kIsRate);
+  State.counters["rf_sources_pruned"] = double(Last.RfSourcesPruned);
+  State.counters["rf_pruned"] = double(Last.RfPruned);
+  State.counters["cat_evals_avoided"] = double(Last.CatEvalsAvoided);
 }
 BENCHMARK(BM_ShardedEnumeration_Jobs)
     ->Arg(1)
@@ -147,6 +152,38 @@ BENCHMARK(BM_RawFig11Budget_Jobs)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Before/after for the per-candidate optimisations on the
+/// enumeration-heavy configs: arg0 selects the workload (0 = 4-thread
+/// rc11 sweep, 1 = compiled Fig. 11 under the aarch64 model), arg1
+/// toggles rf pruning + incremental Cat evaluation. The exported
+/// counters quantify the avoided work; the wall-clock delta between
+/// arg1=0 and arg1=1 is the tentpole speedup.
+void BM_EnumerationFeatures(benchmark::State &State) {
+  SimProgram P = State.range(0) == 0
+                     ? scalabilityProgram()
+                     : prepare(paperFig11(), /*Optimise=*/true);
+  const char *Model = State.range(0) == 0 ? "rc11" : "aarch64";
+  SimOptions Opts;
+  Opts.RfValuePruning = State.range(1) != 0;
+  Opts.IncrementalCatEval = State.range(1) != 0;
+  SimStats Last;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(P, Model, Opts);
+    Last = R.Stats;
+    benchmark::DoNotOptimize(R.Allowed.size());
+  }
+  State.counters["rf_candidates"] = double(Last.RfCandidates);
+  State.counters["rf_sources_pruned"] = double(Last.RfSourcesPruned);
+  State.counters["rf_pruned"] = double(Last.RfPruned);
+  State.counters["cat_evals_avoided"] = double(Last.CatEvalsAvoided);
+}
+BENCHMARK(BM_EnumerationFeatures)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
 } // namespace
@@ -223,6 +260,54 @@ int main(int argc, char **argv) {
              Secs * 1e3, T1 / Secs, Same ? "identical" : "DIFFERENT!");
     }
     printf("-> allowed-outcome sets bit-identical across -j: %s\n",
+           Identical ? "yes" : "NO (BUG)");
+  }
+
+  // Incremental Cat evaluation + rf pruning: before/after on the
+  // enumeration-heavy configs, gated on outcome identity like the -j
+  // sweep above.
+  {
+    printf("\nincremental-eval + rf-pruning before/after:\n");
+    struct Config {
+      const char *Name;
+      SimProgram Prog;
+      const char *Model;
+    };
+    std::vector<Config> Configs;
+    Configs.push_back({"4-thread rc11 sweep", scalabilityProgram(), "rc11"});
+    Configs.push_back(
+        {"optimised Fig. 11 (aarch64)", prepare(paperFig11(), true),
+         "aarch64"});
+    for (Config &C : Configs) {
+      SimOptions Off;
+      Off.RfValuePruning = false;
+      Off.IncrementalCatEval = false;
+      auto S0 = std::chrono::steady_clock::now();
+      SimResult Before = simulateProgram(C.Prog, C.Model, Off);
+      double TOff = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - S0)
+                        .count();
+      auto S1 = std::chrono::steady_clock::now();
+      SimResult After = simulateProgram(C.Prog, C.Model);
+      double TOn = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - S1)
+                       .count();
+      bool Same = Before.Allowed == After.Allowed &&
+                  Before.Flags == After.Flags &&
+                  Before.TimedOut == After.TimedOut;
+      Identical = Identical && Same;
+      printf("  %-28s %8.1f ms -> %8.1f ms  speedup %5.2fx  outcomes %s\n"
+             "  %-28s rf %llu -> %llu, rf-pruned %llu, cat evals avoided "
+             "%llu\n",
+             C.Name, TOff * 1e3, TOn * 1e3, TOff / TOn,
+             Same ? "identical" : "DIFFERENT!", "",
+             static_cast<unsigned long long>(Before.Stats.RfCandidates),
+             static_cast<unsigned long long>(After.Stats.RfCandidates),
+             static_cast<unsigned long long>(After.Stats.RfPruned),
+             static_cast<unsigned long long>(After.Stats.CatEvalsAvoided));
+    }
+    printf("-> outcome sets bit-identical with optimisations on vs off: "
+           "%s\n",
            Identical ? "yes" : "NO (BUG)");
   }
 

@@ -41,7 +41,8 @@ int main() {
   C4Result Unstressed = runC4(LB, P); // RPi-like, default runs
   C4Options Stressed;
   Stressed.Hardware = HwConfig::appleA9Like();
-  Stressed.Hardware.Runs = 4000; // "stress-testing"
+  Stressed.Hardware.Runs = 4000;           // "stress-testing"
+  Stressed.Hardware.Jobs = benchJobs();    // parallel oracle, same result
   C4Result StressedRun = runC4(LB, P, Stressed);
 
   // Generality: count source and architecture models this build ships.

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Scans every *.md file in the repository for inline links and validates
+the relative ones: the target file must exist, and a #fragment pointing
+into a markdown file must match a heading's GitHub-style anchor.
+External (scheme://) and mailto links are ignored -- CI must not depend
+on network reachability. Exits non-zero listing every broken link.
+
+Usage: python3 scripts/check_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces
+    become hyphens. Good enough for ASCII docs."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: str) -> set:
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            a = github_anchor(m.group(1))
+            n = seen.get(a, 0)
+            seen[a] = n + 1
+            anchors.add(a if n == 0 else f"{a}-{n}")
+    return anchors
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", ".claude"} and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(md_path: str):
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for rx in (LINK_RE, IMAGE_RE):
+                for m in rx.finditer(line):
+                    yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for md in md_files(root):
+        for lineno, target in links_in(md):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # external scheme (https:, mailto:, ...)
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            rel = os.path.relpath(md, root)
+            if not path_part:
+                dest = md  # pure in-file fragment
+            else:
+                base = root if path_part.startswith("/") else os.path.dirname(md)
+                dest = os.path.normpath(
+                    os.path.join(base, path_part.lstrip("/")))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel}:{lineno}: broken link: {target}")
+                    continue
+            if fragment and dest.endswith(".md") and os.path.isfile(dest):
+                if github_anchor(fragment) not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor #{fragment} "
+                        f"in {os.path.relpath(dest, root)}")
+    for e in sorted(errors):
+        print(e)
+    print(f"checked {checked} intra-repo links: "
+          f"{'OK' if not errors else f'{len(errors)} broken'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

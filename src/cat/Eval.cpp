@@ -3,12 +3,37 @@
 // Part of the Télétchat reproduction. MIT licensed; see README.md.
 //
 //===----------------------------------------------------------------------===//
+//
+// The incremental engine works in three phases:
+//
+//  1. Classification (once per CatEvaluator): every identifier occurrence
+//     is resolved to a *slot* (a let/let-rec binding instance), a *base*
+//     relation/set, or a *tag set*, SSA-style, so shadowing needs no map
+//     lookups at evaluation time. Each binding and check is then marked
+//     stable or dynamic by a bottom-up walk: an expression is stable iff
+//     everything it references is. Two markings are kept -- one assuming
+//     only the skeleton invariants (po, threads, kinds, rmw, IW), one
+//     additionally assuming fixed locations and tags (all-static combos).
+//
+//  2. Layer build (once per path combo): all stable bases, tag sets,
+//     bindings and check verdicts are materialised into an immutable
+//     CatStableLayer, shareable across worker threads.
+//
+//  3. Candidate evaluation (per candidate execution): statements are
+//     walked in order; stable work is served from the layer, dynamic
+//     work (anything reachable from rf/co/fr/addr/data/ctrl) is
+//     re-evaluated. Error propagation order matches the one-shot
+//     evaluator exactly: a stable statement's error is reported at its
+//     statement position, after any earlier dynamic error.
+//
+//===----------------------------------------------------------------------===//
 
 #include "cat/Eval.h"
 
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace telechat;
 
@@ -32,85 +57,484 @@ CatValue CatValue::set(Bitset S) {
 
 namespace {
 
-class Evaluator {
-public:
-  Evaluator(const Execution &Ex) : Ex(Ex), N(Ex.size()) { buildBaseEnv(); }
+/// The base environment, by fixed index. Order groups the stability
+/// classes: the first block is derivable from the combo skeleton alone,
+/// Loc/PoLoc additionally need fixed locations, the rest depend on the
+/// candidate's rf/co/dependency choice.
+enum BaseId : unsigned {
+  B_Po,
+  B_Rmw,
+  B_Ext,
+  B_Int,
+  B_Id,
+  B_Univ,
+  B_Empty,
+  B_R,
+  B_W,
+  B_M,
+  B_F,
+  B_IW,
+  B_Loc,
+  B_PoLoc,
+  B_Rf,
+  B_Co,
+  B_Fr,
+  B_Addr,
+  B_Data,
+  B_Ctrl,
+  B_Rfe,
+  B_Rfi,
+  B_Coe,
+  B_Coi,
+  B_Fre,
+  B_Fri,
+  B_COUNT
+};
 
-  ModelVerdict run(const CatModel &Model) {
-    ModelVerdict Verdict;
-    for (const CatStmt &S : Model.Stmts) {
+/// Stable across all candidates of a combo (skeleton-derived only).
+bool baseStableGen(unsigned B) { return B <= B_IW; }
+/// Stable when the combo's access locations are all static.
+bool baseStableStatic(unsigned B) { return B <= B_PoLoc; }
+
+const std::map<std::string, unsigned> &baseNames() {
+  static const std::map<std::string, unsigned> Names = {
+      {"po", B_Po},       {"rf", B_Rf},     {"co", B_Co},
+      {"fr", B_Fr},       {"rmw", B_Rmw},   {"addr", B_Addr},
+      {"data", B_Data},   {"ctrl", B_Ctrl}, {"loc", B_Loc},
+      {"po-loc", B_PoLoc}, {"ext", B_Ext},  {"int", B_Int},
+      {"id", B_Id},       {"rfe", B_Rfe},   {"rfi", B_Rfi},
+      {"coe", B_Coe},     {"coi", B_Coi},   {"fre", B_Fre},
+      {"fri", B_Fri},     {"_", B_Univ},    {"emptyset", B_Empty},
+      {"R", B_R},         {"W", B_W},       {"M", B_M},
+      {"F", B_F},         {"IW", B_IW}};
+  return Names;
+}
+
+/// Resolution of one identifier occurrence.
+struct Res {
+  enum class Kind { Base, Slot, Tag } K = Kind::Tag;
+  unsigned Index = 0; ///< BaseId or slot index.
+};
+
+/// (stable assuming skeleton invariants, stable also assuming all-static).
+struct Stab {
+  bool Gen = true;
+  bool Stat = true;
+
+  Stab meet(const Stab &O) const { return {Gen && O.Gen, Stat && O.Stat}; }
+};
+
+} // namespace
+
+/// See Eval.h. Built once per path combo, then only read.
+struct telechat::CatStableLayer {
+  std::vector<CatValue> Bases;
+  std::vector<char> BaseHas;
+  std::vector<CatValue> Slots;
+  std::vector<char> SlotHas;
+  std::map<std::string, CatValue> Tags; ///< Materialised iff AllStatic.
+  std::vector<char> CheckHolds;
+  std::vector<char> CheckHas;
+  std::string Error;                 ///< First stable-statement error.
+  size_t ErrorStmt = ~size_t(0);     ///< Statement index of that error.
+  /// For an error in a multi-binding let: which binding, so the
+  /// candidate walk can evaluate earlier dynamic bindings first and
+  /// report whichever error the one-shot evaluator would hit first.
+  size_t ErrorBind = ~size_t(0);
+  bool AllStatic = false;
+};
+
+struct CatEvaluator::Impl {
+  CatModel M; ///< Owned copy: expression addresses key ResMap.
+  std::map<const CatExpr *, Res> ResMap;
+
+  struct BindPlan {
+    unsigned Slot = 0;
+    Stab St;
+  };
+  struct StmtPlan {
+    std::vector<BindPlan> Binds; ///< Let (per-binding) / LetRec (group St).
+    Stab GroupSt;                ///< LetRec: stability of the whole group.
+    unsigned CheckIdx = ~0u;
+    Stab CheckSt;
+  };
+  std::vector<StmtPlan> Plans;
+  std::vector<Stab> SlotSt;
+  std::vector<std::string> TagNames; ///< Distinct tag identifiers used.
+  unsigned NumSlots = 0;
+  unsigned NumChecks = 0;
+
+  explicit Impl(const CatModel &Model) : M(Model) { classify(); }
+
+  bool slotStable(unsigned Slot, bool AllStatic) const {
+    return AllStatic ? SlotSt[Slot].Stat : SlotSt[Slot].Gen;
+  }
+  static bool pick(const Stab &S, bool AllStatic) {
+    return AllStatic ? S.Stat : S.Gen;
+  }
+
+private:
+  /// Resolves identifiers and computes stability for every binding and
+  /// check. Scope maps a name to its current resolution, starting from
+  /// the base environment; unknown names are tag sets.
+  void classify() {
+    std::map<std::string, Res> Scope;
+    for (const auto &[Name, B] : baseNames())
+      Scope[Name] = Res{Res::Kind::Base, B};
+    std::map<std::string, bool> SeenTag;
+
+    for (const CatStmt &S : M.Stmts) {
+      StmtPlan P;
       switch (S.K) {
       case CatStmt::Kind::Let:
         for (const CatBinding &B : S.Bindings) {
-          CatValue V;
-          if (std::string E = eval(B.Body, V); !E.empty()) {
-            Verdict.Error = E;
-            return Verdict;
-          }
-          Env[B.Name] = std::move(V);
+          BindPlan BP;
+          BP.Slot = NumSlots++;
+          BP.St = annotate(B.Body, Scope, SeenTag);
+          SlotSt.push_back(BP.St);
+          Scope[B.Name] = Res{Res::Kind::Slot, BP.Slot};
+          P.Binds.push_back(BP);
         }
         break;
       case CatStmt::Kind::LetRec: {
-        if (std::string E = evalRec(S.Bindings); !E.empty()) {
-          Verdict.Error = E;
-          return Verdict;
+        // Pre-register the group so mutual references resolve to slots;
+        // group stability is the meet over all bodies' *external*
+        // dependencies (self-references are provisionally stable).
+        for (const CatBinding &B : S.Bindings) {
+          BindPlan BP;
+          BP.Slot = NumSlots++;
+          SlotSt.push_back(Stab{true, true});
+          Scope[B.Name] = Res{Res::Kind::Slot, BP.Slot};
+          P.Binds.push_back(BP);
+        }
+        Stab Group;
+        for (const CatBinding &B : S.Bindings)
+          Group = Group.meet(annotate(B.Body, Scope, SeenTag));
+        P.GroupSt = Group;
+        for (BindPlan &BP : P.Binds) {
+          BP.St = Group;
+          SlotSt[BP.Slot] = Group;
         }
         break;
       }
+      case CatStmt::Kind::Check:
+        P.CheckIdx = NumChecks++;
+        P.CheckSt = annotate(S.Check.E, Scope, SeenTag);
+        break;
+      }
+      Plans.push_back(std::move(P));
+    }
+  }
+
+  Stab annotate(const CatExpr &E, std::map<std::string, Res> &Scope,
+                std::map<std::string, bool> &SeenTag) {
+    switch (E.K) {
+    case CatExpr::Kind::Zero:
+      return Stab{true, true};
+    case CatExpr::Kind::Id: {
+      auto It = Scope.find(E.Name);
+      Res R = It != Scope.end() ? It->second : Res{Res::Kind::Tag, 0};
+      ResMap[&E] = R;
+      switch (R.K) {
+      case Res::Kind::Base:
+        return Stab{baseStableGen(R.Index), baseStableStatic(R.Index)};
+      case Res::Kind::Slot:
+        return SlotSt[R.Index];
+      case Res::Kind::Tag:
+        if (!SeenTag[E.Name]) {
+          SeenTag[E.Name] = true;
+          TagNames.push_back(E.Name);
+        }
+        // Tags come from the ops of the chosen paths; only ConstWrite
+        // (resolved-location dependent) can vary, and only on combos
+        // with dynamic addresses.
+        return Stab{false, true};
+      }
+      return Stab{false, false};
+    }
+    default: {
+      Stab St;
+      for (const CatExpr &Op : E.Ops)
+        St = St.meet(annotate(Op, Scope, SeenTag));
+      return St;
+    }
+    }
+  }
+};
+
+namespace {
+
+/// One evaluation pass: either builds a stable layer (Building != null,
+/// visiting only stable statements) or evaluates a candidate (reading
+/// the immutable layer, recomputing dynamic statements).
+class Ctx {
+public:
+  Ctx(const CatEvaluator::Impl &I, const Execution &Ex, bool AllStatic,
+      const CatStableLayer *Stable, CatStableLayer *Building)
+      : I(I), Ex(Ex), N(Ex.size()), AllStatic(AllStatic), Stable(Stable),
+        Building(Building) {
+    LocalBases.resize(B_COUNT);
+    LocalBaseHas.assign(B_COUNT, 0);
+    if (!Building) {
+      DynSlots.resize(I.NumSlots);
+    }
+  }
+
+  /// Build mode: materialise every stable base, tag set, binding and
+  /// check into Building, stopping at the first error.
+  void buildStable() {
+    Building->Bases.resize(B_COUNT);
+    Building->BaseHas.assign(B_COUNT, 0);
+    Building->Slots.resize(I.NumSlots);
+    Building->SlotHas.assign(I.NumSlots, 0);
+    Building->CheckHolds.assign(I.NumChecks, 0);
+    Building->CheckHas.assign(I.NumChecks, 0);
+    Building->AllStatic = AllStatic;
+    for (unsigned B = 0; B != B_COUNT; ++B)
+      if (stableBase(B))
+        (void)base(B);
+    if (AllStatic)
+      for (const std::string &Tag : I.TagNames)
+        Building->Tags.emplace(Tag, CatValue::set(Ex.tagSet(Tag)));
+
+    for (size_t SI = 0; SI != I.Plans.size(); ++SI) {
+      const CatStmt &S = I.M.Stmts[SI];
+      const CatEvaluator::Impl::StmtPlan &P = I.Plans[SI];
+      std::string Err;
+      size_t ErrBind = ~size_t(0);
+      switch (S.K) {
+      case CatStmt::Kind::Let:
+        for (size_t BI = 0; BI != S.Bindings.size(); ++BI) {
+          if (!stable(P.Binds[BI].St))
+            continue;
+          CatValue V;
+          Err = eval(S.Bindings[BI].Body, V);
+          if (!Err.empty()) {
+            ErrBind = BI;
+            break;
+          }
+          setSlot(P.Binds[BI].Slot, std::move(V));
+        }
+        break;
+      case CatStmt::Kind::LetRec:
+        if (stable(P.GroupSt))
+          Err = evalRec(S, P);
+        break;
+      case CatStmt::Kind::Check:
+        if (stable(P.CheckSt)) {
+          bool Holds = false;
+          Err = evalCheck(S.Check, Holds);
+          if (Err.empty()) {
+            Building->CheckHolds[P.CheckIdx] = Holds;
+            Building->CheckHas[P.CheckIdx] = 1;
+          }
+        }
+        break;
+      }
+      if (!Err.empty()) {
+        Building->Error = Err;
+        Building->ErrorStmt = SI;
+        Building->ErrorBind = ErrBind;
+        return;
+      }
+    }
+  }
+
+  /// Candidate mode: the full statement walk, serving stable work from
+  /// the layer. A stable binding/check error recorded in the layer is
+  /// reported at its exact statement *and binding* position, so any
+  /// dynamic error the one-shot evaluator would hit first still wins.
+  ModelVerdict run(CatEvaluator::CacheStats &Stats) {
+    ModelVerdict V;
+    for (size_t SI = 0; SI != I.Plans.size(); ++SI) {
+      bool ErrHere = Stable && SI == Stable->ErrorStmt;
+      if (ErrHere && Stable->ErrorBind == ~size_t(0)) {
+        V.Error = Stable->Error;
+        return V;
+      }
+      const CatStmt &S = I.M.Stmts[SI];
+      const CatEvaluator::Impl::StmtPlan &P = I.Plans[SI];
+      switch (S.K) {
+      case CatStmt::Kind::Let:
+        for (size_t BI = 0; BI != S.Bindings.size(); ++BI) {
+          if (ErrHere && BI == Stable->ErrorBind) {
+            V.Error = Stable->Error;
+            return V;
+          }
+          if (stable(P.Binds[BI].St)) {
+            ++Stats.BindingEvalsAvoided;
+            continue;
+          }
+          CatValue Val;
+          if (std::string E = eval(S.Bindings[BI].Body, Val); !E.empty()) {
+            V.Error = E;
+            return V;
+          }
+          setSlot(P.Binds[BI].Slot, std::move(Val));
+        }
+        break;
+      case CatStmt::Kind::LetRec:
+        if (stable(P.GroupSt)) {
+          Stats.BindingEvalsAvoided += S.Bindings.size();
+          break;
+        }
+        if (std::string E = evalRec(S, P); !E.empty()) {
+          V.Error = E;
+          return V;
+        }
+        break;
       case CatStmt::Kind::Check: {
-        bool Holds;
-        if (std::string E = evalCheck(S.Check, Holds); !E.empty()) {
-          Verdict.Error = E;
-          return Verdict;
+        bool Holds = false;
+        if (stable(P.CheckSt)) {
+          ++Stats.CheckEvalsAvoided;
+          Holds = Stable->CheckHolds[P.CheckIdx] != 0;
+        } else if (std::string E = evalCheck(S.Check, Holds); !E.empty()) {
+          V.Error = E;
+          return V;
         }
         if (S.Check.IsFlag) {
           if (Holds)
-            Verdict.Flags.push_back(S.Check.Name);
+            V.Flags.push_back(S.Check.Name);
         } else if (!Holds) {
-          Verdict.Allowed = false;
-          Verdict.FailedChecks.push_back(S.Check.Name);
+          V.Allowed = false;
+          V.FailedChecks.push_back(S.Check.Name);
         }
         break;
       }
       }
     }
-    return Verdict;
+    return V;
   }
 
 private:
-  void buildBaseEnv() {
-    Env["po"] = CatValue::rel(Ex.Po);
-    Env["rf"] = CatValue::rel(Ex.Rf);
-    Env["co"] = CatValue::rel(Ex.Co);
-    Relation Fr = Ex.fr();
-    Env["fr"] = CatValue::rel(Fr);
-    Env["rmw"] = CatValue::rel(Ex.Rmw);
-    Env["addr"] = CatValue::rel(Ex.Addr);
-    Env["data"] = CatValue::rel(Ex.Data);
-    Env["ctrl"] = CatValue::rel(Ex.Ctrl);
-    Relation Loc = Ex.loc();
-    Env["loc"] = CatValue::rel(Loc);
-    Env["po-loc"] = CatValue::rel(Ex.Po & Loc);
-    Relation External = Ex.ext();
-    Relation Internal = Ex.internal();
-    Env["ext"] = CatValue::rel(External);
-    Env["int"] = CatValue::rel(Internal);
-    Env["id"] = CatValue::rel(Relation::identity(N));
-    Env["rfe"] = CatValue::rel(Ex.Rf & External);
-    Env["rfi"] = CatValue::rel(Ex.Rf & Internal);
-    Env["coe"] = CatValue::rel(Ex.Co & External);
-    Env["coi"] = CatValue::rel(Ex.Co & Internal);
-    Env["fre"] = CatValue::rel(Fr & External);
-    Env["fri"] = CatValue::rel(Fr & Internal);
-    Env["_"] = CatValue::set(Ex.universe());
-    Env["emptyset"] = CatValue::set(Bitset(N));
-    Env["R"] = CatValue::set(Ex.kindSet(EventKind::Read));
-    Env["W"] = CatValue::set(Ex.kindSet(EventKind::Write));
-    Bitset M = Ex.kindSet(EventKind::Read);
-    M |= Ex.kindSet(EventKind::Write);
-    Env["M"] = CatValue::set(M);
-    Env["F"] = CatValue::set(Ex.kindSet(EventKind::Fence));
-    Env["IW"] = CatValue::set(Ex.initWrites());
+  /// With neither a layer to read nor one being built (caching
+  /// disabled), everything is dynamic: full re-evaluation per
+  /// candidate, the pre-incremental behaviour.
+  bool caching() const { return Building != nullptr || Stable != nullptr; }
+
+  bool stable(const Stab &S) const {
+    return caching() && CatEvaluator::Impl::pick(S, AllStatic);
+  }
+  bool stableBase(unsigned B) const {
+    if (!caching())
+      return false;
+    return AllStatic ? baseStableStatic(B) : baseStableGen(B);
+  }
+
+  const CatValue &slot(unsigned Slot) {
+    if (!Building && Stable && I.slotStable(Slot, AllStatic))
+      return Stable->Slots[Slot];
+    return Building ? Building->Slots[Slot] : DynSlots[Slot];
+  }
+
+  void setSlot(unsigned Slot, CatValue V) {
+    if (Building) {
+      Building->Slots[Slot] = std::move(V);
+      Building->SlotHas[Slot] = 1;
+    } else {
+      DynSlots[Slot] = std::move(V);
+    }
+  }
+
+  const Relation &relBase(unsigned B) { return base(B).R; }
+
+  const CatValue &base(unsigned B) {
+    if (stableBase(B)) {
+      if (Stable && Stable->BaseHas[B])
+        return Stable->Bases[B];
+      if (Building) {
+        if (!Building->BaseHas[B]) {
+          CatValue V = computeBase(B);
+          Building->Bases[B] = std::move(V);
+          Building->BaseHas[B] = 1;
+        }
+        return Building->Bases[B];
+      }
+    }
+    if (!LocalBaseHas[B]) {
+      CatValue V = computeBase(B);
+      LocalBases[B] = std::move(V);
+      LocalBaseHas[B] = 1;
+    }
+    return LocalBases[B];
+  }
+
+  CatValue computeBase(unsigned B) {
+    switch (B) {
+    case B_Po:
+      return CatValue::rel(Ex.Po);
+    case B_Rmw:
+      return CatValue::rel(Ex.Rmw);
+    case B_Ext:
+      return CatValue::rel(Ex.ext());
+    case B_Int:
+      return CatValue::rel(Ex.internal());
+    case B_Id:
+      return CatValue::rel(Relation::identity(N));
+    case B_Univ:
+      return CatValue::set(Ex.universe());
+    case B_Empty:
+      return CatValue::set(Bitset(N));
+    case B_R:
+      return CatValue::set(Ex.kindSet(EventKind::Read));
+    case B_W:
+      return CatValue::set(Ex.kindSet(EventKind::Write));
+    case B_M: {
+      Bitset M = Ex.kindSet(EventKind::Read);
+      M |= Ex.kindSet(EventKind::Write);
+      return CatValue::set(std::move(M));
+    }
+    case B_F:
+      return CatValue::set(Ex.kindSet(EventKind::Fence));
+    case B_IW:
+      return CatValue::set(Ex.initWrites());
+    case B_Loc:
+      return CatValue::rel(Ex.loc());
+    case B_PoLoc:
+      return CatValue::rel(relBase(B_Po) & relBase(B_Loc));
+    case B_Rf:
+      return CatValue::rel(Ex.Rf);
+    case B_Co:
+      return CatValue::rel(Ex.Co);
+    case B_Fr:
+      return CatValue::rel(Ex.fr());
+    case B_Addr:
+      return CatValue::rel(Ex.Addr);
+    case B_Data:
+      return CatValue::rel(Ex.Data);
+    case B_Ctrl:
+      return CatValue::rel(Ex.Ctrl);
+    case B_Rfe:
+      return CatValue::rel(Ex.Rf & relBase(B_Ext));
+    case B_Rfi:
+      return CatValue::rel(Ex.Rf & relBase(B_Int));
+    case B_Coe:
+      return CatValue::rel(Ex.Co & relBase(B_Ext));
+    case B_Coi:
+      return CatValue::rel(Ex.Co & relBase(B_Int));
+    case B_Fre:
+      return CatValue::rel(relBase(B_Fr) & relBase(B_Ext));
+    case B_Fri:
+      return CatValue::rel(relBase(B_Fr) & relBase(B_Int));
+    }
+    return CatValue();
+  }
+
+  CatValue tagValue(const std::string &Name) {
+    if (AllStatic && Stable) {
+      auto It = Stable->Tags.find(Name);
+      if (It != Stable->Tags.end())
+        return It->second;
+    }
+    if (Building && AllStatic) {
+      auto It = Building->Tags.find(Name);
+      if (It != Building->Tags.end())
+        return It->second;
+    }
+    auto It = LocalTags.find(Name);
+    if (It == LocalTags.end())
+      It = LocalTags.emplace(Name, CatValue::set(Ex.tagSet(Name))).first;
+    return It->second;
   }
 
   std::string err(const CatExpr &E, const std::string &Msg) {
@@ -120,24 +544,27 @@ private:
   /// Kleene fixpoint for let rec groups: start from empty relations,
   /// re-evaluate bodies until stable. All Cat recursions are monotone
   /// (union/seq/inter of monotone operands), so this terminates.
-  std::string evalRec(const std::vector<CatBinding> &Bindings) {
-    for (const CatBinding &B : Bindings)
-      Env[B.Name] = CatValue::rel(Relation(N));
+  std::string evalRec(const CatStmt &S,
+                      const CatEvaluator::Impl::StmtPlan &P) {
+    for (const CatEvaluator::Impl::BindPlan &BP : P.Binds)
+      setSlot(BP.Slot, CatValue::rel(Relation(N)));
     // Each iteration adds at least one pair or stops; N^2 pairs per
     // binding bounds the iteration count.
-    unsigned MaxIters = N * N * unsigned(Bindings.size()) + 2;
+    unsigned MaxIters = N * N * unsigned(S.Bindings.size()) + 2;
     for (unsigned Iter = 0; Iter != MaxIters; ++Iter) {
       bool Changed = false;
-      for (const CatBinding &B : Bindings) {
+      for (size_t BI = 0; BI != S.Bindings.size(); ++BI) {
         CatValue V;
-        if (std::string E = eval(B.Body, V); !E.empty())
+        if (std::string E = eval(S.Bindings[BI].Body, V); !E.empty())
           return E;
         if (V.K == CatValue::Kind::Zero)
           V = CatValue::rel(Relation(N));
         if (V.K != CatValue::Kind::Rel)
-          return "let rec binding '" + B.Name + "' is not a relation";
-        if (!(V.R == Env[B.Name].R)) {
-          Env[B.Name] = std::move(V);
+          return "let rec binding '" + S.Bindings[BI].Name +
+                 "' is not a relation";
+        unsigned SlotIdx = P.Binds[BI].Slot;
+        if (!(V.R == slot(SlotIdx).R)) {
+          setSlot(SlotIdx, std::move(V));
           Changed = true;
         }
       }
@@ -205,13 +632,23 @@ private:
       Out = CatValue();
       return "";
     case CatExpr::Kind::Id: {
-      auto It = Env.find(E.Name);
-      if (It != Env.end()) {
-        Out = It->second;
+      auto It = I.ResMap.find(&E);
+      if (It == I.ResMap.end()) {
+        // Unreachable for expressions of the owned model; be safe.
+        Out = CatValue::set(Ex.tagSet(E.Name));
         return "";
       }
-      // Unknown identifiers are event-tag sets; absent tags are empty.
-      Out = CatValue::set(Ex.tagSet(E.Name));
+      switch (It->second.K) {
+      case Res::Kind::Base:
+        Out = base(It->second.Index);
+        return "";
+      case Res::Kind::Slot:
+        Out = slot(It->second.Index);
+        return "";
+      case Res::Kind::Tag:
+        Out = tagValue(E.Name);
+        return "";
+      }
       return "";
     }
     case CatExpr::Kind::Union:
@@ -348,14 +785,55 @@ private:
     return err(E, "unhandled expression kind");
   }
 
+  const CatEvaluator::Impl &I;
   const Execution &Ex;
   unsigned N;
-  std::map<std::string, CatValue> Env;
+  bool AllStatic;
+  const CatStableLayer *Stable;
+  CatStableLayer *Building;
+
+  std::vector<CatValue> DynSlots; ///< Candidate mode: dynamic bindings.
+  std::vector<CatValue> LocalBases;
+  std::vector<char> LocalBaseHas;
+  std::map<std::string, CatValue> LocalTags;
 };
 
 } // namespace
 
+CatEvaluator::CatEvaluator(const CatModel &Model)
+    : P(std::make_unique<Impl>(Model)) {}
+
+CatEvaluator::~CatEvaluator() = default;
+
+void CatEvaluator::enterCombo(bool NewAllStatic,
+                              std::shared_ptr<const CatStableLayer> Cached) {
+  AllStatic = NewAllStatic;
+  assert((!Cached || Cached->AllStatic == NewAllStatic) &&
+         "adopted layer was built under a different stability assumption");
+  Layer = std::move(Cached);
+}
+
+void CatEvaluator::setCaching(bool Enabled) {
+  CachingEnabled = Enabled;
+  if (!Enabled)
+    Layer = nullptr;
+}
+
+ModelVerdict CatEvaluator::evaluate(const Execution &Ex) {
+  ++Stats.Evaluations;
+  if (!CachingEnabled)
+    return Ctx(*P, Ex, AllStatic, nullptr, nullptr).run(Stats);
+  if (!Layer) {
+    auto Built = std::make_shared<CatStableLayer>();
+    Ctx(*P, Ex, AllStatic, nullptr, Built.get()).buildStable();
+    Layer = std::move(Built);
+  }
+  return Ctx(*P, Ex, AllStatic, Layer.get(), nullptr).run(Stats);
+}
+
 ModelVerdict telechat::evaluateCat(const CatModel &Model,
                                    const Execution &Ex) {
-  return Evaluator(Ex).run(Model);
+  CatEvaluator E(Model);
+  E.enterCombo(/*AllStatic=*/false);
+  return E.evaluate(Ex);
 }

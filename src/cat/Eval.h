@@ -9,6 +9,23 @@
 /// whether the execution is allowed, forbidden (which check failed), or
 /// flagged (data race / const violation / other "flag" statements).
 ///
+/// Two entry points exist:
+///
+///  - evaluateCat(): one-shot evaluation of a single execution. Builds the
+///    full base environment and evaluates every statement.
+///
+///  - CatEvaluator: the incremental engine behind the enumerator's hot
+///    loop. The enumerator visits millions of candidate executions that
+///    differ only in rf/co/dependency edges while sharing one *skeleton*
+///    (events, program order, thread structure) per control-flow path
+///    combo. CatEvaluator splits the model into a *stable layer* (bindings
+///    and checks derivable from the skeleton alone) evaluated once per
+///    combo, and a *dynamic layer* (anything reachable from rf, co, fr,
+///    addr, data, ctrl, ...) re-evaluated per candidate. Verdicts are
+///    bit-identical to evaluateCat() by construction -- stability is a
+///    conservative static classification of the model, never a guess
+///    about the execution.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TELECHAT_CAT_EVAL_H
@@ -18,7 +35,9 @@
 #include "events/Execution.h"
 #include "support/Relation.h"
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +63,89 @@ struct CatValue {
 
   static CatValue rel(Relation R);
   static CatValue set(Bitset S);
+};
+
+/// The per-combo cache: every stable binding, base relation, tag set and
+/// check verdict of one path combo, materialised once and then shared by
+/// all candidate evaluations of that combo. Immutable after construction,
+/// so a shared_ptr<const CatStableLayer> may be handed to any number of
+/// concurrently evaluating workers (the enumerator's shard workers do
+/// exactly that when several of them split one combo's rf space).
+struct CatStableLayer;
+
+/// Incremental Cat evaluation over a stream of candidate executions.
+///
+/// Usage (one instance per enumeration worker; NOT thread-safe itself --
+/// only the CatStableLayer it produces may be shared):
+///
+///   CatEvaluator Eval(Model);                 // classifies the model once
+///   for each path combo:
+///     Eval.enterCombo(AllStatic, CachedLayerOrNull);
+///     for each candidate execution Ex:
+///       ModelVerdict V = Eval.evaluate(Ex);   // 1st call builds the layer
+///
+/// The caller guarantees that all executions passed between two
+/// enterCombo() calls share po, rmw, thread structure, event kinds and IW
+/// (always), plus locations and tags when AllStatic was passed as true.
+/// Under that contract evaluate() returns exactly what evaluateCat()
+/// would, for every candidate, at a fraction of the work.
+class CatEvaluator {
+public:
+  /// Classifies \p Model's bindings and checks into stable vs dynamic.
+  /// Keeps a private copy of the model; \p Model need not outlive this.
+  explicit CatEvaluator(const CatModel &Model);
+  ~CatEvaluator();
+
+  CatEvaluator(const CatEvaluator &) = delete;
+  CatEvaluator &operator=(const CatEvaluator &) = delete;
+
+  /// Starts a new path combo. \p AllStatic widens the stable layer to
+  /// locations and tag sets (the caller promises every access location is
+  /// fixed across the combo's candidates). \p Cached adopts a layer
+  /// computed by another evaluator for the *same* combo and AllStatic
+  /// value; pass nullptr to compute lazily on the first evaluate().
+  void enterCombo(bool AllStatic,
+                  std::shared_ptr<const CatStableLayer> Cached = nullptr);
+
+  /// The current combo's stable layer; null until the first evaluate()
+  /// after enterCombo() (or an adopted cache). Safe to publish to other
+  /// evaluators/threads: the layer is immutable.
+  std::shared_ptr<const CatStableLayer> stableLayer() const { return Layer; }
+
+  /// Evaluates the model on one candidate execution of the current combo.
+  ModelVerdict evaluate(const Execution &Ex);
+
+  /// Disables (or re-enables) the per-combo layer: with caching off,
+  /// every binding and check re-evaluates per candidate -- the
+  /// pre-incremental cost profile, minus the one-off classification.
+  /// Verdicts are identical either way; the enumerator uses this for
+  /// SimOptions::IncrementalCatEval = false so the measured baseline is
+  /// honest.
+  void setCaching(bool Enabled);
+
+  /// Work accounting, accumulated across evaluate() calls. "Avoided"
+  /// counts binding and check evaluations served from the stable layer
+  /// instead of being recomputed -- the quantity a non-incremental
+  /// evaluator would have performed. Deterministic for a fixed candidate
+  /// stream (it does not depend on how often the layer itself was
+  /// (re)built, which varies with work stealing).
+  struct CacheStats {
+    uint64_t Evaluations = 0;       ///< evaluate() calls.
+    uint64_t BindingEvalsAvoided = 0; ///< let/let-rec bindings served cached.
+    uint64_t CheckEvalsAvoided = 0;   ///< acyclic/irreflexive/empty served.
+  };
+  const CacheStats &stats() const { return Stats; }
+
+  /// Implementation detail (classified model); public only so the
+  /// translation-unit-local evaluation contexts can name it.
+  struct Impl;
+
+private:
+  std::unique_ptr<Impl> P;
+  std::shared_ptr<const CatStableLayer> Layer;
+  bool AllStatic = false;
+  bool CachingEnabled = true;
+  CacheStats Stats;
 };
 
 /// Evaluates \p Model against \p Ex. Base environment: po, rf, co, fr,

@@ -7,6 +7,7 @@
 #include "hardware/Machine.h"
 
 #include "asmcore/Semantics.h"
+#include "support/ThreadPool.h"
 
 #include <deque>
 #include <functional>
@@ -411,6 +412,46 @@ private:
 
 } // namespace
 
+namespace {
+
+/// splitmix64 of (Seed, Run): decorrelated per-run streams, so runs are
+/// independent and can execute on any pool worker without changing what
+/// the stress loop observes.
+uint64_t runSeed(uint64_t Seed, unsigned Run) {
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ull * (uint64_t(Run) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// Executes run \p Run and extracts its outcome over \p Keys; returns
+/// false with \p Error set on an unsupported instruction.
+bool oneRun(const AsmLitmusTest &Test, const HwConfig &Config, unsigned Run,
+            const std::vector<std::string> &Keys, Outcome &O,
+            std::string &Error) {
+  std::mt19937_64 Rng(runSeed(Config.Seed, Run));
+  MachineRun M(Test, Config, Rng);
+  if (!M.run(Error))
+    return false;
+  for (const std::string &Key : Keys) {
+    if (Key.front() == '[') {
+      std::string Loc = Key.substr(1, Key.size() - 2);
+      O.set(Key, M.memValue(Loc));
+      continue;
+    }
+    size_t Colon = Key.find(':');
+    std::string ThreadName = Key.substr(0, Colon);
+    std::string Reg = Key.substr(Colon + 1);
+    for (unsigned T = 0; T != Test.Threads.size(); ++T)
+      if (Test.Threads[T].Name == ThreadName)
+        O.set(Key,
+              M.regValue(T, instSemantics(Arch::AArch64).canonReg(Reg)));
+  }
+  return true;
+}
+
+} // namespace
+
 HwResult telechat::runOnHardware(const AsmLitmusTest &Test,
                                  const HwConfig &Config) {
   HwResult Out;
@@ -421,30 +462,42 @@ HwResult telechat::runOnHardware(const AsmLitmusTest &Test,
   // Observation keys from the final condition, like herd.
   std::vector<std::string> Keys;
   Test.Final.P.collectKeys(Keys);
-  std::mt19937_64 Rng(Config.Seed);
+
+  unsigned Jobs = resolveJobs(Config.Jobs);
+  if (Jobs <= 1 || Config.Runs <= 1) {
+    for (unsigned Run = 0; Run != Config.Runs; ++Run) {
+      Outcome O;
+      std::string Error;
+      if (!oneRun(Test, Config, Run, Keys, O, Error)) {
+        Out.Error = Error;
+        Out.Runs = Run;
+        Out.Observed = OutcomeSet();
+        return Out;
+      }
+      Out.Observed.insert(std::move(O));
+      ++Out.Runs;
+    }
+    return Out;
+  }
+
+  // Parallel stress loop: per-run slots plus an in-order merge keep the
+  // result -- including the error path -- bit-identical to the
+  // sequential loop for any Jobs value. Every run executes even if one
+  // fails (each is bounded by MaxStepsPerRun; failures are rare).
+  std::vector<Outcome> PerRun(Config.Runs);
+  std::vector<std::string> Errors(Config.Runs);
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Config.Runs, [&](size_t Run) {
+    oneRun(Test, Config, unsigned(Run), Keys, PerRun[Run], Errors[Run]);
+  });
   for (unsigned Run = 0; Run != Config.Runs; ++Run) {
-    MachineRun M(Test, Config, Rng);
-    std::string Error;
-    if (!M.run(Error)) {
-      Out.Error = Error;
+    if (!Errors[Run].empty()) {
+      Out.Error = Errors[Run];
+      Out.Runs = Run;
+      Out.Observed = OutcomeSet();
       return Out;
     }
-    Outcome O;
-    for (const std::string &Key : Keys) {
-      if (Key.front() == '[') {
-        std::string Loc = Key.substr(1, Key.size() - 2);
-        O.set(Key, M.memValue(Loc));
-        continue;
-      }
-      size_t Colon = Key.find(':');
-      std::string ThreadName = Key.substr(0, Colon);
-      std::string Reg = Key.substr(Colon + 1);
-      for (unsigned T = 0; T != Test.Threads.size(); ++T)
-        if (Test.Threads[T].Name == ThreadName)
-          O.set(Key, M.regValue(
-                         T, instSemantics(Arch::AArch64).canonReg(Reg)));
-    }
-    Out.Observed.insert(O);
+    Out.Observed.insert(std::move(PerRun[Run]));
     ++Out.Runs;
   }
   return Out;

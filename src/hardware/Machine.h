@@ -39,6 +39,11 @@ struct HwConfig {
   unsigned Runs = 2000;     ///< Samples; "stress-testing" takes many runs.
   uint64_t Seed = 42;
   unsigned MaxStepsPerRun = 10000;
+  /// Worker threads for the stress loop (0 = one per hardware thread).
+  /// Runs are independent: each draws its scheduling randomness from a
+  /// per-run generator seeded by (Seed, run index), so the observed
+  /// outcome set is bit-identical for every Jobs value.
+  unsigned Jobs = 1;
 
   static HwConfig raspberryPiLike() { return HwConfig(); }
   static HwConfig appleA9Like() {
@@ -59,7 +64,11 @@ struct HwResult {
 };
 
 /// Runs an (AArch64) assembly litmus test \p Runs times under random
-/// scheduling and collects the observed outcomes.
+/// scheduling and collects the observed outcomes. Deterministic in
+/// (Test, Config): the per-run seeding makes the result independent of
+/// Config.Jobs and of interleaving between pool workers. On an
+/// unsupported instruction every run fails identically; Error carries
+/// the message and Observed is empty.
 HwResult runOnHardware(const AsmLitmusTest &Test, const HwConfig &Config);
 
 } // namespace telechat

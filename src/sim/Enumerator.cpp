@@ -22,6 +22,24 @@
 /// reassembles per-shard results in enumeration order, so completed runs
 /// are bit-identical for any SimOptions::Jobs value.
 ///
+/// Two per-combo precomputations cut the per-candidate cost (see
+/// Enumerator.h for the user-facing contracts):
+///
+///  - An *abstract value pass* runs each chosen path once with loads
+///    mapped to symbolic "value of read event e" and everything else
+///    evaluated concretely. Branch constraints whose inputs are all
+///    known or symbolic-read values become prune checks: candidate
+///    writes with known conflicting values are dropped from the rf
+///    lists up front, and remaining assignments are checked in
+///    O(events) (following rf chains through copy writes) before the
+///    expensive resolution fixpoint runs.
+///
+///  - The *skeleton execution* (events, po, rmw, tags) is built once
+///    per combo and copied per candidate, and the Cat model's stable
+///    layer is evaluated once per combo by CatEvaluator. When several
+///    workers split one combo's rf space, the first computed layer is
+///    published through the run's shared state and adopted by the rest.
+///
 //===----------------------------------------------------------------------===//
 
 #include "sim/Enumerator.h"
@@ -35,6 +53,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 using namespace telechat;
@@ -72,6 +91,41 @@ struct EvInfo {
   std::string InitLoc; ///< Init writes: the location.
 };
 
+/// What the abstract pass knows about a value without fixing rf: a
+/// concrete constant, exactly the value some read event observes, or
+/// nothing (Top).
+struct AbsVal {
+  enum class Kind { Known, Read, Top } K = Kind::Top;
+  SimVal V;            ///< Kind::Known payload.
+  unsigned ReadEv = 0; ///< Kind::Read payload.
+
+  static AbsVal known(SimVal V) {
+    AbsVal A;
+    A.K = Kind::Known;
+    A.V = std::move(V);
+    return A;
+  }
+  static AbsVal read(unsigned Ev) {
+    AbsVal A;
+    A.K = Kind::Read;
+    A.ReadEv = Ev;
+    return A;
+  }
+};
+
+/// One path constraint whose inputs the abstract pass fully tracked:
+/// every register the expression reads is either a known constant or
+/// exactly the value of one read event. Checkable per rf assignment
+/// without running the resolution fixpoint.
+struct PruneCheck {
+  const Expr *E = nullptr; ///< Points into the worker's resolved paths.
+  bool ExpectNonZero = true;
+  /// Register snapshot at the constraint site, restricted to registers
+  /// the expression uses. No entry is Top (such constraints are not
+  /// captured).
+  std::vector<std::pair<std::string, AbsVal>> Regs;
+};
+
 constexpr uint64_t kFullRange = ~uint64_t(0);
 
 /// One unit of schedulable work: a contiguous range [RfLo, RfHi) of the
@@ -102,6 +156,13 @@ struct SharedState {
   std::atomic<uint64_t> Steps{0};
   std::atomic<bool> TimedOut{false};
   std::atomic<bool> Aborted{false}; ///< Model error: stop all workers.
+
+  /// Cross-worker cache of per-combo Cat stable layers. Enabled (by the
+  /// driver) only when several workers split the rf space of the same
+  /// combos; layers are immutable, so sharing them is read-only.
+  bool ShareLayerCache = false;
+  std::mutex LayerM;
+  std::map<uint64_t, std::shared_ptr<const CatStableLayer>> Layers;
 
   bool stopped() const {
     return TimedOut.load(std::memory_order_relaxed) ||
@@ -142,7 +203,9 @@ class ShardWorker {
 public:
   ShardWorker(const SimProgram &Program, const CatModel &Model,
               const SimOptions &Options, SharedState &Shared)
-      : Prog(Program), Model(Model), Opts(Options), Shared(Shared) {
+      : Prog(Program), Model(Model), Opts(Options), Shared(Shared),
+        Eval(Model) {
+    Eval.setCaching(Opts.IncrementalCatEval);
     // Synthetic numeric addresses for locations (0x1000 apart, mirroring
     // an ELF data section layout).
     for (unsigned I = 0; I != Prog.Locations.size(); ++I)
@@ -153,6 +216,12 @@ public:
 
   bool shouldStop() const { return LocalStop || Shared.stopped(); }
 
+  /// Cat evaluations served from per-combo layers; folded into the
+  /// merged stats after all shards finished.
+  uint64_t catEvalsAvoided() const {
+    return Eval.stats().BindingEvalsAvoided + Eval.stats().CheckEvalsAvoided;
+  }
+
   void processShard(const Shard &S) {
     if (shouldStop())
       return;
@@ -160,20 +229,25 @@ public:
     if (S.Combo != CurCombo) {
       prepareCombo(S.Combo);
       CurCombo = S.Combo;
+      bindComboEvaluator(S.Combo);
     }
     // The shard at the origin of the combo's rf space owns the
-    // PathCombos count (exactly one such shard exists per combo).
-    if (S.RfLo == 0)
+    // PathCombos count (exactly one such shard exists per combo), and
+    // with it the combo's space-reduction accounting.
+    if (S.RfLo == 0) {
       ++WR.Stats.PathCombos;
+      WR.Stats.RfSourcesPruned += ComboRfSourcesPruned;
+    }
     uint64_t Hi = std::min(RfSpace, S.RfHi);
-    if (S.RfLo >= Hi)
-      return; // Empty rf space (a read with no candidate writes).
-    runRfRange(S.RfLo, Hi);
+    if (S.RfLo < Hi)
+      runRfRange(S.RfLo, Hi);
+    publishLayer();
   }
 
   /// Builds the event skeleton and rf candidates for one path combo and
-  /// returns the size of its rf index space (saturating). Used both by
-  /// shard processing and by the driver's splitting pre-pass.
+  /// returns the size of its rf index space (saturating, after
+  /// constraint-based filtering). Used both by shard processing and by
+  /// the driver's splitting pre-pass, which must agree on the space.
   uint64_t prepareCombo(uint64_t Combo) {
     std::vector<size_t> PathChoice(Prog.Threads.size(), 0);
     for (size_t T = 0; T != PathChoice.size(); ++T) {
@@ -241,11 +315,18 @@ public:
     // Reads and writes of this skeleton.
     Reads.clear();
     Writes.clear();
+    ReadIndexOf.assign(N, ~0u);
+    AllStaticCombo = true;
     for (unsigned I = 0; I != N; ++I) {
-      if (Events[I].Kind == EventKind::Read)
+      if (Events[I].Kind == EventKind::Read) {
+        ReadIndexOf[I] = unsigned(Reads.size());
         Reads.push_back(I);
-      else if (Events[I].Kind == EventKind::Write)
+      } else if (Events[I].Kind == EventKind::Write) {
         Writes.push_back(I);
+      }
+      if (!Events[I].IsInit && Events[I].Kind != EventKind::Fence &&
+          !Events[I].Op->Addr.isStatic())
+        AllStaticCombo = false;
     }
 
     // --- rf candidates per read. ---
@@ -274,9 +355,27 @@ public:
       }
     }
 
+    ComboRfSourcesPruned = 0;
+    if (Opts.RfValuePruning) {
+      computeAbstract();
+      if (!ComboInfeasible)
+        filterRfCandidates();
+    } else {
+      PruneChecks.clear();
+      ComboInfeasible = false;
+    }
+    buildSkeletonExecution();
+
     RfSpace = 1;
     for (const std::vector<unsigned> &C : RfCand)
       RfSpace = satMul(RfSpace, C.size());
+    // A combo whose constant-only constraints already contradict the
+    // chosen branch directions has no value-consistent assignment at
+    // all: collapse its space instead of enumerating provably dead
+    // work one budget step at a time (the combo still owns a shard so
+    // PathCombos counts it).
+    if (ComboInfeasible)
+      RfSpace = 0;
     return RfSpace;
   }
 
@@ -300,6 +399,37 @@ private:
     return true;
   }
 
+  /// Adopts a published Cat stable layer for this combo if another
+  /// worker already computed one, else arranges lazy computation.
+  void bindComboEvaluator(uint64_t Combo) {
+    if (!Opts.IncrementalCatEval)
+      return;
+    std::shared_ptr<const CatStableLayer> Cached;
+    if (Shared.ShareLayerCache) {
+      std::lock_guard<std::mutex> Lock(Shared.LayerM);
+      auto It = Shared.Layers.find(Combo);
+      if (It != Shared.Layers.end())
+        Cached = It->second;
+    }
+    LayerPublished = Cached != nullptr;
+    Eval.enterCombo(AllStaticCombo, std::move(Cached));
+  }
+
+  /// Publishes this combo's computed stable layer for other workers
+  /// splitting the same combo. First publisher wins; layers for one
+  /// combo are interchangeable.
+  void publishLayer() {
+    if (!Opts.IncrementalCatEval || !Shared.ShareLayerCache ||
+        LayerPublished)
+      return;
+    std::shared_ptr<const CatStableLayer> Layer = Eval.stableLayer();
+    if (!Layer)
+      return;
+    std::lock_guard<std::mutex> Lock(Shared.LayerM);
+    Shared.Layers.emplace(CurCombo, std::move(Layer));
+    LayerPublished = true;
+  }
+
   /// Iterates rf assignments [Lo, Hi) of the prepared combo. The rf index
   /// space is mixed-radix with RfChoice[0] least significant, matching
   /// the sequential odometer order.
@@ -310,13 +440,18 @@ private:
       RfChoice[I] = size_t(Tmp % RfCand[I].size());
       Tmp /= RfCand[I].size();
     }
+    bool TryPrune =
+        Opts.RfValuePruning && (ComboInfeasible || !PruneChecks.empty());
     for (uint64_t Count = Hi - Lo; Count != 0; --Count) {
       if (!budget())
         return;
       ++WR.Stats.RfCandidates;
-      if (resolveValues(RfChoice)) {
+      if (TryPrune && prunedByConstraints()) {
+        ++WR.Stats.RfPruned;
+      } else if (resolveValues(RfChoice)) {
         ++WR.Stats.ValueConsistent;
-        enumerateCo(RfChoice);
+        buildCandidateExecution();
+        enumerateCo();
         if (shouldStop())
           return;
       }
@@ -445,6 +580,303 @@ private:
     return SimVal{};
   }
 
+  /// The value-resolution width rule: values stored to / loaded from a
+  /// location truncate to its declared type. Shared verbatim by the
+  /// fixpoint sweep and the abstract machinery so both see identical
+  /// values.
+  SimVal truncAt(const std::string &Loc, SimVal V) const {
+    if (const SimLoc *L = Prog.findLocation(Loc))
+      if (V.K == SimVal::Kind::Int)
+        V.V = V.V.truncated(L->Type);
+    return V;
+  }
+
+  static std::string staticLocOf(const SimOp &Op) {
+    return SimAddr::locName(Op.Addr.Sym, Op.Addr.Off);
+  }
+
+  /// Abstract evaluation of \p E: a constant when every register it
+  /// reads is known, the read's value for a plain register copy of a
+  /// load result, Top otherwise.
+  AbsVal absEval(const Expr &E,
+                 const std::map<std::string, AbsVal> &Regs) const {
+    if (E.K == Expr::Kind::Imm)
+      return AbsVal::known(SimVal{SimVal::Kind::Int, E.Imm, ""});
+    if (E.K == Expr::Kind::Reg) {
+      auto It = Regs.find(E.RegName);
+      if (It == Regs.end())
+        return AbsVal::known(SimVal{}); // registers zero-initialise
+      return It->second;
+    }
+    std::vector<std::string> Used;
+    E.collectRegs(Used);
+    std::map<std::string, SimVal> Concrete;
+    for (const std::string &U : Used) {
+      auto It = Regs.find(U);
+      if (It != Regs.end()) {
+        if (It->second.K != AbsVal::Kind::Known)
+          return AbsVal();
+        Concrete[U] = It->second.V;
+      }
+    }
+    return AbsVal::known(evalExpr(E, Concrete));
+  }
+
+  /// Runs each chosen path once over the abstract domain, recording per
+  /// write event what it stores (EvAbs) and which path constraints are
+  /// checkable without the fixpoint (PruneChecks / ComboInfeasible).
+  /// Mirrors the concrete sweep()'s value semantics exactly; anything it
+  /// cannot mirror becomes Top and is never pruned on.
+  void computeAbstract() {
+    EvAbs.assign(Events.size(), AbsVal());
+    PruneChecks.clear();
+    ComboInfeasible = false;
+    for (unsigned I = 0; I != Events.size(); ++I)
+      if (Events[I].IsInit) {
+        const SimLoc *L = Prog.findLocation(Events[I].InitLoc);
+        SimVal V;
+        if (!L->InitAddrOf.empty())
+          V = SimVal{SimVal::Kind::Addr, LocAddr.at(L->InitAddrOf),
+                     L->InitAddrOf};
+        else
+          V = SimVal{SimVal::Kind::Int, L->Init, ""};
+        EvAbs[I] = AbsVal::known(std::move(V));
+      }
+    for (unsigned T = 0; T != Paths.size(); ++T) {
+      std::map<std::string, AbsVal> Regs;
+      auto EvIt = OpEvents[T].begin();
+      const auto EvEnd = OpEvents[T].end();
+      for (unsigned I = 0; I != Paths[T]->Ops.size(); ++I) {
+        const SimOp &Op = Paths[T]->Ops[I];
+        unsigned Ev0 = ~0u, Ev1 = ~0u;
+        while (EvIt != EvEnd && EvIt->first == I) {
+          (Ev0 == ~0u ? Ev0 : Ev1) = EvIt->second;
+          ++EvIt;
+        }
+        switch (Op.K) {
+        case SimOp::Kind::Assign:
+          Regs[Op.Dst] = absEval(Op.Val, Regs);
+          break;
+        case SimOp::Kind::AddrOf:
+          Regs[Op.Dst] = AbsVal::known(
+              SimVal{SimVal::Kind::Addr, LocAddr.at(Op.Sym), Op.Sym});
+          break;
+        case SimOp::Kind::Constraint:
+          captureConstraint(Op, Regs);
+          break;
+        case SimOp::Kind::Fence:
+          break;
+        case SimOp::Kind::Load:
+          if (Op.Is128) {
+            // The halves are bit-slices of the read value; not a plain
+            // copy, so not tracked.
+            if (!Op.Dst.empty())
+              Regs[Op.Dst] = AbsVal();
+            if (!Op.Dst2.empty())
+              Regs[Op.Dst2] = AbsVal();
+          } else if (!Op.Dst.empty()) {
+            Regs[Op.Dst] = AbsVal::read(Ev0);
+          }
+          break;
+        case SimOp::Kind::Store: {
+          AbsVal V;
+          if (Op.Is128) {
+            AbsVal Lo = absEval(Op.Val, Regs);
+            AbsVal Hi = absEval(Op.ValHi, Regs);
+            if (Lo.K == AbsVal::Kind::Known && Hi.K == AbsVal::Kind::Known)
+              V = AbsVal::known(SimVal{SimVal::Kind::Int,
+                                       Value(Lo.V.V.Lo, Hi.V.V.Lo), ""});
+          } else {
+            V = absEval(Op.Val, Regs);
+          }
+          // A dynamic destination hides the width rule; give up on the
+          // value. Known values pre-truncate at the store site (the
+          // sweep truncates on Update); Read values truncate when the
+          // chain is resolved.
+          if (!Op.Addr.isStatic())
+            V = AbsVal();
+          else if (V.K == AbsVal::Kind::Known)
+            V.V = truncAt(staticLocOf(Op), std::move(V.V));
+          EvAbs[Ev0] = std::move(V);
+          if (!Op.Dst.empty())
+            Regs[Op.Dst] = AbsVal::known(SimVal{
+                SimVal::Kind::Int, Value(Op.StatusSuccess), ""});
+          break;
+        }
+        case SimOp::Kind::Rmw: {
+          unsigned ReadEv = Ev0, WriteEv = Ev1;
+          AbsVal New; // Top unless an exchange of a known value.
+          if (Op.RmwOp == SimOp::RmwOpKind::Xchg) {
+            AbsVal Operand = absEval(Op.Val, Regs);
+            if (Operand.K == AbsVal::Kind::Known && Op.Addr.isStatic()) {
+              // The sweep coerces the stored value to Kind::Int.
+              SimVal V{SimVal::Kind::Int, Operand.V.V, ""};
+              New = AbsVal::known(truncAt(staticLocOf(Op), std::move(V)));
+            }
+          }
+          EvAbs[WriteEv] = std::move(New);
+          if (!Op.Dst.empty() && !Op.NoRet)
+            Regs[Op.Dst] = AbsVal::read(ReadEv);
+          break;
+        }
+        }
+      }
+    }
+  }
+
+  /// Records \p Op as a prune check when all its inputs are tracked; a
+  /// constraint over known constants only is decided immediately and can
+  /// condemn the whole combo.
+  void captureConstraint(const SimOp &Op,
+                         const std::map<std::string, AbsVal> &Regs) {
+    std::vector<std::string> Used;
+    Op.Val.collectRegs(Used);
+    std::sort(Used.begin(), Used.end());
+    Used.erase(std::unique(Used.begin(), Used.end()), Used.end());
+    PruneCheck PC;
+    PC.E = &Op.Val;
+    PC.ExpectNonZero = Op.ConstraintNonZero;
+    bool AllKnown = true;
+    for (const std::string &U : Used) {
+      auto It = Regs.find(U);
+      AbsVal A = It == Regs.end() ? AbsVal::known(SimVal{}) : It->second;
+      if (A.K == AbsVal::Kind::Top)
+        return; // Untracked input: the fixpoint must decide.
+      if (A.K != AbsVal::Kind::Known)
+        AllKnown = false;
+      PC.Regs.emplace_back(U, std::move(A));
+    }
+    if (AllKnown) {
+      std::map<std::string, SimVal> Concrete;
+      for (const auto &[Reg, A] : PC.Regs)
+        Concrete[Reg] = A.V;
+      SimVal C = evalExpr(*PC.E, Concrete);
+      bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
+      if (NonZero != PC.ExpectNonZero)
+        ComboInfeasible = true;
+      return; // Holds for every candidate: nothing to check later.
+    }
+    PruneChecks.push_back(std::move(PC));
+  }
+
+  /// Drops candidate writes that can never satisfy a single-read
+  /// constraint: if a check's only symbolic input is read R and write W
+  /// stores a known value violating it, no execution pairs R with W.
+  /// Each dropped pair divides the rf index space.
+  void filterRfCandidates() {
+    for (unsigned RI = 0; RI != Reads.size(); ++RI) {
+      unsigned ReadEv = Reads[RI];
+      const EvInfo &R = Events[ReadEv];
+      if (!R.Op->Addr.isStatic())
+        continue; // Unknown width: values are not comparable yet.
+      std::string RLoc = staticLocOf(*R.Op);
+      std::vector<const PruneCheck *> Relevant;
+      for (const PruneCheck &PC : PruneChecks) {
+        bool Mine = false, OthersKnown = true;
+        for (const auto &[Reg, A] : PC.Regs) {
+          if (A.K == AbsVal::Kind::Known)
+            continue;
+          if (A.ReadEv == ReadEv)
+            Mine = true;
+          else
+            OthersKnown = false;
+        }
+        if (Mine && OthersKnown)
+          Relevant.push_back(&PC);
+      }
+      if (Relevant.empty())
+        continue;
+      std::vector<unsigned> Kept;
+      for (unsigned W : RfCand[RI]) {
+        if (EvAbs[W].K != AbsVal::Kind::Known) {
+          Kept.push_back(W);
+          continue;
+        }
+        SimVal RV = truncAt(RLoc, EvAbs[W].V);
+        bool Violated = false;
+        for (const PruneCheck *PC : Relevant) {
+          std::map<std::string, SimVal> Regs;
+          for (const auto &[Reg, A] : PC->Regs)
+            Regs[Reg] = A.K == AbsVal::Kind::Known ? A.V : RV;
+          SimVal C = evalExpr(*PC->E, Regs);
+          bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
+          if (NonZero != PC->ExpectNonZero) {
+            Violated = true;
+            break;
+          }
+        }
+        if (Violated)
+          ++ComboRfSourcesPruned;
+        else
+          Kept.push_back(W);
+      }
+      RfCand[RI] = std::move(Kept);
+    }
+  }
+
+  /// The value read event \p ReadEv observes under the current RfChoice,
+  /// following rf through copy writes; nullopt when it reaches untracked
+  /// territory (Top, dynamic locations, rf copy cycles).
+  std::optional<SimVal> resolveReadAbs(unsigned ReadEv,
+                                       unsigned Depth) const {
+    if (Depth > Reads.size())
+      return std::nullopt; // rf copy cycle: the fixpoint must decide.
+    const EvInfo &R = Events[ReadEv];
+    if (!R.Op->Addr.isStatic())
+      return std::nullopt;
+    unsigned RI = ReadIndexOf[ReadEv];
+    unsigned W = RfCand[RI][RfChoice[RI]];
+    std::optional<SimVal> V = resolveWriteAbs(W, Depth);
+    if (!V)
+      return std::nullopt;
+    return truncAt(staticLocOf(*R.Op), std::move(*V));
+  }
+
+  std::optional<SimVal> resolveWriteAbs(unsigned W, unsigned Depth) const {
+    const AbsVal &A = EvAbs[W];
+    if (A.K == AbsVal::Kind::Known)
+      return A.V; // Pre-truncated at the store site (init: exact).
+    if (A.K == AbsVal::Kind::Top)
+      return std::nullopt;
+    std::optional<SimVal> V = resolveReadAbs(A.ReadEv, Depth + 1);
+    if (!V)
+      return std::nullopt;
+    // Copy writes were left untruncated; apply the store-site rule now
+    // (Read abstractions only survive for static destinations).
+    return truncAt(staticLocOf(*Events[W].Op), std::move(*V));
+  }
+
+  /// O(events) rejection of the current rf assignment: true when some
+  /// path constraint provably evaluates to the wrong truth value, i.e.
+  /// the resolution fixpoint would reject this assignment anyway.
+  bool prunedByConstraints() const {
+    if (ComboInfeasible)
+      return true;
+    for (const PruneCheck &PC : PruneChecks) {
+      std::map<std::string, SimVal> Regs;
+      bool Resolvable = true;
+      for (const auto &[Reg, A] : PC.Regs) {
+        if (A.K == AbsVal::Kind::Known) {
+          Regs[Reg] = A.V;
+          continue;
+        }
+        std::optional<SimVal> V = resolveReadAbs(A.ReadEv, 0);
+        if (!V) {
+          Resolvable = false;
+          break;
+        }
+        Regs[Reg] = std::move(*V);
+      }
+      if (!Resolvable)
+        continue;
+      SimVal C = evalExpr(*PC.E, Regs);
+      bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
+      if (NonZero != PC.ExpectNonZero)
+        return true;
+    }
+    return false;
+  }
+
   /// One evaluation sweep over all threads. Returns true if any event
   /// state changed. When \p Verify is non-null, also checks constraints /
   /// address resolution / rf location agreement, computes dependency
@@ -495,10 +927,7 @@ private:
           }
         };
         auto ReadWidthTruncate = [&](const std::string &Loc, SimVal V) {
-          if (const SimLoc *L = Prog.findLocation(Loc))
-            if (V.K == SimVal::Kind::Int)
-              V.V = V.V.truncated(L->Type);
-          return V;
+          return truncAt(Loc, std::move(V));
         };
         switch (Op.K) {
         case SimOp::Kind::Assign: {
@@ -666,10 +1095,8 @@ private:
 
   unsigned rfSource(const std::vector<size_t> &RfChoice,
                     unsigned ReadEv) const {
-    for (unsigned RI = 0; RI != Reads.size(); ++RI)
-      if (Reads[RI] == ReadEv)
-        return RfCand[RI][RfChoice[RI]];
-    return 0; // unreachable for well-formed skeletons
+    unsigned RI = ReadIndexOf[ReadEv];
+    return RfCand[RI][RfChoice[RI]];
   }
 
   /// Fixpoint value resolution; true when this rf assignment is
@@ -703,60 +1130,24 @@ private:
     return Consistent;
   }
 
-  /// Enumerates per-location coherence orders and model-checks each
-  /// complete candidate.
-  void enumerateCo(const std::vector<size_t> &RfChoice) {
-    // Group non-init writes by resolved location, in po order.
-    std::map<std::string, std::vector<unsigned>> ByLoc;
-    for (unsigned W : Writes)
-      if (!Events[W].IsInit)
-        ByLoc[State[W].Loc].push_back(W);
-    std::vector<std::vector<unsigned>> Groups;
-    for (auto &[Loc, Ws] : ByLoc) {
-      std::sort(Ws.begin(), Ws.end());
-      Groups.push_back(Ws);
-    }
-    // Recursively permute each group.
-    permuteGroups(RfChoice, Groups, 0);
-  }
-
-  void permuteGroups(const std::vector<size_t> &RfChoice,
-                     std::vector<std::vector<unsigned>> &Groups, size_t GI) {
-    if (shouldStop())
-      return;
-    if (GI == Groups.size()) {
-      if (!budget())
-        return;
-      ++WR.Stats.CoCandidates;
-      checkCandidate(RfChoice, Groups);
-      return;
-    }
-    std::vector<unsigned> &G = Groups[GI];
-    std::sort(G.begin(), G.end());
-    do {
-      permuteGroups(RfChoice, Groups, GI + 1);
-      if (shouldStop())
-        return;
-    } while (std::next_permutation(G.begin(), G.end()));
-  }
-
-  /// Builds the Execution for the current (paths, rf, values, co) choice
-  /// and runs the model.
-  void checkCandidate(const std::vector<size_t> &RfChoice,
-                      const std::vector<std::vector<unsigned>> &Groups) {
+  /// Builds the per-combo execution skeleton: events with kinds, threads
+  /// and tags (including ConstWrite for statically-located writes), po,
+  /// and rmw edges. Copied per candidate; only Loc/Val/rf/co/deps (and
+  /// ConstWrite on dynamically-located writes) vary within a combo.
+  void buildSkeletonExecution() {
     unsigned N = Events.size();
-    Execution Ex;
-    Ex.Events.resize(N);
+    SkelEx = Execution();
+    SkelEx.Events.resize(N);
+    InitEvByLoc.clear();
     for (unsigned I = 0; I != N; ++I) {
-      Event &E = Ex.Events[I];
+      Event &E = SkelEx.Events[I];
       E.Id = I;
       E.Kind = Events[I].Kind;
-      E.Loc = State[I].Loc;
-      E.Val = State[I].Val.V;
       if (Events[I].IsInit) {
         E.Thread = Event::InitThread;
         E.PoIndex = 0;
         E.Tags = {"IW"};
+        InitEvByLoc[Events[I].InitLoc] = I;
         continue;
       }
       E.Thread = Events[I].Thread;
@@ -771,11 +1162,12 @@ private:
       } else {
         E.Tags = Op->Tags;
       }
-      if (Events[I].Kind == EventKind::Write)
-        if (const SimLoc *L = Prog.findLocation(E.Loc); L && L->Const)
+      if (Events[I].Kind == EventKind::Write && Op->Addr.isStatic())
+        if (const SimLoc *L = Prog.findLocation(staticLocOf(*Op));
+            L && L->Const)
           E.Tags.insert("ConstWrite");
     }
-    Ex.resizeRelations();
+    SkelEx.resizeRelations();
     // po: init writes before every thread event; program order within
     // threads (transitive).
     for (unsigned A = 0; A != N; ++A) {
@@ -783,15 +1175,12 @@ private:
         if (A == B)
           continue;
         if (Events[A].IsInit && !Events[B].IsInit)
-          Ex.Po.set(A, B);
+          SkelEx.Po.set(A, B);
         else if (!Events[A].IsInit && !Events[B].IsInit &&
                  Events[A].Thread == Events[B].Thread && A < B)
-          Ex.Po.set(A, B);
+          SkelEx.Po.set(A, B);
       }
     }
-    // rf.
-    for (unsigned RI = 0; RI != Reads.size(); ++RI)
-      Ex.Rf.set(RfCand[RI][RfChoice[RI]], Reads[RI]);
     // rmw edges: the two halves of an Rmw op, and LL/SC exclusive pairs
     // (an exclusive store pairs with the latest exclusive load).
     for (unsigned T = 0; T != Paths.size(); ++T) {
@@ -803,7 +1192,7 @@ private:
           if (Events[Ev].Kind == EventKind::Read)
             PrevRead = Ev;
           else
-            Ex.Rmw.set(PrevRead, Ev);
+            SkelEx.Rmw.set(PrevRead, Ev);
           continue;
         }
         if (!Op.Exclusive)
@@ -811,39 +1200,100 @@ private:
         if (Op.K == SimOp::Kind::Load)
           LastExclusiveRead = Ev;
         else if (Op.K == SimOp::Kind::Store && LastExclusiveRead != ~0u)
-          Ex.Rmw.set(LastExclusiveRead, Ev);
+          SkelEx.Rmw.set(LastExclusiveRead, Ev);
       }
     }
+  }
+
+  /// Instantiates the skeleton for the current rf assignment: resolved
+  /// values/locations, rf edges and dependency relations. Coherence is
+  /// filled in per permutation by checkCandidate.
+  void buildCandidateExecution() {
+    unsigned N = Events.size();
+    CandEx = SkelEx;
+    for (unsigned I = 0; I != N; ++I) {
+      Event &E = CandEx.Events[I];
+      E.Loc = State[I].Loc;
+      E.Val = State[I].Val.V;
+      // Writes whose location only resolved now may hit a const
+      // location (static ones were tagged in the skeleton).
+      if (!Events[I].IsInit && Events[I].Kind == EventKind::Write &&
+          !Events[I].Op->Addr.isStatic())
+        if (const SimLoc *L = Prog.findLocation(E.Loc); L && L->Const)
+          E.Tags.insert("ConstWrite");
+    }
+    for (unsigned RI = 0; RI != Reads.size(); ++RI)
+      CandEx.Rf.set(RfCand[RI][RfChoice[RI]], Reads[RI]);
+    for (unsigned Ev = 0; Ev != N; ++Ev) {
+      for (unsigned Src : AddrDeps[Ev])
+        CandEx.Addr.set(Src, Ev);
+      for (unsigned Src : DataDeps[Ev])
+        CandEx.Data.set(Src, Ev);
+      for (unsigned Src : CtrlDeps[Ev])
+        CandEx.Ctrl.set(Src, Ev);
+    }
+  }
+
+  /// Enumerates per-location coherence orders and model-checks each
+  /// complete candidate.
+  void enumerateCo() {
+    // Group non-init writes by resolved location, in po order.
+    std::map<std::string, std::vector<unsigned>> ByLoc;
+    for (unsigned W : Writes)
+      if (!Events[W].IsInit)
+        ByLoc[State[W].Loc].push_back(W);
+    std::vector<std::vector<unsigned>> Groups;
+    for (auto &[Loc, Ws] : ByLoc) {
+      std::sort(Ws.begin(), Ws.end());
+      Groups.push_back(Ws);
+    }
+    // Recursively permute each group.
+    permuteGroups(Groups, 0);
+  }
+
+  void permuteGroups(std::vector<std::vector<unsigned>> &Groups, size_t GI) {
+    if (shouldStop())
+      return;
+    if (GI == Groups.size()) {
+      if (!budget())
+        return;
+      ++WR.Stats.CoCandidates;
+      checkCandidate(Groups);
+      return;
+    }
+    std::vector<unsigned> &G = Groups[GI];
+    std::sort(G.begin(), G.end());
+    do {
+      permuteGroups(Groups, GI + 1);
+      if (shouldStop())
+        return;
+    } while (std::next_permutation(G.begin(), G.end()));
+  }
+
+  /// Completes the candidate execution with the current coherence
+  /// permutation and runs the model.
+  void checkCandidate(const std::vector<std::vector<unsigned>> &Groups) {
+    unsigned N = Events.size();
     // co: init write of each location first, then the group permutation.
+    CandEx.Co = Relation(N);
     for (const auto &G : Groups) {
       if (G.empty())
         continue;
-      const std::string &Loc = State[G.front()].Loc;
-      unsigned InitEv = ~0u;
-      for (unsigned I = 0; I != Prog.Locations.size(); ++I)
-        if (Prog.Locations[I].Name == Loc)
-          InitEv = I;
+      auto InitIt = InitEvByLoc.find(State[G.front()].Loc);
       std::vector<unsigned> Chain;
-      if (InitEv != ~0u)
-        Chain.push_back(InitEv);
+      if (InitIt != InitEvByLoc.end())
+        Chain.push_back(InitIt->second);
       Chain.insert(Chain.end(), G.begin(), G.end());
       for (size_t A = 0; A != Chain.size(); ++A)
         for (size_t B = A + 1; B != Chain.size(); ++B)
-          Ex.Co.set(Chain[A], Chain[B]);
+          CandEx.Co.set(Chain[A], Chain[B]);
     }
     // Locations written by nobody still have their init write in co
     // (singleton chains need no edges).
-    // Dependencies.
-    for (unsigned Ev = 0; Ev != N; ++Ev) {
-      for (unsigned Src : AddrDeps[Ev])
-        Ex.Addr.set(Src, Ev);
-      for (unsigned Src : DataDeps[Ev])
-        Ex.Data.set(Src, Ev);
-      for (unsigned Src : CtrlDeps[Ev])
-        Ex.Ctrl.set(Src, Ev);
-    }
 
-    ModelVerdict Verdict = evaluateCat(Model, Ex);
+    // With IncrementalCatEval off, Eval runs in no-cache mode: full
+    // re-evaluation per candidate, identical verdicts.
+    ModelVerdict Verdict = Eval.evaluate(CandEx);
     if (!Verdict.ok()) {
       if (WR.Error.empty() || CurShardIdx < WR.ErrorShard) {
         WR.Error = Verdict.Error;
@@ -860,7 +1310,7 @@ private:
     Outcome O;
     for (const auto &[Key, V] : ObservedRegs)
       O.set(Key, V);
-    std::map<std::string, Value> FinalMem = Ex.finalMemory();
+    std::map<std::string, Value> FinalMem = CandEx.finalMemory();
     for (const std::string &Loc : Prog.ObservedLocs) {
       auto It = FinalMem.find(Loc);
       O.set(Outcome::locKey(Loc), It == FinalMem.end() ? Value() : It->second);
@@ -869,7 +1319,7 @@ private:
     for (const std::string &F : Verdict.Flags)
       WR.Flags.insert(F);
     if (Opts.CollectExecutions)
-      collectExecution(Ex);
+      collectExecution(CandEx);
   }
 
   void collectExecution(const Execution &Ex) {
@@ -896,12 +1346,14 @@ private:
   const CatModel &Model;
   SimOptions Opts;
   SharedState &Shared;
+  CatEvaluator Eval;
 
   bool LocalStop = false;
   uint64_t LocalSteps = 0;
   uint64_t CurCombo = kFullRange;
   size_t CurShardIdx = 0;
   uint64_t RfSpace = 0;
+  bool LayerPublished = false;
 
   std::map<std::string, Value> LocAddr;
 
@@ -913,13 +1365,23 @@ private:
   std::vector<std::vector<std::pair<unsigned, unsigned>>> OpEvents;
   std::vector<unsigned> Reads;
   std::vector<unsigned> Writes;
+  std::vector<unsigned> ReadIndexOf; ///< Event id -> index into Reads.
   std::vector<std::vector<unsigned>> RfCand;
   std::vector<size_t> RfChoice;
+  bool AllStaticCombo = false;
+  Execution SkelEx; ///< Candidate-invariant part of the execution.
+  std::map<std::string, unsigned> InitEvByLoc;
+  // Constraint-propagation state (see computeAbstract).
+  std::vector<AbsVal> EvAbs;
+  std::vector<PruneCheck> PruneChecks;
+  bool ComboInfeasible = false;
+  uint64_t ComboRfSourcesPruned = 0;
 
   // Per rf-candidate state.
   std::vector<EvState> State;
   std::vector<std::set<unsigned>> AddrDeps, DataDeps, CtrlDeps;
   std::vector<std::pair<std::string, Value>> ObservedRegs;
+  Execution CandEx; ///< Skeleton + values + rf + deps; Co set per perm.
 };
 
 /// Merges per-worker results in shard order into one SimResult.
@@ -937,6 +1399,9 @@ SimResult mergeResults(std::vector<std::unique_ptr<ShardWorker>> &Workers,
     R.Stats.ValueConsistent += WRes.Stats.ValueConsistent;
     R.Stats.CoCandidates += WRes.Stats.CoCandidates;
     R.Stats.AllowedExecutions += WRes.Stats.AllowedExecutions;
+    R.Stats.RfSourcesPruned += WRes.Stats.RfSourcesPruned;
+    R.Stats.RfPruned += WRes.Stats.RfPruned;
+    R.Stats.CatEvalsAvoided += W->catEvalsAvoided();
     if (!WRes.Error.empty() && WRes.ErrorShard < ErrorShard) {
       ErrorShard = WRes.ErrorShard;
       R.Error = WRes.Error;
@@ -998,6 +1463,11 @@ SimResult telechat::enumerateExecutions(const SimProgram &Program,
     constexpr uint64_t kWaveCombos = 1 << 18;
     // Splitting pre-pass scratch (prepares skeletons to size rf spaces).
     ShardWorker Scratch(Program, Model, Options, Shared);
+
+    // Several workers share single combos only in the rf-splitting
+    // regime below; that is the only case where publishing per-combo
+    // Cat layers can save duplicate work.
+    Shared.ShareLayerCache = ComboCount < uint64_t(Jobs) * 4;
 
     uint64_t NextCombo = 0;
     size_t NextIndex = 0;

@@ -11,6 +11,20 @@
 /// no recursion), with a step budget standing in for herd's wall-clock
 /// timeout (§IV-E).
 ///
+/// Two hot-path optimisations, both on by default and both outcome-
+/// preserving (see the field docs for the precise guarantees):
+///
+///  - *rf value pruning*: read-value constraints implied by the chosen
+///    path (branch conditions over loaded values) are propagated onto
+///    the rf candidate lists and checked per assignment in O(events),
+///    so value-inconsistent rf assignments die before the resolution
+///    fixpoint -- and often before ever entering the index space.
+///
+///  - *incremental Cat evaluation*: the model's po-only-derived layer is
+///    evaluated once per path combo (CatEvaluator) instead of once per
+///    candidate; rf/co-dependent bindings are the only per-candidate
+///    work. Workers splitting one combo's rf space share the layer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TELECHAT_SIM_ENUMERATOR_H
@@ -47,15 +61,48 @@ struct SimOptions {
   /// error; with several distinct error sites the reported Error text
   /// may differ across Jobs values (the run is aborted either way).
   unsigned Jobs = 1;
+  /// Reject value-inconsistent rf assignments before the resolution
+  /// fixpoint, and drop candidate writes that can never satisfy a path's
+  /// read-value constraints from the rf lists. Pruning is conservative:
+  /// an assignment is rejected only when the fixpoint provably would
+  /// reject it, so Allowed/Flags/Executions and the ValueConsistent /
+  /// CoCandidates / AllowedExecutions counters are bit-identical with
+  /// the option on or off. Dropping writes shrinks the enumerated index
+  /// space, so RfCandidates (and therefore step consumption) is smaller
+  /// with pruning on: a budget-bounded run can complete under pruning
+  /// where it would have timed out without.
+  bool RfValuePruning = true;
+  /// Evaluate the Cat model incrementally: cache the model's stable
+  /// (po-only-derived) layer per path combo and re-evaluate only the
+  /// rf/co-dependent layer per candidate. Verdicts are bit-identical to
+  /// full evaluation for every candidate; this switch exists to measure
+  /// the speedup and to pin that equivalence in tests.
+  bool IncrementalCatEval = true;
 };
 
-/// Counters for one simulation run.
+/// Counters for one simulation run. All counters except Seconds are
+/// deterministic for a fixed (program, model, options) on completed
+/// runs, regardless of Jobs (the parallel merge reassembles them in
+/// enumeration order).
 struct SimStats {
   uint64_t PathCombos = 0;
-  uint64_t RfCandidates = 0;
-  uint64_t ValueConsistent = 0;
+  uint64_t RfCandidates = 0;      ///< rf assignments drawn from the space.
+  uint64_t ValueConsistent = 0;   ///< ... that survived value resolution.
   uint64_t CoCandidates = 0;
   uint64_t AllowedExecutions = 0;
+  /// (read, candidate write) pairs removed from rf candidate lists by
+  /// constraint propagation, summed over path combos. Each removed pair
+  /// divides the enumerated space, so small numbers here can mean large
+  /// space reductions.
+  uint64_t RfSourcesPruned = 0;
+  /// Enumerated rf assignments rejected by the O(events) constraint
+  /// check before the value-resolution fixpoint (each of these skipped
+  /// one fixpoint).
+  uint64_t RfPruned = 0;
+  /// Cat binding and check evaluations served from the per-combo stable
+  /// layer instead of being recomputed per candidate -- the work a
+  /// non-incremental evaluator would have done.
+  uint64_t CatEvalsAvoided = 0;
   double Seconds = 0.0;
 };
 

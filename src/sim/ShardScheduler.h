@@ -8,11 +8,20 @@
 /// The work-stealing scheduler behind parallel enumeration. A wave of
 /// shards (indices 0..N) is pre-partitioned into one contiguous range per
 /// worker; each worker consumes its range front-to-back (so consecutive
-/// shards of the same path combo reuse the worker's cached skeleton) and,
-/// when empty, steals the back half of the largest remaining victim
-/// range. Shard *processing order* is therefore nondeterministic, but each
-/// shard runs exactly once and carries its global index, so the
-/// enumerator's merge step can reassemble results in enumeration order.
+/// shards of the same path combo reuse the worker's cached skeleton,
+/// abstract-value tables and Cat stable layer) and, when empty, steals
+/// the back half of the largest remaining victim range. Shard
+/// *processing order* is therefore nondeterministic, but each shard runs
+/// exactly once and carries its global index, so the enumerator's merge
+/// step can reassemble results in enumeration order.
+///
+/// Thread safety: run() owns its threads and joins them before
+/// returning; Body(worker, item) is called concurrently from different
+/// threads but never concurrently for the same worker index, so
+/// per-worker state (the enumerator's ShardWorker, including its
+/// per-combo caches) needs no locking. Cross-worker reuse of per-combo
+/// Cat layers goes through the enumerator's SharedState instead, which
+/// publishes immutable layers under a mutex.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -3,6 +3,28 @@
 // Part of the Télétchat reproduction. MIT licensed; see README.md.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrappers over enumerateExecutions() that resolve models by
+/// registry name and batch simulations over a thread pool.
+///
+/// Determinism contract (shared by every entry point): for a fixed
+/// (test, model, options) whose enumeration completes within budget, the
+/// returned SimResult -- outcomes, flags, stats, collected executions --
+/// is bit-identical regardless of SimOptions::Jobs and of the pool
+/// width used by the batch drivers. Flipping the RfValuePruning /
+/// IncrementalCatEval toggles also never changes what is found
+/// (outcomes, flags, collected executions, and the ValueConsistent /
+/// CoCandidates / AllowedExecutions counters are identical), but the
+/// work-measuring stats (RfCandidates and the pruning/caching counters)
+/// legitimately differ -- that is what they measure; see Enumerator.h.
+///
+/// Thread safety: all entry points are safe to call concurrently. The
+/// model registry caches parsed models behind a mutex; each enumeration
+/// run owns its workers and shares state only through the run-local
+/// SharedState (atomic budget, published Cat layers).
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef TELECHAT_SIM_SIMULATOR_H
 #define TELECHAT_SIM_SIMULATOR_H

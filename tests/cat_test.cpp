@@ -7,6 +7,7 @@
 #include "cat/Eval.h"
 #include "cat/Lexer.h"
 #include "cat/Parser.h"
+#include "models/Registry.h"
 
 #include <gtest/gtest.h>
 
@@ -279,4 +280,170 @@ TEST(CatEvalTest, ExtIntPartition) {
       Ex);
   ASSERT_TRUE(V.ok()) << V.Error;
   EXPECT_TRUE(V.Allowed);
+}
+
+//===----------------------------------------------------------------------===//
+// CatEvaluator: incremental evaluation vs the one-shot evaluator.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Candidate variants of the MP skeleton: same events, po, kinds, locs
+/// and tags, different rf/co -- exactly what the enumerator feeds one
+/// combo's evaluator.
+std::vector<Execution> mpCandidates() {
+  std::vector<Execution> Out;
+  // Event ids in mpExecution(): 0=ix 1=iy 2=Wx 3=Wy 4=Ry 5=Rx.
+  struct Choice {
+    std::vector<std::pair<unsigned, unsigned>> Rf, Co;
+  };
+  std::vector<Choice> Choices = {
+      {{{3, 4}, {0, 5}}, {{0, 2}, {1, 3}}},  // stale read of x
+      {{{3, 4}, {2, 5}}, {{0, 2}, {1, 3}}},  // reads both new values
+      {{{1, 4}, {0, 5}}, {{0, 2}, {1, 3}}},  // reads both inits
+      {{{1, 4}, {2, 5}}, {{0, 2}, {1, 3}}},
+  };
+  for (const Choice &C : Choices) {
+    Execution Ex = mpExecution();
+    Ex.Rf = Relation(Ex.size());
+    Ex.Co = Relation(Ex.size());
+    for (auto [W, R] : C.Rf)
+      Ex.Rf.set(W, R);
+    for (auto [A, B] : C.Co)
+      Ex.Co.set(A, B);
+    Out.push_back(std::move(Ex));
+  }
+  return Out;
+}
+
+/// Mixes stable lets/let recs/checks/flags (po, loc, tag sets) with
+/// dynamic ones (rf, co, fr) to exercise both layers.
+const char *MixedModel = R"CAT(MIXED
+let pol = po & loc
+let atoms = ATOMIC | IW
+let rec ppo = pol | (ppo; ppo)
+let com = rf | co | fr
+let rec chb = com | (chb; po)
+acyclic po as stable-acyclic
+irreflexive ppo as stable-irr
+empty ((W * R) & loc & int) \ _ * _ as stable-empty
+acyclic com | pol as dyn-coherence
+flag ~empty ((W * R) & loc & ext) as stable-flag
+flag ~empty rfe as dyn-flag
+)CAT";
+
+void expectSameVerdict(const ModelVerdict &A, const ModelVerdict &B,
+                       const std::string &What) {
+  EXPECT_EQ(A.Error, B.Error) << What;
+  EXPECT_EQ(A.Allowed, B.Allowed) << What;
+  EXPECT_EQ(A.FailedChecks, B.FailedChecks) << What;
+  EXPECT_EQ(A.Flags, B.Flags) << What;
+}
+
+} // namespace
+
+TEST(CatEvaluatorTest, IncrementalMatchesOneShot) {
+  ErrorOr<CatModel> M = parseCat(MixedModel);
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  for (bool AllStatic : {true, false}) {
+    CatEvaluator Eval(*M);
+    Eval.enterCombo(AllStatic);
+    for (const Execution &Ex : mpCandidates()) {
+      ModelVerdict Inc = Eval.evaluate(Ex);
+      ModelVerdict Ref = evaluateCat(*M, Ex);
+      expectSameVerdict(Ref, Inc,
+                        AllStatic ? "all-static" : "conservative");
+    }
+    // The stable layer must have served real work: with all-static
+    // combos, loc/tag-derived bindings join the layer; conservatively,
+    // only po-derived work (here: the "acyclic po" check) does.
+    if (AllStatic)
+      EXPECT_GT(Eval.stats().BindingEvalsAvoided, 0u);
+    EXPECT_GT(Eval.stats().CheckEvalsAvoided, 0u);
+  }
+}
+
+TEST(CatEvaluatorTest, RegistryModelsMatchOneShot) {
+  // The embedded production models, same skeleton-sharing stream.
+  for (const char *Name : {"rc11", "sc", "aarch64"}) {
+    const CatModel &M = getModel(Name);
+    CatEvaluator Eval(M);
+    Eval.enterCombo(/*AllStatic=*/true);
+    for (const Execution &Ex : mpCandidates())
+      expectSameVerdict(evaluateCat(M, Ex), Eval.evaluate(Ex), Name);
+  }
+}
+
+TEST(CatEvaluatorTest, StableLayerIsShareable) {
+  ErrorOr<CatModel> M = parseCat(MixedModel);
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  std::vector<Execution> Cands = mpCandidates();
+
+  CatEvaluator A(*M);
+  A.enterCombo(true);
+  ModelVerdict VA = A.evaluate(Cands[0]);
+  ASSERT_TRUE(A.stableLayer() != nullptr);
+
+  // A second evaluator adopting A's layer must not rebuild it and must
+  // agree on every candidate.
+  CatEvaluator B(*M);
+  B.enterCombo(true, A.stableLayer());
+  EXPECT_EQ(B.stableLayer(), A.stableLayer());
+  expectSameVerdict(VA, B.evaluate(Cands[0]), "adopted layer");
+  for (const Execution &Ex : Cands)
+    expectSameVerdict(evaluateCat(*M, Ex), B.evaluate(Ex), "adopted layer");
+  EXPECT_EQ(B.stableLayer(), A.stableLayer());
+}
+
+TEST(CatEvaluatorTest, NoCacheModeMatchesOneShot) {
+  // setCaching(false) is the enumerator's honest baseline: identical
+  // verdicts, no layer, no served work.
+  ErrorOr<CatModel> M = parseCat(MixedModel);
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  CatEvaluator Eval(*M);
+  Eval.setCaching(false);
+  Eval.enterCombo(true);
+  for (const Execution &Ex : mpCandidates())
+    expectSameVerdict(evaluateCat(*M, Ex), Eval.evaluate(Ex), "no-cache");
+  EXPECT_EQ(Eval.stableLayer(), nullptr);
+  EXPECT_EQ(Eval.stats().BindingEvalsAvoided, 0u);
+  EXPECT_EQ(Eval.stats().CheckEvalsAvoided, 0u);
+}
+
+TEST(CatEvaluatorTest, EnterComboInvalidatesLayer) {
+  ErrorOr<CatModel> M = parseCat(MixedModel);
+  ASSERT_TRUE(M.hasValue()) << M.error();
+  CatEvaluator Eval(*M);
+  Eval.enterCombo(true);
+  (void)Eval.evaluate(mpCandidates()[0]);
+  auto First = Eval.stableLayer();
+  ASSERT_TRUE(First != nullptr);
+  Eval.enterCombo(true); // new combo: the old layer must not leak in
+  EXPECT_EQ(Eval.stableLayer(), nullptr);
+  (void)Eval.evaluate(mpCandidates()[1]);
+  EXPECT_NE(Eval.stableLayer(), First);
+}
+
+TEST(CatEvaluatorTest, StableErrorsMatchOneShotOrder) {
+  // A type error in a *stable* binding must surface identically for
+  // every candidate, and dynamic errors earlier in the model win.
+  const char *StableErr = "let x = po & R\nacyclic x as c\n";
+  const char *DynFirst = "acyclic (rf * rf) as d\nlet x = po & R\n"
+                         "acyclic x as c\n";
+  // One statement mixing a dynamic erroring binding with a later stable
+  // erroring binding: the dynamic one comes first in evaluation order.
+  const char *MixedLet = "let a = rf * rf and b = po & R\n"
+                         "acyclic po as c\n";
+  for (const char *Text : {StableErr, DynFirst, MixedLet}) {
+    ErrorOr<CatModel> M = parseCat(Text);
+    ASSERT_TRUE(M.hasValue()) << M.error();
+    CatEvaluator Eval(*M);
+    Eval.enterCombo(true);
+    for (const Execution &Ex : mpCandidates()) {
+      ModelVerdict Inc = Eval.evaluate(Ex);
+      ModelVerdict Ref = evaluateCat(*M, Ex);
+      EXPECT_FALSE(Inc.ok());
+      EXPECT_EQ(Ref.Error, Inc.Error);
+    }
+  }
 }

@@ -111,6 +111,54 @@ TEST(MachineTest, DeterministicInSeed) {
   EXPECT_EQ(A.Observed, B.Observed);
 }
 
+TEST(MachineTest, StressLoopIdenticalAcrossJobs) {
+  // Per-run seeding makes the stress loop's observations independent of
+  // how many pool workers execute it (ROADMAP: parallel C4 oracle).
+  for (const char *Asm : {SbAsm, LbAsm}) {
+    AsmLitmusTest T = parseAsm(Asm);
+    HwConfig Seq = HwConfig::appleA9Like();
+    Seq.Runs = 500;
+    Seq.Jobs = 1;
+    HwResult Ref = runOnHardware(T, Seq);
+    ASSERT_TRUE(Ref.ok()) << Ref.Error;
+    for (unsigned J : {2u, 4u, 0u}) {
+      HwConfig Par = Seq;
+      Par.Jobs = J;
+      HwResult R = runOnHardware(T, Par);
+      ASSERT_TRUE(R.ok()) << R.Error;
+      EXPECT_EQ(Ref.Observed, R.Observed) << "jobs " << J;
+      EXPECT_EQ(Ref.Runs, R.Runs) << "jobs " << J;
+    }
+  }
+}
+
+TEST(MachineTest, ParallelErrorPathDeterministic) {
+  // An unsupported instruction must fail identically for any Jobs.
+  const char *Bad = R"(AArch64 bad
+{
+  x = 0;
+  P0:x0 = &x;
+}
+P0 {
+  ldadd w1, w2, [x0]
+  ret
+}
+exists (P0:X2=0)
+)";
+  AsmLitmusTest T = parseAsm(Bad);
+  HwConfig Seq;
+  Seq.Runs = 64;
+  HwResult A = runOnHardware(T, Seq);
+  HwConfig Par = Seq;
+  Par.Jobs = 4;
+  HwResult B = runOnHardware(T, Par);
+  ASSERT_FALSE(A.ok());
+  ASSERT_FALSE(B.ok());
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Runs, B.Runs);
+  EXPECT_EQ(A.Observed, B.Observed);
+}
+
 TEST(MachineTest, StoreBufferExhibitsSB) {
   AsmLitmusTest T = parseAsm(SbAsm);
   HwConfig C = HwConfig::raspberryPiLike();

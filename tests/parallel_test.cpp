@@ -35,6 +35,27 @@ void expectIdentical(const SimResult &Seq, const SimResult &Par,
   EXPECT_EQ(Seq.Stats.ValueConsistent, Par.Stats.ValueConsistent) << What;
   EXPECT_EQ(Seq.Stats.CoCandidates, Par.Stats.CoCandidates) << What;
   EXPECT_EQ(Seq.Stats.AllowedExecutions, Par.Stats.AllowedExecutions) << What;
+  // The optimisation counters are part of the determinism contract too.
+  EXPECT_EQ(Seq.Stats.RfSourcesPruned, Par.Stats.RfSourcesPruned) << What;
+  EXPECT_EQ(Seq.Stats.RfPruned, Par.Stats.RfPruned) << What;
+  EXPECT_EQ(Seq.Stats.CatEvalsAvoided, Par.Stats.CatEvalsAvoided) << What;
+}
+
+/// What must match between runs with pruning/caching on vs off: every
+/// outcome-level field, and every stat not measuring the pruned work
+/// itself (RfCandidates legitimately shrinks when rf sources are
+/// dropped).
+void expectSameOutcomes(const SimResult &On, const SimResult &Off,
+                        const std::string &What) {
+  EXPECT_EQ(On.Error, Off.Error) << What;
+  EXPECT_EQ(On.TimedOut, Off.TimedOut) << What;
+  EXPECT_EQ(On.Allowed, Off.Allowed) << What;
+  EXPECT_EQ(On.Flags, Off.Flags) << What;
+  EXPECT_EQ(On.Stats.PathCombos, Off.Stats.PathCombos) << What;
+  EXPECT_EQ(On.Stats.ValueConsistent, Off.Stats.ValueConsistent) << What;
+  EXPECT_EQ(On.Stats.CoCandidates, Off.Stats.CoCandidates) << What;
+  EXPECT_EQ(On.Stats.AllowedExecutions, Off.Stats.AllowedExecutions)
+      << What;
 }
 
 /// A branchy two-thread test: 8 path combos, so sharding covers both the
@@ -217,6 +238,143 @@ TEST(BatchApiTest, McompareManyMatchesIndividual) {
     EXPECT_EQ(Single.K, Batch[I].K);
     EXPECT_EQ(Single.SourceRace, Batch[I].SourceRace);
     EXPECT_EQ(Single.Witnesses.size(), Batch[I].Witnesses.size());
+  }
+}
+
+
+TEST(PruningCachingTest, ClassicsIdenticalOnVsOff) {
+  // rf value pruning and incremental Cat evaluation must never change
+  // what is found -- only how much work finding it takes.
+  SimOptions Off;
+  Off.RfValuePruning = false;
+  Off.IncrementalCatEval = false;
+  for (const std::string &Name : classicNames()) {
+    SimResult A = simulateC(classicTest(Name), "rc11");
+    SimResult B = simulateC(classicTest(Name), "rc11", Off);
+    ASSERT_TRUE(A.ok()) << Name;
+    expectSameOutcomes(A, B, Name);
+  }
+}
+
+TEST(PruningCachingTest, BranchyIdenticalOnVsOffAcrossJobs) {
+  auto T = parseLitmusC(Branchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimOptions Off;
+  Off.RfValuePruning = false;
+  Off.IncrementalCatEval = false;
+  SimResult Ref = simulateC(*T, "rc11", Off);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  for (unsigned J : {1u, 2u, 4u, 8u}) {
+    for (bool Prune : {true, false}) {
+      for (bool Cache : {true, false}) {
+        SimOptions O;
+        O.Jobs = J;
+        O.RfValuePruning = Prune;
+        O.IncrementalCatEval = Cache;
+        SimResult R = simulateC(*T, "rc11", O);
+        expectSameOutcomes(Ref, R,
+                           "branchy -j " + std::to_string(J) +
+                               (Prune ? " +prune" : " -prune") +
+                               (Cache ? " +cache" : " -cache"));
+      }
+    }
+  }
+}
+
+TEST(PruningCachingTest, BranchyActuallyPrunes) {
+  auto T = parseLitmusC(Branchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimResult On = simulateC(*T, "rc11");
+  SimOptions Off;
+  Off.RfValuePruning = false;
+  SimResult Ref = simulateC(*T, "rc11", Off);
+  ASSERT_TRUE(On.ok()) << On.Error;
+  // Constraint propagation must shrink the branchy test's rf space and
+  // serve Cat work from the per-combo layer.
+  EXPECT_GT(On.Stats.RfSourcesPruned, 0u);
+  EXPECT_LT(On.Stats.RfCandidates, Ref.Stats.RfCandidates);
+  EXPECT_GT(On.Stats.CatEvalsAvoided, 0u);
+  EXPECT_EQ(Ref.Stats.RfSourcesPruned, 0u);
+  EXPECT_EQ(Ref.Stats.RfPruned, 0u);
+}
+
+TEST(PruningCachingTest, CollectedExecutionsIdenticalOnVsOff) {
+  // Pruned candidates are never allowed, so the stream of collected
+  // executions -- a prefix of the allowed stream in enumeration order --
+  // must be identical with pruning on or off.
+  auto T = parseLitmusC(Branchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimOptions On;
+  On.CollectExecutions = true;
+  On.MaxCollectedExecutions = 5;
+  SimOptions Off = On;
+  Off.RfValuePruning = false;
+  Off.IncrementalCatEval = false;
+  SimResult A = simulateC(*T, "rc11", On);
+  SimResult B = simulateC(*T, "rc11", Off);
+  ASSERT_TRUE(A.ok());
+  ASSERT_EQ(A.Executions.size(), B.Executions.size());
+  for (size_t I = 0; I != A.Executions.size(); ++I)
+    EXPECT_EQ(executionToDot(A.Executions[I], "g"),
+              executionToDot(B.Executions[I], "g"))
+        << "execution " << I;
+}
+
+TEST(PruningCachingTest, CompiledTestIdenticalOnVsOff) {
+  // The assembly-model side (aarch64 model, tag-heavy, fencerel) must
+  // be equally unaffected.
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  TestOptions On;
+  TestOptions Off;
+  Off.Sim.RfValuePruning = false;
+  Off.Sim.IncrementalCatEval = false;
+  for (const char *Name : {"MP+rel+acq", "LB", "SB+scs"}) {
+    TelechatResult A = runTelechat(classicTest(Name), P, On);
+    TelechatResult B = runTelechat(classicTest(Name), P, Off);
+    ASSERT_TRUE(A.ok()) << Name << ": " << A.Error;
+    ASSERT_TRUE(B.ok()) << Name << ": " << B.Error;
+    EXPECT_EQ(A.SourceSim.Allowed, B.SourceSim.Allowed) << Name;
+    EXPECT_EQ(A.TargetSim.Allowed, B.TargetSim.Allowed) << Name;
+    EXPECT_EQ(A.Compare.K, B.Compare.K) << Name;
+  }
+}
+
+
+TEST(PruningCachingTest, ConstantInfeasibleCombosCollapse) {
+  // A branch over a compile-time constant makes half the path combos
+  // infeasible; their rf spaces must collapse to zero candidates
+  // instead of consuming budget, with outcomes unaffected.
+  const char *ConstGate = R"(C constgate
+{ *x = 0; *y = 0; }
+void P0(atomic_int* x, atomic_int* y) {
+  int r0 = 1;
+  if (r0) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+}
+void P1(atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, r0, memory_order_relaxed);
+}
+exists (P0:r1=1)
+)";
+  auto T = parseLitmusC(ConstGate);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimOptions Off;
+  Off.RfValuePruning = false;
+  SimResult Ref = simulateC(*T, "rc11", Off);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  SimResult On = simulateC(*T, "rc11");
+  expectSameOutcomes(On, Ref, "constgate on-vs-off");
+  EXPECT_EQ(On.Stats.PathCombos, 2u);
+  EXPECT_LT(On.Stats.RfCandidates, Ref.Stats.RfCandidates)
+      << "the infeasible combo must not be enumerated";
+  for (unsigned J : {2u, 4u}) {
+    SimOptions Par;
+    Par.Jobs = J;
+    SimResult R = simulateC(*T, "rc11", Par);
+    expectIdentical(On, R, "constgate -j " + std::to_string(J));
   }
 }
 

@@ -35,13 +35,17 @@ int main(int argc, char **argv) {
     fprintf(stderr,
             "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
             "[--max-steps <n>] [--dot] [--stats]\n"
-            "  -j <n>   enumeration worker threads (0 = all hardware "
-            "threads; default 1)\n");
+            "       [--no-prune] [--no-cat-cache]\n"
+            "  -j <n>          enumeration worker threads (0 = all hardware "
+            "threads; default 1)\n"
+            "  --no-prune      disable rf value-constraint pruning\n"
+            "  --no-cat-cache  disable incremental Cat evaluation\n");
     return 1;
   }
   std::string Path = argv[1];
   std::string Model;
   bool Dot = false, Stats = false;
+  bool Prune = true, CatCache = true;
   unsigned Jobs = 1;
   uint64_t MaxSteps = 0;
   for (int I = 2; I < argc; ++I) {
@@ -61,6 +65,10 @@ int main(int argc, char **argv) {
       Dot = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--no-prune")
+      Prune = false;
+    else if (Arg == "--no-cat-cache")
+      CatCache = false;
   }
   std::ifstream In(Path);
   if (!In) {
@@ -101,6 +109,8 @@ int main(int argc, char **argv) {
   SimOptions Opts;
   Opts.CollectExecutions = Dot;
   Opts.Jobs = Jobs;
+  Opts.RfValuePruning = Prune;
+  Opts.IncrementalCatEval = CatCache;
   if (MaxSteps)
     Opts.MaxSteps = MaxSteps;
   SimResult R = simulateProgram(Program, Model, Opts);
@@ -120,13 +130,17 @@ int main(int argc, char **argv) {
     printf("TIMEOUT (budget exhausted)\n");
   if (Stats)
     printf("Time %s %.4f (paths=%llu rf=%llu consistent=%llu co=%llu "
-           "allowed=%llu)\n",
+           "allowed=%llu rf-sources-pruned=%llu rf-pruned=%llu "
+           "cat-evals-avoided=%llu)\n",
            Program.Name.c_str(), R.Stats.Seconds,
            static_cast<unsigned long long>(R.Stats.PathCombos),
            static_cast<unsigned long long>(R.Stats.RfCandidates),
            static_cast<unsigned long long>(R.Stats.ValueConsistent),
            static_cast<unsigned long long>(R.Stats.CoCandidates),
-           static_cast<unsigned long long>(R.Stats.AllowedExecutions));
+           static_cast<unsigned long long>(R.Stats.AllowedExecutions),
+           static_cast<unsigned long long>(R.Stats.RfSourcesPruned),
+           static_cast<unsigned long long>(R.Stats.RfPruned),
+           static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
   if (Dot)
     for (size_t I = 0; I != R.Executions.size() && I < 4; ++I)
       printf("%s", executionToDot(R.Executions[I],
