@@ -16,8 +16,12 @@
 
 #include "BenchUtil.h"
 #include "asmcore/Semantics.h"
+#include "core/Campaign.h"
 #include "core/Telechat.h"
+#include "dist/Worker.h"
+#include "dist/WorkServer.h"
 #include "diy/Classics.h"
+#include "diy/Config.h"
 #include "litmus/Parser.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
@@ -26,6 +30,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 
 using namespace telechat;
 using namespace telechat_bench;
@@ -186,6 +191,66 @@ BENCHMARK(BM_EnumerationFeatures)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// The distributed campaign corpus: a diy-generated slice plus classics,
+/// sized so one loopback campaign takes fractions of a second.
+std::vector<LitmusTest> distCorpus() {
+  SuiteConfig Config = SuiteConfig::c11();
+  Config.Limit = fullScale() ? 48 : 16;
+  std::vector<LitmusTest> Tests = generateSuite(Config);
+  for (const char *Name : {"MP", "SB", "LB", "WRC"})
+    Tests.push_back(classicTest(Name));
+  return Tests;
+}
+
+/// One full loopback campaign: server + N in-process workers (2 executor
+/// threads each, so worker count -- not local pool width -- is the swept
+/// variable). Exports wall-clock vs worker count into the bench JSON,
+/// the distributed analogue of the -j sweep above.
+void BM_DistributedCampaign_Workers(benchmark::State &State) {
+  std::vector<LitmusTest> Tests = distCorpus();
+  Profile P = llvmO3();
+  std::vector<CampaignConfig> Configs{{P, TestOptions(), false}};
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+  unsigned NWorkers = unsigned(State.range(0));
+  uint64_t Requeues = 0, Served = 0;
+  WorkServerOptions SOpts;
+  SOpts.WaitRetryMs = 5; // Sub-second campaigns: tail waits would drown
+                         // the signal at the default 50ms.
+  for (auto _ : State) {
+    WorkServer Server(Units, Configs, SOpts);
+    if (!Server.start().empty()) {
+      State.SkipWithError("work server failed to bind");
+      return;
+    }
+    uint16_t Port = Server.port();
+    CampaignReport Report;
+    std::thread Srv([&] { Report = Server.run(); });
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W != NWorkers; ++W)
+      Workers.emplace_back([Port] {
+        WorkerOptions WOpts;
+        WOpts.Jobs = 2;
+        runCampaignWorker("127.0.0.1", Port, WOpts);
+      });
+    for (std::thread &W : Workers)
+      W.join();
+    Srv.join();
+    Requeues += Report.Requeues;
+    Served = Report.Units;
+    benchmark::DoNotOptimize(Report.Results.size());
+  }
+  State.counters["units"] = double(Served);
+  State.counters["units/s"] = benchmark::Counter(
+      double(Served) * State.iterations(), benchmark::Counter::kIsRate);
+  State.counters["requeues"] = double(Requeues);
+}
+BENCHMARK(BM_DistributedCampaign_Workers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -311,11 +376,71 @@ int main(int argc, char **argv) {
            Identical ? "yes" : "NO (BUG)");
   }
 
+  // Distributed campaign engine: 1 server x N loopback workers over a
+  // diy-generated corpus, gated (like the -j sweep) on the merged report
+  // being bit-identical to the local batch driver.
+  {
+    std::vector<LitmusTest> Tests = distCorpus();
+    Profile P = llvmO3();
+    TestOptions O;
+    printf("\ndistributed campaign sweep (%zu units, loopback workers "
+           "with 2 threads each):\n",
+           Tests.size());
+    auto S0 = std::chrono::steady_clock::now();
+    std::vector<TelechatResult> Local = runTelechatMany(Tests, P, O, 2);
+    double TLocal = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - S0)
+                        .count();
+    printf("  local -j 2            %8.1f ms (baseline)\n", TLocal * 1e3);
+    std::vector<CampaignConfig> Configs{{P, O, false}};
+    std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+    WorkServerOptions SOpts;
+    SOpts.WaitRetryMs = 5; // See BM_DistributedCampaign_Workers.
+    for (unsigned N : {1u, 2u, 4u}) {
+      WorkServer Server(Units, Configs, SOpts);
+      if (!Server.start().empty()) {
+        printf("  work server failed to bind; skipping\n");
+        break;
+      }
+      uint16_t Port = Server.port();
+      CampaignReport Report;
+      auto S1 = std::chrono::steady_clock::now();
+      std::thread Srv([&] { Report = Server.run(); });
+      std::vector<std::thread> Workers;
+      for (unsigned W = 0; W != N; ++W)
+        Workers.emplace_back([Port] {
+          WorkerOptions WOpts;
+          WOpts.Jobs = 2;
+          runCampaignWorker("127.0.0.1", Port, WOpts);
+        });
+      for (std::thread &W : Workers)
+        W.join();
+      Srv.join();
+      double Secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - S1)
+                        .count();
+      bool Same = Report.Results.size() == Local.size();
+      for (size_t I = 0; Same && I != Local.size(); ++I)
+        Same = Local[I].SourceSim.Allowed ==
+                   Report.Results[I].SourceSim.Allowed &&
+               Local[I].TargetSim.Allowed ==
+                   Report.Results[I].TargetSim.Allowed &&
+               Local[I].Compare.K == Report.Results[I].Compare.K;
+      Identical = Identical && Same;
+      printf("  1 server x %u workers %8.1f ms  vs local %5.2fx  merged "
+             "%s\n",
+             N, Secs * 1e3, TLocal / Secs,
+             Same ? "identical" : "DIFFERENT!");
+    }
+    printf("-> distributed merge bit-identical to the local driver: %s\n",
+           Identical ? "yes" : "NO (BUG)");
+  }
+
   printf("\nTimed sections (google-benchmark):\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // A determinism regression must fail the CI smoke step, not just
-  // print; the sweep above is the gate.
+  // print; the sweeps above are the gate.
   return Identical ? 0 : 1;
 }

@@ -1,0 +1,140 @@
+//===--- bench_outcome_merge.cpp - Outcome-set merge micro-benchmark ------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+// The interning satellite of ISSUE 3: OutcomeSet merge used to copy
+// every key string of every outcome on every set insert -- the dominant
+// cost of campaign-scale merging (per-worker outcome sets folded into
+// one SimResult, then OutcomeSets folded across a corpus). With interned
+// keys (support/Interner.h), an Outcome copy is a flat memcpy of
+// (pointer, Value) pairs and the set comparator hits the pointer-equal
+// fast path on the dense shared prefixes campaign outcomes have.
+//
+// BM_MergeInterned measures the real Outcome. BM_MergeStringBaseline
+// replicates the pre-interning representation (std::string keys) on the
+// same synthetic campaign, giving an honest same-binary A/B; the ratio
+// is the number documented in docs/PERFORMANCE.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "litmus/Outcome.h"
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace telechat;
+
+namespace {
+
+/// Shape of a campaign-sized outcome vocabulary: 4 threads x 2 observed
+/// registers + 4 final locations = 12 keys per outcome, values in 0..3.
+constexpr unsigned Threads = 4, RegsPerThread = 2, Locs = 4;
+
+std::vector<std::string> outcomeKeys() {
+  std::vector<std::string> Keys;
+  for (unsigned T = 0; T != Threads; ++T)
+    for (unsigned R = 0; R != RegsPerThread; ++R)
+      Keys.push_back(Outcome::regKey("P" + std::to_string(T),
+                                     "r" + std::to_string(R)));
+  for (unsigned L = 0; L != Locs; ++L)
+    Keys.push_back(Outcome::locKey(std::string(1, char('w' + L))));
+  return Keys;
+}
+
+/// Deterministically fills per-worker outcome sets the way sharded
+/// enumeration does: each worker sees a different slice of the value
+/// space, with heavy overlap across workers (the merge's hard case).
+template <typename OutcomeT, typename SetT>
+std::vector<SetT> workerSets(size_t Workers, size_t PerWorker) {
+  std::vector<std::string> Keys = outcomeKeys();
+  std::vector<SetT> Sets(Workers);
+  for (size_t W = 0; W != Workers; ++W) {
+    uint64_t Seed = 0x9e3779b97f4a7c15ull * (W + 1);
+    for (size_t I = 0; I != PerWorker; ++I) {
+      Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+      uint64_t Bits = Seed >> 16;
+      OutcomeT O;
+      for (size_t K = 0; K != Keys.size(); ++K)
+        O.set(Keys[K], Value((Bits >> (2 * K)) & 3));
+      Sets[W].insert(std::move(O));
+    }
+  }
+  return Sets;
+}
+
+/// The pre-interning Outcome, replicated: sorted (string, Value) pairs
+/// compared lexicographically. Same algorithmic shape, string storage.
+class StringOutcome {
+public:
+  void set(const std::string &Key, Value V) {
+    auto It = std::lower_bound(Entries.begin(), Entries.end(), Key,
+                               [](const auto &E, const std::string &K) {
+                                 return E.first < K;
+                               });
+    if (It != Entries.end() && It->first == Key) {
+      It->second = V;
+      return;
+    }
+    Entries.insert(It, {Key, V});
+  }
+  bool operator<(const StringOutcome &RHS) const {
+    return Entries < RHS.Entries;
+  }
+
+private:
+  std::vector<std::pair<std::string, Value>> Entries;
+};
+
+template <typename OutcomeT, typename SetT>
+void runMerge(benchmark::State &State) {
+  size_t Workers = size_t(State.range(0));
+  size_t PerWorker = size_t(State.range(1));
+  std::vector<SetT> Sets = workerSets<OutcomeT, SetT>(Workers, PerWorker);
+  size_t Merged = 0;
+  for (auto _ : State) {
+    SetT Out;
+    for (const SetT &S : Sets)
+      Out.insert(S.begin(), S.end());
+    Merged = Out.size();
+    benchmark::DoNotOptimize(Merged);
+  }
+  State.counters["merged_outcomes"] = double(Merged);
+  State.counters["outcomes/s"] = benchmark::Counter(
+      double(Workers * PerWorker) * State.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_MergeInterned(benchmark::State &State) {
+  runMerge<Outcome, OutcomeSet>(State);
+}
+BENCHMARK(BM_MergeInterned)
+    ->Args({8, 2048})
+    ->Args({16, 4096})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergeStringBaseline(benchmark::State &State) {
+  runMerge<StringOutcome, std::set<StringOutcome>>(State);
+}
+BENCHMARK(BM_MergeStringBaseline)
+    ->Args({8, 2048})
+    ->Args({16, 4096})
+    ->Unit(benchmark::kMillisecond);
+
+/// Copy cost alone (what every Result deserialization, witness list and
+/// projected/renamed mcompare step pays per outcome).
+void BM_OutcomeCopy(benchmark::State &State) {
+  std::vector<OutcomeSet> Sets = workerSets<Outcome, OutcomeSet>(1, 4096);
+  for (auto _ : State) {
+    OutcomeSet Copy = Sets[0];
+    benchmark::DoNotOptimize(Copy.size());
+  }
+}
+BENCHMARK(BM_OutcomeCopy)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 #include "core/Telechat.h"
 
 #include "asmcore/Semantics.h"
+#include "core/Campaign.h"
 #include "support/ThreadPool.h"
 
 using namespace telechat;
@@ -65,12 +66,17 @@ std::vector<TelechatResult>
 telechat::runTelechatMany(const std::vector<LitmusTest> &Tests,
                           const Profile &P, const TestOptions &O,
                           unsigned Jobs) {
+  // The local incarnation of the campaign engine: a fixed corpus drained
+  // by a pool, results keyed by corpus index. The distributed work
+  // server runs the very same unit executor on its workers, which is
+  // what makes its merged campaigns bit-identical to this driver.
+  std::vector<CampaignConfig> Configs{{P, O, /*SimulateOnly=*/false}};
+  VectorUnitSource Source(makeCampaignUnits(Tests));
   std::vector<TelechatResult> Results(Tests.size());
-  TestOptions PerTest = O;
-  PerTest.Sim.Jobs = 1; // Outer parallelism: one test per pool worker.
   ThreadPool Pool(resolveJobs(Jobs));
-  Pool.parallelFor(Tests.size(), [&](size_t I) {
-    Results[I] = runTelechat(Tests[I], P, PerTest);
-  });
+  runCampaignUnits(Source, Configs, Pool,
+                   [&](const CampaignUnit &U, TelechatResult R) {
+                     Results[U.Id] = std::move(R);
+                   });
   return Results;
 }

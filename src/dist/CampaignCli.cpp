@@ -1,0 +1,285 @@
+//===--- CampaignCli.cpp - Shared campaign/serve CLI driver ---------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/CampaignCli.h"
+
+#include "core/Campaign.h"
+#include "dist/CampaignJson.h"
+#include "dist/WorkServer.h"
+#include "diy/Classics.h"
+#include "diy/Config.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace telechat;
+
+namespace {
+
+/// A corpus flag, recorded during parsing and materialised afterwards so
+/// flag order does not matter (--limit may follow --suite).
+struct CorpusSpec {
+  enum class Kind { File, Suite, Classics } K;
+  std::string Value;
+};
+
+/// Expands the specs (in the order given) into the campaign corpus.
+/// Prints and returns false on errors.
+bool buildCorpus(const std::vector<CorpusSpec> &Specs, unsigned SuiteLimit,
+                 std::vector<LitmusTest> &Tests) {
+  for (const CorpusSpec &Spec : Specs) {
+    switch (Spec.K) {
+    case CorpusSpec::Kind::File: {
+      ErrorOr<std::vector<LitmusTest>> FileTests =
+          readLitmusCorpus(Spec.Value);
+      if (!FileTests) {
+        fprintf(stderr, "error: %s\n", FileTests.error().c_str());
+        return false;
+      }
+      Tests.insert(Tests.end(), FileTests->begin(), FileTests->end());
+      break;
+    }
+    case CorpusSpec::Kind::Suite: {
+      SuiteConfig Config = Spec.Value == "c11acq" ? SuiteConfig::c11Acq()
+                                                  : SuiteConfig::c11();
+      Config.Limit = SuiteLimit;
+      std::vector<LitmusTest> Suite = generateSuite(Config);
+      Tests.insert(Tests.end(), Suite.begin(), Suite.end());
+      break;
+    }
+    case CorpusSpec::Kind::Classics:
+      for (const std::string &Name : classicNames())
+        Tests.push_back(classicTest(Name));
+      break;
+    }
+  }
+  return true;
+}
+
+bool writeJson(const std::string &Path, const std::string &Contents) {
+  if (!writeTextFile(Path, Contents)) {
+    fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Pipeline-campaign summary (bug table); exit 2 on bugs, like
+/// single-test mode.
+int summarisePipeline(const std::vector<CampaignUnit> &Units,
+                      const std::vector<TelechatResult> &Results) {
+  size_t Bugs = 0, Errors = 0, Timeouts = 0;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const TelechatResult &R = Results[I];
+    if (R.isBug()) {
+      ++Bugs;
+      printf("  BUG  %-28s %s\n",
+             I < Units.size() ? Units[I].Test.Name.c_str() : "?",
+             campaignVerdict(R).c_str());
+    } else if (!R.ok()) {
+      ++Errors;
+    } else if (R.timedOut()) {
+      ++Timeouts;
+    }
+  }
+  printf("campaign: %zu units, %zu bugs, %zu errors, %zu timeouts\n",
+         Results.size(), Bugs, Errors, Timeouts);
+  return Bugs ? 2 : 0;
+}
+
+/// Simulation-only summary: herd-style state counts per test.
+int summariseSim(const std::vector<CampaignUnit> &Units,
+                 const std::vector<TelechatResult> &Results) {
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const SimResult &R = Results[I].SourceSim;
+    std::string Suffix = R.ok() ? "" : " ERROR: " + R.Error;
+    printf("%-28s %zu states%s%s\n",
+           I < Units.size() ? Units[I].Test.Name.c_str() : "?",
+           R.Allowed.size(), R.TimedOut ? " TIMEOUT" : "",
+           Suffix.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
+                               CampaignCliMode Mode) {
+  bool Serve = Mode != CampaignCliMode::Local;
+  std::string ProfileName = "llvm-O2-AArch64";
+  TestOptions Options;
+  unsigned Jobs = 0;
+  std::vector<CorpusSpec> Corpus;
+  unsigned SuiteLimit = 0;
+  std::string CampaignJsonPath, EngineJsonPath;
+  WorkServerOptions ServerOpts;
+  bool Verbose = false;
+  int I = 2;
+  if (Serve) {
+    if (argc < 3) {
+      Usage();
+      return 1;
+    }
+    ServerOpts.Port = uint16_t(strtoul(argv[2], nullptr, 0));
+    I = 3;
+  }
+  for (; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (Arg == "--limit") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      SuiteLimit = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--corpus" || Arg == "--suite") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Corpus.push_back(CorpusSpec{Arg == "--corpus"
+                                      ? CorpusSpec::Kind::File
+                                      : CorpusSpec::Kind::Suite,
+                                  V});
+    } else if (Arg == "--classics") {
+      Corpus.push_back(CorpusSpec{CorpusSpec::Kind::Classics, ""});
+    } else if (Arg == "--profile") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      ProfileName = V;
+    } else if (Arg == "--model") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Options.SourceModel = V;
+    } else if (Arg == "--no-augment") {
+      Options.AugmentLocals = false;
+    } else if (Arg == "--no-optimise") {
+      Options.OptimiseCompiled = false;
+    } else if (Arg == "--const-model") {
+      Options.ConstAugmentedModel = true;
+    } else if (Arg == "--max-steps") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Options.Sim.MaxSteps = strtoull(V, nullptr, 0);
+    } else if (Arg == "-j" || Arg == "--jobs") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Jobs = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--campaign-json") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      CampaignJsonPath = V;
+    } else if (Arg == "--engine-json") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      EngineJsonPath = V;
+    } else if (Arg == "--bind") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      ServerOpts.BindAddress = V;
+    } else if (Arg == "--lease-timeout") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      ServerOpts.LeaseTimeoutSeconds = strtod(V, nullptr);
+    } else if (Arg == "--batch") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      ServerOpts.MaxUnitsPerRequest = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--verbose") {
+      Verbose = true;
+    } else {
+      fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      Usage();
+      return 1;
+    }
+  }
+
+  std::vector<LitmusTest> Tests;
+  if (!buildCorpus(Corpus, SuiteLimit, Tests))
+    return 1;
+  if (Tests.empty()) {
+    fprintf(stderr, "error: empty corpus (--corpus/--suite/--classics)\n");
+    return 1;
+  }
+
+  bool SimOnly = Mode == CampaignCliMode::SimServe;
+  Profile P;
+  if (!SimOnly && !profileFromName(ProfileName, P)) {
+    fprintf(stderr, "error: unknown profile '%s'\n", ProfileName.c_str());
+    return 1;
+  }
+  std::vector<CampaignConfig> Configs{{P, Options, SimOnly}};
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+  std::vector<TelechatResult> Results;
+
+  if (Serve) {
+    ServerOpts.Verbose = Verbose;
+    WorkServer Server(Units, Configs, ServerOpts);
+    std::string Error = Server.start();
+    if (!Error.empty()) {
+      fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (SimOnly)
+      printf("serving %zu simulation units on %s:%u (model %s)\n",
+             Units.size(), ServerOpts.BindAddress.c_str(),
+             unsigned(Server.port()), Options.SourceModel.c_str());
+    else
+      printf("serving %zu units on %s:%u (profile %s, model %s)\n",
+             Units.size(), ServerOpts.BindAddress.c_str(),
+             unsigned(Server.port()), P.name().c_str(),
+             Options.SourceModel.c_str());
+    fflush(stdout);
+    CampaignReport Report = Server.run();
+    printf("served: %.2f s, %llu requeues, %zu workers\n", Report.Seconds,
+           static_cast<unsigned long long>(Report.Requeues),
+           Report.Workers.size());
+    if (!EngineJsonPath.empty() &&
+        !writeJson(EngineJsonPath, campaignEngineJson(Report)))
+      return 1;
+    Results = std::move(Report.Results);
+  } else {
+    Results.resize(Units.size());
+    VectorUnitSource Source(Units);
+    ThreadPool Pool(resolveJobs(Jobs));
+    runCampaignUnits(Source, Configs, Pool,
+                     [&](const CampaignUnit &U, TelechatResult R) {
+                       Results[U.Id] = std::move(R);
+                     });
+  }
+
+  if (!CampaignJsonPath.empty() &&
+      !writeJson(CampaignJsonPath,
+                 campaignResultsJson(Units, Configs, Results)))
+    return 1;
+  return SimOnly ? summariseSim(Units, Results)
+                 : summarisePipeline(Units, Results);
+}

@@ -1,0 +1,39 @@
+//===--- CampaignCli.h - Shared campaign/serve CLI driver -------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tools' campaign modes, implemented once: telechat --campaign,
+/// telechat --serve and litmus-sim --serve are the same flag grammar
+/// (corpus specs, test options, JSON outputs, server knobs) over the
+/// same engine, differing only in execution mode. Sharing the driver --
+/// like workerToolMain for --work -- keeps the two CLIs from drifting:
+/// a server flag added here exists in both tools at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIST_CAMPAIGNCLI_H
+#define TELECHAT_DIST_CAMPAIGNCLI_H
+
+namespace telechat {
+
+/// How campaignToolMain executes the campaign.
+enum class CampaignCliMode {
+  Local,    ///< In-process over a thread pool (telechat --campaign).
+  Serve,    ///< Work server, full pipeline units (telechat --serve).
+  SimServe, ///< Work server, simulation-only units (litmus-sim --serve).
+};
+
+/// The whole campaign/serve CLI: parses argv ([2] is the port for the
+/// serve modes), builds the corpus, runs it, writes JSON artefacts and
+/// prints the summary. Returns the process exit code (2 = a pipeline
+/// campaign surfaced a compiler bug, matching single-test mode).
+/// \p Usage is called on argument errors.
+int campaignToolMain(int argc, char **argv, void (*Usage)(),
+                     CampaignCliMode Mode);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIST_CAMPAIGNCLI_H

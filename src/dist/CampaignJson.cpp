@@ -1,0 +1,191 @@
+//===--- CampaignJson.cpp - Campaign report rendering ---------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/CampaignJson.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20)
+        Out += strFormat("\\u%04x", Ch);
+      else
+        Out += Ch;
+    }
+  }
+  return Out;
+}
+
+std::string quoted(const std::string &S) {
+  std::string Out = "\"";
+  Out += jsonEscape(S);
+  Out += '"';
+  return Out;
+}
+
+void appendOutcomeSet(std::string &J, const OutcomeSet &S) {
+  J += "[";
+  bool First = true;
+  for (const Outcome &O : S) {
+    if (!First)
+      J += ", ";
+    First = false;
+    J += quoted(O.toString());
+  }
+  J += "]";
+}
+
+void appendStringList(std::string &J, const std::vector<std::string> &V) {
+  J += "[";
+  for (size_t I = 0; I != V.size(); ++I) {
+    if (I)
+      J += ", ";
+    J += quoted(V[I]);
+  }
+  J += "]";
+}
+
+/// The deterministic slice of SimStats: everything but Seconds.
+void appendSimSide(std::string &J, const SimResult &R) {
+  J += "{\"outcomes\": ";
+  appendOutcomeSet(J, R.Allowed);
+  J += ", \"flags\": ";
+  appendStringList(J, std::vector<std::string>(R.Flags.begin(),
+                                               R.Flags.end()));
+  J += strFormat(", \"timed_out\": %s", R.TimedOut ? "true" : "false");
+  J += strFormat(
+      ", \"stats\": {\"path_combos\": %llu, \"rf_candidates\": %llu, "
+      "\"value_consistent\": %llu, \"co_candidates\": %llu, "
+      "\"allowed_executions\": %llu, \"rf_sources_pruned\": %llu, "
+      "\"rf_pruned\": %llu, \"cat_evals_avoided\": %llu}",
+      static_cast<unsigned long long>(R.Stats.PathCombos),
+      static_cast<unsigned long long>(R.Stats.RfCandidates),
+      static_cast<unsigned long long>(R.Stats.ValueConsistent),
+      static_cast<unsigned long long>(R.Stats.CoCandidates),
+      static_cast<unsigned long long>(R.Stats.AllowedExecutions),
+      static_cast<unsigned long long>(R.Stats.RfSourcesPruned),
+      static_cast<unsigned long long>(R.Stats.RfPruned),
+      static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
+  J += "}";
+}
+
+} // namespace
+
+std::string telechat::campaignVerdict(const TelechatResult &R) {
+  if (!R.ok())
+    return "error";
+  if (R.timedOut())
+    return "timeout";
+  switch (R.Compare.K) {
+  case CompareResult::Kind::Equal:
+    return "equal";
+  case CompareResult::Kind::Negative:
+    return "negative";
+  case CompareResult::Kind::Positive:
+    return R.Compare.SourceRace ? "racy-positive" : "bug";
+  }
+  return "error";
+}
+
+std::string
+telechat::campaignResultsJson(const std::vector<CampaignUnit> &Units,
+                              const std::vector<CampaignConfig> &Configs,
+                              const std::vector<TelechatResult> &Results) {
+  std::string J = "{\n";
+  J += strFormat("  \"units\": %zu,\n", Units.size());
+  J += "  \"configs\": [";
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    if (I)
+      J += ", ";
+    J += "{\"profile\": " + quoted(Configs[I].P.name());
+    J += ", \"source_model\": " + quoted(Configs[I].Opts.SourceModel);
+    J += strFormat(", \"simulate_only\": %s}",
+                   Configs[I].SimulateOnly ? "true" : "false");
+  }
+  J += "],\n  \"results\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const TelechatResult &R = Results[I];
+    J += "    {\"id\": " + std::to_string(I);
+    if (I < Units.size()) {
+      J += ", \"test\": " + quoted(Units[I].Test.Name);
+      J += strFormat(", \"config\": %u", Units[I].Config);
+    }
+    J += ", \"verdict\": " + quoted(campaignVerdict(R));
+    J += ", \"error\": " + quoted(R.Error);
+    J += ", \"source\": ";
+    appendSimSide(J, R.SourceSim);
+    J += ", \"target\": ";
+    appendSimSide(J, R.TargetSim);
+    J += ", \"witnesses\": [";
+    for (size_t W = 0; W != R.Compare.Witnesses.size(); ++W) {
+      if (W)
+        J += ", ";
+      J += quoted(R.Compare.Witnesses[W].toString());
+    }
+    J += "], \"target_flags\": ";
+    appendStringList(J, R.Compare.TargetFlags);
+    J += strFormat(", \"source_race\": %s}",
+                   R.Compare.SourceRace ? "true" : "false");
+    if (I + 1 != Results.size())
+      J += ",";
+    J += "\n";
+  }
+  J += "  ]\n}\n";
+  return J;
+}
+
+std::string telechat::campaignEngineJson(const CampaignReport &Report) {
+  std::string J = "{\n";
+  J += strFormat("  \"engine\": \"work-server\",\n  \"units\": %llu,\n",
+                 static_cast<unsigned long long>(Report.Units));
+  J += strFormat("  \"seconds\": %.3f,\n", Report.Seconds);
+  J += strFormat("  \"requeues\": %llu,\n",
+                 static_cast<unsigned long long>(Report.Requeues));
+  J += strFormat("  \"duplicate_results\": %llu,\n",
+                 static_cast<unsigned long long>(Report.DuplicateResults));
+  J += "  \"workers\": [\n";
+  for (size_t I = 0; I != Report.Workers.size(); ++I) {
+    const WorkerTelemetry &W = Report.Workers[I];
+    double Rate = W.ConnectedSeconds > 0.0
+                      ? double(W.UnitsCompleted) / W.ConnectedSeconds
+                      : 0.0;
+    J += strFormat("    {\"peer\": %s, \"jobs\": %u, \"units_leased\": "
+                   "%llu, \"units_completed\": %llu, \"requeued\": %llu, "
+                   "\"connected_seconds\": %.3f, \"units_per_second\": "
+                   "%.2f}%s\n",
+                   quoted(W.Peer).c_str(), W.Jobs,
+                   static_cast<unsigned long long>(W.UnitsLeased),
+                   static_cast<unsigned long long>(W.UnitsCompleted),
+                   static_cast<unsigned long long>(W.Requeued),
+                   W.ConnectedSeconds, Rate,
+                   I + 1 != Report.Workers.size() ? "," : "");
+  }
+  J += "  ]\n}\n";
+  return J;
+}

@@ -1,0 +1,51 @@
+//===--- CampaignJson.h - Campaign report rendering -------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON rendering of campaign results, split along the determinism
+/// boundary:
+///
+///  - campaignResultsJson(): outcomes, flags, verdicts and the
+///    deterministic stats of every unit in corpus order -- and nothing
+///    wall-clock-dependent. A distributed campaign and the local driver
+///    over the same corpus produce *byte-identical* files, which is how
+///    the CI loopback smoke (and any deployment) verifies a cluster:
+///    cmp local.json distributed.json.
+///
+///  - campaignEngineJson(): what the run cost -- wall clock, per-worker
+///    throughput, lease requeues. Legitimately different every run;
+///    kept in a separate file so the deterministic artefact stays
+///    diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIST_CAMPAIGNJSON_H
+#define TELECHAT_DIST_CAMPAIGNJSON_H
+
+#include "core/Campaign.h"
+#include "dist/WorkServer.h"
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// One-word verdict for a campaign unit ("equal", "negative", "bug",
+/// "racy-positive", "timeout", "error"), the JSON vocabulary shared by
+/// reports and the regression-gate examples.
+std::string campaignVerdict(const TelechatResult &R);
+
+/// Deterministic per-unit results, corpus order. See the file comment.
+std::string campaignResultsJson(const std::vector<CampaignUnit> &Units,
+                                const std::vector<CampaignConfig> &Configs,
+                                const std::vector<TelechatResult> &Results);
+
+/// Engine telemetry of a served campaign (nondeterministic by nature).
+std::string campaignEngineJson(const CampaignReport &Report);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIST_CAMPAIGNJSON_H

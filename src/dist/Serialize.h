@@ -1,0 +1,79 @@
+//===--- Serialize.h - Wire serialization of campaign types -----*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural (AST-level) serialization of everything the work-server
+/// protocol ships: litmus tests, profiles (including bug models, which
+/// profile *names* do not encode), options, and the campaign-relevant
+/// slice of TelechatResult. Structural rather than print/parse because
+/// the merge contract is bit-identical results: a pretty-printer
+/// round-trip is stable only "up to whitespace" and silently widens
+/// atomic types, while encode/decode below is exact by construction.
+///
+/// TelechatResult's heavyweight inspection artefacts (prepared C source,
+/// raw disassembly, the optimised assembly test, the compile mapping)
+/// stay on the worker: campaign reports need outcomes, flags, stats and
+/// verdicts, and shipping the artefacts would multiply wire traffic for
+/// bytes nobody merges. Collected executions are likewise not shipped;
+/// the server sanitises campaign configs to CollectExecutions=false.
+///
+/// Every decode returns false (leaving the cursor failed) on truncated,
+/// oversized or out-of-enum input instead of asserting: frames come from
+/// the network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIST_SERIALIZE_H
+#define TELECHAT_DIST_SERIALIZE_H
+
+#include "core/Campaign.h"
+#include "dist/Wire.h"
+
+namespace telechat {
+
+void encodeValue(WireBuffer &B, const Value &V);
+bool decodeValue(WireCursor &C, Value &V);
+
+void encodeLitmusTest(WireBuffer &B, const LitmusTest &T);
+bool decodeLitmusTest(WireCursor &C, LitmusTest &T);
+
+void encodeProfile(WireBuffer &B, const Profile &P);
+bool decodeProfile(WireCursor &C, Profile &P);
+
+void encodeSimOptions(WireBuffer &B, const SimOptions &O);
+bool decodeSimOptions(WireCursor &C, SimOptions &O);
+
+void encodeTestOptions(WireBuffer &B, const TestOptions &O);
+bool decodeTestOptions(WireCursor &C, TestOptions &O);
+
+void encodeCampaignConfig(WireBuffer &B, const CampaignConfig &C);
+bool decodeCampaignConfig(WireCursor &C, CampaignConfig &Out);
+
+void encodeCampaignUnit(WireBuffer &B, const CampaignUnit &U);
+bool decodeCampaignUnit(WireCursor &C, CampaignUnit &U);
+
+void encodeSimStats(WireBuffer &B, const SimStats &S);
+bool decodeSimStats(WireCursor &C, SimStats &S);
+
+void encodeOutcome(WireBuffer &B, const Outcome &O);
+bool decodeOutcome(WireCursor &C, Outcome &O);
+
+void encodeOutcomeSet(WireBuffer &B, const OutcomeSet &S);
+bool decodeOutcomeSet(WireCursor &C, OutcomeSet &S);
+
+void encodeSimResult(WireBuffer &B, const SimResult &R);
+bool decodeSimResult(WireCursor &C, SimResult &R);
+
+void encodeCompareResult(WireBuffer &B, const CompareResult &R);
+bool decodeCompareResult(WireCursor &C, CompareResult &R);
+
+/// The campaign slice of TelechatResult (see the file comment).
+void encodeTelechatResult(WireBuffer &B, const TelechatResult &R);
+bool decodeTelechatResult(WireCursor &C, TelechatResult &R);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIST_SERIALIZE_H

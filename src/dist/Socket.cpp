@@ -1,0 +1,256 @@
+//===--- Socket.cpp - Minimal TCP transport for the campaign engine -------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Socket.h"
+
+#include "support/StringUtils.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace telechat;
+
+namespace {
+
+std::string errnoText(const char *What) {
+  return strFormat("%s: %s", What, strerror(errno));
+}
+
+#ifdef MSG_NOSIGNAL
+constexpr int SendFlags = MSG_NOSIGNAL;
+#else
+constexpr int SendFlags = 0; // macOS: rely on SO_NOSIGPIPE below.
+#endif
+
+void suppressSigpipe(int Fd) {
+#ifdef SO_NOSIGPIPE
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof(One));
+#else
+  (void)Fd;
+#endif
+}
+
+} // namespace
+
+TcpSocket &TcpSocket::operator=(TcpSocket &&RHS) noexcept {
+  if (this != &RHS) {
+    close();
+    Fd = RHS.Fd;
+    RHS.Fd = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool TcpSocket::sendAll(const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len != 0) {
+    ssize_t N = ::send(Fd, P, Len, SendFlags);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // EAGAIN here means the SO_SNDTIMEO send timeout fired: the peer
+      // has not drained its socket for that long. Treat as dead.
+      return false;
+    }
+    P += N;
+    Len -= size_t(N);
+  }
+  return true;
+}
+
+bool TcpSocket::setSendTimeout(double Seconds) {
+  timeval TV;
+  TV.tv_sec = time_t(Seconds);
+  TV.tv_usec = suseconds_t((Seconds - double(TV.tv_sec)) * 1e6);
+  return setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV)) == 0;
+}
+
+bool TcpSocket::recvAll(void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  while (Len != 0) {
+    ssize_t N = ::recv(Fd, P, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-message.
+    P += N;
+    Len -= size_t(N);
+  }
+  return true;
+}
+
+long TcpSocket::recvSome(void *Data, size_t Len) {
+  while (true) {
+    ssize_t N = ::recv(Fd, Data, Len, 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    return long(N);
+  }
+}
+
+std::string TcpSocket::peerName() const {
+  sockaddr_storage Addr;
+  socklen_t AddrLen = sizeof(Addr);
+  if (getpeername(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) != 0)
+    return "?";
+  char Host[NI_MAXHOST], Serv[NI_MAXSERV];
+  if (getnameinfo(reinterpret_cast<sockaddr *>(&Addr), AddrLen, Host,
+                  sizeof(Host), Serv, sizeof(Serv),
+                  NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+    return "?";
+  return strFormat("%s:%s", Host, Serv);
+}
+
+ErrorOr<TcpSocket> telechat::tcpConnect(const std::string &Host,
+                                        uint16_t Port, double RetrySeconds) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  std::string PortText = std::to_string(Port);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(RetrySeconds);
+  std::string LastError = "no addresses";
+  while (true) {
+    addrinfo *Res = nullptr;
+    int GaiRc = getaddrinfo(Host.c_str(), PortText.c_str(), &Hints, &Res);
+    if (GaiRc != 0) {
+      LastError = strFormat("resolve %s: %s", Host.c_str(),
+                            gai_strerror(GaiRc));
+    } else {
+      for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+        int Fd = socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+        if (Fd < 0) {
+          LastError = errnoText("socket");
+          continue;
+        }
+        if (connect(Fd, AI->ai_addr, AI->ai_addrlen) == 0) {
+          suppressSigpipe(Fd);
+          int One = 1;
+          setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+          freeaddrinfo(Res);
+          return TcpSocket(Fd);
+        }
+        LastError = errnoText("connect");
+        ::close(Fd);
+      }
+      freeaddrinfo(Res);
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return makeError(strFormat("%s:%u: %s", Host.c_str(), unsigned(Port),
+                             LastError.c_str()));
+}
+
+TcpListener::TcpListener(TcpListener &&RHS) noexcept
+    : Fd(RHS.Fd), BoundPort(RHS.BoundPort) {
+  RHS.Fd = -1;
+  RHS.BoundPort = 0;
+}
+
+TcpListener &TcpListener::operator=(TcpListener &&RHS) noexcept {
+  if (this != &RHS) {
+    close();
+    Fd = RHS.Fd;
+    BoundPort = RHS.BoundPort;
+    RHS.Fd = -1;
+    RHS.BoundPort = 0;
+  }
+  return *this;
+}
+
+void TcpListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+ErrorOr<TcpListener> TcpListener::listenOn(uint16_t Port,
+                                           const std::string &BindAddr,
+                                           int Backlog) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE | AI_NUMERICHOST;
+  std::string PortText = std::to_string(Port);
+  addrinfo *Res = nullptr;
+  int GaiRc = getaddrinfo(BindAddr.c_str(), PortText.c_str(), &Hints, &Res);
+  if (GaiRc != 0)
+    return makeError(strFormat("resolve %s: %s", BindAddr.c_str(),
+                               gai_strerror(GaiRc)));
+  std::string LastError = "no addresses";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    int Fd = socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0) {
+      LastError = errnoText("socket");
+      continue;
+    }
+    int One = 1;
+    setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (bind(Fd, AI->ai_addr, AI->ai_addrlen) != 0 ||
+        listen(Fd, Backlog) != 0) {
+      LastError = errnoText("bind/listen");
+      ::close(Fd);
+      continue;
+    }
+    sockaddr_storage Bound;
+    socklen_t BoundLen = sizeof(Bound);
+    uint16_t GotPort = Port;
+    if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) ==
+        0) {
+      if (Bound.ss_family == AF_INET)
+        GotPort = ntohs(reinterpret_cast<sockaddr_in *>(&Bound)->sin_port);
+      else if (Bound.ss_family == AF_INET6)
+        GotPort = ntohs(reinterpret_cast<sockaddr_in6 *>(&Bound)->sin6_port);
+    }
+    freeaddrinfo(Res);
+    TcpListener L;
+    L.Fd = Fd;
+    L.BoundPort = GotPort;
+    return L;
+  }
+  freeaddrinfo(Res);
+  return makeError(strFormat("listen %s:%u: %s", BindAddr.c_str(),
+                             unsigned(Port), LastError.c_str()));
+}
+
+ErrorOr<TcpSocket> TcpListener::accept() {
+  while (true) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0) {
+      suppressSigpipe(Conn);
+      int One = 1;
+      setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return TcpSocket(Conn);
+    }
+    if (errno == EINTR)
+      continue;
+    return makeError(errnoText("accept"));
+  }
+}

@@ -1,0 +1,108 @@
+//===--- Socket.h - Minimal TCP transport for the campaign engine -*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small RAII wrapper over POSIX TCP sockets, just enough transport
+/// for the work-server protocol: a connecting stream with whole-buffer
+/// send/recv, and a listener that can bind an ephemeral port and report
+/// it (the tests and the loopback bench ask the kernel for a free port).
+///
+/// POSIX only (Linux/macOS); the distributed engine is a deployment
+/// feature and the tree's CI targets are POSIX. Nothing here throws:
+/// failures return false / ErrorOr with errno text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIST_SOCKET_H
+#define TELECHAT_DIST_SOCKET_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace telechat {
+
+/// A connected TCP stream (or an empty handle). Move-only; closes on
+/// destruction.
+class TcpSocket {
+public:
+  TcpSocket() = default;
+  explicit TcpSocket(int Fd) : Fd(Fd) {}
+  TcpSocket(TcpSocket &&RHS) noexcept : Fd(RHS.Fd) { RHS.Fd = -1; }
+  TcpSocket &operator=(TcpSocket &&RHS) noexcept;
+  TcpSocket(const TcpSocket &) = delete;
+  TcpSocket &operator=(const TcpSocket &) = delete;
+  ~TcpSocket() { close(); }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// Sends exactly \p Len bytes (looping over partial writes, ignoring
+  /// EINTR, suppressing SIGPIPE). False on any error, including a send
+  /// timeout set via setSendTimeout().
+  bool sendAll(const void *Data, size_t Len);
+
+  /// Bounds every subsequent send: a peer that stops reading makes
+  /// sendAll fail after \p Seconds instead of blocking forever. The
+  /// single-threaded server sets this so one wedged worker cannot stall
+  /// the campaign.
+  bool setSendTimeout(double Seconds);
+
+  /// Receives exactly \p Len bytes; false on EOF or error.
+  bool recvAll(void *Data, size_t Len);
+
+  /// One recv() call: >0 bytes read, 0 on orderly EOF, -1 on error.
+  long recvSome(void *Data, size_t Len);
+
+  /// "address:port" of the peer, best effort ("?" when unavailable).
+  std::string peerName() const;
+
+private:
+  int Fd = -1;
+};
+
+/// Connects to \p Host:\p Port. Retries for up to \p RetrySeconds (the
+/// server of a two-terminal campaign may still be binding when workers
+/// launch); 0 means a single attempt.
+ErrorOr<TcpSocket> tcpConnect(const std::string &Host, uint16_t Port,
+                              double RetrySeconds = 0.0);
+
+/// A listening TCP socket. Move-only; closes on destruction.
+class TcpListener {
+public:
+  TcpListener() = default;
+  TcpListener(TcpListener &&RHS) noexcept;
+  TcpListener &operator=(TcpListener &&RHS) noexcept;
+  TcpListener(const TcpListener &) = delete;
+  TcpListener &operator=(const TcpListener &) = delete;
+  ~TcpListener() { close(); }
+
+  /// Binds \p BindAddr:\p Port (port 0 asks the kernel for a free one)
+  /// and listens.
+  static ErrorOr<TcpListener> listenOn(uint16_t Port,
+                                       const std::string &BindAddr,
+                                       int Backlog = 16);
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  /// The bound port (resolved even when 0 was requested).
+  uint16_t port() const { return BoundPort; }
+  void close();
+
+  /// Accepts one connection (blocking; callers poll() the fd first).
+  ErrorOr<TcpSocket> accept();
+
+private:
+  int Fd = -1;
+  uint16_t BoundPort = 0;
+};
+
+} // namespace telechat
+
+#endif // TELECHAT_DIST_SOCKET_H

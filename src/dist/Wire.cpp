@@ -1,0 +1,85 @@
+//===--- Wire.cpp - Length-prefixed framing and wire primitives -----------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Wire.h"
+
+#include "support/StringUtils.h"
+
+using namespace telechat;
+
+bool telechat::sendFrame(TcpSocket &S, uint8_t Type,
+                         const WireBuffer &Payload) {
+  // Refuse what the receiver would drop the connection over: an
+  // oversized honest payload must fail fast at the sender (where the
+  // caller can substitute a diagnostic), not livelock as an endless
+  // send/requeue/re-send cycle. Also covers the u32 truncation a
+  // >4 GiB payload would hit below.
+  if (Payload.size() >= MaxFramePayload)
+    return false;
+  uint32_t Len = uint32_t(Payload.size()) + 1; // +1: the type byte.
+  std::vector<uint8_t> Out;
+  Out.reserve(4 + Len);
+  for (size_t I = 0; I != 4; ++I)
+    Out.push_back(uint8_t(Len >> (8 * I)));
+  Out.push_back(Type);
+  Out.insert(Out.end(), Payload.data(), Payload.data() + Payload.size());
+  return S.sendAll(Out.data(), Out.size());
+}
+
+ErrorOr<Frame> telechat::recvFrame(TcpSocket &S) {
+  uint8_t Header[4];
+  if (!S.recvAll(Header, sizeof(Header)))
+    return makeError("connection closed");
+  uint32_t Len = 0;
+  for (size_t I = 0; I != 4; ++I)
+    Len |= uint32_t(Header[I]) << (8 * I);
+  if (Len == 0 || Len > MaxFramePayload + 1)
+    return makeError(strFormat("bad frame length %u", Len));
+  Frame F;
+  if (!S.recvAll(&F.Type, 1))
+    return makeError("connection closed mid-frame");
+  F.Payload.resize(Len - 1);
+  if (Len > 1 && !S.recvAll(F.Payload.data(), F.Payload.size()))
+    return makeError("connection closed mid-frame");
+  return F;
+}
+
+void WireBuffer::appendString(std::string_view S) {
+  appendU32(uint32_t(S.size()));
+  Bytes.insert(Bytes.end(), S.begin(), S.end());
+}
+
+void FrameSplitter::feed(const uint8_t *Data, size_t Len) {
+  Buf.insert(Buf.end(), Data, Data + Len);
+}
+
+bool FrameSplitter::pop(Frame &Out) {
+  if (Corrupted)
+    return false;
+  size_t Avail = Buf.size() - Pos;
+  if (Avail < 4)
+    return false;
+  uint32_t Len = 0;
+  for (size_t I = 0; I != 4; ++I)
+    Len |= uint32_t(Buf[Pos + I]) << (8 * I);
+  if (Len == 0 || Len > MaxFramePayload + 1) {
+    Corrupted = true;
+    return false;
+  }
+  if (Avail < 4 + size_t(Len))
+    return false;
+  Out.Type = Buf[Pos + 4];
+  Out.Payload.assign(Buf.begin() + long(Pos) + 5,
+                     Buf.begin() + long(Pos) + 4 + long(Len));
+  Pos += 4 + size_t(Len);
+  // Compact once the consumed prefix dominates, keeping feed() amortised
+  // linear without re-copying on every frame.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + long(Pos));
+    Pos = 0;
+  }
+  return true;
+}

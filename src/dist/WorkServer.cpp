@@ -1,0 +1,454 @@
+//===--- WorkServer.cpp - The distributed campaign work server ------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/WorkServer.h"
+
+#include "dist/Protocol.h"
+#include "dist/Serialize.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <poll.h>
+#include <set>
+#include <vector>
+
+using namespace telechat;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+} // namespace
+
+struct WorkServer::Impl {
+  /// One connected worker.
+  struct Conn {
+    TcpSocket Sock;
+    FrameSplitter Frames;
+    bool Handshook = false;
+    bool DoneSent = false;
+    size_t Telemetry = 0;         ///< Index into Report.Workers.
+    std::vector<uint64_t> Leases; ///< Unit ids currently leased here.
+    /// Every id ever leased to this connection. Results are accepted
+    /// only for these: a slow worker whose lease timed out may still
+    /// land its result, but a peer cannot fabricate results (or force
+    /// result decodes, which intern keys) for units it never held.
+    std::set<uint64_t> EverLeased;
+    Clock::time_point ConnectedAt;
+  };
+
+  /// A live lease.
+  struct Lease {
+    size_t ConnSlot;
+    Clock::time_point IssuedAt;
+  };
+
+  std::vector<CampaignUnit> Units;
+  std::vector<CampaignConfig> Configs;
+  WorkServerOptions Opts;
+
+  TcpListener Listener;
+  std::vector<Conn> Conns;
+
+  /// Unit ids with no live lease and no result, in issue order.
+  std::deque<uint64_t> Pending;
+  std::map<uint64_t, Lease> Leases;
+  std::vector<bool> Completed;
+  uint64_t CompletedCount = 0;
+
+  CampaignReport Report;
+
+  void log(const char *Fmt, ...) const;
+  void sanitizeOptions();
+  void sanitizeConfigs();
+  void requeue(uint64_t Id, size_t ConnSlot);
+  void dropConn(size_t Slot);
+  void expireLeases();
+  bool handleFrame(size_t Slot, const Frame &F);
+  void handleHello(size_t Slot, const Frame &F);
+  void handleGetWork(size_t Slot, const Frame &F);
+  void handleResult(size_t Slot, const Frame &F);
+  void sendError(size_t Slot, const std::string &Reason);
+  CampaignReport run();
+};
+
+void WorkServer::Impl::log(const char *Fmt, ...) const {
+  if (!Opts.Verbose)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  fprintf(stderr, "[serve] ");
+  vfprintf(stderr, Fmt, Args);
+  fprintf(stderr, "\n");
+  va_end(Args);
+}
+
+void WorkServer::Impl::sanitizeOptions() {
+  // A zero batch cap would answer every GetWork with Wait forever: the
+  // campaign hangs with no diagnostic. Floor it.
+  if (Opts.MaxUnitsPerRequest == 0)
+    Opts.MaxUnitsPerRequest = 1;
+  if (Opts.WaitRetryMs == 0)
+    Opts.WaitRetryMs = 50;
+}
+
+void WorkServer::Impl::sanitizeConfigs() {
+  // Collected executions are not part of the wire result (Serialize.h);
+  // force the option off so the distributed run and a local run of the
+  // *sanitized* configs remain bit-identical. Jobs=1 restates what the
+  // unit executor enforces anyway.
+  for (CampaignConfig &C : Configs) {
+    C.Opts.Sim.CollectExecutions = false;
+    C.Opts.Sim.Jobs = 1;
+  }
+}
+
+void WorkServer::Impl::requeue(uint64_t Id, size_t ConnSlot) {
+  if (Completed[Id])
+    return;
+  Pending.push_front(Id);
+  ++Report.Requeues;
+  ++Report.Workers[Conns[ConnSlot].Telemetry].Requeued;
+}
+
+void WorkServer::Impl::dropConn(size_t Slot) {
+  Conn &C = Conns[Slot];
+  if (!C.Sock.valid())
+    return;
+  // Requeue in descending id so the queue front ends up ascending:
+  // orphaned units re-issue lowest-id first, matching corpus order.
+  std::sort(C.Leases.begin(), C.Leases.end());
+  for (auto It = C.Leases.rbegin(); It != C.Leases.rend(); ++It) {
+    auto L = Leases.find(*It);
+    if (L != Leases.end() && L->second.ConnSlot == Slot) {
+      Leases.erase(L);
+      requeue(*It, Slot);
+    }
+  }
+  C.Leases.clear();
+  Report.Workers[C.Telemetry].ConnectedSeconds = secondsSince(C.ConnectedAt);
+  C.Sock.close();
+  log("worker %s disconnected", Report.Workers[C.Telemetry].Peer.c_str());
+}
+
+void WorkServer::Impl::expireLeases() {
+  std::vector<std::pair<uint64_t, size_t>> Expired;
+  for (const auto &[Id, L] : Leases)
+    if (secondsSince(L.IssuedAt) > Opts.LeaseTimeoutSeconds)
+      Expired.push_back({Id, L.ConnSlot});
+  // Descending for the same front-insert reason as dropConn.
+  std::sort(Expired.rbegin(), Expired.rend());
+  for (const auto &[Id, Slot] : Expired) {
+    Leases.erase(Id);
+    Conn &C = Conns[Slot];
+    C.Leases.erase(std::remove(C.Leases.begin(), C.Leases.end(), Id),
+                   C.Leases.end());
+    requeue(Id, Slot);
+    log("lease on unit %llu expired, requeued",
+        static_cast<unsigned long long>(Id));
+  }
+}
+
+void WorkServer::Impl::sendError(size_t Slot, const std::string &Reason) {
+  WireBuffer B;
+  B.appendString(Reason);
+  sendFrame(Conns[Slot].Sock, uint8_t(Msg::Error), B);
+  dropConn(Slot);
+}
+
+void WorkServer::Impl::handleHello(size_t Slot, const Frame &F) {
+  WireCursor C(F.Payload);
+  uint32_t Magic = C.readU32();
+  uint16_t Version = C.readU16();
+  uint32_t Jobs = C.readU32();
+  if (!C.ok() || Magic != WireMagic) {
+    sendError(Slot, "bad magic");
+    return;
+  }
+  if (Version != WireVersion) {
+    sendError(Slot, strFormat("protocol version mismatch: server %u, "
+                              "worker %u",
+                              unsigned(WireVersion), unsigned(Version)));
+    return;
+  }
+  Conns[Slot].Handshook = true;
+  Report.Workers[Conns[Slot].Telemetry].Jobs = Jobs;
+  WireBuffer B;
+  B.appendU16(WireVersion);
+  B.appendU64(Units.size());
+  B.appendU32(uint32_t(Configs.size()));
+  for (const CampaignConfig &Config : Configs)
+    encodeCampaignConfig(B, Config);
+  if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::HelloAck), B)) {
+    dropConn(Slot);
+    return;
+  }
+  log("worker %s joined (jobs=%u)",
+      Report.Workers[Conns[Slot].Telemetry].Peer.c_str(), Jobs);
+}
+
+void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
+  WireCursor C(F.Payload);
+  uint32_t Max = C.readU32();
+  if (!C.ok()) {
+    sendError(Slot, "malformed GetWork");
+    return;
+  }
+  if (CompletedCount == Units.size()) {
+    WireBuffer B;
+    B.appendU64(Units.size());
+    if (sendFrame(Conns[Slot].Sock, uint8_t(Msg::Done), B))
+      Conns[Slot].DoneSent = true;
+    else
+      dropConn(Slot);
+    return;
+  }
+  Max = std::min(Max, Opts.MaxUnitsPerRequest);
+  std::vector<uint64_t> Batch;
+  while (Batch.size() < Max && !Pending.empty()) {
+    uint64_t Id = Pending.front();
+    Pending.pop_front();
+    if (Completed[Id]) // Requeued, then a straggler's result landed.
+      continue;
+    Batch.push_back(Id);
+  }
+  if (Batch.empty()) {
+    // Everything is leased out (or the corpus is smaller than the
+    // worker count): the worker naps and asks again.
+    WireBuffer B;
+    B.appendU32(Opts.WaitRetryMs);
+    if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::Wait), B))
+      dropConn(Slot);
+    return;
+  }
+  WireBuffer B;
+  B.appendU32(uint32_t(Batch.size()));
+  for (uint64_t Id : Batch) {
+    encodeCampaignUnit(B, Units[Id]);
+    Leases[Id] = Lease{Slot, Clock::now()};
+    Conns[Slot].Leases.push_back(Id);
+    Conns[Slot].EverLeased.insert(Id);
+  }
+  Report.Workers[Conns[Slot].Telemetry].UnitsLeased += Batch.size();
+  if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::Work), B))
+    dropConn(Slot); // The just-taken leases requeue right here.
+}
+
+void WorkServer::Impl::handleResult(size_t Slot, const Frame &F) {
+  WireCursor C(F.Payload);
+  uint64_t Id = C.readU64();
+  if (!C.ok() || Id >= Units.size()) {
+    sendError(Slot, "malformed Result");
+    return;
+  }
+  Conn &Cn = Conns[Slot];
+  if (!Cn.EverLeased.count(Id)) {
+    // This connection never held the unit: reject before decoding.
+    // Accepting would let a peer fabricate merge results and force
+    // decodes (which intern outcome keys process-wide) at will.
+    sendError(Slot, "result for a unit not leased here");
+    return;
+  }
+  if (Completed[Id]) {
+    // Duplicate (the unit was requeued and someone else won): drop it
+    // before decoding, for the same interning reason as above.
+    Cn.Leases.erase(std::remove(Cn.Leases.begin(), Cn.Leases.end(), Id),
+                    Cn.Leases.end());
+    ++Report.DuplicateResults;
+    return;
+  }
+  TelechatResult R;
+  if (!decodeTelechatResult(C, R)) {
+    // Keep the lease entries intact: sendError's dropConn requeues the
+    // unit immediately instead of waiting out the lease timeout.
+    sendError(Slot, "malformed Result");
+    return;
+  }
+  // The result may come from a worker whose lease was already reassigned
+  // (a slow worker beaten by the timeout): still accept it -- execution
+  // is deterministic, so whichever copy lands first is *the* result.
+  Cn.Leases.erase(std::remove(Cn.Leases.begin(), Cn.Leases.end(), Id),
+                  Cn.Leases.end());
+  Leases.erase(Id);
+  Report.Results[Id] = std::move(R);
+  Completed[Id] = true;
+  ++CompletedCount;
+  ++Report.Workers[Cn.Telemetry].UnitsCompleted;
+  // A delivered result is proof of life: restart the lease clock on the
+  // worker's remaining units, so "lease timeout" measures one stalled
+  // unit rather than one whole batch of slow-but-progressing ones.
+  auto Now = Clock::now();
+  for (uint64_t Held : Cn.Leases) {
+    auto L = Leases.find(Held);
+    if (L != Leases.end() && L->second.ConnSlot == Slot)
+      L->second.IssuedAt = Now;
+  }
+}
+
+bool WorkServer::Impl::handleFrame(size_t Slot, const Frame &F) {
+  Conn &C = Conns[Slot];
+  if (!C.Handshook) {
+    if (F.Type != uint8_t(Msg::Hello)) {
+      sendError(Slot, "expected Hello");
+      return false;
+    }
+    handleHello(Slot, F);
+    return C.Sock.valid();
+  }
+  switch (Msg(F.Type)) {
+  case Msg::GetWork:
+    handleGetWork(Slot, F);
+    return C.Sock.valid();
+  case Msg::Result:
+    handleResult(Slot, F);
+    return C.Sock.valid();
+  case Msg::Error: {
+    WireCursor Cur(F.Payload);
+    log("worker error: %s", Cur.readString().c_str());
+    dropConn(Slot);
+    return false;
+  }
+  default:
+    sendError(Slot, strFormat("unexpected message type %u",
+                              unsigned(F.Type)));
+    return false;
+  }
+}
+
+CampaignReport WorkServer::Impl::run() {
+  auto Start = Clock::now();
+  Report.Units = Units.size();
+  Report.Results.assign(Units.size(), TelechatResult());
+  Completed.assign(Units.size(), false);
+  for (uint64_t Id = 0; Id != Units.size(); ++Id)
+    Pending.push_back(Id);
+
+  std::vector<pollfd> Fds;
+  uint8_t Buf[64 * 1024];
+  while (CompletedCount < Units.size()) {
+    expireLeases();
+
+    // Snapshot the connection list: accept() below appends, and the
+    // fd-to-slot mapping must match what poll() saw.
+    size_t SnapConns = Conns.size();
+    Fds.clear();
+    Fds.push_back(pollfd{Listener.fd(), POLLIN, 0});
+    for (size_t Slot = 0; Slot != SnapConns; ++Slot)
+      if (Conns[Slot].Sock.valid())
+        Fds.push_back(pollfd{Conns[Slot].Sock.fd(), POLLIN, 0});
+    // Short timeout: lease expiry must fire even with silent sockets.
+    if (poll(Fds.data(), nfds_t(Fds.size()), 50) < 0)
+      continue; // EINTR and friends: just re-loop.
+
+    if (Fds[0].revents & POLLIN) {
+      ErrorOr<TcpSocket> Accepted = Listener.accept();
+      if (Accepted) {
+        Conn C;
+        C.Sock = std::move(*Accepted);
+        // The server is single-threaded: a peer that stops reading must
+        // fail its send (and be dropped) instead of wedging the loop.
+        C.Sock.setSendTimeout(30.0);
+        C.ConnectedAt = Clock::now();
+        C.Telemetry = Report.Workers.size();
+        WorkerTelemetry T;
+        T.Peer = C.Sock.peerName();
+        Report.Workers.push_back(T);
+        Conns.push_back(std::move(C));
+      }
+    }
+
+    // Walk the snapshotted conns in the same order the fds were pushed.
+    // Only the slot being processed can be dropped mid-walk, so the
+    // valid-at-snapshot set (and with it the mapping) stays intact.
+    size_t FdIdx = 1;
+    for (size_t Slot = 0; Slot != SnapConns; ++Slot) {
+      Conn &C = Conns[Slot];
+      if (!C.Sock.valid())
+        continue;
+      const pollfd &PF = Fds[FdIdx++];
+      if (!(PF.revents & (POLLIN | POLLERR | POLLHUP)))
+        continue;
+      long N = C.Sock.recvSome(Buf, sizeof(Buf));
+      if (N <= 0) {
+        dropConn(Slot);
+        continue;
+      }
+      C.Frames.feed(Buf, size_t(N));
+      Frame F;
+      while (C.Sock.valid() && C.Frames.pop(F))
+        if (!handleFrame(Slot, F))
+          break;
+      // Corruption latches inside pop(): check after draining, or a
+      // bad length prefix arriving behind valid frames would leave the
+      // connection (and its leases) lingering until the lease timeout.
+      if (C.Sock.valid() && C.Frames.corrupted())
+        sendError(Slot, "corrupt frame stream");
+    }
+  }
+
+  // Campaign complete: tell everyone still connected, then hang up.
+  WireBuffer DoneB;
+  DoneB.appendU64(Units.size());
+  for (Conn &C : Conns) {
+    if (!C.Sock.valid())
+      continue;
+    if (!C.DoneSent)
+      sendFrame(C.Sock, uint8_t(Msg::Done), DoneB);
+    Report.Workers[C.Telemetry].ConnectedSeconds =
+        secondsSince(C.ConnectedAt);
+    C.Sock.close();
+  }
+  Listener.close();
+  Report.Seconds = secondsSince(Start);
+  log("campaign done: %zu units, %llu requeues, %llu duplicates",
+      Units.size(), static_cast<unsigned long long>(Report.Requeues),
+      static_cast<unsigned long long>(Report.DuplicateResults));
+  return std::move(Report);
+}
+
+WorkServer::WorkServer(std::vector<CampaignUnit> Units,
+                       std::vector<CampaignConfig> Configs,
+                       WorkServerOptions Options)
+    : P(new Impl) {
+  P->Units = std::move(Units);
+  P->Configs = std::move(Configs);
+  P->Opts = std::move(Options);
+  P->sanitizeOptions();
+  P->sanitizeConfigs();
+}
+
+WorkServer::~WorkServer() { delete P; }
+
+std::string WorkServer::start() {
+  // The whole merge is keyed on "unit id == corpus position" (the
+  // pending deque, Completed, Results and the echoed wire id all index
+  // the same vector). Refuse a corpus that breaks the invariant rather
+  // than scattering results into wrong slots.
+  for (size_t I = 0; I != P->Units.size(); ++I)
+    if (P->Units[I].Id != I)
+      return strFormat("campaign unit at position %zu has id %llu; "
+                       "WorkServer requires id == corpus index",
+                       I, static_cast<unsigned long long>(P->Units[I].Id));
+  ErrorOr<TcpListener> L =
+      TcpListener::listenOn(P->Opts.Port, P->Opts.BindAddress);
+  if (!L)
+    return L.error();
+  P->Listener = std::move(*L);
+  return "";
+}
+
+uint16_t WorkServer::port() const { return P->Listener.port(); }
+
+CampaignReport WorkServer::run() { return P->run(); }

@@ -1,0 +1,112 @@
+//===--- WorkServer.h - The distributed campaign work server ----*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign work server: owns a corpus of units, leases batches to
+/// workers over TCP (Protocol.h), re-issues the leases of dead or
+/// stalled workers, and merges results by corpus index -- so the merged
+/// campaign is bit-identical to the single-process batch drivers no
+/// matter how many workers served it, in which order they pulled, or how
+/// many of them died along the way.
+///
+/// Fault model: a lease is returned to the pending queue when its
+/// connection drops or its deadline passes. Units are idempotent (pure
+/// simulation), so double execution after a requeue is harmless; the
+/// first result accepted for a unit wins and duplicates are counted and
+/// dropped. Because unit execution is deterministic, a duplicate is
+/// byte-equal to the accepted result anyway.
+///
+/// Threading: the server is single-threaded (one poll loop); it is the
+/// *workers* that bring parallelism. run() blocks until every unit has a
+/// result and can be driven from a std::thread when embedded (tests,
+/// benches, the loopback sweep).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIST_WORKSERVER_H
+#define TELECHAT_DIST_WORKSERVER_H
+
+#include "core/Campaign.h"
+#include "dist/Socket.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// Server knobs.
+struct WorkServerOptions {
+  /// 0 asks the kernel for a free port (see WorkServer::port()).
+  uint16_t Port = 0;
+  /// Loopback by default: exposing a campaign to a network is an
+  /// explicit deployment decision (--bind 0.0.0.0).
+  std::string BindAddress = "127.0.0.1";
+  /// A lease older than this is re-issued even if its worker is still
+  /// connected (covers stalls, not just crashes). Campaign units are
+  /// sub-second; minutes of slack only delays fault recovery.
+  double LeaseTimeoutSeconds = 120.0;
+  /// Cap on units per Work frame regardless of what a worker asks for.
+  unsigned MaxUnitsPerRequest = 64;
+  /// Retry hint carried by Wait frames.
+  unsigned WaitRetryMs = 50;
+  /// Progress lines on stderr.
+  bool Verbose = false;
+};
+
+/// Per-connection telemetry, reported in connect order. One worker
+/// process = one connection; a reconnecting worker is a new entry.
+struct WorkerTelemetry {
+  std::string Peer;     ///< "address:port" as accepted.
+  uint32_t Jobs = 0;    ///< Pool width announced in Hello.
+  uint64_t UnitsLeased = 0;
+  uint64_t UnitsCompleted = 0;
+  /// Leases taken from this worker by disconnect or timeout.
+  uint64_t Requeued = 0;
+  double ConnectedSeconds = 0.0;
+};
+
+/// Everything one served campaign produced.
+struct CampaignReport {
+  /// Results in corpus order (index = unit id); the deterministic merge.
+  std::vector<TelechatResult> Results;
+  uint64_t Units = 0;             ///< Corpus size (survives moving Results).
+  uint64_t Requeues = 0;          ///< Leases re-issued (faults observed).
+  uint64_t DuplicateResults = 0;  ///< Late results dropped after requeue.
+  std::vector<WorkerTelemetry> Workers;
+  double Seconds = 0.0;           ///< Wall clock of run().
+};
+
+class WorkServer {
+public:
+  /// \p Units must satisfy Units[i].Id == i (what makeCampaignUnits
+  /// produces): the id is the merge key AND the corpus position.
+  /// start() refuses corpora that violate it.
+  WorkServer(std::vector<CampaignUnit> Units,
+             std::vector<CampaignConfig> Configs,
+             WorkServerOptions Options = WorkServerOptions());
+  ~WorkServer();
+  WorkServer(const WorkServer &) = delete;
+  WorkServer &operator=(const WorkServer &) = delete;
+
+  /// Binds and listens. Empty string on success, error text otherwise.
+  std::string start();
+
+  /// The bound port; valid after a successful start().
+  uint16_t port() const;
+
+  /// Serves until every unit has a result (immediately for an empty
+  /// corpus), then disconnects workers and returns the merged report.
+  CampaignReport run();
+
+private:
+  struct Impl;
+  Impl *P;
+};
+
+} // namespace telechat
+
+#endif // TELECHAT_DIST_WORKSERVER_H

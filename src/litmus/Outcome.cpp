@@ -10,10 +10,20 @@
 
 using namespace telechat;
 
-void Outcome::set(const std::string &Key, Value V) {
-  auto It = std::lower_bound(
-      Entries.begin(), Entries.end(), Key,
-      [](const auto &Entry, const std::string &K) { return Entry.first < K; });
+namespace {
+
+/// Position of the first entry whose key contents are >= Key.
+template <typename Entries>
+auto lowerBoundKey(Entries &E, std::string_view Key) {
+  return std::lower_bound(
+      E.begin(), E.end(), Key,
+      [](const auto &Entry, std::string_view K) { return Entry.first.str() < K; });
+}
+
+} // namespace
+
+void Outcome::set(Symbol Key, Value V) {
+  auto It = lowerBoundKey(Entries, Key.str());
   if (It != Entries.end() && It->first == Key) {
     It->second = V;
     return;
@@ -22,9 +32,14 @@ void Outcome::set(const std::string &Key, Value V) {
 }
 
 std::optional<Value> Outcome::lookup(const std::string &Key) const {
-  auto It = std::lower_bound(
-      Entries.begin(), Entries.end(), Key,
-      [](const auto &Entry, const std::string &K) { return Entry.first < K; });
+  auto It = lowerBoundKey(Entries, Key);
+  if (It != Entries.end() && It->first.str() == Key)
+    return It->second;
+  return std::nullopt;
+}
+
+std::optional<Value> Outcome::lookup(Symbol Key) const {
+  auto It = lowerBoundKey(Entries, Key.str());
   if (It != Entries.end() && It->first == Key)
     return It->second;
   return std::nullopt;
@@ -50,7 +65,7 @@ Outcome Outcome::renamed(
 std::string Outcome::toString() const {
   std::string Out = "[";
   for (const auto &[Key, V] : Entries) {
-    Out += Key;
+    Out += Key.str();
     Out += "=";
     Out += V.toString();
     Out += "; ";

@@ -15,6 +15,7 @@
 #define TELECHAT_LITMUS_OUTCOME_H
 
 #include "litmus/Value.h"
+#include "support/Interner.h"
 
 #include <optional>
 #include <set>
@@ -26,6 +27,13 @@ namespace telechat {
 /// A single outcome: a canonical (sorted, deduplicated) assignment from
 /// observable keys to values. Keys use "P0:r0" for registers and "[x]"
 /// for final memory.
+///
+/// Keys are interned (Symbol): copying an outcome copies no strings, and
+/// the set-merges campaign drivers do on OutcomeSet compare pointers on
+/// the equality fast path. Entries stay ordered by key *contents*, so
+/// iteration order -- and therefore toString() and every campaign report
+/// derived from it -- is identical in every process regardless of
+/// interning order.
 class Outcome {
 public:
   static std::string regKey(const std::string &Thread,
@@ -35,10 +43,12 @@ public:
   static std::string locKey(const std::string &Loc) { return "[" + Loc + "]"; }
 
   /// Sets a key; overwrites an existing binding.
-  void set(const std::string &Key, Value V);
+  void set(const std::string &Key, Value V) { set(internSymbol(Key), V); }
+  void set(Symbol Key, Value V);
 
   /// Value of \p Key if bound.
   std::optional<Value> lookup(const std::string &Key) const;
+  std::optional<Value> lookup(Symbol Key) const;
 
   /// Projection onto a subset of keys (used by state mappings; unbound
   /// keys are dropped).
@@ -49,10 +59,13 @@ public:
   Outcome renamed(
       const std::vector<std::pair<std::string, std::string>> &Map) const;
 
-  const std::vector<std::pair<std::string, Value>> &entries() const {
+  /// Entries sorted by key contents.
+  const std::vector<std::pair<Symbol, Value>> &entries() const {
     return Entries;
   }
 
+  /// Lexicographic by (key contents, value): Symbol's operator< compares
+  /// contents, so this matches the pre-interning ordering exactly.
   bool operator<(const Outcome &RHS) const { return Entries < RHS.Entries; }
   bool operator==(const Outcome &RHS) const { return Entries == RHS.Entries; }
 
@@ -60,7 +73,7 @@ public:
   std::string toString() const;
 
 private:
-  std::vector<std::pair<std::string, Value>> Entries; // sorted by key
+  std::vector<std::pair<Symbol, Value>> Entries; // sorted by key contents
 };
 
 /// The set of outcomes of a test under a model.

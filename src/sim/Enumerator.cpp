@@ -45,6 +45,7 @@
 #include "sim/Enumerator.h"
 
 #include "sim/ShardScheduler.h"
+#include "support/Interner.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -187,7 +188,10 @@ struct SharedState {
 /// Everything one worker accumulates; merged in shard order at the end.
 struct WorkerResult {
   OutcomeSet Allowed;
-  std::set<std::string> Flags;
+  /// Interned: a flag fires once per allowed candidate, so merging
+  /// symbols instead of strings keeps the per-candidate cost at a
+  /// pointer compare. Converted to strings once, at the final merge.
+  std::set<Symbol> Flags;
   SimStats Stats;
   /// Shard index -> executions collected from that shard, in enumeration
   /// order (each capped at MaxCollectedExecutions).
@@ -210,6 +214,13 @@ public:
     // an ELF data section layout).
     for (unsigned I = 0; I != Prog.Locations.size(); ++I)
       LocAddr[Prog.Locations[I].Name] = Value(0x1000 * (uint64_t(I) + 1));
+    // Outcome keys are fixed per program: intern them once so the
+    // per-allowed-execution outcome build does no hashing.
+    for (const SimThread &T : Prog.Threads)
+      for (const auto &[Reg, Key] : T.Observed)
+        ObservedRegSym.push_back(internSymbol(Key));
+    for (const std::string &Loc : Prog.ObservedLocs)
+      ObservedLocSym.push_back(internSymbol(Outcome::locKey(Loc)));
   }
 
   WorkerResult WR;
@@ -1085,8 +1096,10 @@ private:
       }
       if (Verify)
         for (const auto &[Reg, Key] : Prog.Threads[T].Observed) {
+          (void)Key; // Interned once in the constructor; threads append
+                     // in order, so the flat index is the current size.
           auto It = Regs.find(Reg);
-          ObservedRegs.emplace_back(Key,
+          ObservedRegs.emplace_back(ObservedRegSym[ObservedRegs.size()],
                                     It == Regs.end() ? Value() : It->second.V);
         }
     }
@@ -1311,13 +1324,13 @@ private:
     for (const auto &[Key, V] : ObservedRegs)
       O.set(Key, V);
     std::map<std::string, Value> FinalMem = CandEx.finalMemory();
-    for (const std::string &Loc : Prog.ObservedLocs) {
-      auto It = FinalMem.find(Loc);
-      O.set(Outcome::locKey(Loc), It == FinalMem.end() ? Value() : It->second);
+    for (size_t L = 0; L != Prog.ObservedLocs.size(); ++L) {
+      auto It = FinalMem.find(Prog.ObservedLocs[L]);
+      O.set(ObservedLocSym[L], It == FinalMem.end() ? Value() : It->second);
     }
     WR.Allowed.insert(O);
     for (const std::string &F : Verdict.Flags)
-      WR.Flags.insert(F);
+      WR.Flags.insert(internSymbol(F));
     if (Opts.CollectExecutions)
       collectExecution(CandEx);
   }
@@ -1380,7 +1393,10 @@ private:
   // Per rf-candidate state.
   std::vector<EvState> State;
   std::vector<std::set<unsigned>> AddrDeps, DataDeps, CtrlDeps;
-  std::vector<std::pair<std::string, Value>> ObservedRegs;
+  std::vector<std::pair<Symbol, Value>> ObservedRegs;
+  /// Outcome keys, interned once per run: observed registers flattened
+  /// in thread order, and observed locations in program order.
+  std::vector<Symbol> ObservedRegSym, ObservedLocSym;
   Execution CandEx; ///< Skeleton + values + rf + deps; Co set per perm.
 };
 
@@ -1393,7 +1409,8 @@ SimResult mergeResults(std::vector<std::unique_ptr<ShardWorker>> &Workers,
   for (std::unique_ptr<ShardWorker> &W : Workers) {
     WorkerResult &WRes = W->WR;
     R.Allowed.insert(WRes.Allowed.begin(), WRes.Allowed.end());
-    R.Flags.insert(WRes.Flags.begin(), WRes.Flags.end());
+    for (Symbol F : WRes.Flags)
+      R.Flags.insert(F.str());
     R.Stats.PathCombos += WRes.Stats.PathCombos;
     R.Stats.RfCandidates += WRes.Stats.RfCandidates;
     R.Stats.ValueConsistent += WRes.Stats.ValueConsistent;

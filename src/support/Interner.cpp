@@ -1,0 +1,53 @@
+//===--- Interner.cpp - Global string interning ---------------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace telechat;
+
+namespace {
+
+/// The table: a deque keeps every interned string at a stable address;
+/// the map is keyed by views into that storage. Guarded by one mutex --
+/// interning happens on outcome construction, not in comparison paths,
+/// so the lock is not on the merge hot path.
+struct InternTable {
+  std::mutex M;
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, const std::string *> Map;
+
+  const std::string *intern(std::string_view S) {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(S);
+    if (It != Map.end())
+      return It->second;
+    Storage.emplace_back(S);
+    const std::string *P = &Storage.back();
+    Map.emplace(std::string_view(*P), P);
+    return P;
+  }
+};
+
+InternTable &table() {
+  static InternTable T;
+  return T;
+}
+
+} // namespace
+
+Symbol telechat::internSymbol(std::string_view S) {
+  return Symbol(table().intern(S));
+}
+
+Symbol::Symbol()
+    : Text([] {
+        static const std::string *Empty = table().intern("");
+        return Empty;
+      }()) {}

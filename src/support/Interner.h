@@ -1,0 +1,63 @@
+//===--- Interner.h - Global string interning -------------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide string interner and the Symbol handle it hands out.
+/// Campaign-scale outcome sets repeat a tiny vocabulary of keys ("P0:r0",
+/// "[x]") and flags ("race") millions of times; interning turns every
+/// copy, equality test and set-merge of those strings into pointer
+/// operations while keeping *ordering* by string contents, so sorted
+/// containers iterate in the same order in every process -- the property
+/// the distributed campaign merge relies on for bit-identical reports.
+///
+/// Interned strings live until process exit (the vocabulary is bounded by
+/// the tests' register/location names, so this never grows past a few
+/// kilobytes per corpus).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SUPPORT_INTERNER_H
+#define TELECHAT_SUPPORT_INTERNER_H
+
+#include <string>
+#include <string_view>
+
+namespace telechat {
+
+/// A handle to an interned string: trivially copyable, pointer equality,
+/// contents-based ordering. Default-constructed symbols name the empty
+/// string.
+class Symbol {
+public:
+  Symbol();
+
+  const std::string &str() const { return *Text; }
+  bool empty() const { return Text->empty(); }
+
+  /// Same interned string iff same pointer: the interner guarantees one
+  /// storage slot per distinct contents.
+  bool operator==(Symbol RHS) const { return Text == RHS.Text; }
+  bool operator!=(Symbol RHS) const { return Text != RHS.Text; }
+  /// Ordering follows string contents (not insertion order), so sorted
+  /// symbol containers are deterministic across processes.
+  bool operator<(Symbol RHS) const {
+    return Text != RHS.Text && *Text < *RHS.Text;
+  }
+
+private:
+  friend Symbol internSymbol(std::string_view);
+  explicit Symbol(const std::string *Text) : Text(Text) {}
+  const std::string *Text;
+};
+
+/// Interns \p S into the process-wide table. Thread-safe; the returned
+/// symbol (and the string it points at) stays valid for the process
+/// lifetime.
+Symbol internSymbol(std::string_view S);
+
+} // namespace telechat
+
+#endif // TELECHAT_SUPPORT_INTERNER_H

@@ -4,11 +4,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Interner.h"
 #include "support/Relation.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
 
 #include <atomic>
 #include <random>
@@ -315,4 +319,56 @@ TEST(ThreadPoolTest, ResolveJobsSemantics) {
   EXPECT_EQ(resolveJobs(1), 1u);
   EXPECT_EQ(resolveJobs(7), 7u);
   EXPECT_GE(resolveJobs(0), 1u); // hardware concurrency, at least one
+}
+
+TEST(InternerTest, SameContentsSameSymbol) {
+  Symbol A = internSymbol("P0:r0");
+  Symbol B = internSymbol(std::string("P0:") + "r0");
+  EXPECT_EQ(A, B); // Pointer equality: one slot per distinct contents.
+  EXPECT_EQ(A.str(), "P0:r0");
+  EXPECT_NE(A, internSymbol("P0:r1"));
+}
+
+TEST(InternerTest, DefaultSymbolIsEmptyString) {
+  Symbol S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S, internSymbol(""));
+  EXPECT_EQ(S.str(), "");
+}
+
+TEST(InternerTest, OrderingFollowsContentsNotInsertionOrder) {
+  // Interning in reverse alphabetical order must not affect ordering:
+  // sorted symbol containers have to iterate identically in every
+  // process, whatever each one interned first.
+  Symbol Z = internSymbol("intern-z");
+  Symbol M = internSymbol("intern-m");
+  Symbol A = internSymbol("intern-a");
+  EXPECT_TRUE(A < M);
+  EXPECT_TRUE(M < Z);
+  EXPECT_FALSE(Z < A);
+  EXPECT_FALSE(A < A);
+  std::set<Symbol> Sorted{Z, M, A};
+  auto It = Sorted.begin();
+  EXPECT_EQ((It++)->str(), "intern-a");
+  EXPECT_EQ((It++)->str(), "intern-m");
+  EXPECT_EQ((It++)->str(), "intern-z");
+}
+
+TEST(InternerTest, ConcurrentInterningAgrees) {
+  // 4 threads intern overlapping vocabularies; every thread must get
+  // the same symbol for the same string (and TSan must stay quiet).
+  constexpr unsigned Threads = 4, Strings = 64;
+  std::vector<std::vector<Symbol>> Got(Threads,
+                                       std::vector<Symbol>(Strings));
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([T, &Got] {
+      for (unsigned I = 0; I != Strings; ++I)
+        Got[T][I] = internSymbol("conc-" + std::to_string(I));
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  for (unsigned T = 1; T != Threads; ++T)
+    for (unsigned I = 0; I != Strings; ++I)
+      EXPECT_EQ(Got[0][I], Got[T][I]) << I;
 }

@@ -14,10 +14,19 @@
 /// printed by the pipeline); assembly tests default to their target's
 /// architecture model.
 ///
+/// Simulation-only campaigns run on the same distributed engine as
+/// telechat (docs/DISTRIBUTED.md), with units that skip compilation and
+/// mcompare:
+///
+///   litmus-sim --serve <port> --corpus tests.litmus [--model rc11]
+///   litmus-sim --work <host:port> [-j N]
+///
 //===----------------------------------------------------------------------===//
 
 #include "asmcore/AsmParser.h"
 #include "asmcore/Semantics.h"
+#include "dist/CampaignCli.h"
+#include "dist/Worker.h"
 #include "events/Dot.h"
 #include "litmus/Parser.h"
 #include "sim/CFrontend.h"
@@ -30,18 +39,32 @@
 
 using namespace telechat;
 
+static void usage() {
+  fprintf(stderr,
+          "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
+          "[--max-steps <n>] [--dot] [--stats]\n"
+          "       [--no-prune] [--no-cat-cache]\n"
+          "       litmus-sim --serve <port> --corpus <file> [--model <m>] "
+          "[--campaign-json <f>] [--engine-json <f>]\n"
+          "                  [--bind <addr>] [--lease-timeout <s>] "
+          "[--batch <n>] [--verbose]   (shared with telechat --serve)\n"
+          "       litmus-sim --work <host:port> [-j <n>] [--batch <n>] "
+          "[--max-units <n>]\n"
+          "  -j <n>          enumeration worker threads (0 = all hardware "
+          "threads; default 1)\n"
+          "  --no-prune      disable rf value-constraint pruning\n"
+          "  --no-cat-cache  disable incremental Cat evaluation\n");
+}
+
 int main(int argc, char **argv) {
   if (argc < 2) {
-    fprintf(stderr,
-            "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
-            "[--max-steps <n>] [--dot] [--stats]\n"
-            "       [--no-prune] [--no-cat-cache]\n"
-            "  -j <n>          enumeration worker threads (0 = all hardware "
-            "threads; default 1)\n"
-            "  --no-prune      disable rf value-constraint pruning\n"
-            "  --no-cat-cache  disable incremental Cat evaluation\n");
+    usage();
     return 1;
   }
+  if (std::string(argv[1]) == "--serve")
+    return campaignToolMain(argc, argv, usage, CampaignCliMode::SimServe);
+  if (std::string(argv[1]) == "--work")
+    return workerToolMain(argc, argv, usage);
   std::string Path = argv[1];
   std::string Model;
   bool Dot = false, Stats = false;

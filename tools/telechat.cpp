@@ -6,25 +6,35 @@
 ///
 /// \file
 /// The end-to-end CLI, the analogue of the artefact's Makefile entry
-/// point: reads a C litmus test, runs the Fig. 5 pipeline against a
-/// profile, prints outcomes and the verdict. Exit status: 0 clean /
-/// negative, 1 usage or pipeline error, 2 bug found -- suitable for
-/// regression gates (paper §IV-F).
+/// point. Four modes:
 ///
-///   telechat test.litmus --profile llvm-O2-AArch64 [--model rc11]
-///            [--no-augment] [--no-optimise] [--const-model]
-///            [--show-asm] [--fuzz-seed N] [-j N]
+///   telechat test.litmus --profile llvm-O2-AArch64 [...]
+///     One test through the Fig. 5 pipeline: outcomes + verdict.
+///     Exit 0 clean/negative, 1 usage or pipeline error, 2 bug found.
+///
+///   telechat --campaign [corpus flags] --profile P [...]
+///     A local campaign over a corpus (files, --suite, --classics),
+///     pooled across tests; writes the deterministic results JSON.
+///
+///   telechat --serve <port> [corpus flags] --profile P [...]
+///     The same campaign served to remote workers over TCP
+///     (docs/DISTRIBUTED.md); the merged report is bit-identical to
+///     --campaign over the same corpus.
+///
+///   telechat --work <host:port> [-j N]
+///     A worker: pulls units from a server until the campaign is done.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asmcore/AsmPrinter.h"
 #include "core/Fuzz.h"
 #include "core/Telechat.h"
+#include "dist/CampaignCli.h"
+#include "dist/Worker.h"
 #include "litmus/Parser.h"
 #include "litmus/Printer.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -33,6 +43,12 @@ using namespace telechat;
 static void usage() {
   fprintf(stderr,
           "usage: telechat <test.litmus> --profile <name> [options]\n"
+          "       telechat --campaign [corpus] --profile <name> [options]\n"
+          "       telechat --serve <port> [corpus] --profile <name> "
+          "[options]\n"
+          "       telechat --work <host:port> [-j N] [--batch N]\n"
+          "\n"
+          "single-test options:\n"
           "  --profile <name>   e.g. llvm-O2-AArch64, gcc-O1-ARMv7,\n"
           "                     llvm-O3-AArch64+lse+rcpc\n"
           "  --model <name>     source model (default rc11)\n"
@@ -42,15 +58,29 @@ static void usage() {
           "  --show-asm         print raw and optimised assembly tests\n"
           "  --fuzz-seed <n>    apply semantics-preserving mutations\n"
           "  --max-steps <n>    simulation budget (default 2000000)\n"
-          "  -j, --jobs <n>     enumeration worker threads per simulation\n"
-          "                     (0 = all hardware threads; default 1)\n");
+          "  -j, --jobs <n>     worker threads (0 = all hardware threads)\n"
+          "\n"
+          "corpus (campaign/serve): any mix, corpus order = given order\n"
+          "  --corpus <file>    litmus file; may hold many tests (each\n"
+          "                     starting with a 'C <name>' line)\n"
+          "  --suite <name>     diy-generated suite: c11 or c11acq\n"
+          "  --limit <n>        cap on --suite tests\n"
+          "  --classics         the classic families (MP, SB, IRIW, ...)\n"
+          "\n"
+          "campaign/serve options:\n"
+          "  --campaign-json <f>  deterministic merged results (byte-equal\n"
+          "                       between --campaign and --serve)\n"
+          "  --engine-json <f>    throughput/requeue telemetry (--serve)\n"
+          "  --bind <addr>        listen address (default 127.0.0.1)\n"
+          "  --lease-timeout <s>  re-issue stalled leases (default 120)\n"
+          "  --batch <n>          max units per Work frame / request\n"
+          "  --max-units <n>      (--work) fault drill: drop connection\n"
+          "                       after n results\n");
 }
 
-int main(int argc, char **argv) {
-  if (argc < 2) {
-    usage();
-    return 1;
-  }
+namespace {
+
+int mainSingle(int argc, char **argv) {
   std::string Path = argv[1];
   std::string ProfileName = "llvm-O2-AArch64";
   TestOptions Options;
@@ -186,4 +216,25 @@ int main(int argc, char **argv) {
     return 2;
   }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string Mode = argv[1];
+  if (Mode == "--serve")
+    return campaignToolMain(argc, argv, usage, CampaignCliMode::Serve);
+  if (Mode == "--campaign")
+    return campaignToolMain(argc, argv, usage, CampaignCliMode::Local);
+  if (Mode == "--work")
+    return workerToolMain(argc, argv, usage);
+  if (Mode == "--help" || Mode == "-h") {
+    usage();
+    return 0;
+  }
+  return mainSingle(argc, argv);
 }
