@@ -39,6 +39,43 @@ telechat::makeCampaignUnits(const std::vector<LitmusTest> &Tests,
   return Units;
 }
 
+std::vector<CampaignUnitMeta>
+telechat::campaignUnitMeta(const std::vector<CampaignUnit> &Units) {
+  std::vector<CampaignUnitMeta> Meta;
+  Meta.reserve(Units.size());
+  for (const CampaignUnit &U : Units)
+    Meta.push_back(CampaignUnitMeta{U.Test.Name, U.Config});
+  return Meta;
+}
+
+GeneratorUnitSource::GeneratorUnitSource(const RandomGenOptions &Opts,
+                                         uint32_t NumConfigs)
+    : Stream(Opts), NumConfigs(NumConfigs ? NumConfigs : 1),
+      Planned(uint64_t(Opts.Count) * (NumConfigs ? NumConfigs : 1)) {}
+
+bool GeneratorUnitSource::next(CampaignUnit &Out) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!HaveCur || NextConfig == NumConfigs) {
+    if (!Stream.next(Cur)) {
+      HaveCur = false;
+      return false;
+    }
+    HaveCur = true;
+    NextConfig = 0;
+  }
+  Out.Id = Emitted++;
+  Out.Config = NextConfig++;
+  Out.Test = Cur;
+  return true;
+}
+
+uint64_t GeneratorUnitSource::sizeHint() const { return Planned; }
+
+uint64_t GeneratorUnitSource::produced() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Emitted;
+}
+
 TelechatResult
 telechat::runCampaignUnit(const CampaignUnit &U,
                           const std::vector<CampaignConfig> &Configs) {

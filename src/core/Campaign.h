@@ -26,11 +26,13 @@
 #define TELECHAT_CORE_CAMPAIGN_H
 
 #include "core/Telechat.h"
+#include "diy/Generator.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 namespace telechat {
@@ -54,13 +56,29 @@ struct CampaignUnit {
   LitmusTest Test;
 };
 
+/// The slice of a unit that reports need after its body is gone: a
+/// streamed campaign drops test bodies once executed, but summaries and
+/// the results JSON still name every unit in corpus order.
+struct CampaignUnitMeta {
+  std::string TestName;
+  uint32_t Config = 0;
+};
+
 /// Pull-based source of units. next() is called concurrently from
-/// executor threads and must be thread-safe.
+/// executor threads and must be thread-safe. Sources hand out units in
+/// id order with Id equal to the unit's position in the stream -- the
+/// invariant every merge (local slot vectors, the work server, the
+/// campaign journal) keys on.
 class UnitSource {
 public:
   virtual ~UnitSource() = default;
   /// Fills \p Out with the next unit; false when the source is drained.
   virtual bool next(CampaignUnit &Out) = 0;
+  /// Expected corpus size when the source knows it up front: exact for a
+  /// fixed corpus, the planned upper bound for a generator, 0 = unknown.
+  /// Advisory only (HelloAck totals, progress lines); the stream itself
+  /// decides when the campaign ends.
+  virtual uint64_t sizeHint() const { return 0; }
 };
 
 /// A fixed corpus: hands out units front to back.
@@ -75,10 +93,41 @@ public:
     Out = Units[I];
     return true;
   }
+  uint64_t sizeHint() const override { return Units.size(); }
 
 private:
   std::vector<CampaignUnit> Units;
   std::atomic<size_t> Next{0};
+};
+
+/// Streams the cross of seeded diy generation with the config table:
+/// test t under config c gets id t*NumConfigs + c, exactly the ids
+/// makeCampaignUnits(generateRandomTests(Opts), NumConfigs, true) would
+/// assign -- so a streamed campaign merges bit-identically to the same
+/// campaign over a pre-materialised corpus, and the corpus never exists
+/// in memory as a whole. next() is thread-safe (one cursor guards the
+/// single generator stream); ids are fixed by generation order, so the
+/// merge does not depend on which caller pulled first.
+class GeneratorUnitSource final : public UnitSource {
+public:
+  GeneratorUnitSource(const RandomGenOptions &Opts, uint32_t NumConfigs);
+  bool next(CampaignUnit &Out) override;
+  /// Planned upper bound: Count tests x NumConfigs (the generator may
+  /// stop short when its attempt budget runs out).
+  uint64_t sizeHint() const override;
+  /// Units emitted so far: the final corpus size once next() has
+  /// returned false.
+  uint64_t produced() const;
+
+private:
+  mutable std::mutex M;
+  RandomTestStream Stream;
+  uint32_t NumConfigs;
+  LitmusTest Cur;       ///< Test currently being crossed with configs.
+  bool HaveCur = false;
+  uint32_t NextConfig = 0;
+  uint64_t Emitted = 0;
+  uint64_t Planned;
 };
 
 /// Builds the corpus for one config: unit ids are the test indices.
@@ -89,6 +138,10 @@ std::vector<CampaignUnit> makeCampaignUnits(
 /// test-major (test 0 under every config, then test 1, ...).
 std::vector<CampaignUnit> makeCampaignUnits(
     const std::vector<LitmusTest> &Tests, uint32_t NumConfigs, bool Cross);
+
+/// The report slice of a materialised corpus, in corpus order.
+std::vector<CampaignUnitMeta>
+campaignUnitMeta(const std::vector<CampaignUnit> &Units);
 
 /// Executes one unit under its config. An out-of-range config index
 /// yields a result whose Error says so (never aborts: a malformed remote

@@ -8,15 +8,20 @@
 
 #include "core/Campaign.h"
 #include "dist/CampaignJson.h"
+#include "dist/Journal.h"
 #include "dist/WorkServer.h"
 #include "diy/Classics.h"
 #include "diy/Config.h"
+#include "diy/Generator.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace telechat;
@@ -73,7 +78,7 @@ bool writeJson(const std::string &Path, const std::string &Contents) {
 
 /// Pipeline-campaign summary (bug table); exit 2 on bugs, like
 /// single-test mode.
-int summarisePipeline(const std::vector<CampaignUnit> &Units,
+int summarisePipeline(const std::vector<CampaignUnitMeta> &Units,
                       const std::vector<TelechatResult> &Results) {
   size_t Bugs = 0, Errors = 0, Timeouts = 0;
   for (size_t I = 0; I != Results.size(); ++I) {
@@ -81,7 +86,7 @@ int summarisePipeline(const std::vector<CampaignUnit> &Units,
     if (R.isBug()) {
       ++Bugs;
       printf("  BUG  %-28s %s\n",
-             I < Units.size() ? Units[I].Test.Name.c_str() : "?",
+             I < Units.size() ? Units[I].TestName.c_str() : "?",
              campaignVerdict(R).c_str());
     } else if (!R.ok()) {
       ++Errors;
@@ -95,13 +100,13 @@ int summarisePipeline(const std::vector<CampaignUnit> &Units,
 }
 
 /// Simulation-only summary: herd-style state counts per test.
-int summariseSim(const std::vector<CampaignUnit> &Units,
+int summariseSim(const std::vector<CampaignUnitMeta> &Units,
                  const std::vector<TelechatResult> &Results) {
   for (size_t I = 0; I != Results.size(); ++I) {
     const SimResult &R = Results[I].SourceSim;
     std::string Suffix = R.ok() ? "" : " ERROR: " + R.Error;
     printf("%-28s %zu states%s%s\n",
-           I < Units.size() ? Units[I].Test.Name.c_str() : "?",
+           I < Units.size() ? Units[I].TestName.c_str() : "?",
            R.Allowed.size(), R.TimedOut ? " TIMEOUT" : "",
            Suffix.c_str());
   }
@@ -115,9 +120,14 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
   bool Serve = Mode != CampaignCliMode::Local;
   std::string ProfileName = "llvm-O2-AArch64";
   TestOptions Options;
+  bool ConfigFlagsSet = false; ///< --profile/--model/... explicitly given.
   unsigned Jobs = 0;
   std::vector<CorpusSpec> Corpus;
   unsigned SuiteLimit = 0;
+  RandomGenOptions GenOpts;
+  bool UseGen = false, GenExtras = false, Materialise = false;
+  std::string JournalPath;
+  bool Resume = false;
   std::string CampaignJsonPath, EngineJsonPath;
   WorkServerOptions ServerOpts;
   bool Verbose = false;
@@ -153,30 +163,67 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
                                   V});
     } else if (Arg == "--classics") {
       Corpus.push_back(CorpusSpec{CorpusSpec::Kind::Classics, ""});
+    } else if (Arg == "--gen-seed") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      UseGen = true;
+      GenOpts.Seed = strtoull(V, nullptr, 0);
+    } else if (Arg == "--gen-count") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      GenExtras = true;
+      GenOpts.Count = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--gen-max-edges") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      GenExtras = true;
+      GenOpts.MaxEdges = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--materialise" || Arg == "--materialize") {
+      Materialise = true;
+    } else if (Arg == "--journal") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      JournalPath = V;
+    } else if (Arg == "--resume") {
+      Resume = true;
     } else if (Arg == "--profile") {
       if (!(V = Next())) {
         Usage();
         return 1;
       }
       ProfileName = V;
+      ConfigFlagsSet = true;
     } else if (Arg == "--model") {
       if (!(V = Next())) {
         Usage();
         return 1;
       }
       Options.SourceModel = V;
+      ConfigFlagsSet = true;
     } else if (Arg == "--no-augment") {
       Options.AugmentLocals = false;
+      ConfigFlagsSet = true;
     } else if (Arg == "--no-optimise") {
       Options.OptimiseCompiled = false;
+      ConfigFlagsSet = true;
     } else if (Arg == "--const-model") {
       Options.ConstAugmentedModel = true;
+      ConfigFlagsSet = true;
     } else if (Arg == "--max-steps") {
       if (!(V = Next())) {
         Usage();
         return 1;
       }
       Options.Sim.MaxSteps = strtoull(V, nullptr, 0);
+      ConfigFlagsSet = true;
     } else if (Arg == "-j" || Arg == "--jobs") {
       if (!(V = Next())) {
         Usage();
@@ -222,53 +269,204 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     }
   }
 
-  std::vector<LitmusTest> Tests;
-  if (!buildCorpus(Corpus, SuiteLimit, Tests))
+  if (UseGen && !Corpus.empty()) {
+    fprintf(stderr, "error: --gen-seed cannot mix with "
+                    "--corpus/--suite/--classics (unit ids would be "
+                    "ambiguous)\n");
     return 1;
-  if (Tests.empty()) {
-    fprintf(stderr, "error: empty corpus (--corpus/--suite/--classics)\n");
+  }
+  if (!UseGen && (GenExtras || Materialise)) {
+    fprintf(stderr, "error: --gen-count/--gen-max-edges/--materialise "
+                    "require --gen-seed\n");
+    return 1;
+  }
+  if (Resume && JournalPath.empty()) {
+    fprintf(stderr, "error: --resume requires --journal\n");
+    return 1;
+  }
+  if (!Serve && (!JournalPath.empty() || Resume)) {
+    fprintf(stderr, "error: --journal/--resume require --serve (the "
+                    "journal is the server's durability log)\n");
     return 1;
   }
 
   bool SimOnly = Mode == CampaignCliMode::SimServe;
-  Profile P;
-  if (!SimOnly && !profileFromName(ProfileName, P)) {
-    fprintf(stderr, "error: unknown profile '%s'\n", ProfileName.c_str());
-    return 1;
+  std::vector<CampaignConfig> Configs;
+  CampaignSourceSpec Spec;
+  JournalWriter Journal;
+  std::vector<std::pair<uint64_t, TelechatResult>> Replay;
+
+  if (Resume) {
+    // The journal is authoritative: it records the spec and configs the
+    // crashed server ran, which are what the replayed results belong to.
+    ErrorOr<JournalContents> J = readJournal(JournalPath);
+    if (!J) {
+      fprintf(stderr, "error: %s\n", J.error().c_str());
+      return 1;
+    }
+    if (J->TruncatedTail)
+      fprintf(stderr,
+              "note: %s ends in a partial record (server died "
+              "mid-append); the tail was discarded\n",
+              JournalPath.c_str());
+    if (UseGen || !Corpus.empty() || ConfigFlagsSet)
+      fprintf(stderr,
+              "note: --resume replays the journal's campaign spec and "
+              "config table; corpus/generator/profile/model flags are "
+              "ignored\n");
+    Spec = std::move(J->Spec);
+    Configs = std::move(J->Configs);
+    Replay = std::move(J->Results);
+    if (Configs.empty()) {
+      fprintf(stderr, "error: %s: empty config table\n",
+              JournalPath.c_str());
+      return 1;
+    }
+    SimOnly = Configs[0].SimulateOnly;
+    // Truncate to the valid prefix: appending behind a discarded
+    // partial tail would corrupt the framing for the next resume.
+    std::string E = Journal.openAppend(JournalPath, J->ValidBytes);
+    if (!E.empty()) {
+      fprintf(stderr, "error: %s\n", E.c_str());
+      return 1;
+    }
+    printf("resuming campaign from %s: %zu results replayed\n",
+           JournalPath.c_str(), Replay.size());
+  } else {
+    Profile P;
+    if (!SimOnly && !profileFromName(ProfileName, P)) {
+      fprintf(stderr, "error: unknown profile '%s'\n", ProfileName.c_str());
+      return 1;
+    }
+    Configs = {{P, Options, SimOnly}};
+    if (UseGen && !Materialise) {
+      // Streamed: the corpus exists only as this spec; units are
+      // generated as they are leased (or executed, locally).
+      Spec.K = CampaignSourceSpec::Kind::Generator;
+      Spec.Gen = GenOpts;
+      Spec.NumConfigs = uint32_t(Configs.size());
+    } else {
+      std::vector<LitmusTest> Tests;
+      if (UseGen) {
+        Tests = generateRandomTests(GenOpts);
+      } else if (!buildCorpus(Corpus, SuiteLimit, Tests)) {
+        return 1;
+      }
+      if (Tests.empty()) {
+        fprintf(stderr,
+                UseGen ? "error: the generator produced no tests\n"
+                       : "error: empty corpus "
+                         "(--corpus/--suite/--classics/--gen-seed)\n");
+        return 1;
+      }
+      Spec.K = CampaignSourceSpec::Kind::Corpus;
+      Spec.Units = makeCampaignUnits(Tests);
+    }
+    if (!JournalPath.empty()) {
+      // Exists-check up front (cheap, before corpus work); the journal
+      // itself is only created once the server has bound its port, so a
+      // failed bind cannot orphan a header-only file that would block a
+      // plain retry of the same command.
+      std::ifstream Probe(JournalPath);
+      if (Probe) {
+        fprintf(stderr,
+                "error: journal %s already exists; restart with "
+                "--resume to continue it, or remove it\n",
+                JournalPath.c_str());
+        return 1;
+      }
+    }
   }
-  std::vector<CampaignConfig> Configs{{P, Options, SimOnly}};
-  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+
+  std::vector<CampaignUnitMeta> Meta;
   std::vector<TelechatResult> Results;
+
+  std::string ServeError;
 
   if (Serve) {
     ServerOpts.Verbose = Verbose;
-    WorkServer Server(Units, Configs, ServerOpts);
+    bool Streamed = Spec.K == CampaignSourceSpec::Kind::Generator;
+    // A journal header needs the spec intact, so only the journal-free
+    // path can move the corpus into the source; the journaled path
+    // drops its duplicate right after the header is written below.
+    bool CreateJournal = !JournalPath.empty() && !Resume;
+    std::unique_ptr<UnitSource> Source =
+        CreateJournal ? Spec.makeSource() : Spec.takeSource();
+    uint64_t Hint = Source->sizeHint();
+    WorkServer Server(std::move(Source), Configs, ServerOpts);
+    if (!Replay.empty())
+      Server.preloadResults(std::move(Replay));
     std::string Error = Server.start();
     if (!Error.empty()) {
       fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
+    if (CreateJournal) {
+      std::string E = Journal.create(JournalPath, Spec, Configs);
+      if (!E.empty()) {
+        fprintf(stderr, "error: %s\n", E.c_str());
+        return 1;
+      }
+      Spec.Units.clear();
+      Spec.Units.shrink_to_fit();
+    }
+    if (Journal.isOpen())
+      Server.setJournal(&Journal);
     if (SimOnly)
-      printf("serving %zu simulation units on %s:%u (model %s)\n",
-             Units.size(), ServerOpts.BindAddress.c_str(),
-             unsigned(Server.port()), Options.SourceModel.c_str());
+      printf("serving %s%llu simulation units on %s:%u (model %s)\n",
+             Streamed ? "up to " : "",
+             static_cast<unsigned long long>(Hint),
+             ServerOpts.BindAddress.c_str(), unsigned(Server.port()),
+             Configs[0].Opts.SourceModel.c_str());
     else
-      printf("serving %zu units on %s:%u (profile %s, model %s)\n",
-             Units.size(), ServerOpts.BindAddress.c_str(),
-             unsigned(Server.port()), P.name().c_str(),
-             Options.SourceModel.c_str());
+      printf("serving %s%llu units on %s:%u (profile %s, model %s)\n",
+             Streamed ? "up to " : "",
+             static_cast<unsigned long long>(Hint),
+             ServerOpts.BindAddress.c_str(), unsigned(Server.port()),
+             Configs[0].P.name().c_str(),
+             Configs[0].Opts.SourceModel.c_str());
     fflush(stdout);
     CampaignReport Report = Server.run();
-    printf("served: %.2f s, %llu requeues, %zu workers\n", Report.Seconds,
+    ServeError = Report.Error;
+    if (Report.StaleReplays)
+      fprintf(stderr,
+              "warning: %llu journal results matched no unit of the "
+              "campaign spec\n",
+              static_cast<unsigned long long>(Report.StaleReplays));
+    printf("served: %.2f s, %llu requeues, %llu replayed, %zu workers\n",
+           Report.Seconds,
            static_cast<unsigned long long>(Report.Requeues),
+           static_cast<unsigned long long>(Report.ReplayedResults),
            Report.Workers.size());
     if (!EngineJsonPath.empty() &&
         !writeJson(EngineJsonPath, campaignEngineJson(Report)))
       return 1;
     Results = std::move(Report.Results);
+    Meta = std::move(Report.UnitsMeta);
+  } else if (Spec.K == CampaignSourceSpec::Kind::Generator) {
+    // Streamed local campaign: the same generator source the server
+    // would lease from, drained over the local pool. Ids are fixed by
+    // generation order, so this merges byte-identically to both the
+    // materialised path and a served run.
+    GeneratorUnitSource Source(Spec.Gen, Spec.NumConfigs);
+    size_t Planned = size_t(Source.sizeHint());
+    Results.resize(Planned);
+    Meta.resize(Planned);
+    ThreadPool Pool(resolveJobs(Jobs));
+    runCampaignUnits(Source, Configs, Pool,
+                     [&](const CampaignUnit &U, TelechatResult R) {
+                       Results[U.Id] = std::move(R);
+                       Meta[U.Id] =
+                           CampaignUnitMeta{U.Test.Name, U.Config};
+                     });
+    // The generator may stop short of the plan; the corpus is what it
+    // actually produced.
+    Results.resize(size_t(Source.produced()));
+    Meta.resize(size_t(Source.produced()));
   } else {
-    Results.resize(Units.size());
-    VectorUnitSource Source(Units);
+    Meta = campaignUnitMeta(Spec.Units);
+    Results.resize(Spec.Units.size());
+    VectorUnitSource Source(std::move(Spec.Units));
     ThreadPool Pool(resolveJobs(Jobs));
     runCampaignUnits(Source, Configs, Pool,
                      [&](const CampaignUnit &U, TelechatResult R) {
@@ -276,10 +474,27 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
                      });
   }
 
+  if (Results.empty()) {
+    // Every materialised path refused an empty corpus up front; the
+    // streamed paths only learn the size after draining. A zero-unit
+    // campaign (--gen-count 0, or an exhausted attempt budget) reading
+    // as "campaign passed" would hide a broken spec.
+    fprintf(stderr, "error: the campaign produced no units\n");
+    return 1;
+  }
   if (!CampaignJsonPath.empty() &&
       !writeJson(CampaignJsonPath,
-                 campaignResultsJson(Units, Configs, Results)))
+                 campaignResultsJson(Meta, Configs, Results)))
     return 1;
-  return SimOnly ? summariseSim(Units, Results)
-                 : summarisePipeline(Units, Results);
+  int Exit = SimOnly ? summariseSim(Meta, Results)
+                     : summarisePipeline(Meta, Results);
+  if (!ServeError.empty()) {
+    // The merged results above are valid, but the run broke a promise
+    // (journal stopped accepting appends, or the source misbehaved):
+    // write the artefacts, then fail loudly -- an exit-0 campaign that
+    // silently lost its durability would be worse than the fault.
+    fprintf(stderr, "error: %s\n", ServeError.c_str());
+    return 1;
+  }
+  return Exit;
 }

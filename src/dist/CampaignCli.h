@@ -7,10 +7,16 @@
 /// \file
 /// The tools' campaign modes, implemented once: telechat --campaign,
 /// telechat --serve and litmus-sim --serve are the same flag grammar
-/// (corpus specs, test options, JSON outputs, server knobs) over the
-/// same engine, differing only in execution mode. Sharing the driver --
-/// like workerToolMain for --work -- keeps the two CLIs from drifting:
-/// a server flag added here exists in both tools at once.
+/// (corpus specs, generator specs, test options, JSON outputs, journal
+/// and server knobs) over the same engine, differing only in execution
+/// mode. Sharing the driver -- like workerToolMain for --work -- keeps
+/// the two CLIs from drifting: a server flag added here exists in both
+/// tools at once.
+///
+/// Generative campaigns (--gen-seed/--gen-count) stream units off the
+/// diy generator instead of a materialised corpus; --journal makes a
+/// served campaign durable and --resume replays a crashed one
+/// (docs/DISTRIBUTED.md).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -117,6 +117,13 @@ std::string
 telechat::campaignResultsJson(const std::vector<CampaignUnit> &Units,
                               const std::vector<CampaignConfig> &Configs,
                               const std::vector<TelechatResult> &Results) {
+  return campaignResultsJson(campaignUnitMeta(Units), Configs, Results);
+}
+
+std::string
+telechat::campaignResultsJson(const std::vector<CampaignUnitMeta> &Units,
+                              const std::vector<CampaignConfig> &Configs,
+                              const std::vector<TelechatResult> &Results) {
   std::string J = "{\n";
   J += strFormat("  \"units\": %zu,\n", Units.size());
   J += "  \"configs\": [";
@@ -133,7 +140,7 @@ telechat::campaignResultsJson(const std::vector<CampaignUnit> &Units,
     const TelechatResult &R = Results[I];
     J += "    {\"id\": " + std::to_string(I);
     if (I < Units.size()) {
-      J += ", \"test\": " + quoted(Units[I].Test.Name);
+      J += ", \"test\": " + quoted(Units[I].TestName);
       J += strFormat(", \"config\": %u", Units[I].Config);
     }
     J += ", \"verdict\": " + quoted(campaignVerdict(R));
@@ -169,6 +176,11 @@ std::string telechat::campaignEngineJson(const CampaignReport &Report) {
                  static_cast<unsigned long long>(Report.Requeues));
   J += strFormat("  \"duplicate_results\": %llu,\n",
                  static_cast<unsigned long long>(Report.DuplicateResults));
+  J += strFormat("  \"replayed_results\": %llu,\n",
+                 static_cast<unsigned long long>(Report.ReplayedResults));
+  J += strFormat("  \"stale_replays\": %llu,\n",
+                 static_cast<unsigned long long>(Report.StaleReplays));
+  J += "  \"error\": " + quoted(Report.Error) + ",\n";
   J += "  \"workers\": [\n";
   for (size_t I = 0; I != Report.Workers.size(); ++I) {
     const WorkerTelemetry &W = Report.Workers[I];

@@ -39,6 +39,12 @@ namespace telechat {
 std::string campaignVerdict(const TelechatResult &R);
 
 /// Deterministic per-unit results, corpus order. See the file comment.
+/// The meta form is what streamed campaigns use (unit bodies are gone by
+/// report time); the unit form renders byte-identically for the same
+/// corpus.
+std::string campaignResultsJson(const std::vector<CampaignUnitMeta> &Units,
+                                const std::vector<CampaignConfig> &Configs,
+                                const std::vector<TelechatResult> &Results);
 std::string campaignResultsJson(const std::vector<CampaignUnit> &Units,
                                 const std::vector<CampaignConfig> &Configs,
                                 const std::vector<TelechatResult> &Results);

@@ -22,6 +22,13 @@
 /// its worker disconnects or exceeds the lease timeout, which is the
 /// entire fault model -- workers are stateless and interchangeable.
 ///
+/// The unit total in HelloAck is the *planned* campaign size: exact for
+/// a fixed corpus, an upper bound when the server streams units off a
+/// generator (the stream may stop short). Done carries the final count.
+/// Workers never see the difference otherwise -- generation is entirely
+/// server-side, and so is the campaign journal that makes a served
+/// campaign resumable (dist/Journal.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TELECHAT_DIST_PROTOCOL_H

@@ -304,6 +304,54 @@ bool telechat::decodeCampaignConfig(WireCursor &C, CampaignConfig &Out) {
   return C.ok();
 }
 
+namespace {
+
+void encodeOrderPool(WireBuffer &B, const std::vector<MemOrder> &Pool) {
+  B.appendU32(uint32_t(Pool.size()));
+  for (MemOrder O : Pool)
+    B.appendU8(uint8_t(O));
+}
+
+bool decodeOrderPool(WireCursor &C, std::vector<MemOrder> &Pool) {
+  uint32_t N = C.readCount(1);
+  // An empty pool cannot draw an order and a huge one is nothing the
+  // encoder produces (pools repeat orders only to weight them, and 64
+  // entries of 7 possible orders is already generous).
+  if (!C.ok() || N == 0 || N > 64)
+    return false;
+  Pool.resize(N);
+  for (MemOrder &O : Pool)
+    if (!readEnum(C, O, uint8_t(MemOrder::SeqCst)))
+      return false;
+  return C.ok();
+}
+
+} // namespace
+
+void telechat::encodeRandomGenOptions(WireBuffer &B,
+                                      const RandomGenOptions &O) {
+  B.appendU64(O.Seed);
+  B.appendU32(O.Count);
+  B.appendU32(O.MaxEdges);
+  encodeOrderPool(B, O.LoadOrders);
+  encodeOrderPool(B, O.StoreOrders);
+}
+
+bool telechat::decodeRandomGenOptions(WireCursor &C, RandomGenOptions &O) {
+  O.Seed = C.readU64();
+  O.Count = C.readU32();
+  O.MaxEdges = C.readU32();
+  // The edge cap sizes a per-attempt allocation in RandomTestStream; a
+  // hostile header must not be able to demand multi-gigabyte chains.
+  // 64 is far past any cycle worth simulating (Count only lengthens the
+  // campaign, so it stays uncapped).
+  if (!C.ok() || O.MaxEdges > 64)
+    return false;
+  if (!decodeOrderPool(C, O.LoadOrders))
+    return false;
+  return decodeOrderPool(C, O.StoreOrders);
+}
+
 void telechat::encodeCampaignUnit(WireBuffer &B, const CampaignUnit &U) {
   B.appendU64(U.Id);
   B.appendU32(U.Config);

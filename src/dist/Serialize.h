@@ -52,6 +52,12 @@ bool decodeTestOptions(WireCursor &C, TestOptions &O);
 void encodeCampaignConfig(WireBuffer &B, const CampaignConfig &C);
 bool decodeCampaignConfig(WireCursor &C, CampaignConfig &Out);
 
+/// Generator spec (seed, count, edge cap, order pools): what a campaign
+/// journal records instead of a materialised corpus. Decode rejects
+/// empty or oversized order pools and out-of-enum orders.
+void encodeRandomGenOptions(WireBuffer &B, const RandomGenOptions &O);
+bool decodeRandomGenOptions(WireCursor &C, RandomGenOptions &O);
+
 void encodeCampaignUnit(WireBuffer &B, const CampaignUnit &U);
 bool decodeCampaignUnit(WireCursor &C, CampaignUnit &U);
 

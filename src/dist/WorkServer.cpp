@@ -6,6 +6,7 @@
 
 #include "dist/WorkServer.h"
 
+#include "dist/Journal.h"
 #include "dist/Protocol.h"
 #include "dist/Serialize.h"
 #include "support/StringUtils.h"
@@ -16,8 +17,10 @@
 #include <cstdio>
 #include <deque>
 #include <map>
+#include <memory>
 #include <poll.h>
 #include <set>
+#include <utility>
 #include <vector>
 
 using namespace telechat;
@@ -55,12 +58,30 @@ struct WorkServer::Impl {
     Clock::time_point IssuedAt;
   };
 
-  std::vector<CampaignUnit> Units;
+  /// The unit stream. The vector constructor wraps its corpus in a
+  /// VectorUnitSource at start() after validating ids; the streaming
+  /// constructor hands Source over directly.
+  std::unique_ptr<UnitSource> Source;
+  std::vector<CampaignUnit> SeedUnits; ///< Vector ctor: pending start().
+  bool SeedIsVector = false;
   std::vector<CampaignConfig> Configs;
   WorkServerOptions Opts;
 
+  JournalWriter *Journal = nullptr;
+  /// Journal replay pending application: results whose units the stream
+  /// has not produced yet. Applied (and erased) as units are pulled.
+  std::map<uint64_t, TelechatResult> Replay;
+
   TcpListener Listener;
   std::vector<Conn> Conns;
+
+  /// Units pulled off the source so far; stream ids are [0, Generated).
+  uint64_t Generated = 0;
+  bool Drained = false;
+  /// Bodies of generated-but-uncompleted units (pending or leased);
+  /// erased on completion, so a streamed campaign's memory tracks the
+  /// in-flight window, not the corpus.
+  std::map<uint64_t, CampaignUnit> Live;
 
   /// Unit ids with no live lease and no result, in issue order.
   std::deque<uint64_t> Pending;
@@ -73,6 +94,12 @@ struct WorkServer::Impl {
   void log(const char *Fmt, ...) const;
   void sanitizeOptions();
   void sanitizeConfigs();
+  bool campaignComplete() const {
+    return Drained && CompletedCount == Generated;
+  }
+  void complete(uint64_t Id, TelechatResult R, bool FromReplay);
+  bool pullOne();
+  void refill(size_t Want);
   void requeue(uint64_t Id, size_t ConnSlot);
   void dropConn(size_t Slot);
   void expireLeases();
@@ -112,6 +139,71 @@ void WorkServer::Impl::sanitizeConfigs() {
   for (CampaignConfig &C : Configs) {
     C.Opts.Sim.CollectExecutions = false;
     C.Opts.Sim.Jobs = 1;
+  }
+}
+
+void WorkServer::Impl::complete(uint64_t Id, TelechatResult R,
+                                bool FromReplay) {
+  // Journal before merging: a result the journal never saw must not be
+  // merged, or a crash right here would resume without it. Replayed
+  // results are already on disk and are not re-appended.
+  if (!FromReplay && Journal && Journal->isOpen() &&
+      !Journal->appendResult(Id, R)) {
+    Journal->close();
+    if (Report.Error.empty())
+      Report.Error = strFormat("journal append failed at unit %llu; "
+                               "journaling disabled",
+                               static_cast<unsigned long long>(Id));
+    log("%s", Report.Error.c_str());
+  }
+  Report.Results[Id] = std::move(R);
+  Completed[Id] = true;
+  ++CompletedCount;
+  Live.erase(Id);
+}
+
+bool WorkServer::Impl::pullOne() {
+  if (Drained)
+    return false;
+  CampaignUnit U;
+  if (!Source->next(U)) {
+    Drained = true;
+    return false;
+  }
+  if (U.Id != Generated) {
+    // The merge (Results, Completed, the echoed wire id) indexes the
+    // stream position; a source breaking the contract would scatter
+    // results into wrong slots. Abort the stream instead.
+    Drained = true;
+    Report.Error = strFormat(
+        "unit source produced id %llu at stream position %llu; "
+        "WorkServer requires id == position",
+        static_cast<unsigned long long>(U.Id),
+        static_cast<unsigned long long>(Generated));
+    log("%s", Report.Error.c_str());
+    return false;
+  }
+  ++Generated;
+  Report.UnitsMeta.push_back(CampaignUnitMeta{U.Test.Name, U.Config});
+  Report.Results.emplace_back();
+  Completed.push_back(false);
+  auto R = Replay.find(U.Id);
+  if (R != Replay.end()) {
+    // Already answered by the journal: merge without serving.
+    uint64_t Id = U.Id;
+    TelechatResult Res = std::move(R->second);
+    Replay.erase(R);
+    complete(Id, std::move(Res), /*FromReplay=*/true);
+    ++Report.ReplayedResults;
+  } else {
+    Pending.push_back(U.Id);
+    Live.emplace(U.Id, std::move(U));
+  }
+  return true;
+}
+
+void WorkServer::Impl::refill(size_t Want) {
+  while (Pending.size() < Want && pullOne()) {
   }
 }
 
@@ -187,7 +279,10 @@ void WorkServer::Impl::handleHello(size_t Slot, const Frame &F) {
   Report.Workers[Conns[Slot].Telemetry].Jobs = Jobs;
   WireBuffer B;
   B.appendU16(WireVersion);
-  B.appendU64(Units.size());
+  // Planned campaign size: exact for a fixed corpus, the generator's
+  // upper bound for a streamed one (advisory; Done carries the final
+  // count).
+  B.appendU64(Drained ? Generated : Source->sizeHint());
   B.appendU32(uint32_t(Configs.size()));
   for (const CampaignConfig &Config : Configs)
     encodeCampaignConfig(B, Config);
@@ -206,16 +301,19 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
     sendError(Slot, "malformed GetWork");
     return;
   }
-  if (CompletedCount == Units.size()) {
+  Max = std::min(Max, Opts.MaxUnitsPerRequest);
+  // Top up the queue from the stream: this is where a generative
+  // campaign actually generates, one Work frame's worth at a time.
+  refill(Max);
+  if (campaignComplete()) {
     WireBuffer B;
-    B.appendU64(Units.size());
+    B.appendU64(Generated);
     if (sendFrame(Conns[Slot].Sock, uint8_t(Msg::Done), B))
       Conns[Slot].DoneSent = true;
     else
       dropConn(Slot);
     return;
   }
-  Max = std::min(Max, Opts.MaxUnitsPerRequest);
   std::vector<uint64_t> Batch;
   while (Batch.size() < Max && !Pending.empty()) {
     uint64_t Id = Pending.front();
@@ -236,7 +334,7 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
   WireBuffer B;
   B.appendU32(uint32_t(Batch.size()));
   for (uint64_t Id : Batch) {
-    encodeCampaignUnit(B, Units[Id]);
+    encodeCampaignUnit(B, Live.at(Id));
     Leases[Id] = Lease{Slot, Clock::now()};
     Conns[Slot].Leases.push_back(Id);
     Conns[Slot].EverLeased.insert(Id);
@@ -249,7 +347,7 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
 void WorkServer::Impl::handleResult(size_t Slot, const Frame &F) {
   WireCursor C(F.Payload);
   uint64_t Id = C.readU64();
-  if (!C.ok() || Id >= Units.size()) {
+  if (!C.ok() || Id >= Generated) {
     sendError(Slot, "malformed Result");
     return;
   }
@@ -282,9 +380,7 @@ void WorkServer::Impl::handleResult(size_t Slot, const Frame &F) {
   Cn.Leases.erase(std::remove(Cn.Leases.begin(), Cn.Leases.end(), Id),
                   Cn.Leases.end());
   Leases.erase(Id);
-  Report.Results[Id] = std::move(R);
-  Completed[Id] = true;
-  ++CompletedCount;
+  complete(Id, std::move(R), /*FromReplay=*/false);
   ++Report.Workers[Cn.Telemetry].UnitsCompleted;
   // A delivered result is proof of life: restart the lease clock on the
   // worker's remaining units, so "lease timeout" measures one stalled
@@ -329,15 +425,20 @@ bool WorkServer::Impl::handleFrame(size_t Slot, const Frame &F) {
 
 CampaignReport WorkServer::Impl::run() {
   auto Start = Clock::now();
-  Report.Units = Units.size();
-  Report.Results.assign(Units.size(), TelechatResult());
-  Completed.assign(Units.size(), false);
-  for (uint64_t Id = 0; Id != Units.size(); ++Id)
-    Pending.push_back(Id);
-
   std::vector<pollfd> Fds;
   uint8_t Buf[64 * 1024];
-  while (CompletedCount < Units.size()) {
+  while (!campaignComplete()) {
+    // Every generated unit is done but the source may have more: find
+    // out *now*, not at the next GetWork -- the last worker may have
+    // died right after its final result, and waiting for a request that
+    // never comes would hang a finished campaign. (On the first
+    // iteration this also applies a replayed journal prefix, so a
+    // fully-replayed campaign completes with no worker at all.)
+    if (!Drained && CompletedCount == Generated) {
+      refill(1);
+      if (campaignComplete())
+        break;
+    }
     expireLeases();
 
     // Snapshot the connection list: accept() below appends, and the
@@ -400,7 +501,7 @@ CampaignReport WorkServer::Impl::run() {
 
   // Campaign complete: tell everyone still connected, then hang up.
   WireBuffer DoneB;
-  DoneB.appendU64(Units.size());
+  DoneB.appendU64(Generated);
   for (Conn &C : Conns) {
     if (!C.Sock.valid())
       continue;
@@ -411,10 +512,21 @@ CampaignReport WorkServer::Impl::run() {
     C.Sock.close();
   }
   Listener.close();
+  Report.Units = Generated;
+  // Replay entries the stream never produced: a journal replayed against
+  // the wrong spec. They are not merge keys, so they are dropped.
+  Report.StaleReplays = Replay.size();
+  if (Report.StaleReplays)
+    log("%llu replayed results matched no streamed unit (journal/spec "
+        "mismatch?)",
+        static_cast<unsigned long long>(Report.StaleReplays));
   Report.Seconds = secondsSince(Start);
-  log("campaign done: %zu units, %llu requeues, %llu duplicates",
-      Units.size(), static_cast<unsigned long long>(Report.Requeues),
-      static_cast<unsigned long long>(Report.DuplicateResults));
+  log("campaign done: %llu units, %llu requeues, %llu duplicates, "
+      "%llu replayed",
+      static_cast<unsigned long long>(Generated),
+      static_cast<unsigned long long>(Report.Requeues),
+      static_cast<unsigned long long>(Report.DuplicateResults),
+      static_cast<unsigned long long>(Report.ReplayedResults));
   return std::move(Report);
 }
 
@@ -422,7 +534,19 @@ WorkServer::WorkServer(std::vector<CampaignUnit> Units,
                        std::vector<CampaignConfig> Configs,
                        WorkServerOptions Options)
     : P(new Impl) {
-  P->Units = std::move(Units);
+  P->SeedUnits = std::move(Units);
+  P->SeedIsVector = true;
+  P->Configs = std::move(Configs);
+  P->Opts = std::move(Options);
+  P->sanitizeOptions();
+  P->sanitizeConfigs();
+}
+
+WorkServer::WorkServer(std::unique_ptr<UnitSource> Source,
+                       std::vector<CampaignConfig> Configs,
+                       WorkServerOptions Options)
+    : P(new Impl) {
+  P->Source = std::move(Source);
   P->Configs = std::move(Configs);
   P->Opts = std::move(Options);
   P->sanitizeOptions();
@@ -431,16 +555,33 @@ WorkServer::WorkServer(std::vector<CampaignUnit> Units,
 
 WorkServer::~WorkServer() { delete P; }
 
+void WorkServer::setJournal(JournalWriter *J) { P->Journal = J; }
+
+void WorkServer::preloadResults(
+    std::vector<std::pair<uint64_t, TelechatResult>> R) {
+  for (auto &[Id, Result] : R)
+    P->Replay.emplace(Id, std::move(Result)); // First occurrence wins.
+}
+
 std::string WorkServer::start() {
-  // The whole merge is keyed on "unit id == corpus position" (the
-  // pending deque, Completed, Results and the echoed wire id all index
-  // the same vector). Refuse a corpus that breaks the invariant rather
-  // than scattering results into wrong slots.
-  for (size_t I = 0; I != P->Units.size(); ++I)
-    if (P->Units[I].Id != I)
-      return strFormat("campaign unit at position %zu has id %llu; "
-                       "WorkServer requires id == corpus index",
-                       I, static_cast<unsigned long long>(P->Units[I].Id));
+  if (P->SeedIsVector) {
+    // The whole merge is keyed on "unit id == corpus position" (the
+    // pending deque, Completed, Results and the echoed wire id all index
+    // the same stream). Refuse a corpus that breaks the invariant up
+    // front rather than scattering results into wrong slots.
+    for (size_t I = 0; I != P->SeedUnits.size(); ++I)
+      if (P->SeedUnits[I].Id != I)
+        return strFormat("campaign unit at position %zu has id %llu; "
+                         "WorkServer requires id == corpus index",
+                         I,
+                         static_cast<unsigned long long>(
+                             P->SeedUnits[I].Id));
+    P->Source = std::make_unique<VectorUnitSource>(std::move(P->SeedUnits));
+    P->SeedUnits.clear();
+    P->SeedIsVector = false;
+  }
+  if (!P->Source)
+    return "WorkServer has no unit source";
   ErrorOr<TcpListener> L =
       TcpListener::listenOn(P->Opts.Port, P->Opts.BindAddress);
   if (!L)

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The campaign work server: owns a corpus of units, leases batches to
-/// workers over TCP (Protocol.h), re-issues the leases of dead or
+/// The campaign work server: pulls units off a UnitSource (a fixed
+/// corpus, or a generator streaming diy tests on demand), leases batches
+/// to workers over TCP (Protocol.h), re-issues the leases of dead or
 /// stalled workers, and merges results by corpus index -- so the merged
 /// campaign is bit-identical to the single-process batch drivers no
 /// matter how many workers served it, in which order they pulled, or how
-/// many of them died along the way.
+/// many of them died along the way. Units are pulled lazily (a Work
+/// frame's worth at a time) and their bodies are dropped once merged, so
+/// a streamed campaign never materialises the whole corpus.
 ///
 /// Fault model: a lease is returned to the pending queue when its
 /// connection drops or its deadline passes. Units are idempotent (pure
@@ -18,6 +21,13 @@
 /// first result accepted for a unit wins and duplicates are counted and
 /// dropped. Because unit execution is deterministic, a duplicate is
 /// byte-equal to the accepted result anyway.
+///
+/// Durability: with a journal attached (setJournal), every accepted
+/// result is appended and flushed before it is merged; preloadResults
+/// seeds a restarted server with the journal's replayed results, which
+/// merge without being re-served -- the resume path of
+/// docs/DISTRIBUTED.md. A resumed campaign's report is byte-identical
+/// to an uninterrupted run over the same spec.
 ///
 /// Threading: the server is single-threaded (one poll loop); it is the
 /// *workers* that bring parallelism. run() blocks until every unit has a
@@ -33,7 +43,9 @@
 #include "dist/Socket.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace telechat {
@@ -73,24 +85,56 @@ struct WorkerTelemetry {
 struct CampaignReport {
   /// Results in corpus order (index = unit id); the deterministic merge.
   std::vector<TelechatResult> Results;
+  /// Name/config of every unit in corpus order: what summaries and the
+  /// results JSON need after streamed unit bodies are dropped.
+  std::vector<CampaignUnitMeta> UnitsMeta;
   uint64_t Units = 0;             ///< Corpus size (survives moving Results).
   uint64_t Requeues = 0;          ///< Leases re-issued (faults observed).
   uint64_t DuplicateResults = 0;  ///< Late results dropped after requeue.
+  /// Results merged from a journal replay instead of execution (resume).
+  uint64_t ReplayedResults = 0;
+  /// Replayed results whose unit ids the stream never produced (a
+  /// journal replayed against the wrong spec); dropped from the merge.
+  uint64_t StaleReplays = 0;
   std::vector<WorkerTelemetry> Workers;
   double Seconds = 0.0;           ///< Wall clock of run().
+  /// Nonempty when the unit source misbehaved (ids out of stream order)
+  /// or the journal stopped accepting appends; the merge covers only the
+  /// units streamed before the fault.
+  std::string Error;
 };
+
+class JournalWriter;
 
 class WorkServer {
 public:
-  /// \p Units must satisfy Units[i].Id == i (what makeCampaignUnits
-  /// produces): the id is the merge key AND the corpus position.
-  /// start() refuses corpora that violate it.
+  /// A materialised corpus. \p Units must satisfy Units[i].Id == i (what
+  /// makeCampaignUnits produces): the id is the merge key AND the corpus
+  /// position. start() refuses corpora that violate it.
   WorkServer(std::vector<CampaignUnit> Units,
+             std::vector<CampaignConfig> Configs,
+             WorkServerOptions Options = WorkServerOptions());
+
+  /// A streamed corpus: units are pulled off \p Source on demand (a Work
+  /// frame's worth at a time) and must arrive in id order starting at 0
+  /// -- what every UnitSource in the tree produces. A violation aborts
+  /// the stream and surfaces in CampaignReport::Error.
+  WorkServer(std::unique_ptr<UnitSource> Source,
              std::vector<CampaignConfig> Configs,
              WorkServerOptions Options = WorkServerOptions());
   ~WorkServer();
   WorkServer(const WorkServer &) = delete;
   WorkServer &operator=(const WorkServer &) = delete;
+
+  /// Attaches a campaign journal: every accepted result is appended (and
+  /// flushed) before it merges. \p J must be open and outlive run().
+  /// Call before run().
+  void setJournal(JournalWriter *J);
+
+  /// Seeds results replayed from a journal: matching units merge as
+  /// completed without being served, and are not re-journaled. Call
+  /// before run().
+  void preloadResults(std::vector<std::pair<uint64_t, TelechatResult>> R);
 
   /// Binds and listens. Empty string on success, error text otherwise.
   std::string start();
@@ -98,8 +142,9 @@ public:
   /// The bound port; valid after a successful start().
   uint16_t port() const;
 
-  /// Serves until every unit has a result (immediately for an empty
-  /// corpus), then disconnects workers and returns the merged report.
+  /// Serves until every unit has a result (immediately for an empty or
+  /// fully-replayed corpus), then disconnects workers and returns the
+  /// merged report.
   CampaignReport run();
 
 private:

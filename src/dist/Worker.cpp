@@ -123,7 +123,9 @@ telechat::runCampaignWorker(const std::string &Host, uint16_t Port,
       return makeError("handshake: bad HelloAck");
   }
   if (Options.Verbose)
-    fprintf(stderr, "[work] joined %s:%u: %llu units, %zu configs\n",
+    // Planned size only: a generative server may stream fewer (the Done
+    // frame carries the final count).
+    fprintf(stderr, "[work] joined %s:%u: %llu planned units, %zu configs\n",
             Host.c_str(), unsigned(Port),
             static_cast<unsigned long long>(TotalUnits), Configs.size());
 

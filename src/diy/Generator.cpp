@@ -8,8 +8,6 @@
 
 #include "support/StringUtils.h"
 
-#include <random>
-
 using namespace telechat;
 
 namespace {
@@ -78,12 +76,23 @@ EventKind edgeTo(const CycleEdge &E) {
 
 } // namespace
 
-std::vector<LitmusTest>
-telechat::generateRandomTests(const RandomGenOptions &Opts) {
-  std::mt19937_64 Rng(Opts.Seed);
-  std::vector<LitmusTest> Out;
-  unsigned Attempts = 0;
-  while (Out.size() < Opts.Count && Attempts < Opts.Count * 64) {
+RandomTestStream::RandomTestStream(const RandomGenOptions &Options)
+    : Opts(Options), Rng(Options.Seed) {
+  // Empty order pools would turn every draw below into a division by
+  // zero. They cannot come from the CLI, but options decoded from a
+  // journal pass through here too; degrade to the relaxed-only pool the
+  // way a hand-written spec would mean it.
+  if (Opts.LoadOrders.empty())
+    Opts.LoadOrders = {MemOrder::Relaxed};
+  if (Opts.StoreOrders.empty())
+    Opts.StoreOrders = {MemOrder::Relaxed};
+}
+
+bool RandomTestStream::next(LitmusTest &Out) {
+  // 64 attempts per requested test; in uint64_t, or a CLI-sized
+  // --gen-count near 2^26 would wrap the budget to zero.
+  while (Produced < Opts.Count &&
+         Attempts < uint64_t(Opts.Count) * 64) {
     ++Attempts;
     unsigned Len = 3 + Rng() % (Opts.MaxEdges > 3 ? Opts.MaxEdges - 2 : 1);
     // Grow a chain; close it only if the last edge's target kind matches
@@ -91,27 +100,43 @@ telechat::generateRandomTests(const RandomGenOptions &Opts) {
     std::vector<CycleEdge> Edges;
     EventKind StartKind = Rng() % 2 ? EventKind::Read : EventKind::Write;
     EventKind Kind = StartKind;
-    bool External = false;
+    unsigned External = 0;
     for (unsigned I = 0; I != Len; ++I) {
       std::vector<CycleEdge> Cands = candidateEdges(Kind);
       CycleEdge E = Cands[Rng() % Cands.size()];
       if (E.K == CycleEdge::Kind::Rfe || E.K == CycleEdge::Kind::Fre ||
           E.K == CycleEdge::Kind::Coe)
-        External = true;
+        ++External;
       Edges.push_back(E);
       Kind = edgeTo(E);
     }
-    if (!External || Kind != StartKind)
+    // Threads split at external edges, so fewer than two of them makes a
+    // single-threaded "concurrent" test: well-formed but a waste of
+    // campaign budget. Require a real multi-thread witness.
+    if (External < 2 || Kind != StartKind)
       continue;
     CycleSpec Spec;
-    Spec.Name = strFormat("rand%llu_%zu",
+    Spec.Name = strFormat("rand%llu_%u",
                           static_cast<unsigned long long>(Opts.Seed),
-                          Out.size());
+                          Produced);
     Spec.Edges = std::move(Edges);
     Spec.LoadOrder = Opts.LoadOrders[Rng() % Opts.LoadOrders.size()];
     Spec.StoreOrder = Opts.StoreOrders[Rng() % Opts.StoreOrders.size()];
-    if (ErrorOr<LitmusTest> T = generateFromCycle(Spec))
-      Out.push_back(std::move(*T));
+    if (ErrorOr<LitmusTest> T = generateFromCycle(Spec)) {
+      Out = std::move(*T);
+      ++Produced;
+      return true;
+    }
   }
+  return false;
+}
+
+std::vector<LitmusTest>
+telechat::generateRandomTests(const RandomGenOptions &Opts) {
+  RandomTestStream Stream(Opts);
+  std::vector<LitmusTest> Out;
+  LitmusTest T;
+  while (Stream.next(T))
+    Out.push_back(std::move(T));
   return Out;
 }

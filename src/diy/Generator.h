@@ -11,11 +11,15 @@
 #include "litmus/Ast.h"
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
 namespace telechat {
 
-/// Options for seeded random generation (property tests, fuzzing).
+/// Options for seeded random generation (property tests, fuzzing,
+/// streamed campaigns). Deterministic: the same options always describe
+/// the same test sequence, which is what lets a campaign journal record
+/// a whole corpus as one small spec (dist/Journal.h).
 struct RandomGenOptions {
   uint64_t Seed = 1;
   unsigned Count = 10;
@@ -26,8 +30,32 @@ struct RandomGenOptions {
                                        MemOrder::SeqCst};
 };
 
+/// Incremental form of generateRandomTests: hands out the *same* test
+/// sequence one test at a time, so a campaign can lease units straight
+/// off the generator without materialising the corpus first. The stream
+/// ends after Count tests, or earlier when the attempt budget runs out
+/// (rejected chains count against it) -- exactly where the batch
+/// generator would have stopped.
+class RandomTestStream {
+public:
+  explicit RandomTestStream(const RandomGenOptions &Opts);
+  /// Fills \p Out with the next test; false when the stream is drained.
+  /// Not thread-safe (one RNG): wrap in GeneratorUnitSource for
+  /// concurrent pulls.
+  bool next(LitmusTest &Out);
+  /// Tests produced so far (the corpus size once next() returns false).
+  unsigned produced() const { return Produced; }
+
+private:
+  RandomGenOptions Opts;
+  std::mt19937_64 Rng;
+  unsigned Produced = 0;
+  uint64_t Attempts = 0;
+};
+
 /// Generates \p Count random well-formed relaxation cycles and their
-/// tests. Deterministic in the seed.
+/// tests. Deterministic in the seed; equal to draining a
+/// RandomTestStream over the same options.
 std::vector<LitmusTest> generateRandomTests(const RandomGenOptions &Opts);
 
 } // namespace telechat

@@ -14,6 +14,7 @@
 #include "core/Campaign.h"
 #include "core/Telechat.h"
 #include "dist/CampaignJson.h"
+#include "dist/Journal.h"
 #include "dist/Protocol.h"
 #include "dist/Serialize.h"
 #include "dist/Socket.h"
@@ -27,6 +28,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <thread>
 
 using namespace telechat;
@@ -487,7 +490,8 @@ TEST(LoopbackCampaignTest, SimulateOnlyCampaignMatchesSimulateC) {
 }
 
 TEST(LoopbackCampaignTest, EmptyCorpusFinishesWithoutWorkers) {
-  WorkServer Server({}, {CampaignConfig{}}, WorkServerOptions());
+  WorkServer Server(std::vector<CampaignUnit>{}, {CampaignConfig{}},
+                    WorkServerOptions());
   ASSERT_EQ(Server.start(), "");
   CampaignReport Report = Server.run(); // Must return, not block.
   EXPECT_EQ(Report.Results.size(), 0u);
@@ -532,6 +536,633 @@ TEST(WorkerTest, ConnectFailureIsAnError) {
   // Port 1 on loopback: reserved, nothing listens there.
   ErrorOr<WorkerRunStats> Stats = runCampaignWorker("127.0.0.1", 1, Opts);
   EXPECT_FALSE(Stats.hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Generative campaigns (units streamed off the generator)
+//===----------------------------------------------------------------------===//
+
+/// A generator spec small enough to execute the full pipeline quickly.
+RandomGenOptions genSpec(uint64_t Seed = 21, unsigned Count = 4) {
+  RandomGenOptions G;
+  G.Seed = Seed;
+  G.Count = Count;
+  return G;
+}
+
+std::vector<CampaignConfig> pipelineConfig() {
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  return {{P, TestOptions(), false}};
+}
+
+struct LocalRun {
+  std::vector<CampaignUnitMeta> Meta;
+  std::vector<TelechatResult> Results;
+};
+
+/// Drains a streamed generator campaign over the local pool, the way
+/// `telechat --campaign --gen-seed` does.
+LocalRun runStreamedLocal(const RandomGenOptions &G,
+                          const std::vector<CampaignConfig> &Configs) {
+  GeneratorUnitSource Source(G, uint32_t(Configs.size()));
+  LocalRun R;
+  R.Results.resize(size_t(Source.sizeHint()));
+  R.Meta.resize(size_t(Source.sizeHint()));
+  ThreadPool Pool(4);
+  runCampaignUnits(Source, Configs, Pool,
+                   [&](const CampaignUnit &U, TelechatResult Res) {
+                     R.Results[U.Id] = std::move(Res);
+                     R.Meta[U.Id] = CampaignUnitMeta{U.Test.Name, U.Config};
+                   });
+  R.Results.resize(size_t(Source.produced()));
+  R.Meta.resize(size_t(Source.produced()));
+  return R;
+}
+
+TEST(GeneratorCampaignTest, SourceIdsAreTestMajor) {
+  // The streamed crossing must assign exactly the ids the materialised
+  // crossing would: that identity is what makes streamed and
+  // pre-materialised campaigns merge bit-identically.
+  RandomGenOptions G = genSpec(5, 6);
+  std::vector<CampaignUnit> Materialised =
+      makeCampaignUnits(generateRandomTests(G), /*NumConfigs=*/3,
+                        /*Cross=*/true);
+  GeneratorUnitSource Source(G, 3);
+  CampaignUnit U;
+  size_t I = 0;
+  while (Source.next(U)) {
+    ASSERT_LT(I, Materialised.size());
+    EXPECT_EQ(U.Id, Materialised[I].Id);
+    EXPECT_EQ(U.Config, Materialised[I].Config);
+    EXPECT_EQ(printLitmusC(U.Test), printLitmusC(Materialised[I].Test));
+    ++I;
+  }
+  EXPECT_EQ(I, Materialised.size());
+  EXPECT_EQ(Source.produced(), Materialised.size());
+}
+
+TEST(GeneratorCampaignTest, StreamedLocalRunMatchesMaterialised) {
+  // The differential determinism gate: the same (seed, count, configs)
+  // through GeneratorUnitSource and through a pre-materialised
+  // VectorUnitSource must produce byte-equal campaign JSON.
+  RandomGenOptions G = genSpec();
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+
+  std::vector<CampaignUnit> Units = makeCampaignUnits(
+      generateRandomTests(G), uint32_t(Configs.size()), true);
+  std::vector<TelechatResult> MatResults(Units.size());
+  {
+    VectorUnitSource Source(Units);
+    ThreadPool Pool(4);
+    runCampaignUnits(Source, Configs, Pool,
+                     [&](const CampaignUnit &U, TelechatResult R) {
+                       MatResults[U.Id] = std::move(R);
+                     });
+  }
+
+  LocalRun Streamed = runStreamedLocal(G, Configs);
+  ASSERT_EQ(Streamed.Results.size(), Units.size());
+  EXPECT_EQ(campaignResultsJson(Streamed.Meta, Configs, Streamed.Results),
+            campaignResultsJson(Units, Configs, MatResults));
+}
+
+TEST(GeneratorCampaignTest, StreamedServedCampaignMatchesLocalStream) {
+  // And over the wire: a 2-worker loopback campaign leasing units
+  // straight off the generator merges byte-identically to the local
+  // streamed run.
+  RandomGenOptions G = genSpec(42, 5);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+  LocalRun Local = runStreamedLocal(G, Configs);
+
+  WorkServer Server(
+      std::make_unique<GeneratorUnitSource>(G, uint32_t(Configs.size())),
+      Configs, WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  WOpts.BatchSize = 2;
+  std::thread W1([&] { runCampaignWorker("127.0.0.1", Port, WOpts); });
+  std::thread W2([&] { runCampaignWorker("127.0.0.1", Port, WOpts); });
+  W1.join();
+  W2.join();
+  Srv.join();
+
+  EXPECT_TRUE(Report.Error.empty()) << Report.Error;
+  ASSERT_EQ(Report.Results.size(), Local.Results.size());
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, Configs, Report.Results),
+            campaignResultsJson(Local.Meta, Configs, Local.Results));
+}
+
+//===----------------------------------------------------------------------===//
+// Generator-spec and source-spec records
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeTest, RandomGenOptionsRoundTrip) {
+  RandomGenOptions O;
+  O.Seed = 0xfeedface12345678ull;
+  O.Count = 123;
+  O.MaxEdges = 9;
+  O.LoadOrders = {MemOrder::Acquire, MemOrder::Relaxed};
+  O.StoreOrders = {MemOrder::SeqCst};
+  WireBuffer B;
+  encodeRandomGenOptions(B, O);
+  WireCursor C(B.data(), B.size());
+  RandomGenOptions Out;
+  ASSERT_TRUE(decodeRandomGenOptions(C, Out));
+  EXPECT_EQ(C.remaining(), 0u);
+  EXPECT_EQ(Out.Seed, O.Seed);
+  EXPECT_EQ(Out.Count, O.Count);
+  EXPECT_EQ(Out.MaxEdges, O.MaxEdges);
+  EXPECT_EQ(Out.LoadOrders, O.LoadOrders);
+  EXPECT_EQ(Out.StoreOrders, O.StoreOrders);
+}
+
+TEST(SerializeTest, HostileRandomGenOptionsAreRejected) {
+  RandomGenOptions O;
+  WireBuffer B;
+  encodeRandomGenOptions(B, O);
+  // Truncations at every prefix fail instead of yielding garbage.
+  for (size_t Cut = 0; Cut != B.size(); ++Cut) {
+    WireCursor C(B.data(), Cut);
+    RandomGenOptions Out;
+    EXPECT_FALSE(decodeRandomGenOptions(C, Out)) << "cut at " << Cut;
+  }
+  {
+    // Empty order pool: nothing to draw from.
+    WireBuffer E;
+    E.appendU64(1);
+    E.appendU32(4);
+    E.appendU32(6);
+    E.appendU32(0); // load pool: zero entries
+    E.appendU32(1);
+    E.appendU8(uint8_t(MemOrder::Relaxed));
+    WireCursor C(E.data(), E.size());
+    RandomGenOptions Out;
+    EXPECT_FALSE(decodeRandomGenOptions(C, Out));
+  }
+  {
+    // Out-of-enum memory order.
+    WireBuffer E;
+    E.appendU64(1);
+    E.appendU32(4);
+    E.appendU32(6);
+    E.appendU32(1);
+    E.appendU8(uint8_t(MemOrder::SeqCst) + 1);
+    E.appendU32(1);
+    E.appendU8(uint8_t(MemOrder::Relaxed));
+    WireCursor C(E.data(), E.size());
+    RandomGenOptions Out;
+    EXPECT_FALSE(decodeRandomGenOptions(C, Out));
+  }
+  {
+    // A hostile edge cap sizes a per-attempt allocation in the
+    // generator: refuse it at decode, like the pools.
+    WireBuffer E;
+    E.appendU64(1);
+    E.appendU32(4);
+    E.appendU32(0xffffffffu);
+    E.appendU32(1);
+    E.appendU8(uint8_t(MemOrder::Relaxed));
+    E.appendU32(1);
+    E.appendU8(uint8_t(MemOrder::Relaxed));
+    WireCursor C(E.data(), E.size());
+    RandomGenOptions Out;
+    EXPECT_FALSE(decodeRandomGenOptions(C, Out));
+  }
+}
+
+TEST(SerializeTest, CampaignSourceSpecRoundTripsBothKinds) {
+  {
+    CampaignSourceSpec S;
+    S.K = CampaignSourceSpec::Kind::Generator;
+    S.Gen = genSpec(77, 11);
+    S.NumConfigs = 3;
+    WireBuffer B;
+    encodeCampaignSourceSpec(B, S);
+    WireCursor C(B.data(), B.size());
+    CampaignSourceSpec Out;
+    ASSERT_TRUE(decodeCampaignSourceSpec(C, Out));
+    EXPECT_EQ(C.remaining(), 0u);
+    EXPECT_EQ(Out.K, S.K);
+    EXPECT_EQ(Out.NumConfigs, 3u);
+    EXPECT_EQ(Out.Gen.Seed, 77u);
+    EXPECT_EQ(Out.Gen.Count, 11u);
+    // The decoded spec rebuilds the identical stream.
+    CampaignUnit A, Z;
+    auto SrcA = S.makeSource();
+    auto SrcZ = Out.makeSource();
+    while (SrcA->next(A)) {
+      ASSERT_TRUE(SrcZ->next(Z));
+      EXPECT_EQ(A.Id, Z.Id);
+      EXPECT_EQ(printLitmusC(A.Test), printLitmusC(Z.Test));
+    }
+    EXPECT_FALSE(SrcZ->next(Z));
+  }
+  {
+    CampaignSourceSpec S; // Corpus kind.
+    S.Units = makeCampaignUnits({classicTest("MP"), classicTest("SB")});
+    WireBuffer B;
+    encodeCampaignSourceSpec(B, S);
+    WireCursor C(B.data(), B.size());
+    CampaignSourceSpec Out;
+    ASSERT_TRUE(decodeCampaignSourceSpec(C, Out));
+    ASSERT_EQ(Out.Units.size(), 2u);
+    EXPECT_EQ(Out.Units[1].Test.Name, S.Units[1].Test.Name);
+  }
+}
+
+TEST(SerializeTest, HostileSourceSpecsAreRejected) {
+  {
+    WireBuffer B; // Unknown kind byte.
+    B.appendU8(7);
+    B.appendU32(1);
+    WireCursor C(B.data(), B.size());
+    CampaignSourceSpec Out;
+    EXPECT_FALSE(decodeCampaignSourceSpec(C, Out));
+  }
+  {
+    WireBuffer B; // Zero-wide config crossing.
+    B.appendU8(uint8_t(CampaignSourceSpec::Kind::Generator));
+    B.appendU32(0);
+    encodeRandomGenOptions(B, RandomGenOptions());
+    WireCursor C(B.data(), B.size());
+    CampaignSourceSpec Out;
+    EXPECT_FALSE(decodeCampaignSourceSpec(C, Out));
+  }
+  {
+    WireBuffer B; // Hostile unit count with no bytes behind it.
+    B.appendU8(uint8_t(CampaignSourceSpec::Kind::Corpus));
+    B.appendU32(1);
+    B.appendU32(0x40000000);
+    WireCursor C(B.data(), B.size());
+    CampaignSourceSpec Out;
+    EXPECT_FALSE(decodeCampaignSourceSpec(C, Out));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign journal
+//===----------------------------------------------------------------------===//
+
+std::string tmpJournalPath(const std::string &Name) {
+  std::string Path = testing::TempDir() + "telechat_" + Name + ".journal";
+  std::remove(Path.c_str());
+  return Path;
+}
+
+/// One executed pipeline result to journal (memoised: runTelechat is the
+/// slow part).
+const TelechatResult &sampleResult() {
+  static TelechatResult R = runTelechat(
+      classicTest("MP+rel+acq"),
+      Profile::current(CompilerKind::Llvm, OptLevel::O2, Arch::AArch64));
+  return R;
+}
+
+TEST(JournalTest, WriteReadRoundTrip) {
+  std::string Path = tmpJournalPath("roundtrip");
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = genSpec(9, 3);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+
+  JournalWriter W;
+  ASSERT_EQ(W.create(Path, Spec, Configs), "");
+  for (uint64_t Id : {0ull, 2ull})
+    ASSERT_TRUE(W.appendResult(Id, sampleResult()));
+  W.close();
+
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  EXPECT_FALSE(J->TruncatedTail);
+  EXPECT_EQ(J->Spec.K, CampaignSourceSpec::Kind::Generator);
+  EXPECT_EQ(J->Spec.Gen.Seed, 9u);
+  ASSERT_EQ(J->Configs.size(), 1u);
+  EXPECT_EQ(J->Configs[0].P.name(), Configs[0].P.name());
+  ASSERT_EQ(J->Results.size(), 2u);
+  EXPECT_EQ(J->Results[0].first, 0u);
+  EXPECT_EQ(J->Results[1].first, 2u);
+  EXPECT_EQ(J->Results[1].second.SourceSim.Allowed,
+            sampleResult().SourceSim.Allowed);
+}
+
+TEST(JournalTest, TruncatedTailIsDiscardedNotFatal) {
+  std::string Path = tmpJournalPath("truncated");
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = genSpec();
+  JournalWriter W;
+  ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+  ASSERT_TRUE(W.appendResult(0, sampleResult()));
+  ASSERT_TRUE(W.appendResult(1, sampleResult()));
+  W.close();
+
+  // Chop into the last record: the kill-mid-append shape.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 3u);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), long(Bytes.size() - 3));
+  Out.close();
+
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  EXPECT_TRUE(J->TruncatedTail);
+  ASSERT_EQ(J->Results.size(), 1u) << "partial record must be discarded";
+  EXPECT_EQ(J->Results[0].first, 0u);
+
+  // Resuming a truncated journal must cut the garbage tail before
+  // appending: new records landing behind it would shift the framing
+  // and corrupt the journal for the *next* resume.
+  JournalWriter W2;
+  ASSERT_EQ(W2.openAppend(Path, J->ValidBytes), "");
+  ASSERT_TRUE(W2.appendResult(1, sampleResult()));
+  W2.close();
+  ErrorOr<JournalContents> J2 = readJournal(Path);
+  ASSERT_TRUE(J2.hasValue()) << J2.error();
+  EXPECT_FALSE(J2->TruncatedTail);
+  ASSERT_EQ(J2->Results.size(), 2u);
+  EXPECT_EQ(J2->Results[1].first, 1u);
+}
+
+TEST(JournalTest, DegenerateGeneratorSpecsAreWritableOrRefused) {
+  // The writer must never produce a header the reader refuses: stranded
+  // results would be unrecoverable. Empty order pools normalise to the
+  // relaxed-only spelling RandomTestStream gives them anyway...
+  std::string Path = tmpJournalPath("degenerate");
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = genSpec();
+  Spec.Gen.LoadOrders.clear();
+  JournalWriter W;
+  ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+  W.close();
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  ASSERT_EQ(J->Spec.Gen.LoadOrders.size(), 1u);
+  EXPECT_EQ(J->Spec.Gen.LoadOrders[0], MemOrder::Relaxed);
+  // ...while pools too large for the wire format are refused up front
+  // (normalising them would change the generated stream).
+  Spec.Gen.LoadOrders.assign(65, MemOrder::Relaxed);
+  EXPECT_NE(W.create(Path, Spec, pipelineConfig()), "");
+}
+
+TEST(JournalTest, HostileJournalsAreRejected) {
+  std::string Path = tmpJournalPath("hostile");
+  auto WriteBytes = [&](const std::vector<uint8_t> &Bytes) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              long(Bytes.size()));
+  };
+  auto Framed = [](JournalRec Tag, const WireBuffer &Payload) {
+    std::vector<uint8_t> Bytes;
+    uint32_t Len = uint32_t(Payload.size()) + 1;
+    for (size_t I = 0; I != 4; ++I)
+      Bytes.push_back(uint8_t(Len >> (8 * I)));
+    Bytes.push_back(uint8_t(Tag));
+    Bytes.insert(Bytes.end(), Payload.data(),
+                 Payload.data() + Payload.size());
+    return Bytes;
+  };
+
+  // Empty file: no header to resume from.
+  WriteBytes({});
+  EXPECT_FALSE(readJournal(Path).hasValue());
+
+  // Oversized record length.
+  WriteBytes({0xff, 0xff, 0xff, 0xff, 1});
+  EXPECT_FALSE(readJournal(Path).hasValue());
+
+  // Bad magic.
+  {
+    WireBuffer B;
+    B.appendU32(0xdeadbeef);
+    B.appendU16(JournalVersion);
+    WriteBytes(Framed(JournalRec::Header, B));
+    EXPECT_FALSE(readJournal(Path).hasValue());
+  }
+
+  // Version skew: a journal from the future is refused, not misparsed.
+  {
+    WireBuffer B;
+    B.appendU32(JournalMagic);
+    B.appendU16(JournalVersion + 1);
+    WriteBytes(Framed(JournalRec::Header, B));
+    ErrorOr<JournalContents> J = readJournal(Path);
+    ASSERT_FALSE(J.hasValue());
+    EXPECT_NE(J.error().find("version mismatch"), std::string::npos);
+  }
+
+  // First record is not a header.
+  {
+    WireBuffer B;
+    B.appendU64(0);
+    encodeTelechatResult(B, TelechatResult());
+    WriteBytes(Framed(JournalRec::Result, B));
+    EXPECT_FALSE(readJournal(Path).hasValue());
+  }
+
+  // A complete-but-garbage result record behind a valid header is
+  // corruption, not a tail to skip.
+  {
+    CampaignSourceSpec Spec;
+    Spec.K = CampaignSourceSpec::Kind::Generator;
+    Spec.Gen = genSpec();
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+    W.close();
+    std::ifstream In(Path, std::ios::binary);
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                               std::istreambuf_iterator<char>());
+    In.close();
+    WireBuffer Garbage;
+    Garbage.appendU64(0); // id, then truncated result payload
+    std::vector<uint8_t> Rec = Framed(JournalRec::Result, Garbage);
+    Bytes.insert(Bytes.end(), Rec.begin(), Rec.end());
+    WriteBytes(Bytes);
+    ErrorOr<JournalContents> J = readJournal(Path);
+    ASSERT_FALSE(J.hasValue());
+    EXPECT_NE(J.error().find("corrupt result record"), std::string::npos);
+  }
+
+  // Unknown record tag.
+  {
+    CampaignSourceSpec Spec;
+    Spec.K = CampaignSourceSpec::Kind::Generator;
+    Spec.Gen = genSpec();
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+    W.close();
+    std::ifstream In(Path, std::ios::binary);
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                               std::istreambuf_iterator<char>());
+    In.close();
+    WireBuffer Empty;
+    Empty.appendU8(0);
+    std::vector<uint8_t> Rec = Framed(JournalRec(9), Empty);
+    Bytes.insert(Bytes.end(), Rec.begin(), Rec.end());
+    WriteBytes(Bytes);
+    EXPECT_FALSE(readJournal(Path).hasValue());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-recovery drill
+//===----------------------------------------------------------------------===//
+
+TEST(JournalCampaignTest, ResumeReExecutesOnlyIncompleteUnits) {
+  RandomGenOptions G = genSpec(21, 4);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = G;
+  Spec.NumConfigs = uint32_t(Configs.size());
+
+  // The uninterrupted reference.
+  LocalRun Ref = runStreamedLocal(G, Configs);
+  ASSERT_GE(Ref.Results.size(), 3u);
+  std::string RefJson = campaignResultsJson(Ref.Meta, Configs, Ref.Results);
+
+  // A journal as a crashed server would leave it: header + the first K
+  // accepted results (and nothing about the rest).
+  const size_t K = 2;
+  std::string Path = tmpJournalPath("resume");
+  {
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, Configs), "");
+    for (size_t Id = 0; Id != K; ++Id)
+      ASSERT_TRUE(W.appendResult(Id, Ref.Results[Id]));
+  }
+
+  // Restart: replay the journal, serve only what is incomplete.
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  ASSERT_EQ(J->Results.size(), K);
+  JournalWriter Appender;
+  ASSERT_EQ(Appender.openAppend(Path, J->ValidBytes), "");
+  WorkServer Server(J->Spec.makeSource(), J->Configs,
+                    WorkServerOptions());
+  Server.setJournal(&Appender);
+  Server.preloadResults(std::move(J->Results));
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  ErrorOr<WorkerRunStats> Stats =
+      runCampaignWorker("127.0.0.1", Port, WOpts);
+  Srv.join();
+  Appender.close();
+
+  // No unit re-executes on the already-merged side...
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_EQ(Report.ReplayedResults, K);
+  EXPECT_EQ(Stats->UnitsCompleted, Ref.Results.size() - K);
+  // ...and the final report is byte-identical to the uninterrupted run.
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, J->Configs,
+                                Report.Results),
+            RefJson);
+
+  // The appended journal now holds the whole campaign: resuming again
+  // completes with no workers at all.
+  ErrorOr<JournalContents> Full = readJournal(Path);
+  ASSERT_TRUE(Full.hasValue()) << Full.error();
+  EXPECT_EQ(Full->Results.size(), Ref.Results.size());
+  WorkServer Idle(Full->Spec.makeSource(), Full->Configs,
+                  WorkServerOptions());
+  Idle.preloadResults(std::move(Full->Results));
+  ASSERT_EQ(Idle.start(), "");
+  CampaignReport IdleReport = Idle.run(); // Must return, not block.
+  EXPECT_EQ(IdleReport.ReplayedResults, Ref.Results.size());
+  EXPECT_EQ(campaignResultsJson(IdleReport.UnitsMeta, Full->Configs,
+                                IdleReport.Results),
+            RefJson);
+}
+
+TEST(LoopbackCampaignTest, FinishesWhenLastWorkerDiesAfterFinalResult) {
+  // Regression: completion is "source drained AND everything merged",
+  // and only unit pulls drain the source. A client that leases the
+  // whole corpus, returns every result, then vanishes without another
+  // GetWork must not leave the server polling forever -- the run loop
+  // itself has to discover the source is dry.
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB")};
+  CampaignConfig Config;
+  Config.SimulateOnly = true;
+  Config.Opts.SourceModel = "rc11";
+  WorkServer Server(makeCampaignUnits(Tests), {Config},
+                    WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+
+  ErrorOr<TcpSocket> Client = tcpConnect("127.0.0.1", Port, 5.0);
+  ASSERT_TRUE(Client.hasValue()) << Client.error();
+  {
+    WireBuffer B;
+    B.appendU32(WireMagic);
+    B.appendU16(WireVersion);
+    B.appendU32(1);
+    ASSERT_TRUE(sendFrame(*Client, uint8_t(Msg::Hello), B));
+    ErrorOr<Frame> Ack = recvFrame(*Client);
+    ASSERT_TRUE(Ack.hasValue()) << Ack.error();
+    ASSERT_EQ(Ack->Type, uint8_t(Msg::HelloAck));
+    WireBuffer G; // Lease the entire corpus in one batch.
+    G.appendU32(uint32_t(Tests.size()));
+    ASSERT_TRUE(sendFrame(*Client, uint8_t(Msg::GetWork), G));
+    ErrorOr<Frame> Work = recvFrame(*Client);
+    ASSERT_TRUE(Work.hasValue()) << Work.error();
+    ASSERT_EQ(Work->Type, uint8_t(Msg::Work));
+    WireCursor C(Work->Payload);
+    uint32_t N = C.readCount(16);
+    ASSERT_EQ(N, Tests.size());
+    for (uint32_t I = 0; I != N; ++I) {
+      CampaignUnit U;
+      ASSERT_TRUE(decodeCampaignUnit(C, U));
+      WireBuffer R;
+      R.appendU64(U.Id);
+      encodeTelechatResult(R, runCampaignUnit(U, {Config}));
+      ASSERT_TRUE(sendFrame(*Client, uint8_t(Msg::Result), R));
+    }
+  }
+  Client->close(); // ...and never sends another GetWork.
+
+  Srv.join(); // Hangs here if the server cannot finish on its own.
+  EXPECT_EQ(Report.Results.size(), Tests.size());
+  EXPECT_TRUE(Report.Results[0].SourceSim.ok());
+  EXPECT_TRUE(Report.Results[1].SourceSim.ok());
+}
+
+TEST(JournalCampaignTest, StaleReplaysAreCountedAndDropped) {
+  // A replayed result whose id the stream never produces (journal
+  // replayed against the wrong spec) must not corrupt the merge.
+  std::vector<CampaignConfig> Configs{{Profile(), TestOptions(), true}};
+  Configs[0].Opts.SourceModel = "rc11";
+  std::vector<LitmusTest> Tests = {classicTest("MP")};
+  WorkServer Server(makeCampaignUnits(Tests), Configs,
+                    WorkServerOptions());
+  std::vector<std::pair<uint64_t, TelechatResult>> Bogus;
+  Bogus.emplace_back(999, TelechatResult());
+  Server.preloadResults(std::move(Bogus));
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 1;
+  std::thread W([&] { runCampaignWorker("127.0.0.1", Port, WOpts); });
+  W.join();
+  Srv.join();
+  EXPECT_EQ(Report.StaleReplays, 1u);
+  ASSERT_EQ(Report.Results.size(), 1u);
+  EXPECT_TRUE(Report.Results[0].SourceSim.ok());
 }
 
 } // namespace

@@ -8,11 +8,14 @@
 #include "diy/Config.h"
 #include "diy/Cycle.h"
 #include "diy/Generator.h"
+#include "litmus/Parser.h"
+#include "litmus/Printer.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 using namespace telechat;
@@ -156,6 +159,130 @@ TEST(RandomGenTest, GeneratedTestsAreValidAndScForbidden) {
     if (!R.TimedOut)
       EXPECT_FALSE(finalConditionHolds(P, R)) << T.Name;
   }
+}
+
+namespace {
+
+/// Every register assignment in a body, duplicates included (unlike
+/// assignedRegisters, which dedupes): the SSA-freshness check needs to
+/// see a register assigned twice.
+std::vector<std::string> allAssignments(const Thread &Th) {
+  std::vector<std::string> Out;
+  forEachStmt(Th.Body, [&](const Stmt &S) {
+    if (!S.Dst.empty())
+      Out.push_back(S.Dst);
+  });
+  return Out;
+}
+
+/// Structural well-formedness of one generated test, the property the
+/// streamed campaign engine leans on: whatever the generator emits must
+/// survive serialization, printing and re-parsing unchanged.
+void expectWellFormed(const LitmusTest &T, uint64_t Seed) {
+  std::string What = "seed " + std::to_string(Seed) + ", " + T.Name;
+  // validate() covers def-before-use, declared locations, unique thread
+  // names.
+  EXPECT_EQ(T.validate(), "") << What;
+  // The chain closed through at least one external edge, so the witness
+  // spans threads and touches shared locations.
+  EXPECT_GE(T.Threads.size(), 2u) << What;
+  EXPECT_GE(T.Locations.size(), 1u) << What;
+  // Registers are SSA-fresh: the generator never reuses a destination.
+  std::map<std::string, std::set<std::string>> RegsByThread;
+  for (const Thread &Th : T.Threads) {
+    std::vector<std::string> Regs = allAssignments(Th);
+    std::set<std::string> Unique(Regs.begin(), Regs.end());
+    EXPECT_EQ(Unique.size(), Regs.size())
+        << What << ": register assigned twice in " << Th.Name;
+    RegsByThread[Th.Name] = std::move(Unique);
+  }
+  // The final-state predicate only constrains registers that exist in
+  // the thread it names (keys look like "P1:r0") and locations that are
+  // declared (keys look like "[y]").
+  std::vector<std::string> Keys;
+  T.Final.P.collectKeys(Keys);
+  EXPECT_FALSE(Keys.empty()) << What;
+  for (const std::string &Key : Keys) {
+    if (Key.size() > 2 && Key.front() == '[' && Key.back() == ']') {
+      EXPECT_NE(T.findLocation(Key.substr(1, Key.size() - 2)), nullptr)
+          << What << ": predicate names undeclared location " << Key;
+      continue;
+    }
+    size_t Colon = Key.find(':');
+    ASSERT_NE(Colon, std::string::npos) << What << ": odd key " << Key;
+    std::string Thread = Key.substr(0, Colon);
+    std::string Reg = Key.substr(Colon + 1);
+    auto It = RegsByThread.find(Thread);
+    ASSERT_NE(It, RegsByThread.end())
+        << What << ": predicate names unknown thread in " << Key;
+    EXPECT_TRUE(It->second.count(Reg))
+        << What << ": predicate reads undefined register in " << Key;
+  }
+  // Print -> parse -> print is a fixpoint: the printed form is the
+  // corpus interchange format (diy-gen output, --corpus input), so a
+  // test that mutates across the round-trip would corrupt campaigns.
+  std::string Printed = printLitmusC(T);
+  ErrorOr<LitmusTest> Reparsed = parseLitmusC(Printed);
+  ASSERT_TRUE(Reparsed.hasValue()) << What << ": " << Reparsed.error();
+  EXPECT_EQ(printLitmusC(*Reparsed), Printed) << What;
+  EXPECT_EQ(Reparsed->validate(), "") << What;
+}
+
+} // namespace
+
+TEST(RandomGenPropertyTest, HundredSeedsWellFormedAndRoundTrip) {
+  // The property battery behind generative campaigns (ISSUE 4): across
+  // 100 seeds, everything the generator can emit is structurally sound
+  // and survives the printer/parser round-trip unchanged.
+  size_t Total = 0;
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    RandomGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Count = 4;
+    std::vector<LitmusTest> Tests = generateRandomTests(Opts);
+    EXPECT_FALSE(Tests.empty()) << "seed " << Seed;
+    Total += Tests.size();
+    for (const LitmusTest &T : Tests)
+      expectWellFormed(T, Seed);
+  }
+  EXPECT_GE(Total, 300u) << "the attempt budget should rarely bite";
+}
+
+TEST(RandomGenPropertyTest, StreamMatchesBatchGeneration) {
+  // RandomTestStream is the lazy form of generateRandomTests; a streamed
+  // campaign is only deterministic if the two emit the same sequence.
+  for (uint64_t Seed : {1ull, 7ull, 99ull, 54321ull}) {
+    RandomGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Count = 8;
+    std::vector<LitmusTest> Batch = generateRandomTests(Opts);
+    RandomTestStream Stream(Opts);
+    LitmusTest T;
+    size_t I = 0;
+    while (Stream.next(T)) {
+      ASSERT_LT(I, Batch.size()) << "seed " << Seed;
+      EXPECT_EQ(printLitmusC(T), printLitmusC(Batch[I]))
+          << "seed " << Seed << ", test " << I;
+      ++I;
+    }
+    EXPECT_EQ(I, Batch.size()) << "seed " << Seed;
+    EXPECT_EQ(Stream.produced(), Batch.size()) << "seed " << Seed;
+    // Drained streams stay drained.
+    EXPECT_FALSE(Stream.next(T)) << "seed " << Seed;
+  }
+}
+
+TEST(RandomGenPropertyTest, DegenerateOptionPoolsDoNotDivideByZero) {
+  // Options decoded from a journal may carry empty order pools; the
+  // stream degrades to relaxed-only instead of crashing.
+  RandomGenOptions Opts;
+  Opts.Seed = 3;
+  Opts.Count = 3;
+  Opts.LoadOrders.clear();
+  Opts.StoreOrders.clear();
+  std::vector<LitmusTest> Tests = generateRandomTests(Opts);
+  for (const LitmusTest &T : Tests)
+    EXPECT_EQ(T.validate(), "") << T.Name;
 }
 
 TEST(ConfigTest, C11SuiteCoversTableIIIConstructs) {

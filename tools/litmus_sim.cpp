@@ -44,8 +44,10 @@ static void usage() {
           "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
           "[--max-steps <n>] [--dot] [--stats]\n"
           "       [--no-prune] [--no-cat-cache]\n"
-          "       litmus-sim --serve <port> --corpus <file> [--model <m>] "
-          "[--campaign-json <f>] [--engine-json <f>]\n"
+          "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
+          "[--gen-count <n>] [--model <m>]\n"
+          "                  [--campaign-json <f>] [--engine-json <f>] "
+          "[--journal <f>] [--resume]\n"
           "                  [--bind <addr>] [--lease-timeout <s>] "
           "[--batch <n>] [--verbose]   (shared with telechat --serve)\n"
           "       litmus-sim --work <host:port> [-j <n>] [--batch <n>] "

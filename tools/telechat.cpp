@@ -19,7 +19,10 @@
 ///   telechat --serve <port> [corpus flags] --profile P [...]
 ///     The same campaign served to remote workers over TCP
 ///     (docs/DISTRIBUTED.md); the merged report is bit-identical to
-///     --campaign over the same corpus.
+///     --campaign over the same corpus. With --gen-seed the server
+///     streams diy-generated units on demand instead of materialising
+///     a corpus; with --journal/--resume a killed server restarts
+///     where it left off with a byte-identical final report.
 ///
 ///   telechat --work <host:port> [-j N]
 ///     A worker: pulls units from a server until the campaign is done.
@@ -66,11 +69,22 @@ static void usage() {
           "  --suite <name>     diy-generated suite: c11 or c11acq\n"
           "  --limit <n>        cap on --suite tests\n"
           "  --classics         the classic families (MP, SB, IRIW, ...)\n"
+          "  --gen-seed <n>     stream seeded diy generation instead of a\n"
+          "                     corpus (exclusive with the flags above)\n"
+          "  --gen-count <n>    tests to generate (default 10)\n"
+          "  --gen-max-edges <n> cycle length cap (default 6)\n"
+          "  --materialise      expand --gen-* up front instead of\n"
+          "                     streaming (debugging; same results)\n"
           "\n"
           "campaign/serve options:\n"
           "  --campaign-json <f>  deterministic merged results (byte-equal\n"
-          "                       between --campaign and --serve)\n"
+          "                       between --campaign and --serve, streamed\n"
+          "                       or materialised, resumed or not)\n"
           "  --engine-json <f>    throughput/requeue telemetry (--serve)\n"
+          "  --journal <f>        (--serve) append-only campaign journal:\n"
+          "                       spec + every accepted result\n"
+          "  --resume             (--serve) replay --journal, re-serve\n"
+          "                       only incomplete units\n"
           "  --bind <addr>        listen address (default 127.0.0.1)\n"
           "  --lease-timeout <s>  re-issue stalled leases (default 120)\n"
           "  --batch <n>          max units per Work frame / request\n"
