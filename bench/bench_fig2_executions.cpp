@@ -71,6 +71,9 @@ SimOptions featureOptions(bool Enabled) {
 void exportCounters(benchmark::State &State, const SimStats &S) {
   State.counters["rf_candidates"] = double(S.RfCandidates);
   State.counters["rf_sources_pruned"] = double(S.RfSourcesPruned);
+  State.counters["rf_sources_pruned_copy"] = double(S.RfSourcesPrunedCopy);
+  State.counters["rf_sources_pruned_xform"] =
+      double(S.RfSourcesPrunedXform);
   State.counters["rf_pruned"] = double(S.RfPruned);
   State.counters["cat_evals_avoided"] = double(S.CatEvalsAvoided);
 }
@@ -109,6 +112,57 @@ void BM_GatedEnumeration(benchmark::State &State) {
 BENCHMARK(BM_GatedEnumeration)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// An arithmetic-gated companion: every branch is taken on a register
+/// *assigned* from arithmetic over a loaded value (r^1, r+1), so the
+/// copy-chain-only domain sees Top at the constraint site and the extra
+/// pruning is entirely the symbolic-transform domain's. Arg: 0 =
+/// pruning off, 1 = copy-chain-only domain (RfTransformDomain off),
+/// 2 = full transform domain.
+const char *ArithGatedWorkload = R"(C arith_gated
+{ *x = 0; *y = 0; *z = 0; }
+void P0(atomic_int* x, atomic_int* y, atomic_int* z) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(z, memory_order_relaxed);
+  int r2 = r0 ^ 1;
+  if (r2) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(y, 2, memory_order_relaxed); }
+}
+void P1(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  int r3 = r0 + 1;
+  if (r3 - 1) { atomic_store_explicit(z, 1, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+  int r4 = r1 & 3;
+  if (r4 - 2) { atomic_store_explicit(z, 2, memory_order_relaxed); }
+}
+exists (P1:r1=1 /\ P0:r0=2)
+)";
+
+void BM_ArithGatedEnumeration(benchmark::State &State) {
+  ErrorOr<LitmusTest> T = parseLitmusC(ArithGatedWorkload);
+  if (!T) {
+    fprintf(stderr, "fatal: arith-gated workload fails to parse: %s\n",
+            T.error().c_str());
+    exit(1);
+  }
+  SimProgram P = lowerLitmusC(*T);
+  SimOptions Opts;
+  Opts.RfValuePruning = State.range(0) != 0;
+  Opts.RfTransformDomain = State.range(0) == 2;
+  SimStats Last;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(P, "rc11", Opts);
+    Last = R.Stats;
+    benchmark::DoNotOptimize(R.Allowed.size());
+  }
+  exportCounters(State, Last);
+}
+BENCHMARK(BM_ArithGatedEnumeration)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
 } // namespace

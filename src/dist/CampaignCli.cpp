@@ -217,6 +217,15 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     } else if (Arg == "--const-model") {
       Options.ConstAugmentedModel = true;
       ConfigFlagsSet = true;
+    } else if (Arg == "--no-prune") {
+      Options.Sim.RfValuePruning = false;
+      ConfigFlagsSet = true;
+    } else if (Arg == "--no-transform") {
+      Options.Sim.RfTransformDomain = false;
+      ConfigFlagsSet = true;
+    } else if (Arg == "--no-cat-cache") {
+      Options.Sim.IncrementalCatEval = false;
+      ConfigFlagsSet = true;
     } else if (Arg == "--max-steps") {
       if (!(V = Next())) {
         Usage();

@@ -83,6 +83,8 @@ void appendSimSide(std::string &J, const SimResult &R) {
       ", \"stats\": {\"path_combos\": %llu, \"rf_candidates\": %llu, "
       "\"value_consistent\": %llu, \"co_candidates\": %llu, "
       "\"allowed_executions\": %llu, \"rf_sources_pruned\": %llu, "
+      "\"rf_sources_pruned_copy\": %llu, "
+      "\"rf_sources_pruned_xform\": %llu, "
       "\"rf_pruned\": %llu, \"cat_evals_avoided\": %llu}",
       static_cast<unsigned long long>(R.Stats.PathCombos),
       static_cast<unsigned long long>(R.Stats.RfCandidates),
@@ -90,6 +92,8 @@ void appendSimSide(std::string &J, const SimResult &R) {
       static_cast<unsigned long long>(R.Stats.CoCandidates),
       static_cast<unsigned long long>(R.Stats.AllowedExecutions),
       static_cast<unsigned long long>(R.Stats.RfSourcesPruned),
+      static_cast<unsigned long long>(R.Stats.RfSourcesPrunedCopy),
+      static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
       static_cast<unsigned long long>(R.Stats.RfPruned),
       static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
   J += "}";

@@ -259,6 +259,7 @@ void telechat::encodeSimOptions(WireBuffer &B, const SimOptions &O) {
   B.appendU32(O.MaxCollectedExecutions);
   B.appendU32(O.Jobs);
   B.appendBool(O.RfValuePruning);
+  B.appendBool(O.RfTransformDomain);
   B.appendBool(O.IncrementalCatEval);
 }
 
@@ -269,6 +270,7 @@ bool telechat::decodeSimOptions(WireCursor &C, SimOptions &O) {
   O.MaxCollectedExecutions = C.readU32();
   O.Jobs = C.readU32();
   O.RfValuePruning = C.readBool();
+  O.RfTransformDomain = C.readBool();
   O.IncrementalCatEval = C.readBool();
   return C.ok();
 }
@@ -371,6 +373,8 @@ void telechat::encodeSimStats(WireBuffer &B, const SimStats &S) {
   B.appendU64(S.CoCandidates);
   B.appendU64(S.AllowedExecutions);
   B.appendU64(S.RfSourcesPruned);
+  B.appendU64(S.RfSourcesPrunedCopy);
+  B.appendU64(S.RfSourcesPrunedXform);
   B.appendU64(S.RfPruned);
   B.appendU64(S.CatEvalsAvoided);
   B.appendF64(S.Seconds);
@@ -383,6 +387,8 @@ bool telechat::decodeSimStats(WireCursor &C, SimStats &S) {
   S.CoCandidates = C.readU64();
   S.AllowedExecutions = C.readU64();
   S.RfSourcesPruned = C.readU64();
+  S.RfSourcesPrunedCopy = C.readU64();
+  S.RfSourcesPrunedXform = C.readU64();
   S.RfPruned = C.readU64();
   S.CatEvalsAvoided = C.readU64();
   S.Seconds = C.readF64();

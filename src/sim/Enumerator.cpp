@@ -25,14 +25,16 @@
 /// Two per-combo precomputations cut the per-candidate cost (see
 /// Enumerator.h for the user-facing contracts):
 ///
-///  - An *abstract value pass* runs each chosen path once with loads
-///    mapped to symbolic "value of read event e" and everything else
-///    evaluated concretely. Branch constraints whose inputs are all
-///    known or symbolic-read values become prune checks: candidate
-///    writes with known conflicting values are dropped from the rf
+///  - An *abstract value pass* (sim/AbsDomain.h) runs each chosen path
+///    once over the single-source symbolic-transform domain: a value is
+///    a known constant, a bounded transform f applied to one read
+///    event's value (covering copies, affine arithmetic, bitwise ops,
+///    truncations and 128-bit half slices), or Top. Branch constraints
+///    whose inputs are all tracked become prune checks: candidate
+///    writes with known values violating them are dropped from the rf
 ///    lists up front, and remaining assignments are checked in
-///    O(events) (following rf chains through copy writes) before the
-///    expensive resolution fixpoint runs.
+///    O(events) (following rf chains through copy and transform writes)
+///    before the expensive resolution fixpoint runs.
 ///
 ///  - The *skeleton execution* (events, po, rmw, tags) is built once
 ///    per combo and copied per candidate, and the Cat model's stable
@@ -44,6 +46,7 @@
 
 #include "sim/Enumerator.h"
 
+#include "sim/AbsDomain.h"
 #include "sim/ShardScheduler.h"
 #include "support/Interner.h"
 #include "support/StringUtils.h"
@@ -60,17 +63,6 @@
 using namespace telechat;
 
 namespace {
-
-/// A runtime value: an integer or the address of a named location.
-struct SimVal {
-  enum class Kind { Int, Addr } K = Kind::Int;
-  Value V;         ///< Numeric value (addresses get a synthetic numeric).
-  std::string Sym; ///< Kind::Addr: the location name.
-
-  bool operator==(const SimVal &RHS) const {
-    return K == RHS.K && V == RHS.V && Sym == RHS.Sym;
-  }
-};
 
 /// Per-event mutable state during value resolution.
 struct EvState {
@@ -90,41 +82,6 @@ struct EvInfo {
   const SimOp *Op = nullptr; ///< Null for init writes.
   bool IsInit = false;
   std::string InitLoc; ///< Init writes: the location.
-};
-
-/// What the abstract pass knows about a value without fixing rf: a
-/// concrete constant, exactly the value some read event observes, or
-/// nothing (Top).
-struct AbsVal {
-  enum class Kind { Known, Read, Top } K = Kind::Top;
-  SimVal V;            ///< Kind::Known payload.
-  unsigned ReadEv = 0; ///< Kind::Read payload.
-
-  static AbsVal known(SimVal V) {
-    AbsVal A;
-    A.K = Kind::Known;
-    A.V = std::move(V);
-    return A;
-  }
-  static AbsVal read(unsigned Ev) {
-    AbsVal A;
-    A.K = Kind::Read;
-    A.ReadEv = Ev;
-    return A;
-  }
-};
-
-/// One path constraint whose inputs the abstract pass fully tracked:
-/// every register the expression reads is either a known constant or
-/// exactly the value of one read event. Checkable per rf assignment
-/// without running the resolution fixpoint.
-struct PruneCheck {
-  const Expr *E = nullptr; ///< Points into the worker's resolved paths.
-  bool ExpectNonZero = true;
-  /// Register snapshot at the constraint site, restricted to registers
-  /// the expression uses. No entry is Top (such constraints are not
-  /// captured).
-  std::vector<std::pair<std::string, AbsVal>> Regs;
 };
 
 constexpr uint64_t kFullRange = ~uint64_t(0);
@@ -247,7 +204,10 @@ public:
     // with it the combo's space-reduction accounting.
     if (S.RfLo == 0) {
       ++WR.Stats.PathCombos;
-      WR.Stats.RfSourcesPruned += ComboRfSourcesPruned;
+      WR.Stats.RfSourcesPruned +=
+          ComboRfSourcesPrunedCopy + ComboRfSourcesPrunedXform;
+      WR.Stats.RfSourcesPrunedCopy += ComboRfSourcesPrunedCopy;
+      WR.Stats.RfSourcesPrunedXform += ComboRfSourcesPrunedXform;
     }
     uint64_t Hi = std::min(RfSpace, S.RfHi);
     if (S.RfLo < Hi)
@@ -366,14 +326,23 @@ public:
       }
     }
 
-    ComboRfSourcesPruned = 0;
+    ComboRfSourcesPrunedCopy = 0;
+    ComboRfSourcesPrunedXform = 0;
     if (Opts.RfValuePruning) {
       computeAbstract();
       if (!ComboInfeasible)
-        filterRfCandidates();
+        filterRfCandidates(/*BaselineCountOnly=*/false);
+      else if (!ComboInfeasibleBaseline)
+        // A combo only the transform domain can condemn: the copy-chain
+        // baseline would instead have filtered pair-by-pair, so replay
+        // its filtering for accounting (RfSourcesPrunedCopy stays equal
+        // to the baseline's RfSourcesPruned) without touching the --
+        // already collapsed -- candidate lists.
+        filterRfCandidates(/*BaselineCountOnly=*/true);
     } else {
       PruneChecks.clear();
       ComboInfeasible = false;
+      ComboInfeasibleBaseline = false;
     }
     buildSkeletonExecution();
 
@@ -553,228 +522,65 @@ private:
     return Out;
   }
 
-  /// Evaluates an expression over the current register file.
-  SimVal evalExpr(const Expr &E,
-                  const std::map<std::string, SimVal> &Regs) const {
-    switch (E.K) {
-    case Expr::Kind::Imm:
-      return SimVal{SimVal::Kind::Int, E.Imm, ""};
-    case Expr::Kind::Reg: {
-      auto It = Regs.find(E.RegName);
-      if (It == Regs.end())
-        return SimVal{}; // herd zero-initialises registers
-      return It->second;
-    }
-    case Expr::Kind::Add:
-    case Expr::Kind::Sub:
-    case Expr::Kind::Xor:
-    case Expr::Kind::And: {
-      SimVal L = evalExpr(E.Ops[0], Regs);
-      SimVal R = evalExpr(E.Ops[1], Regs);
-      Value Out;
-      if (E.K == Expr::Kind::Add)
-        Out = L.V.add(R.V);
-      else if (E.K == Expr::Kind::Sub)
-        Out = L.V.sub(R.V);
-      else if (E.K == Expr::Kind::Xor)
-        Out = L.V.bitXor(R.V);
-      else
-        Out = L.V.bitAnd(R.V);
-      // Address arithmetic that adds zero preserves the symbol (ADD
-      // Xd, Xn, #:lo12:sym patterns resolve earlier, but be permissive).
-      if (E.K == Expr::Kind::Add && L.K == SimVal::Kind::Addr &&
-          R.V.isZero())
-        return L;
-      return SimVal{SimVal::Kind::Int, Out, ""};
-    }
-    }
-    return SimVal{};
-  }
-
   /// The value-resolution width rule: values stored to / loaded from a
-  /// location truncate to its declared type. Shared verbatim by the
-  /// fixpoint sweep and the abstract machinery so both see identical
-  /// values.
+  /// location truncate to its declared type. Shared verbatim (via
+  /// truncAtLoc) by the fixpoint sweep and the abstract machinery so
+  /// both see identical values.
   SimVal truncAt(const std::string &Loc, SimVal V) const {
-    if (const SimLoc *L = Prog.findLocation(Loc))
-      if (V.K == SimVal::Kind::Int)
-        V.V = V.V.truncated(L->Type);
-    return V;
+    return truncAtLoc(Prog, Loc, std::move(V));
   }
 
   static std::string staticLocOf(const SimOp &Op) {
     return SimAddr::locName(Op.Addr.Sym, Op.Addr.Off);
   }
 
-  /// Abstract evaluation of \p E: a constant when every register it
-  /// reads is known, the read's value for a plain register copy of a
-  /// load result, Top otherwise.
-  AbsVal absEval(const Expr &E,
-                 const std::map<std::string, AbsVal> &Regs) const {
-    if (E.K == Expr::Kind::Imm)
-      return AbsVal::known(SimVal{SimVal::Kind::Int, E.Imm, ""});
-    if (E.K == Expr::Kind::Reg) {
-      auto It = Regs.find(E.RegName);
-      if (It == Regs.end())
-        return AbsVal::known(SimVal{}); // registers zero-initialise
-      return It->second;
-    }
-    std::vector<std::string> Used;
-    E.collectRegs(Used);
-    std::map<std::string, SimVal> Concrete;
-    for (const std::string &U : Used) {
-      auto It = Regs.find(U);
-      if (It != Regs.end()) {
-        if (It->second.K != AbsVal::Kind::Known)
-          return AbsVal();
-        Concrete[U] = It->second.V;
-      }
-    }
-    return AbsVal::known(evalExpr(E, Concrete));
-  }
-
-  /// Runs each chosen path once over the abstract domain, recording per
-  /// write event what it stores (EvAbs) and which path constraints are
-  /// checkable without the fixpoint (PruneChecks / ComboInfeasible).
-  /// Mirrors the concrete sweep()'s value semantics exactly; anything it
-  /// cannot mirror becomes Top and is never pruned on.
+  /// Runs the abstract value pass (sim/AbsDomain.h) over the prepared
+  /// combo, recording per write event what it stores (EvAbs) and which
+  /// path constraints are checkable without the fixpoint (PruneChecks /
+  /// ComboInfeasible). The pass itself lives in AbsInterpreter; this
+  /// wrapper flattens the per-combo skeleton into its input form.
   void computeAbstract() {
-    EvAbs.assign(Events.size(), AbsVal());
-    PruneChecks.clear();
-    ComboInfeasible = false;
+    // Flattening scratch lives on the worker: prepareCombo runs once
+    // per path combo, so reuse capacity instead of reallocating.
+    InitWrites.clear();
     for (unsigned I = 0; I != Events.size(); ++I)
-      if (Events[I].IsInit) {
-        const SimLoc *L = Prog.findLocation(Events[I].InitLoc);
-        SimVal V;
-        if (!L->InitAddrOf.empty())
-          V = SimVal{SimVal::Kind::Addr, LocAddr.at(L->InitAddrOf),
-                     L->InitAddrOf};
-        else
-          V = SimVal{SimVal::Kind::Int, L->Init, ""};
-        EvAbs[I] = AbsVal::known(std::move(V));
-      }
+      if (Events[I].IsInit)
+        InitWrites.emplace_back(I, Events[I].InitLoc);
+    ThreadOps.resize(Paths.size());
     for (unsigned T = 0; T != Paths.size(); ++T) {
-      std::map<std::string, AbsVal> Regs;
       auto EvIt = OpEvents[T].begin();
       const auto EvEnd = OpEvents[T].end();
+      ThreadOps[T].clear();
+      ThreadOps[T].reserve(Paths[T]->Ops.size());
       for (unsigned I = 0; I != Paths[T]->Ops.size(); ++I) {
-        const SimOp &Op = Paths[T]->Ops[I];
-        unsigned Ev0 = ~0u, Ev1 = ~0u;
+        AbsThreadOp TO;
+        TO.Op = &Paths[T]->Ops[I];
         while (EvIt != EvEnd && EvIt->first == I) {
-          (Ev0 == ~0u ? Ev0 : Ev1) = EvIt->second;
+          (TO.Ev0 == ~0u ? TO.Ev0 : TO.Ev1) = EvIt->second;
           ++EvIt;
         }
-        switch (Op.K) {
-        case SimOp::Kind::Assign:
-          Regs[Op.Dst] = absEval(Op.Val, Regs);
-          break;
-        case SimOp::Kind::AddrOf:
-          Regs[Op.Dst] = AbsVal::known(
-              SimVal{SimVal::Kind::Addr, LocAddr.at(Op.Sym), Op.Sym});
-          break;
-        case SimOp::Kind::Constraint:
-          captureConstraint(Op, Regs);
-          break;
-        case SimOp::Kind::Fence:
-          break;
-        case SimOp::Kind::Load:
-          if (Op.Is128) {
-            // The halves are bit-slices of the read value; not a plain
-            // copy, so not tracked.
-            if (!Op.Dst.empty())
-              Regs[Op.Dst] = AbsVal();
-            if (!Op.Dst2.empty())
-              Regs[Op.Dst2] = AbsVal();
-          } else if (!Op.Dst.empty()) {
-            Regs[Op.Dst] = AbsVal::read(Ev0);
-          }
-          break;
-        case SimOp::Kind::Store: {
-          AbsVal V;
-          if (Op.Is128) {
-            AbsVal Lo = absEval(Op.Val, Regs);
-            AbsVal Hi = absEval(Op.ValHi, Regs);
-            if (Lo.K == AbsVal::Kind::Known && Hi.K == AbsVal::Kind::Known)
-              V = AbsVal::known(SimVal{SimVal::Kind::Int,
-                                       Value(Lo.V.V.Lo, Hi.V.V.Lo), ""});
-          } else {
-            V = absEval(Op.Val, Regs);
-          }
-          // A dynamic destination hides the width rule; give up on the
-          // value. Known values pre-truncate at the store site (the
-          // sweep truncates on Update); Read values truncate when the
-          // chain is resolved.
-          if (!Op.Addr.isStatic())
-            V = AbsVal();
-          else if (V.K == AbsVal::Kind::Known)
-            V.V = truncAt(staticLocOf(Op), std::move(V.V));
-          EvAbs[Ev0] = std::move(V);
-          if (!Op.Dst.empty())
-            Regs[Op.Dst] = AbsVal::known(SimVal{
-                SimVal::Kind::Int, Value(Op.StatusSuccess), ""});
-          break;
-        }
-        case SimOp::Kind::Rmw: {
-          unsigned ReadEv = Ev0, WriteEv = Ev1;
-          AbsVal New; // Top unless an exchange of a known value.
-          if (Op.RmwOp == SimOp::RmwOpKind::Xchg) {
-            AbsVal Operand = absEval(Op.Val, Regs);
-            if (Operand.K == AbsVal::Kind::Known && Op.Addr.isStatic()) {
-              // The sweep coerces the stored value to Kind::Int.
-              SimVal V{SimVal::Kind::Int, Operand.V.V, ""};
-              New = AbsVal::known(truncAt(staticLocOf(Op), std::move(V)));
-            }
-          }
-          EvAbs[WriteEv] = std::move(New);
-          if (!Op.Dst.empty() && !Op.NoRet)
-            Regs[Op.Dst] = AbsVal::read(ReadEv);
-          break;
-        }
-        }
+        ThreadOps[T].push_back(TO);
       }
     }
-  }
-
-  /// Records \p Op as a prune check when all its inputs are tracked; a
-  /// constraint over known constants only is decided immediately and can
-  /// condemn the whole combo.
-  void captureConstraint(const SimOp &Op,
-                         const std::map<std::string, AbsVal> &Regs) {
-    std::vector<std::string> Used;
-    Op.Val.collectRegs(Used);
-    std::sort(Used.begin(), Used.end());
-    Used.erase(std::unique(Used.begin(), Used.end()), Used.end());
-    PruneCheck PC;
-    PC.E = &Op.Val;
-    PC.ExpectNonZero = Op.ConstraintNonZero;
-    bool AllKnown = true;
-    for (const std::string &U : Used) {
-      auto It = Regs.find(U);
-      AbsVal A = It == Regs.end() ? AbsVal::known(SimVal{}) : It->second;
-      if (A.K == AbsVal::Kind::Top)
-        return; // Untracked input: the fixpoint must decide.
-      if (A.K != AbsVal::Kind::Known)
-        AllKnown = false;
-      PC.Regs.emplace_back(U, std::move(A));
-    }
-    if (AllKnown) {
-      std::map<std::string, SimVal> Concrete;
-      for (const auto &[Reg, A] : PC.Regs)
-        Concrete[Reg] = A.V;
-      SimVal C = evalExpr(*PC.E, Concrete);
-      bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
-      if (NonZero != PC.ExpectNonZero)
-        ComboInfeasible = true;
-      return; // Holds for every candidate: nothing to check later.
-    }
-    PruneChecks.push_back(std::move(PC));
+    AbsInterpreter Interp(Prog, LocAddr);
+    Interp.run(unsigned(Events.size()), InitWrites, ThreadOps,
+               Opts.RfTransformDomain);
+    EvAbs = Interp.takeEvAbs();
+    PruneChecks = Interp.takeChecks();
+    ComboInfeasible = Interp.infeasible();
+    ComboInfeasibleBaseline = Interp.infeasibleForBaseline();
   }
 
   /// Drops candidate writes that can never satisfy a single-read
   /// constraint: if a check's only symbolic input is read R and write W
   /// stores a known value violating it, no execution pairs R with W.
-  /// Each dropped pair divides the rf index space.
-  void filterRfCandidates() {
+  /// Each dropped pair divides the rf index space. With
+  /// \p BaselineCountOnly the candidate lists are left intact and only
+  /// the prunes the copy-chain baseline would have made are counted
+  /// (used when the transform domain collapses a combo the baseline
+  /// cannot, so the copy attribution still matches the baseline's own
+  /// filtering of that combo).
+  void filterRfCandidates(bool BaselineCountOnly) {
     for (unsigned RI = 0; RI != Reads.size(); ++RI) {
       unsigned ReadEv = Reads[RI];
       const EvInfo &R = Events[ReadEv];
@@ -804,30 +610,52 @@ private:
           continue;
         }
         SimVal RV = truncAt(RLoc, EvAbs[W].V);
-        bool Violated = false;
+        // Evaluate every relevant check (not just until the first hit)
+        // so the prune can be attributed: a violation is what the
+        // copy-chain-only domain (RfTransformDomain off) would also
+        // have caught only when its check binds this read through the
+        // identity transform, every other input is a constant the
+        // baseline also knows (not algebraically Folded), and the
+        // candidate write's own value is baseline-known too; anything
+        // else is the symbolic domain's own win.
+        bool Violated = false, ViolatedByCopy = false;
         for (const PruneCheck *PC : Relevant) {
           std::map<std::string, SimVal> Regs;
-          for (const auto &[Reg, A] : PC->Regs)
-            Regs[Reg] = A.K == AbsVal::Kind::Known ? A.V : RV;
-          SimVal C = evalExpr(*PC->E, Regs);
+          bool CopyOnly = !EvAbs[W].Folded;
+          for (const auto &[Reg, A] : PC->Regs) {
+            if (A.K == AbsVal::Kind::Known) {
+              if (A.Folded)
+                CopyOnly = false;
+              Regs[Reg] = A.V;
+              continue;
+            }
+            if (!A.isIdentityCopy())
+              CopyOnly = false;
+            Regs[Reg] = A.apply(RV);
+          }
+          if (BaselineCountOnly && !CopyOnly)
+            continue; // The baseline never captured this check.
+          SimVal C = evalSimExpr(*PC->E, Regs);
           bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
           if (NonZero != PC->ExpectNonZero) {
             Violated = true;
-            break;
+            ViolatedByCopy |= CopyOnly;
           }
         }
         if (Violated)
-          ++ComboRfSourcesPruned;
+          ++(ViolatedByCopy ? ComboRfSourcesPrunedCopy
+                            : ComboRfSourcesPrunedXform);
         else
           Kept.push_back(W);
       }
-      RfCand[RI] = std::move(Kept);
+      if (!BaselineCountOnly)
+        RfCand[RI] = std::move(Kept);
     }
   }
 
   /// The value read event \p ReadEv observes under the current RfChoice,
-  /// following rf through copy writes; nullopt when it reaches untracked
-  /// territory (Top, dynamic locations, rf copy cycles).
+  /// following rf through copy and transform writes; nullopt when it
+  /// reaches untracked territory (Top, dynamic locations, rf cycles).
   std::optional<SimVal> resolveReadAbs(unsigned ReadEv,
                                        unsigned Depth) const {
     if (Depth > Reads.size())
@@ -852,9 +680,10 @@ private:
     std::optional<SimVal> V = resolveReadAbs(A.ReadEv, Depth + 1);
     if (!V)
       return std::nullopt;
-    // Copy writes were left untruncated; apply the store-site rule now
-    // (Read abstractions only survive for static destinations).
-    return truncAt(staticLocOf(*Events[W].Op), std::move(*V));
+    // The transform bakes in the store-site width rule (Xform
+    // abstractions only survive for static destinations), so applying
+    // it yields exactly the value the sweep would write.
+    return A.apply(*V);
   }
 
   /// O(events) rejection of the current rf assignment: true when some
@@ -876,11 +705,11 @@ private:
           Resolvable = false;
           break;
         }
-        Regs[Reg] = std::move(*V);
+        Regs[Reg] = A.apply(*V);
       }
       if (!Resolvable)
         continue;
-      SimVal C = evalExpr(*PC.E, Regs);
+      SimVal C = evalSimExpr(*PC.E, Regs);
       bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
       if (NonZero != PC.ExpectNonZero)
         return true;
@@ -951,7 +780,7 @@ private:
                 T2.insert(Src);
             Taint[Op.Dst] = std::move(T2);
           }
-          Regs[Op.Dst] = evalExpr(Op.Val, Regs);
+          Regs[Op.Dst] = evalSimExpr(Op.Val, Regs);
           break;
         }
         case SimOp::Kind::AddrOf: {
@@ -963,7 +792,7 @@ private:
         }
         case SimOp::Kind::Constraint: {
           if (Verify) {
-            SimVal C = evalExpr(Op.Val, Regs);
+            SimVal C = evalSimExpr(Op.Val, Regs);
             bool NonZero = !C.V.isZero() || C.K == SimVal::Kind::Addr;
             if (NonZero != Op.ConstraintNonZero)
               *Verify = false;
@@ -1016,9 +845,9 @@ private:
         case SimOp::Kind::Store: {
           unsigned WriteEv = Ev0;
           std::string Loc = ResolveAddr(WriteEv);
-          SimVal V = evalExpr(Op.Val, Regs);
+          SimVal V = evalSimExpr(Op.Val, Regs);
           if (Op.Is128) {
-            SimVal Hi = evalExpr(Op.ValHi, Regs);
+            SimVal Hi = evalSimExpr(Op.ValHi, Regs);
             V = SimVal{SimVal::Kind::Int, Value(V.V.Lo, Hi.V.Lo), ""};
           }
           if (!Loc.empty())
@@ -1053,7 +882,7 @@ private:
           SimVal Old = State[RfW].Val;
           if (!Loc.empty())
             Old = ReadWidthTruncate(Loc, Old);
-          SimVal Operand = evalExpr(Op.Val, Regs);
+          SimVal Operand = evalSimExpr(Op.Val, Regs);
           SimVal New;
           New.K = SimVal::Kind::Int;
           switch (Op.RmwOp) {
@@ -1384,11 +1213,15 @@ private:
   bool AllStaticCombo = false;
   Execution SkelEx; ///< Candidate-invariant part of the execution.
   std::map<std::string, unsigned> InitEvByLoc;
-  // Constraint-propagation state (see computeAbstract).
+  // Constraint-propagation state (see computeAbstract / AbsDomain.h).
+  std::vector<std::pair<unsigned, std::string>> InitWrites;
+  std::vector<std::vector<AbsThreadOp>> ThreadOps;
   std::vector<AbsVal> EvAbs;
   std::vector<PruneCheck> PruneChecks;
   bool ComboInfeasible = false;
-  uint64_t ComboRfSourcesPruned = 0;
+  bool ComboInfeasibleBaseline = false;
+  uint64_t ComboRfSourcesPrunedCopy = 0;
+  uint64_t ComboRfSourcesPrunedXform = 0;
 
   // Per rf-candidate state.
   std::vector<EvState> State;
@@ -1417,6 +1250,8 @@ SimResult mergeResults(std::vector<std::unique_ptr<ShardWorker>> &Workers,
     R.Stats.CoCandidates += WRes.Stats.CoCandidates;
     R.Stats.AllowedExecutions += WRes.Stats.AllowedExecutions;
     R.Stats.RfSourcesPruned += WRes.Stats.RfSourcesPruned;
+    R.Stats.RfSourcesPrunedCopy += WRes.Stats.RfSourcesPrunedCopy;
+    R.Stats.RfSourcesPrunedXform += WRes.Stats.RfSourcesPrunedXform;
     R.Stats.RfPruned += WRes.Stats.RfPruned;
     R.Stats.CatEvalsAvoided += W->catEvalsAvoided();
     if (!WRes.Error.empty() && WRes.ErrorShard < ErrorShard) {

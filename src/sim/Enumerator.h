@@ -72,6 +72,16 @@ struct SimOptions {
   /// with pruning on: a budget-bounded run can complete under pruning
   /// where it would have timed out without.
   bool RfValuePruning = true;
+  /// Sub-switch of RfValuePruning: track values through arithmetic with
+  /// the single-source symbolic-transform domain (sim/AbsDomain.h).
+  /// When false the abstract pass degrades to the copy-chain-only
+  /// domain (constants and plain copies of one read's value; anything
+  /// arithmetic becomes Top) -- the pre-transform baseline. Outcomes
+  /// are bit-identical either way; the switch exists to measure the
+  /// extra pruning and to pin the differential in tests
+  /// (RfSourcesPrunedCopy with the domain on equals RfSourcesPruned
+  /// with it off).
+  bool RfTransformDomain = true;
   /// Evaluate the Cat model incrementally: cache the model's stable
   /// (po-only-derived) layer per path combo and re-evaluate only the
   /// rf/co-dependent layer per candidate. Verdicts are bit-identical to
@@ -93,8 +103,16 @@ struct SimStats {
   /// (read, candidate write) pairs removed from rf candidate lists by
   /// constraint propagation, summed over path combos. Each removed pair
   /// divides the enumerated space, so small numbers here can mean large
-  /// space reductions.
+  /// space reductions. Always RfSourcesPrunedCopy + RfSourcesPrunedXform.
   uint64_t RfSourcesPruned = 0;
+  /// ... of which pairs a copy-chain-only domain already catches: some
+  /// violated constraint binds the read through the identity transform
+  /// (a plain copy of the loaded value).
+  uint64_t RfSourcesPrunedCopy = 0;
+  /// ... of which pairs only the symbolic-transform domain catches:
+  /// every violated constraint sees the read through arithmetic
+  /// (r^1, r+1, width truncations, 128-bit half slices, RMW combines).
+  uint64_t RfSourcesPrunedXform = 0;
   /// Enumerated rf assignments rejected by the O(events) constraint
   /// check before the value-resolution fixpoint (each of these skipped
   /// one fixpoint).

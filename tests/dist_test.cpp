@@ -210,6 +210,7 @@ TEST(SerializeTest, CampaignConfigRoundTrips) {
   Config.Opts.AugmentLocals = false;
   Config.Opts.Sim.MaxSteps = 123456;
   Config.Opts.Sim.RfValuePruning = false;
+  Config.Opts.Sim.RfTransformDomain = false;
   Config.SimulateOnly = true;
   WireBuffer B;
   encodeCampaignConfig(B, Config);
@@ -221,6 +222,7 @@ TEST(SerializeTest, CampaignConfigRoundTrips) {
   EXPECT_FALSE(Out.Opts.AugmentLocals);
   EXPECT_EQ(Out.Opts.Sim.MaxSteps, 123456u);
   EXPECT_FALSE(Out.Opts.Sim.RfValuePruning);
+  EXPECT_FALSE(Out.Opts.Sim.RfTransformDomain);
   EXPECT_TRUE(Out.SimulateOnly);
 }
 
@@ -239,6 +241,12 @@ TEST(SerializeTest, TelechatResultRoundTripsTheCampaignSlice) {
   EXPECT_EQ(Out.SourceSim.Allowed, R.SourceSim.Allowed);
   EXPECT_EQ(Out.SourceSim.Flags, R.SourceSim.Flags);
   EXPECT_EQ(Out.SourceSim.Stats.RfCandidates, R.SourceSim.Stats.RfCandidates);
+  EXPECT_EQ(Out.SourceSim.Stats.RfSourcesPruned,
+            R.SourceSim.Stats.RfSourcesPruned);
+  EXPECT_EQ(Out.SourceSim.Stats.RfSourcesPrunedCopy,
+            R.SourceSim.Stats.RfSourcesPrunedCopy);
+  EXPECT_EQ(Out.SourceSim.Stats.RfSourcesPrunedXform,
+            R.SourceSim.Stats.RfSourcesPrunedXform);
   EXPECT_EQ(Out.SourceSim.Stats.Seconds, R.SourceSim.Stats.Seconds);
   EXPECT_EQ(Out.TargetSim.Allowed, R.TargetSim.Allowed);
   EXPECT_EQ(Out.Compare.K, R.Compare.K);

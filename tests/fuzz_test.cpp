@@ -16,6 +16,7 @@
 #include "core/Fuzz.h"
 #include "core/Telechat.h"
 #include "diy/Classics.h"
+#include "diy/Generator.h"
 #include "litmus/Printer.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
@@ -119,6 +120,74 @@ TEST_P(MetamorphicTest, PipelineVerdictAgrees) {
   EXPECT_EQ(A.isBug(), B.isBug())
       << C.Classic << " seed " << C.Seed << "\n"
       << printLitmusC(Mutant);
+}
+
+TEST(FuzzTest, GenerativeDifferentialBattery) {
+  // 200 seeds of diy generation at a cycle-length cap that favours
+  // arithmetic-carrying Data/Ctrl edges (Data stores `v + (r^r)`, so
+  // under the symbolic-transform domain the stored value stays tracked
+  // where the copy-chain-only domain sees Top). For every generated
+  // test the outcome set must be byte-identical with RfValuePruning on
+  // vs off, with the transform domain degraded to copy-chains, and at
+  // -j1 vs -j4 -- and the transform domain must prune strictly more
+  // than the copy-chain baseline on at least one seed.
+  unsigned Compared = 0, XformWins = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    RandomGenOptions G;
+    G.Seed = Seed;
+    G.Count = 1;
+    G.MaxEdges = 8;
+    std::vector<LitmusTest> Tests = generateRandomTests(G);
+    if (Tests.empty())
+      continue; // attempt budget exhausted: nothing to compare
+    const LitmusTest &T = Tests.front();
+
+    SimOptions On;
+    SimOptions CopyOnly;
+    CopyOnly.RfTransformDomain = false;
+    SimOptions Off;
+    Off.RfValuePruning = false;
+    SimOptions Par;
+    Par.Jobs = 4;
+
+    SimResult ROn = simulateC(T, "rc11", On);
+    SimResult RCopy = simulateC(T, "rc11", CopyOnly);
+    SimResult ROff = simulateC(T, "rc11", Off);
+    SimResult RPar = simulateC(T, "rc11", Par);
+    ASSERT_TRUE(ROn.ok()) << "seed " << Seed << ": " << ROn.Error;
+    ASSERT_FALSE(ROff.TimedOut) << "seed " << Seed;
+    ++Compared;
+
+    std::string What = "seed " + std::to_string(Seed) + "\n" +
+                       printLitmusC(T);
+    // Byte-equality of the rendered outcome sets, not just set
+    // equality: the string is what campaign JSONs and journals carry.
+    std::string Expect = outcomeSetToString(ROff.Allowed);
+    EXPECT_EQ(outcomeSetToString(ROn.Allowed), Expect) << What;
+    EXPECT_EQ(outcomeSetToString(RCopy.Allowed), Expect) << What;
+    EXPECT_EQ(outcomeSetToString(RPar.Allowed), Expect) << What;
+    EXPECT_EQ(ROn.Flags, ROff.Flags) << What;
+    // -j4 must also agree on every deterministic counter.
+    EXPECT_EQ(ROn.Stats.RfCandidates, RPar.Stats.RfCandidates) << What;
+    EXPECT_EQ(ROn.Stats.RfSourcesPruned, RPar.Stats.RfSourcesPruned)
+        << What;
+    EXPECT_EQ(ROn.Stats.RfPruned, RPar.Stats.RfPruned) << What;
+    // The copy attribution reproduces the copy-chain-only baseline; the
+    // transform domain never prunes less.
+    EXPECT_EQ(ROn.Stats.RfSourcesPrunedCopy,
+              RCopy.Stats.RfSourcesPruned)
+        << What;
+    EXPECT_GE(ROn.Stats.RfSourcesPruned, RCopy.Stats.RfSourcesPruned)
+        << What;
+    if (ROn.Stats.RfSourcesPruned > RCopy.Stats.RfSourcesPruned)
+      ++XformWins;
+  }
+  // The generator's attempt budget drops some seeds, but the battery
+  // must remain a battery -- and the transform domain must have beaten
+  // the copy-chain baseline somewhere in it.
+  EXPECT_GT(Compared, 100u);
+  EXPECT_GT(XformWins, 0u) << "transform domain never out-pruned the "
+                              "copy-chain baseline across the battery";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -42,6 +42,11 @@ void expectIdentical(const SimResult &Seq, const SimResult &Par,
   EXPECT_EQ(Seq.Stats.AllowedExecutions, Par.Stats.AllowedExecutions) << What;
   // The optimisation counters are part of the determinism contract too.
   EXPECT_EQ(Seq.Stats.RfSourcesPruned, Par.Stats.RfSourcesPruned) << What;
+  EXPECT_EQ(Seq.Stats.RfSourcesPrunedCopy, Par.Stats.RfSourcesPrunedCopy)
+      << What;
+  EXPECT_EQ(Seq.Stats.RfSourcesPrunedXform,
+            Par.Stats.RfSourcesPrunedXform)
+      << What;
   EXPECT_EQ(Seq.Stats.RfPruned, Par.Stats.RfPruned) << What;
   EXPECT_EQ(Seq.Stats.CatEvalsAvoided, Par.Stats.CatEvalsAvoided) << What;
 }
@@ -301,6 +306,74 @@ TEST(PruningCachingTest, BranchyActuallyPrunes) {
   EXPECT_GT(On.Stats.CatEvalsAvoided, 0u);
   EXPECT_EQ(Ref.Stats.RfSourcesPruned, 0u);
   EXPECT_EQ(Ref.Stats.RfPruned, 0u);
+}
+
+/// Arithmetic-heavy companion to Branchy: every branch condition flows
+/// through a register *assigned* from arithmetic over a load (r^1,
+/// r&1, r-2), and one store forwards r+1 into another thread's branch.
+/// The copy-chain-only domain (RfTransformDomain off) sees Top at each
+/// of those constraint sites; all extra pruning is the transform
+/// domain's.
+const char *ArithBranchy = R"(C arithbranchy
+{ *x = 0; *y = 0; *z = 0; }
+void P0(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  int r2 = r0 ^ 1;
+  if (r2) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(y, 2, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(z, memory_order_relaxed);
+  int r3 = r1 & 1;
+  if (r3) { atomic_store_explicit(y, 3, memory_order_relaxed); }
+}
+void P1(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(z, r0 + 1, memory_order_relaxed);
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+  int r4 = r1 - 2;
+  if (r4) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+}
+exists (P0:r0=1 /\ P1:r1=2)
+)";
+
+TEST(PruningCachingTest, ArithTransformIdenticalAcrossModesAndJobs) {
+  auto T = parseLitmusC(ArithBranchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimOptions Off;
+  Off.RfValuePruning = false;
+  SimResult Ref = simulateC(*T, "rc11", Off);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  for (unsigned J : {1u, 4u}) {
+    for (int Mode : {0, 1, 2}) { // off / copy-only / full transform
+      SimOptions O;
+      O.Jobs = J;
+      O.RfValuePruning = Mode != 0;
+      O.RfTransformDomain = Mode == 2;
+      SimResult R = simulateC(*T, "rc11", O);
+      expectSameOutcomes(Ref, R,
+                         "arithbranchy -j " + std::to_string(J) +
+                             " mode " + std::to_string(Mode));
+    }
+  }
+}
+
+TEST(PruningCachingTest, ArithTransformActuallyPrunes) {
+  auto T = parseLitmusC(ArithBranchy);
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimResult On = simulateC(*T, "rc11");
+  SimOptions CopyOnly;
+  CopyOnly.RfTransformDomain = false;
+  SimResult Copy = simulateC(*T, "rc11", CopyOnly);
+  ASSERT_TRUE(On.ok()) << On.Error;
+  // The transform domain must prune strictly beyond the copy-chain
+  // baseline, and the copy attribution must reproduce that baseline.
+  EXPECT_GT(On.Stats.RfSourcesPrunedXform, 0u);
+  EXPECT_GT(On.Stats.RfSourcesPruned, Copy.Stats.RfSourcesPruned);
+  EXPECT_EQ(On.Stats.RfSourcesPrunedCopy, Copy.Stats.RfSourcesPruned);
+  EXPECT_EQ(Copy.Stats.RfSourcesPrunedXform, 0u);
+  EXPECT_LT(On.Stats.RfCandidates, Copy.Stats.RfCandidates);
+  // The split always accounts for every pruned pair.
+  EXPECT_EQ(On.Stats.RfSourcesPruned,
+            On.Stats.RfSourcesPrunedCopy + On.Stats.RfSourcesPrunedXform);
 }
 
 TEST(PruningCachingTest, CollectedExecutionsIdenticalOnVsOff) {

@@ -263,3 +263,361 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
     EXPECT_EQ(A.Allowed, B.Allowed) << Name;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Abstract-domain regressions (sim/AbsDomain.h): sweep-parity holes the
+// symbolic-transform pruning must not reopen. Each test pins the rule
+// by comparing outcome sets with pruning on, copy-chain-only, and off.
+
+namespace {
+
+/// Outcome sets under all three pruning modes must agree; returns the
+/// pruning-on result for further assertions.
+SimResult expectPruningParity(const SimProgram &P, const std::string &Model,
+                              const std::string &What) {
+  SimResult On = simulateProgram(P, Model);
+  SimOptions CopyOnly;
+  CopyOnly.RfTransformDomain = false;
+  SimResult Copy = simulateProgram(P, Model, CopyOnly);
+  SimOptions NoPrune;
+  NoPrune.RfValuePruning = false;
+  SimResult Off = simulateProgram(P, Model, NoPrune);
+  EXPECT_TRUE(On.ok()) << What << ": " << On.Error;
+  EXPECT_EQ(On.Allowed, Off.Allowed) << What << " (on vs off)";
+  EXPECT_EQ(Copy.Allowed, Off.Allowed) << What << " (copy-only vs off)";
+  EXPECT_EQ(On.Flags, Off.Flags) << What;
+  EXPECT_EQ(On.Stats.ValueConsistent, Off.Stats.ValueConsistent) << What;
+  EXPECT_EQ(On.Stats.AllowedExecutions, Off.Stats.AllowedExecutions)
+      << What;
+  // The copy attribution must reproduce the copy-chain-only baseline
+  // exactly, and the split must account for every pruned pair.
+  EXPECT_EQ(On.Stats.RfSourcesPrunedCopy, Copy.Stats.RfSourcesPruned)
+      << What;
+  EXPECT_EQ(On.Stats.RfSourcesPruned,
+            On.Stats.RfSourcesPrunedCopy + On.Stats.RfSourcesPrunedXform)
+      << What;
+  return On;
+}
+
+} // namespace
+
+TEST(AbsDomainRegressionTest, UninitialisedRegisterInArithmetic) {
+  // Branches on a register that is never assigned, mixed into
+  // arithmetic with a loaded value (the C validator refuses undefined
+  // registers, but assembly lowering produces them, so build the
+  // SimProgram directly). The concrete sweep zero-initialises
+  // unassigned registers (herd's rule); the abstract pass must apply
+  // the *same* default on its Reg fast path, inside compound
+  // expressions, and when capturing constraints -- a mismatch would
+  // prune assignments the fixpoint accepts (or break combo-infeasible
+  // collapsing).
+  SimProgram P;
+  P.Name = "uninit-arith";
+  SimLoc X;
+  X.Name = "x";
+  P.Locations.push_back(X);
+
+  SimThread T0;
+  T0.Name = "P0";
+  SimPath Stores;
+  for (uint64_t V : {uint64_t(1), uint64_t(2)}) {
+    SimOp St;
+    St.K = SimOp::Kind::Store;
+    St.Addr = SimAddr::staticSym("x");
+    St.Val = Expr::imm(Value(V));
+    Stores.Ops.push_back(St);
+  }
+  T0.Paths.push_back(Stores);
+
+  SimThread T1;
+  T1.Name = "P1";
+  T1.Observed.emplace_back("r0", "P1:r0");
+  SimOp Ld;
+  Ld.K = SimOp::Kind::Load;
+  Ld.Dst = "r0";
+  Ld.Addr = SimAddr::staticSym("x");
+  SimOp Asn; // r2 = r0 + runinit, with runinit never assigned
+  Asn.K = SimOp::Kind::Assign;
+  Asn.Dst = "r2";
+  Asn.Val = Expr::binary(Expr::Kind::Add, Expr::reg("r0"),
+                         Expr::reg("runinit"));
+  SimOp C; // (r2 - 1) != 0
+  C.K = SimOp::Kind::Constraint;
+  C.Val = Expr::binary(Expr::Kind::Sub, Expr::reg("r2"),
+                       Expr::imm(Value(1)));
+  C.ConstraintNonZero = true;
+  SimPath P1;
+  P1.Ops = {Ld, Asn, C};
+  T1.Paths.push_back(P1);
+
+  P.Threads = {T0, T1};
+  P.Final.Q = FinalCond::Quant::Exists;
+
+  SimResult On = expectPruningParity(P, "sc", "uninit-arith");
+  // runinit reads as zero, so the constraint is r0 != 1: exactly the
+  // value-1 candidate write is pruned from r0's rf list -- the capture
+  // must have happened despite the unassigned register.
+  EXPECT_GT(On.Stats.RfSourcesPruned, 0u);
+  for (const Outcome &O : On.Allowed)
+    EXPECT_NE(O.lookup("P1:r0"), Value(1));
+}
+
+TEST(AbsDomainRegressionTest, UninitialisedRegisterAloneInfeasible) {
+  // A path constrained on the bare unassigned register mixed into
+  // arithmetic yielding a constant: the abstract pass must fold it with
+  // the zero default (constant-only capture), collapse the combo as
+  // infeasible, and agree with the fixpoint's rejection.
+  SimProgram P;
+  P.Name = "uninit-bare";
+  SimLoc Y;
+  Y.Name = "y";
+  P.Locations.push_back(Y);
+  P.ObservedLocs.push_back("y");
+
+  SimThread T0;
+  T0.Name = "P0";
+  // Taken path: demands rghost + 1 == 0 (never true), stores y = 1.
+  {
+    SimOp C;
+    C.K = SimOp::Kind::Constraint;
+    C.Val = Expr::binary(Expr::Kind::Add, Expr::reg("rghost"),
+                         Expr::imm(Value(1)));
+    C.ConstraintNonZero = false;
+    SimOp St;
+    St.K = SimOp::Kind::Store;
+    St.Addr = SimAddr::staticSym("y");
+    St.Val = Expr::imm(Value(1));
+    SimPath Taken;
+    Taken.Ops = {C, St};
+    T0.Paths.push_back(Taken);
+  }
+  // Fallthrough path: demands rghost + 1 != 0 (always), stores y = 2.
+  {
+    SimOp C;
+    C.K = SimOp::Kind::Constraint;
+    C.Val = Expr::binary(Expr::Kind::Add, Expr::reg("rghost"),
+                         Expr::imm(Value(1)));
+    C.ConstraintNonZero = true;
+    SimOp St;
+    St.K = SimOp::Kind::Store;
+    St.Addr = SimAddr::staticSym("y");
+    St.Val = Expr::imm(Value(2));
+    SimPath Fall;
+    Fall.Ops = {C, St};
+    T0.Paths.push_back(Fall);
+  }
+  P.Threads.push_back(T0);
+  P.Final.Q = FinalCond::Quant::Exists;
+
+  SimResult On = expectPruningParity(P, "sc", "uninit-bare");
+  ASSERT_EQ(On.Allowed.size(), 1u);
+  EXPECT_EQ(On.Allowed.begin()->lookup("[y]"), Value(2));
+}
+
+namespace {
+
+/// A one-thread LL/SC program: exclusive load of x, exclusive store of
+/// 1 to x with status register "s0", then a path constraint on s0.
+/// \p StatusSuccess is the ISA's success value (0 on Arm/RISC-V, 1 on
+/// MIPS); \p ConstrainSuccess picks which status the path demands.
+SimProgram scStatusProgram(uint64_t StatusSuccess, bool ConstrainSuccess) {
+  SimProgram P;
+  P.Name = "sc-status";
+  SimLoc X;
+  X.Name = "x";
+  P.Locations.push_back(X);
+  P.ObservedLocs.push_back("x");
+
+  SimOp Ld;
+  Ld.K = SimOp::Kind::Load;
+  Ld.Dst = "r0";
+  Ld.Addr = SimAddr::staticSym("x");
+  Ld.Exclusive = true;
+
+  SimOp St;
+  St.K = SimOp::Kind::Store;
+  St.Dst = "s0"; // status register
+  St.Addr = SimAddr::staticSym("x");
+  St.Val = Expr::imm(Value(1));
+  St.Exclusive = true;
+  St.StatusSuccess = StatusSuccess;
+
+  SimOp C;
+  C.K = SimOp::Kind::Constraint;
+  C.Val = Expr::reg("s0");
+  // s0 nonzero <=> (StatusSuccess != 0) == success. The path demands
+  // success iff ConstrainSuccess.
+  C.ConstraintNonZero = ConstrainSuccess == (StatusSuccess != 0);
+
+  SimThread T0;
+  T0.Name = "P0";
+  T0.Observed.emplace_back("r0", "P0:r0");
+  SimPath Path;
+  Path.Ops = {Ld, St, C};
+  T0.Paths.push_back(Path);
+  P.Threads.push_back(T0);
+
+  Predicate True;
+  True.K = Predicate::Kind::True;
+  P.Final.P = True;
+  P.Final.Q = FinalCond::Quant::Exists;
+  return P;
+}
+
+} // namespace
+
+TEST(AbsDomainRegressionTest, StoreConditionalStatusConstrained) {
+  // The enumerator models store-conditionals herd-style: exclusive
+  // pairs always succeed, so the status register is the ISA's success
+  // value on every feasible path. The abstract pass hardcodes the same
+  // constant -- sound exactly because the concrete sweep (the oracle
+  // pruning must mirror) does too. Pin both directions, for both
+  // success-value conventions:
+  for (uint64_t Success : {uint64_t(0), uint64_t(1)}) {
+    // A path demanding success is feasible; identical outcomes in all
+    // three pruning modes.
+    SimProgram Ok = scStatusProgram(Success, /*ConstrainSuccess=*/true);
+    SimResult R = expectPruningParity(Ok, "sc", "sc-status-success");
+    EXPECT_EQ(R.Allowed.size(), 1u);
+
+    // A path demanding a *failed* store-conditional can never resolve:
+    // pruning must collapse it as infeasible, the fixpoint must reject
+    // it, and both must report the same (empty) outcome set.
+    SimProgram Fail = scStatusProgram(Success, /*ConstrainSuccess=*/false);
+    SimResult F = expectPruningParity(Fail, "sc", "sc-status-fail");
+    EXPECT_TRUE(F.Allowed.empty());
+  }
+}
+
+namespace {
+
+/// Two threads around a 128-bit location: P0 stores the pair (5, 7);
+/// P1 128-loads into half registers (rl, rh) and branches on arithmetic
+/// over one half. The halves are bit-slice transforms of one read: the
+/// transform domain prunes the init write, the copy-chain baseline
+/// cannot.
+SimProgram pairHalvesProgram() {
+  SimProgram P;
+  P.Name = "pair-halves";
+  SimLoc X;
+  X.Name = "x";
+  X.Type = IntType{128, false};
+  P.Locations.push_back(X);
+
+  SimOp St;
+  St.K = SimOp::Kind::Store;
+  St.Addr = SimAddr::staticSym("x");
+  St.Is128 = true;
+  St.Val = Expr::imm(Value(5));
+  St.ValHi = Expr::imm(Value(7));
+  SimThread T0;
+  T0.Name = "P0";
+  SimPath P0;
+  P0.Ops = {St};
+  T0.Paths.push_back(P0);
+
+  SimOp Ld;
+  Ld.K = SimOp::Kind::Load;
+  Ld.Dst = "rl";
+  Ld.Dst2 = "rh";
+  Ld.Addr = SimAddr::staticSym("x");
+  Ld.Is128 = true;
+  SimOp C;
+  C.K = SimOp::Kind::Constraint;
+  // (rh - 7) == 0: only the (5, 7) write satisfies this.
+  C.Val = Expr::binary(Expr::Kind::Sub, Expr::reg("rh"),
+                       Expr::imm(Value(7)));
+  C.ConstraintNonZero = false;
+  SimThread T1;
+  T1.Name = "P1";
+  T1.Observed.emplace_back("rl", "P1:rl");
+  T1.Observed.emplace_back("rh", "P1:rh");
+  SimPath P1;
+  P1.Ops = {Ld, C};
+  T1.Paths.push_back(P1);
+
+  P.Threads = {T0, T1};
+  Predicate True;
+  True.K = Predicate::Kind::True;
+  P.Final.P = True;
+  P.Final.Q = FinalCond::Quant::Exists;
+  return P;
+}
+
+} // namespace
+
+TEST(AbsDomainRegressionTest, PairLoadHalvesAreBitSliceTransforms) {
+  SimProgram P = pairHalvesProgram();
+  SimResult On = expectPruningParity(P, "sc", "pair-halves");
+  // Only the (5, 7) pair write resolves the constraint: one outcome.
+  ASSERT_EQ(On.Allowed.size(), 1u);
+  EXPECT_EQ(On.Allowed.begin()->lookup("P1:rl"), Value(5));
+  EXPECT_EQ(On.Allowed.begin()->lookup("P1:rh"), Value(7));
+  // The init write (0, 0) violates rh == 7 and must be pruned from the
+  // candidate list -- possible only because the halves are modelled as
+  // Lo64/Hi64 transforms of the read. The copy-chain baseline sees Top
+  // and prunes nothing (pinned inside expectPruningParity via
+  // RfSourcesPrunedCopy == baseline's total, here zero).
+  EXPECT_EQ(On.Stats.RfSourcesPrunedCopy, 0u);
+  EXPECT_GT(On.Stats.RfSourcesPrunedXform, 0u);
+}
+
+TEST(AbsDomainRegressionTest, PairLoadZeroRegisterFirstOperand) {
+  // `ldxp xzr, xN` lowers to a 128-bit load with Dst == "" -- and the
+  // concrete sweep then assigns NEITHER half register (both keep their
+  // previous values). The abstract pass must mirror that gate: tracking
+  // the second half as Hi64(read) anyway would prune candidates the
+  // fixpoint accepts. Here rh is never written, so a constraint rh == 0
+  // holds concretely for every rf choice; a mis-tracked Hi64 would
+  // wrongly drop the (5, 7) pair write.
+  SimProgram P = pairHalvesProgram();
+  SimOp &Ld = P.Threads[1].Paths[0].Ops[0];
+  ASSERT_EQ(Ld.K, SimOp::Kind::Load);
+  Ld.Dst = ""; // zero-register first operand
+  SimOp &C = P.Threads[1].Paths[0].Ops[1];
+  ASSERT_EQ(C.K, SimOp::Kind::Constraint);
+  C.Val = Expr::reg("rh");
+  C.ConstraintNonZero = false; // rh == 0: true, rh is never assigned
+  SimResult On = expectPruningParity(P, "sc", "pair-xzr");
+  // Nothing is prunable: the halves are untracked because they are
+  // unwritten, and every rf choice is value-consistent.
+  EXPECT_EQ(On.Stats.RfSourcesPruned, 0u);
+  EXPECT_GT(On.Stats.ValueConsistent, 1u);
+}
+
+TEST(AbsDomainRegressionTest, FoldInfeasibleComboKeepsCopyAttribution) {
+  // A path whose infeasibility only the transform domain can prove
+  // statically (r2 = r1 ^ r1 folds to 0, so `if (r2)` is a constant
+  // contradiction) while the same path also carries a copy-class check
+  // (`if (r0 - 1)`) the baseline prunes with. The transform domain
+  // collapses the combo, but must still replay the baseline's filtering
+  // for accounting so RfSourcesPrunedCopy == the baseline's
+  // RfSourcesPruned (asserted inside expectPruningParity).
+  auto T = parseLitmusC(R"(C foldinf
+{ *x = 0; *y = 0; *z = 0; }
+void P0(atomic_int* x, atomic_int* y, atomic_int* z) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_store_explicit(x, 2, memory_order_relaxed);
+}
+void P1(atomic_int* x, atomic_int* y, atomic_int* z) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0 - 1) { atomic_store_explicit(z, 1, memory_order_relaxed); }
+  else { atomic_store_explicit(z, 2, memory_order_relaxed); }
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+  int r2 = r1 ^ r1;
+  if (r2) { atomic_store_explicit(y, 1, memory_order_relaxed); }
+}
+exists (P1:r0=2)
+)");
+  ASSERT_TRUE(T.hasValue()) << T.error();
+  SimProgram P = lowerLitmusC(*T);
+  SimResult On = expectPruningParity(P, "rc11", "fold-infeasible");
+  // The r0 checks prune in both domains (copy class), and the fold
+  // collapses the taken-r2 combos only under the transform domain.
+  EXPECT_GT(On.Stats.RfSourcesPrunedCopy, 0u);
+  SimOptions CopyOnly;
+  CopyOnly.RfTransformDomain = false;
+  SimResult Copy = simulateProgram(P, "rc11", CopyOnly);
+  EXPECT_LT(On.Stats.RfCandidates, Copy.Stats.RfCandidates)
+      << "fold-condemned combos must collapse instead of enumerating";
+}

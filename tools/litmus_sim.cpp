@@ -43,7 +43,7 @@ static void usage() {
   fprintf(stderr,
           "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
           "[--max-steps <n>] [--dot] [--stats]\n"
-          "       [--no-prune] [--no-cat-cache]\n"
+          "       [--no-prune] [--no-transform] [--no-cat-cache]\n"
           "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
           "[--gen-count <n>] [--model <m>]\n"
           "                  [--campaign-json <f>] [--engine-json <f>] "
@@ -55,6 +55,8 @@ static void usage() {
           "  -j <n>          enumeration worker threads (0 = all hardware "
           "threads; default 1)\n"
           "  --no-prune      disable rf value-constraint pruning\n"
+          "  --no-transform  prune with the copy-chain-only abstract "
+          "domain (no arithmetic transforms)\n"
           "  --no-cat-cache  disable incremental Cat evaluation\n");
 }
 
@@ -70,7 +72,7 @@ int main(int argc, char **argv) {
   std::string Path = argv[1];
   std::string Model;
   bool Dot = false, Stats = false;
-  bool Prune = true, CatCache = true;
+  bool Prune = true, Transform = true, CatCache = true;
   unsigned Jobs = 1;
   uint64_t MaxSteps = 0;
   for (int I = 2; I < argc; ++I) {
@@ -92,6 +94,8 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (Arg == "--no-prune")
       Prune = false;
+    else if (Arg == "--no-transform")
+      Transform = false;
     else if (Arg == "--no-cat-cache")
       CatCache = false;
   }
@@ -135,6 +139,7 @@ int main(int argc, char **argv) {
   Opts.CollectExecutions = Dot;
   Opts.Jobs = Jobs;
   Opts.RfValuePruning = Prune;
+  Opts.RfTransformDomain = Transform;
   Opts.IncrementalCatEval = CatCache;
   if (MaxSteps)
     Opts.MaxSteps = MaxSteps;
@@ -155,8 +160,8 @@ int main(int argc, char **argv) {
     printf("TIMEOUT (budget exhausted)\n");
   if (Stats)
     printf("Time %s %.4f (paths=%llu rf=%llu consistent=%llu co=%llu "
-           "allowed=%llu rf-sources-pruned=%llu rf-pruned=%llu "
-           "cat-evals-avoided=%llu)\n",
+           "allowed=%llu rf-sources-pruned=%llu (copy=%llu xform=%llu) "
+           "rf-pruned=%llu cat-evals-avoided=%llu)\n",
            Program.Name.c_str(), R.Stats.Seconds,
            static_cast<unsigned long long>(R.Stats.PathCombos),
            static_cast<unsigned long long>(R.Stats.RfCandidates),
@@ -164,6 +169,8 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(R.Stats.CoCandidates),
            static_cast<unsigned long long>(R.Stats.AllowedExecutions),
            static_cast<unsigned long long>(R.Stats.RfSourcesPruned),
+           static_cast<unsigned long long>(R.Stats.RfSourcesPrunedCopy),
+           static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
            static_cast<unsigned long long>(R.Stats.RfPruned),
            static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
   if (Dot)

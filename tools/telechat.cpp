@@ -58,6 +58,10 @@ static void usage() {
           "  --no-augment       disable local-variable augmentation\n"
           "  --no-optimise      disable the s2l litmus optimiser\n"
           "  --const-model      use the const-violation-flagging model\n"
+          "  --no-prune         disable rf value-constraint pruning\n"
+          "  --no-transform     copy-chain-only pruning domain (no\n"
+          "                     arithmetic transforms)\n"
+          "  --no-cat-cache     disable incremental Cat evaluation\n"
           "  --show-asm         print raw and optimised assembly tests\n"
           "  --fuzz-seed <n>    apply semantics-preserving mutations\n"
           "  --max-steps <n>    simulation budget (default 2000000)\n"
@@ -125,6 +129,12 @@ int mainSingle(int argc, char **argv) {
       Options.OptimiseCompiled = false;
     } else if (Arg == "--const-model") {
       Options.ConstAugmentedModel = true;
+    } else if (Arg == "--no-prune") {
+      Options.Sim.RfValuePruning = false;
+    } else if (Arg == "--no-transform") {
+      Options.Sim.RfTransformDomain = false;
+    } else if (Arg == "--no-cat-cache") {
+      Options.Sim.IncrementalCatEval = false;
     } else if (Arg == "--show-asm") {
       ShowAsm = true;
     } else if (Arg == "--fuzz-seed") {
