@@ -20,6 +20,7 @@
 #include "diy/Classics.h"
 #include "events/Dot.h"
 #include "litmus/Parser.h"
+#include "sim/Backend.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
 
@@ -165,6 +166,87 @@ BENCHMARK(BM_ArithGatedEnumeration)
     ->Arg(2)
     ->Unit(benchmark::kMicrosecond);
 
+/// The sweep-vs-solve crossover workload: a two-path observer whose
+/// else-path hides \p Junk junk loads behind an `a - b == 0` constraint
+/// no pair of candidate writes satisfies. The dead path costs the sweep
+/// one budget step per swept rf index (~2^(Junk+2)); the solve backend
+/// refutes it from the compiled pair check without a single decision.
+LitmusTest crossoverTest(unsigned Junk) {
+  std::string Locs, P0Params, P1Params, Stores, Loads;
+  for (unsigned I = 0; I != Junk; ++I) {
+    std::string X = "x" + std::to_string(I);
+    Locs += "*" + X + " = 0; ";
+    P0Params += ", atomic_int* " + X;
+    P1Params += ", atomic_int* " + X;
+    Stores += "  atomic_store_explicit(" + X +
+              ", 1, memory_order_relaxed);\n";
+    Loads += "    int r" + std::to_string(I) + " = atomic_load_explicit(" +
+             X + ", memory_order_relaxed);\n";
+  }
+  std::string Src = "C xover" + std::to_string(Junk) + "\n{ *y = 0; *z = 1; *w = 0; " +
+                    Locs +
+                    "}\nvoid P0(atomic_int* y, atomic_int* z, atomic_int* w" +
+                    P0Params +
+                    ") {\n"
+                    "  atomic_store_explicit(y, 5, memory_order_relaxed);\n"
+                    "  atomic_store_explicit(z, 7, memory_order_relaxed);\n" +
+                    Stores +
+                    "}\nvoid P1(atomic_int* y, atomic_int* z, atomic_int* w" +
+                    P1Params +
+                    ") {\n"
+                    "  int a = atomic_load_explicit(y, memory_order_relaxed);\n"
+                    "  int b = atomic_load_explicit(z, memory_order_relaxed);\n"
+                    "  if (a - b) {\n"
+                    "    atomic_store_explicit(w, 1, memory_order_relaxed);\n"
+                    "  } else {\n" +
+                    Loads +
+                    "  }\n}\nexists (P1:a=5 /\\ P1:b=7)\n";
+  ErrorOr<LitmusTest> T = parseLitmusC(Src);
+  if (!T) {
+    fprintf(stderr, "fatal: crossover workload fails to parse: %s\n",
+            T.error().c_str());
+    exit(1);
+  }
+  return *T;
+}
+
+/// Sweep vs solve over a growing dead space. Args: (junk loads,
+/// backend 0=sweep 1=solve). The exported counters carry the solver's
+/// work split and whether the budget survived, so the bench JSON tracks
+/// where the crossover sits over time.
+void BM_BackendCrossover(benchmark::State &State) {
+  SimProgram P = lowerLitmusC(crossoverTest(unsigned(State.range(0))));
+  SimOptions Opts;
+  Opts.Backend = State.range(1) != 0 ? SimBackendKind::Solve
+                                     : SimBackendKind::Sweep;
+  Opts.MaxSteps = 1u << 18; // Crossed by the swept dead path at 16 junk.
+  SimStats Last;
+  bool TimedOut = false;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(P, "rc11", Opts);
+    Last = R.Stats;
+    TimedOut = R.TimedOut;
+    benchmark::DoNotOptimize(R.Allowed.size());
+  }
+  exportCounters(State, Last);
+  State.counters["est_rf_space"] = double(estimatedRfSpace(P));
+  State.counters["timed_out"] = TimedOut ? 1.0 : 0.0;
+  State.counters["solve_decisions"] = double(Last.SolveDecisions);
+  State.counters["solve_propagations"] = double(Last.SolvePropagations);
+  State.counters["solve_conflicts"] = double(Last.SolveConflicts);
+  State.counters["solve_clauses"] = double(Last.SolveClauses);
+}
+BENCHMARK(BM_BackendCrossover)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -209,6 +291,37 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(On.Stats.RfPruned),
            static_cast<unsigned long long>(On.Stats.CatEvalsAvoided));
     Identical = Identical && Same;
+  }
+
+  // The backend seam's contract, gated like the pruning one: identical
+  // outcomes where both engines finish, and the solve backend finishing
+  // a dead-constraint space whose sweep exhausts the step budget -- the
+  // crossover the backend exists for.
+  {
+    SimOptions SweepO, SolveO;
+    SweepO.Backend = SimBackendKind::Sweep;
+    SolveO.Backend = SimBackendKind::Solve;
+    SweepO.MaxSteps = SolveO.MaxSteps = 1u << 18;
+    LitmusTest Small = crossoverTest(8);
+    SimResult SwSmall = simulateC(Small, "rc11", SweepO);
+    SimResult SoSmall = simulateC(Small, "rc11", SolveO);
+    bool Same = SwSmall.Allowed == SoSmall.Allowed &&
+                SwSmall.Flags == SoSmall.Flags && !SwSmall.TimedOut &&
+                !SoSmall.TimedOut;
+    printf("xover8: sweep vs solve outcomes: %s\n",
+           Same ? "identical" : "DIFFERENT!");
+    LitmusTest Big = crossoverTest(20);
+    SimResult SwBig = simulateC(Big, "rc11", SweepO);
+    SimResult SoBig = simulateC(Big, "rc11", SolveO);
+    bool Crossover = SwBig.TimedOut && !SoBig.TimedOut;
+    printf("xover20 at %u steps: sweep %s, solve %s "
+           "(decisions=%llu conflicts=%llu clauses=%llu)\n",
+           1u << 18, SwBig.TimedOut ? "times out" : "finishes?!",
+           SoBig.TimedOut ? "TIMES OUT!" : "finishes",
+           static_cast<unsigned long long>(SoBig.Stats.SolveDecisions),
+           static_cast<unsigned long long>(SoBig.Stats.SolveConflicts),
+           static_cast<unsigned long long>(SoBig.Stats.SolveClauses));
+    Identical = Identical && Same && Crossover;
   }
 
   printf("\nTimed sections (google-benchmark):\n");

@@ -15,7 +15,7 @@
 #include "diy/Classics.h"
 #include "models/Registry.h"
 #include "sim/CFrontend.h"
-#include "sim/Enumerator.h"
+#include "sim/Backend.h"
 
 #include <cstdio>
 
@@ -46,8 +46,8 @@ int main() {
   for (const char *Name : {"SB", "MP", "LB", "CoRR"}) {
     LitmusTest Test = classicTest(Name);
     SimProgram P = lowerLitmusC(Test);
-    SimResult UnderSc = enumerateExecutions(P, *Sc);
-    SimResult UnderWeak = enumerateExecutions(P, *Weak);
+    SimResult UnderSc = simulate(P, *Sc);
+    SimResult UnderWeak = simulate(P, *Weak);
     printf("%-6s witness %-34s  my-sc: %-9s my-weak: %s\n", Name,
            Test.Final.P.toString().c_str(),
            finalConditionHolds(P, UnderSc) ? "ALLOWED" : "forbidden",

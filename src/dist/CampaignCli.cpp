@@ -13,6 +13,7 @@
 #include "diy/Classics.h"
 #include "diy/Config.h"
 #include "diy/Generator.h"
+#include "sim/Backend.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -216,6 +217,12 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
       ConfigFlagsSet = true;
     } else if (Arg == "--const-model") {
       Options.ConstAugmentedModel = true;
+      ConfigFlagsSet = true;
+    } else if (Arg == "--backend") {
+      if (!(V = Next()) || !backendFromName(V, Options.Sim.Backend)) {
+        fprintf(stderr, "error: --backend expects sweep|solve|auto\n");
+        return 1;
+      }
       ConfigFlagsSet = true;
     } else if (Arg == "--no-prune") {
       Options.Sim.RfValuePruning = false;

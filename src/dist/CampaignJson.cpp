@@ -6,6 +6,7 @@
 
 #include "dist/CampaignJson.h"
 
+#include "sim/Backend.h"
 #include "support/StringUtils.h"
 
 using namespace telechat;
@@ -85,7 +86,10 @@ void appendSimSide(std::string &J, const SimResult &R) {
       "\"allowed_executions\": %llu, \"rf_sources_pruned\": %llu, "
       "\"rf_sources_pruned_copy\": %llu, "
       "\"rf_sources_pruned_xform\": %llu, "
-      "\"rf_pruned\": %llu, \"cat_evals_avoided\": %llu}",
+      "\"rf_pruned\": %llu, \"cat_evals_avoided\": %llu, "
+      "\"backend\": \"%s\", \"solve_decisions\": %llu, "
+      "\"solve_propagations\": %llu, \"solve_conflicts\": %llu, "
+      "\"solve_clauses\": %llu}",
       static_cast<unsigned long long>(R.Stats.PathCombos),
       static_cast<unsigned long long>(R.Stats.RfCandidates),
       static_cast<unsigned long long>(R.Stats.ValueConsistent),
@@ -95,7 +99,12 @@ void appendSimSide(std::string &J, const SimResult &R) {
       static_cast<unsigned long long>(R.Stats.RfSourcesPrunedCopy),
       static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
       static_cast<unsigned long long>(R.Stats.RfPruned),
-      static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
+      static_cast<unsigned long long>(R.Stats.CatEvalsAvoided),
+      backendUsedName(R.Stats.BackendUsed),
+      static_cast<unsigned long long>(R.Stats.SolveDecisions),
+      static_cast<unsigned long long>(R.Stats.SolvePropagations),
+      static_cast<unsigned long long>(R.Stats.SolveConflicts),
+      static_cast<unsigned long long>(R.Stats.SolveClauses));
   J += "}";
 }
 

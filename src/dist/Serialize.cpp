@@ -261,6 +261,7 @@ void telechat::encodeSimOptions(WireBuffer &B, const SimOptions &O) {
   B.appendBool(O.RfValuePruning);
   B.appendBool(O.RfTransformDomain);
   B.appendBool(O.IncrementalCatEval);
+  B.appendU8(uint8_t(O.Backend));
 }
 
 bool telechat::decodeSimOptions(WireCursor &C, SimOptions &O) {
@@ -272,7 +273,7 @@ bool telechat::decodeSimOptions(WireCursor &C, SimOptions &O) {
   O.RfValuePruning = C.readBool();
   O.RfTransformDomain = C.readBool();
   O.IncrementalCatEval = C.readBool();
-  return C.ok();
+  return readEnum(C, O.Backend, uint8_t(SimBackendKind::Auto));
 }
 
 void telechat::encodeTestOptions(WireBuffer &B, const TestOptions &O) {
@@ -377,6 +378,11 @@ void telechat::encodeSimStats(WireBuffer &B, const SimStats &S) {
   B.appendU64(S.RfSourcesPrunedXform);
   B.appendU64(S.RfPruned);
   B.appendU64(S.CatEvalsAvoided);
+  B.appendU64(S.SolveDecisions);
+  B.appendU64(S.SolvePropagations);
+  B.appendU64(S.SolveConflicts);
+  B.appendU64(S.SolveClauses);
+  B.appendU8(S.BackendUsed);
   B.appendF64(S.Seconds);
 }
 
@@ -391,6 +397,13 @@ bool telechat::decodeSimStats(WireCursor &C, SimStats &S) {
   S.RfSourcesPrunedXform = C.readU64();
   S.RfPruned = C.readU64();
   S.CatEvalsAvoided = C.readU64();
+  S.SolveDecisions = C.readU64();
+  S.SolvePropagations = C.readU64();
+  S.SolveConflicts = C.readU64();
+  S.SolveClauses = C.readU64();
+  S.BackendUsed = C.readU8();
+  if (!C.ok() || S.BackendUsed > uint8_t(SimBackendKind::Solve))
+    return false;
   S.Seconds = C.readF64();
   return C.ok();
 }

@@ -1,0 +1,137 @@
+//===--- Backend.cpp - Pluggable consistency-engine seam ------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Backend.h"
+
+#include "sim/EnumCore.h"
+#include "solve/Solver.h"
+
+#include <algorithm>
+
+using namespace telechat;
+
+namespace {
+
+class SweepBackend final : public SimBackend {
+public:
+  const char *name() const override { return "sweep"; }
+  SimResult run(const SimProgram &Program, const CatModel &Model,
+                const SimOptions &Options) const override {
+    return enumerateExecutions(Program, Model, Options);
+  }
+};
+
+class SolveBackend final : public SimBackend {
+public:
+  const char *name() const override { return "solve"; }
+  SimResult run(const SimProgram &Program, const CatModel &Model,
+                const SimOptions &Options) const override {
+    return solveExecutions(Program, Model, Options);
+  }
+};
+
+} // namespace
+
+const SimBackend &telechat::sweepBackend() {
+  static const SweepBackend B;
+  return B;
+}
+
+const SimBackend &telechat::solveBackend() {
+  static const SolveBackend B;
+  return B;
+}
+
+uint64_t telechat::estimatedRfSpace(const SimProgram &Program) {
+  using simcore::satMul;
+  uint64_t Combos = 1;
+  uint64_t WritesUpper = Program.Locations.size(); // init writes
+  uint64_t ReadsUpper = 0;
+  for (const SimThread &T : Program.Threads) {
+    Combos = satMul(Combos, T.Paths.size());
+    uint64_t MaxR = 0, MaxW = 0;
+    for (const SimPath &Path : T.Paths) {
+      uint64_t R = 0, Wr = 0;
+      for (const SimOp &Op : Path.Ops) {
+        switch (Op.K) {
+        case SimOp::Kind::Load:
+          ++R;
+          break;
+        case SimOp::Kind::Store:
+          ++Wr;
+          break;
+        case SimOp::Kind::Rmw:
+          ++R;
+          ++Wr;
+          break;
+        default:
+          break;
+        }
+      }
+      MaxR = std::max(MaxR, R);
+      MaxW = std::max(MaxW, Wr);
+    }
+    ReadsUpper += MaxR;
+    WritesUpper += MaxW;
+  }
+  uint64_t Space = 1;
+  for (uint64_t I = 0; I != ReadsUpper; ++I) {
+    Space = satMul(Space, WritesUpper);
+    if (Space == ~uint64_t(0))
+      break;
+  }
+  return satMul(Combos, Space);
+}
+
+const SimBackend &telechat::resolveBackend(SimBackendKind Kind,
+                                           const SimProgram &Program) {
+  switch (Kind) {
+  case SimBackendKind::Sweep:
+    return sweepBackend();
+  case SimBackendKind::Solve:
+    return solveBackend();
+  case SimBackendKind::Auto:
+    return estimatedRfSpace(Program) >= kAutoSolveThreshold
+               ? solveBackend()
+               : sweepBackend();
+  }
+  return sweepBackend();
+}
+
+bool telechat::backendFromName(const std::string &Name,
+                               SimBackendKind &Out) {
+  if (Name == "sweep")
+    Out = SimBackendKind::Sweep;
+  else if (Name == "solve")
+    Out = SimBackendKind::Solve;
+  else if (Name == "auto")
+    Out = SimBackendKind::Auto;
+  else
+    return false;
+  return true;
+}
+
+const char *telechat::backendName(SimBackendKind Kind) {
+  switch (Kind) {
+  case SimBackendKind::Sweep:
+    return "sweep";
+  case SimBackendKind::Solve:
+    return "solve";
+  case SimBackendKind::Auto:
+    return "auto";
+  }
+  return "sweep";
+}
+
+const char *telechat::backendUsedName(uint8_t Used) {
+  return Used == uint8_t(SimBackendKind::Solve) ? "solve" : "sweep";
+}
+
+SimResult telechat::simulate(const SimProgram &Program, const CatModel &Model,
+                             const SimOptions &Options) {
+  return resolveBackend(Options.Backend, Program)
+      .run(Program, Model, Options);
+}

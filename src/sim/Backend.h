@@ -1,0 +1,82 @@
+//===--- Backend.h - Pluggable consistency-engine seam ----------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend seam: simulate() is the one entry point that runs a
+/// SimProgram under a Cat model, dispatching on SimOptions::Backend to
+/// a SimBackend implementation -- the explicit sweep (Enumerator.cpp)
+/// or the constraint solver (solve/Solver.h). Both produce
+/// byte-identical outcomes, flags and collected executions on
+/// completed runs (the backend only changes how the candidate space is
+/// covered), so callers pick by cost profile, or pass Auto and let the
+/// estimated rf-space size decide. Everything above this header
+/// (Simulator.h, batch drivers, campaigns, journal replay) is
+/// backend-agnostic; nothing outside the engines should name
+/// enumerateExecutions() or solveExecutions() directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SIM_BACKEND_H
+#define TELECHAT_SIM_BACKEND_H
+
+#include "sim/Enumerator.h"
+
+#include <string>
+
+namespace telechat {
+
+/// One consistency engine. Implementations are stateless singletons;
+/// all per-run state lives inside run().
+class SimBackend {
+public:
+  virtual ~SimBackend() = default;
+  /// Stable lowercase identifier ("sweep", "solve") used by the CLI
+  /// flag, stats lines and campaign JSON.
+  virtual const char *name() const = 0;
+  virtual SimResult run(const SimProgram &Program, const CatModel &Model,
+                        const SimOptions &Options) const = 0;
+};
+
+/// The explicit-enumeration backend (wraps enumerateExecutions).
+const SimBackend &sweepBackend();
+/// The constraint-solver backend (wraps solve/Solver.h).
+const SimBackend &solveBackend();
+
+/// Upper bound on the enumerated space (path combos x rf assignments),
+/// saturating at UINT64_MAX: combos times (writes upper bound raised
+/// to the reads upper bound), with per-thread op counts maximised over
+/// paths. A pure function of the program, so every party in a
+/// distributed campaign resolves Auto identically.
+uint64_t estimatedRfSpace(const SimProgram &Program);
+
+/// Auto picks the solver once the estimated space crosses this bound:
+/// below it the sweep's lower per-candidate overhead wins, above it
+/// only constraint pruning has a chance of finishing within budget.
+constexpr uint64_t kAutoSolveThreshold = uint64_t(1) << 20;
+
+/// Resolves a backend selection against a program: Sweep and Solve map
+/// to their engines, Auto by estimatedRfSpace vs kAutoSolveThreshold.
+const SimBackend &resolveBackend(SimBackendKind Kind,
+                                 const SimProgram &Program);
+
+/// Parses a --backend value ("sweep" | "solve" | "auto"); false and
+/// \p Out untouched on anything else.
+bool backendFromName(const std::string &Name, SimBackendKind &Out);
+
+/// Display name of a selection ("sweep" / "solve" / "auto").
+const char *backendName(SimBackendKind Kind);
+/// Display name of SimStats::BackendUsed ("sweep" / "solve"; Auto
+/// resolves before a run, so it never appears here).
+const char *backendUsedName(uint8_t Used);
+
+/// Simulates \p Program under \p Model with the backend selected by
+/// \p Options.Backend. SimStats::BackendUsed records which engine ran.
+SimResult simulate(const SimProgram &Program, const CatModel &Model,
+                   const SimOptions &Options = SimOptions());
+
+} // namespace telechat
+
+#endif // TELECHAT_SIM_BACKEND_H

@@ -40,6 +40,27 @@
 
 namespace telechat {
 
+/// Which consistency engine runs a simulation (sim/Backend.h). Both
+/// backends explore the same candidate space in the same enumeration
+/// order and produce byte-identical outcomes, flags and collected
+/// executions on completed runs; they differ in *how* the space is
+/// covered, which the work counters in SimStats measure.
+enum class SimBackendKind : uint8_t {
+  /// The explicit sweep: every rf index is drawn from the mixed-radix
+  /// space and tested (Enumerator.cpp). Lowest per-candidate overhead;
+  /// cost is proportional to the whole (filtered) space.
+  Sweep = 0,
+  /// The constraint solver (src/solve/): rf choices become decision
+  /// variables, branch/value constraints compile to nogood clauses, and
+  /// watched-literal propagation prunes dead subtrees of the decision
+  /// tree instead of visiting them. Wins when constraints correlate
+  /// several reads; pays a small per-node overhead when they do not.
+  Solve = 1,
+  /// Pick per program by estimated rf-space size (sim/Backend.h):
+  /// small spaces sweep, explosion-prone ones solve.
+  Auto = 2,
+};
+
 /// Budgets and collection knobs for one simulation.
 struct SimOptions {
   /// Budget in enumeration steps (rf/co candidates tried). Exceeding it
@@ -88,6 +109,13 @@ struct SimOptions {
   /// full evaluation for every candidate; this switch exists to measure
   /// the speedup and to pin that equivalence in tests.
   bool IncrementalCatEval = true;
+  /// Which consistency engine runs (see SimBackendKind). Outcomes,
+  /// flags and collected executions are byte-identical across backends
+  /// on completed runs; each backend draws budget steps for its own
+  /// unit of work (rf indexes drawn for the sweep, decisions for the
+  /// solver), so a budget-bounded run may complete under one backend
+  /// and time out under the other -- that asymmetry is the point.
+  SimBackendKind Backend = SimBackendKind::Sweep;
 };
 
 /// Counters for one simulation run. All counters except Seconds are
@@ -121,6 +149,26 @@ struct SimStats {
   /// layer instead of being recomputed per candidate -- the work a
   /// non-incremental evaluator would have done.
   uint64_t CatEvalsAvoided = 0;
+  // --- Solver-only work counters (src/solve/; zero under the sweep).
+  // Deterministic for a fixed (program, model, options) on completed
+  // runs regardless of Jobs, like every other counter here.
+  /// Decision-tree nodes visited: one rf candidate tried at one read.
+  /// The solver's budget currency -- compare against RfCandidates to
+  /// see how much of the swept space the decision tree skipped.
+  uint64_t SolveDecisions = 0;
+  /// (read, candidate write) pairs removed from open domains by
+  /// watched-literal unit propagation.
+  uint64_t SolvePropagations = 0;
+  /// Dead subtrees abandoned: a clause fully matched, a violated
+  /// branch/value check, or a propagation wiped an open domain.
+  uint64_t SolveConflicts = 0;
+  /// Nogood clauses in play: pair constraints compiled up front plus
+  /// support nogoods learned from violated checks during search.
+  uint64_t SolveClauses = 0;
+  /// Which backend actually ran (SimBackendKind::Sweep or ::Solve;
+  /// Auto resolves before the run). Reported per unit in stats lines
+  /// and campaign JSON so mixed-backend campaigns stay attributable.
+  uint8_t BackendUsed = 0;
   double Seconds = 0.0;
 };
 
@@ -138,7 +186,10 @@ struct SimResult {
 };
 
 /// Enumerates all candidate executions of \p Program, filters them through
-/// \p Model, and collects outcomes of the allowed ones.
+/// \p Model, and collects outcomes of the allowed ones. This is the
+/// *sweep* backend's entry point; call sim/Backend.h's simulate() instead
+/// unless you specifically want the sweep regardless of
+/// SimOptions::Backend.
 SimResult enumerateExecutions(const SimProgram &Program,
                               const CatModel &Model,
                               const SimOptions &Options = SimOptions());

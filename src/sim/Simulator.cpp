@@ -7,6 +7,7 @@
 #include "sim/Simulator.h"
 
 #include "models/Registry.h"
+#include "sim/Backend.h"
 #include "sim/CFrontend.h"
 #include "support/ThreadPool.h"
 
@@ -16,13 +17,13 @@ SimResult telechat::simulateC(const LitmusTest &Test,
                               const std::string &ModelName,
                               const SimOptions &Options) {
   SimProgram Program = lowerLitmusC(Test);
-  return enumerateExecutions(Program, getModel(ModelName), Options);
+  return simulate(Program, getModel(ModelName), Options);
 }
 
 SimResult telechat::simulateProgram(const SimProgram &Program,
                                     const std::string &ModelName,
                                     const SimOptions &Options) {
-  return enumerateExecutions(Program, getModel(ModelName), Options);
+  return simulate(Program, getModel(ModelName), Options);
 }
 
 std::vector<SimResult>
@@ -37,7 +38,7 @@ telechat::simulateMany(const std::vector<SimProgram> &Programs,
   PerSim.Jobs = 1; // Outer parallelism: one test per pool worker.
   ThreadPool Pool(resolveJobs(Options.Jobs));
   Pool.parallelFor(Programs.size(), [&](size_t I) {
-    Results[I] = enumerateExecutions(Programs[I], Model, PerSim);
+    Results[I] = simulate(Programs[I], Model, PerSim);
   });
   return Results;
 }

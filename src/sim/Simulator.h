@@ -5,19 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Convenience wrappers over enumerateExecutions() that resolve models by
-/// registry name and batch simulations over a thread pool.
+/// Convenience wrappers over the backend seam (sim/Backend.h) that
+/// resolve models by registry name and batch simulations over a thread
+/// pool. SimOptions::Backend picks the consistency engine per call.
 ///
 /// Determinism contract (shared by every entry point): for a fixed
 /// (test, model, options) whose enumeration completes within budget, the
 /// returned SimResult -- outcomes, flags, stats, collected executions --
 /// is bit-identical regardless of SimOptions::Jobs and of the pool
-/// width used by the batch drivers. Flipping the RfValuePruning /
-/// IncrementalCatEval toggles also never changes what is found
+/// width used by the batch drivers. Switching SimOptions::Backend, or
+/// flipping the RfValuePruning /
+/// IncrementalCatEval toggles, also never changes what is found
 /// (outcomes, flags, collected executions, and the ValueConsistent /
 /// CoCandidates / AllowedExecutions counters are identical), but the
-/// work-measuring stats (RfCandidates and the pruning/caching counters)
-/// legitimately differ -- that is what they measure; see Enumerator.h.
+/// work-measuring stats (RfCandidates, the pruning/caching counters and
+/// the solver's Solve* counters) legitimately differ -- that is what
+/// they measure; see Enumerator.h.
 ///
 /// Thread safety: all entry points are safe to call concurrently. The
 /// model registry caches parsed models behind a mutex; each enumeration

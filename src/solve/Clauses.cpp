@@ -1,0 +1,178 @@
+//===--- Clauses.cpp - Watched-literal nogood database --------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solve/Clauses.h"
+
+#include <algorithm>
+
+using namespace telechat;
+using namespace telechat::solve;
+
+void NogoodDB::init(const std::vector<unsigned> &DomainSizes) {
+  size_t N = DomainSizes.size();
+  Active.assign(N, {});
+  Persist.assign(N, {});
+  ActiveCount.assign(N, 0);
+  Assigned.assign(N, kUnassigned);
+  AssignPos.assign(N, 0);
+  AssignSeq = 0;
+  Watch.assign(N, {});
+  for (size_t V = 0; V != N; ++V) {
+    Active[V].assign(DomainSizes[V], 1);
+    Persist[V].assign(DomainSizes[V], 0);
+    ActiveCount[V] = DomainSizes[V];
+    Watch[V].assign(DomainSizes[V], {});
+  }
+  Clauses.clear();
+  Seen.clear();
+  RemTrail.clear();
+  AssignTrail.clear();
+  LevelMarks.clear();
+  Added = 0;
+  Propagations = 0;
+}
+
+void NogoodDB::pushLevel() {
+  LevelMarks.emplace_back(RemTrail.size(), AssignTrail.size());
+}
+
+void NogoodDB::popLevel() {
+  auto [RM, AM] = LevelMarks.back();
+  LevelMarks.pop_back();
+  while (RemTrail.size() > RM) {
+    Removal E = RemTrail.back();
+    RemTrail.pop_back();
+    // A candidate condemned persistently after its trailed removal
+    // stays dead.
+    if (!Persist[E.Var][E.Cand]) {
+      Active[E.Var][E.Cand] = 1;
+      ++ActiveCount[E.Var];
+    }
+  }
+  while (AssignTrail.size() > AM) {
+    Assigned[AssignTrail.back()] = kUnassigned;
+    AssignTrail.pop_back();
+  }
+}
+
+bool NogoodDB::removeCand(unsigned Var, unsigned Cand) {
+  if (!Active[Var][Cand])
+    return true; // Already gone; nothing to record.
+  Active[Var][Cand] = 0;
+  --ActiveCount[Var];
+  RemTrail.push_back({Var, Cand});
+  ++Propagations;
+  // Wiping the open domain of an unassigned variable dooms every
+  // completion of the current assignment.
+  return ActiveCount[Var] != 0 || Assigned[Var] != kUnassigned;
+}
+
+bool NogoodDB::removePersistent(unsigned Var, unsigned Cand) {
+  if (Persist[Var][Cand])
+    return true;
+  Persist[Var][Cand] = 1;
+  if (Active[Var][Cand]) {
+    Active[Var][Cand] = 0;
+    --ActiveCount[Var];
+    ++Propagations;
+  }
+  if (Assigned[Var] == Cand)
+    return false; // The current assignment itself is condemned.
+  return ActiveCount[Var] != 0 || Assigned[Var] != kUnassigned;
+}
+
+bool NogoodDB::assign(unsigned Var, unsigned Cand) {
+  Assigned[Var] = Cand;
+  AssignPos[Var] = ++AssignSeq;
+  AssignTrail.push_back(Var);
+  return onMatch(Var, Cand);
+}
+
+bool NogoodDB::onMatch(unsigned Var, unsigned Cand) {
+  std::vector<unsigned> &WL = Watch[Var][Cand];
+  for (size_t I = 0; I < WL.size();) {
+    unsigned Ci = WL[I];
+    Clause &Cl = Clauses[Ci];
+    const bool MeIsW0 =
+        Cl.Lits[Cl.W0].Var == Var && Cl.Lits[Cl.W0].Cand == Cand;
+    unsigned &Wme = MeIsW0 ? Cl.W0 : Cl.W1;
+    const SolveLit &Other = Cl.Lits[MeIsW0 ? Cl.W1 : Cl.W0];
+    // Try to move this watch to another non-MATCH literal.
+    bool Moved = false;
+    for (unsigned L = 0; L != Cl.Lits.size(); ++L) {
+      if (L == Cl.W0 || L == Cl.W1)
+        continue;
+      if (!isMatch(Cl.Lits[L])) {
+        Wme = L;
+        Watch[Cl.Lits[L].Var][Cl.Lits[L].Cand].push_back(Ci);
+        WL[I] = WL.back();
+        WL.pop_back();
+        Moved = true;
+        break;
+      }
+    }
+    if (Moved)
+      continue;
+    // Every literal but the other watch is MATCH.
+    if (isMismatch(Other)) {
+      ++I; // Satisfied at this level; the stale watch is harmless.
+      continue;
+    }
+    if (isMatch(Other))
+      return false; // Fully matched nogood: conflict.
+    // Unit: the other watch's candidate is forbidden.
+    if (!removeCand(Other.Var, Other.Cand))
+      return false;
+    ++I;
+  }
+  return true;
+}
+
+bool NogoodDB::addNogood(std::vector<SolveLit> Lits) {
+  if (Lits.empty())
+    return false; // "False under no assumptions": immediate conflict.
+  std::vector<std::pair<unsigned, unsigned>> Key;
+  Key.reserve(Lits.size());
+  for (const SolveLit &L : Lits)
+    Key.emplace_back(L.Var, L.Cand);
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+  if (!Seen.insert(Key).second)
+    return true; // Already known (a stale watch re-derived it).
+  ++Added;
+  if (Key.size() == 1)
+    return removePersistent(Key.front().first, Key.front().second);
+  // Watch the two best literals: any non-MATCH literal beats a MATCH
+  // one, and among MATCH literals the most recently assigned wins --
+  // for a nogood learned from the current (fully matching) support,
+  // that makes the first watch the literal about to be unassigned by
+  // the imminent backtrack, restoring the invariant for free.
+  Clause Cl;
+  Cl.Lits.reserve(Key.size());
+  for (const auto &[V, C] : Key)
+    Cl.Lits.push_back({V, C});
+  auto Score = [&](const SolveLit &L) -> uint64_t {
+    return isMatch(L) ? AssignPos[L.Var] : ~uint64_t(0);
+  };
+  unsigned Best = 0;
+  for (unsigned L = 1; L != Cl.Lits.size(); ++L)
+    if (Score(Cl.Lits[L]) > Score(Cl.Lits[Best]))
+      Best = L;
+  unsigned Second = Best == 0 ? 1 : 0;
+  for (unsigned L = 0; L != Cl.Lits.size(); ++L)
+    if (L != Best && Score(Cl.Lits[L]) > Score(Cl.Lits[Second]))
+      Second = L;
+  Cl.W0 = Best;
+  Cl.W1 = Second;
+  unsigned Ci = unsigned(Clauses.size());
+  Clauses.push_back(std::move(Cl));
+  const Clause &Stored = Clauses.back();
+  Watch[Stored.Lits[Stored.W0].Var][Stored.Lits[Stored.W0].Cand].push_back(
+      Ci);
+  Watch[Stored.Lits[Stored.W1].Var][Stored.Lits[Stored.W1].Cand].push_back(
+      Ci);
+  return true;
+}

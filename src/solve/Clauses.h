@@ -1,0 +1,147 @@
+//===--- Clauses.h - Watched-literal nogood database ------------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solve backend's constraint store. Variables are finite-domain
+/// (read index -> candidate-write index); constraints are *nogoods*:
+/// forbidden conjunctions of (variable, candidate) assignments,
+/// equivalently clauses of negated assignment literals. The database
+/// does SAT-style two-watched-literal propagation specialised to
+/// nogoods over finite domains:
+///
+///  - a literal (v, c) is MATCH when v is assigned c, MISMATCH when v
+///    is assigned something else or c was removed from v's open
+///    domain, UNKNOWN otherwise;
+///  - a nogood whose literals all MATCH is a conflict; one UNKNOWN
+///    literal with the rest MATCH is *unit* and removes that candidate
+///    from its variable's domain (the clause forbids it);
+///  - each clause watches two non-MATCH literals, so it is only
+///    examined when one of its watches becomes MATCH by assignment.
+///
+/// Removals are trailed per decision level and undone by popLevel();
+/// size-1 nogoods become *persistent* removals that survive
+/// backtracking (they are globally valid for the combo).
+///
+/// The propagation here is deliberately one-sided: removals are made
+/// only when provably implied by a stored nogood, so every removed
+/// candidate would fail the value-resolution fixpoint -- the search
+/// may visit strictly fewer complete assignments than the sweep, never
+/// different ones. Missed propagations (possible for clauses learned
+/// deep in the tree, whose watches can be temporarily stale under
+/// chronological backtracking) cost a wasted decision that the
+/// violated-check test then rejects; they never change results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SOLVE_CLAUSES_H
+#define TELECHAT_SOLVE_CLAUSES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace telechat {
+namespace solve {
+
+/// One assignment literal: variable \p Var takes candidate \p Cand.
+struct SolveLit {
+  unsigned Var = 0;
+  unsigned Cand = 0;
+};
+
+class NogoodDB {
+public:
+  static constexpr unsigned kUnassigned = ~0u;
+
+  /// Resets the database for one combo: \p DomainSizes[v] candidates
+  /// per variable, all active, no assignments, no clauses.
+  void init(const std::vector<unsigned> &DomainSizes);
+
+  bool candActive(unsigned Var, unsigned Cand) const {
+    return Active[Var][Cand] != 0;
+  }
+
+  /// Opens a decision level; the matching popLevel() undoes every
+  /// assignment and non-persistent removal made after this call.
+  void pushLevel();
+  void popLevel();
+
+  /// Assigns \p Var := \p Cand and propagates through the watch lists.
+  /// False on conflict (a nogood fully matched, or a unit removal
+  /// wiped an open variable's domain); the level is left consistent
+  /// for popLevel() either way.
+  bool assign(unsigned Var, unsigned Cand);
+
+  /// Stores a nogood (learned or compiled). Duplicates are dropped.
+  /// Size-1 nogoods become persistent removals. False when the store
+  /// leaves the current state conflicting (the nogood is empty, or a
+  /// persistent removal hit the current assignment / wiped a domain).
+  bool addNogood(std::vector<SolveLit> Lits);
+
+  /// Nogoods accepted (clauses stored + persistent removals), total.
+  uint64_t added() const { return Added; }
+  /// Candidates removed from open domains by unit propagation or
+  /// persistent size-1 nogoods.
+  uint64_t propagations() const { return Propagations; }
+
+private:
+  struct Clause {
+    std::vector<SolveLit> Lits;
+    unsigned W0 = 0, W1 = 1; ///< Indices into Lits: the watched pair.
+  };
+
+  bool isMatch(const SolveLit &L) const {
+    return Assigned[L.Var] == L.Cand;
+  }
+  bool isMismatch(const SolveLit &L) const {
+    if (Assigned[L.Var] != kUnassigned)
+      return Assigned[L.Var] != L.Cand;
+    return Active[L.Var][L.Cand] == 0;
+  }
+
+  /// Removes \p Cand from \p Var's open domain (trailed). False when
+  /// this wipes the domain of an unassigned variable.
+  bool removeCand(unsigned Var, unsigned Cand);
+  /// The same, untrailed: survives popLevel(). False additionally when
+  /// the removal contradicts \p Var's current assignment.
+  bool removePersistent(unsigned Var, unsigned Cand);
+  /// Re-establishes watch invariants for every clause watching
+  /// (\p Var, \p Cand) after that literal became MATCH. False on
+  /// conflict.
+  bool onMatch(unsigned Var, unsigned Cand);
+
+  std::vector<std::vector<char>> Active;
+  std::vector<std::vector<char>> Persist; ///< Persistently removed.
+  std::vector<unsigned> ActiveCount;
+  std::vector<unsigned> Assigned; ///< Cand index or kUnassigned.
+  std::vector<unsigned> AssignPos; ///< Stamp of the latest assignment.
+  unsigned AssignSeq = 0;
+
+  std::vector<Clause> Clauses;
+  /// Watch[v][c]: ids of clauses with a watched literal (v, c).
+  std::vector<std::vector<std::vector<unsigned>>> Watch;
+  /// Sorted literal keys of accepted nogoods, for dedup (the same
+  /// support is re-learned whenever a stale watch missed its unit).
+  std::set<std::vector<std::pair<unsigned, unsigned>>> Seen;
+
+  struct Removal {
+    unsigned Var = 0, Cand = 0;
+  };
+  std::vector<Removal> RemTrail;
+  std::vector<unsigned> AssignTrail;
+  /// Per level: sizes of (RemTrail, AssignTrail) at pushLevel().
+  std::vector<std::pair<std::size_t, std::size_t>> LevelMarks;
+
+  uint64_t Added = 0;
+  uint64_t Propagations = 0;
+};
+
+} // namespace solve
+} // namespace telechat
+
+#endif // TELECHAT_SOLVE_CLAUSES_H

@@ -1,0 +1,38 @@
+//===--- Solver.h - Constraint-solver consistency engine --------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solve backend's entry point (SimBackendKind::Solve). Instead of
+/// sweeping the rf index space, each read becomes a finite-domain
+/// decision variable over its candidate writes; branch/value
+/// constraints compile to nogood clauses (Clauses.h) checked by
+/// watched-literal propagation, and a chronological-backtracking
+/// search prunes dead subtrees wholesale where the sweep pays one
+/// budget step per dead assignment. Value semantics, coherence
+/// enumeration and Cat filtering are the shared per-combo engine
+/// (sim/EnumCore.h) -- the backends differ only in how they traverse
+/// the space, so completed runs are byte-identical. Callers should use
+/// sim/Backend.h's simulate() rather than naming this directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_SOLVE_SOLVER_H
+#define TELECHAT_SOLVE_SOLVER_H
+
+#include "sim/Enumerator.h"
+
+namespace telechat {
+
+/// Runs \p Program under \p Model with the constraint-solver engine.
+/// Results are byte-identical to enumerateExecutions on completed runs
+/// (see SimOptions::Backend for the budget asymmetry); the Solve*
+/// counters in SimStats report the search's own work.
+SimResult solveExecutions(const SimProgram &Program, const CatModel &Model,
+                          const SimOptions &Options = SimOptions());
+
+} // namespace telechat
+
+#endif // TELECHAT_SOLVE_SOLVER_H

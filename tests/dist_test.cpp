@@ -211,6 +211,7 @@ TEST(SerializeTest, CampaignConfigRoundTrips) {
   Config.Opts.Sim.MaxSteps = 123456;
   Config.Opts.Sim.RfValuePruning = false;
   Config.Opts.Sim.RfTransformDomain = false;
+  Config.Opts.Sim.Backend = SimBackendKind::Solve;
   Config.SimulateOnly = true;
   WireBuffer B;
   encodeCampaignConfig(B, Config);
@@ -223,7 +224,66 @@ TEST(SerializeTest, CampaignConfigRoundTrips) {
   EXPECT_EQ(Out.Opts.Sim.MaxSteps, 123456u);
   EXPECT_FALSE(Out.Opts.Sim.RfValuePruning);
   EXPECT_FALSE(Out.Opts.Sim.RfTransformDomain);
+  EXPECT_EQ(Out.Opts.Sim.Backend, SimBackendKind::Solve);
   EXPECT_TRUE(Out.SimulateOnly);
+}
+
+TEST(SerializeTest, SimOptionsBackendRoundTripsAndRejectsHostile) {
+  SimOptions O;
+  O.Backend = SimBackendKind::Auto;
+  O.Jobs = 3;
+  WireBuffer B;
+  encodeSimOptions(B, O);
+  WireCursor C(B.data(), B.size());
+  SimOptions Out;
+  ASSERT_TRUE(decodeSimOptions(C, Out));
+  EXPECT_EQ(C.remaining(), 0u);
+  EXPECT_EQ(Out.Backend, SimBackendKind::Auto);
+  EXPECT_EQ(Out.Jobs, 3u);
+  // The backend selector is the trailing byte; anything past Auto is
+  // hostile (a newer peer would have bumped WireVersion instead).
+  std::vector<uint8_t> Bytes(B.data(), B.data() + B.size());
+  Bytes.back() = 3;
+  WireCursor Bad(Bytes.data(), Bytes.size());
+  EXPECT_FALSE(decodeSimOptions(Bad, Out));
+}
+
+TEST(SerializeTest, SimStatsSolverCountersRoundTripAndRejectHostile) {
+  SimStats S;
+  S.PathCombos = 7;
+  S.RfCandidates = 9;
+  S.SolveDecisions = 11;
+  S.SolvePropagations = 13;
+  S.SolveConflicts = 17;
+  S.SolveClauses = 19;
+  S.BackendUsed = uint8_t(SimBackendKind::Solve);
+  S.Seconds = 1.5;
+  WireBuffer B;
+  encodeSimStats(B, S);
+  WireCursor C(B.data(), B.size());
+  SimStats Out;
+  ASSERT_TRUE(decodeSimStats(C, Out));
+  EXPECT_EQ(C.remaining(), 0u);
+  EXPECT_EQ(Out.PathCombos, 7u);
+  EXPECT_EQ(Out.RfCandidates, 9u);
+  EXPECT_EQ(Out.SolveDecisions, 11u);
+  EXPECT_EQ(Out.SolvePropagations, 13u);
+  EXPECT_EQ(Out.SolveConflicts, 17u);
+  EXPECT_EQ(Out.SolveClauses, 19u);
+  EXPECT_EQ(Out.BackendUsed, uint8_t(SimBackendKind::Solve));
+  EXPECT_EQ(Out.Seconds, 1.5);
+  // BackendUsed sits just before the trailing f64; Auto resolves
+  // before any run, so only sweep/solve are valid on the wire.
+  std::vector<uint8_t> Bytes(B.data(), B.data() + B.size());
+  Bytes[Bytes.size() - 9] = uint8_t(SimBackendKind::Auto);
+  WireCursor Bad(Bytes.data(), Bytes.size());
+  EXPECT_FALSE(decodeSimStats(Bad, Out));
+  // Truncation anywhere fails cleanly rather than misparsing.
+  for (size_t N = 0; N < B.size(); N += 7) {
+    WireCursor T(B.data(), N);
+    SimStats Tmp;
+    EXPECT_FALSE(decodeSimStats(T, Tmp));
+  }
 }
 
 TEST(SerializeTest, TelechatResultRoundTripsTheCampaignSlice) {

@@ -18,6 +18,7 @@
 #include "diy/Classics.h"
 #include "diy/Generator.h"
 #include "litmus/Printer.h"
+#include "sim/Backend.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
 
@@ -188,6 +189,78 @@ TEST(FuzzTest, GenerativeDifferentialBattery) {
   EXPECT_GT(Compared, 100u);
   EXPECT_GT(XformWins, 0u) << "transform domain never out-pruned the "
                               "copy-chain baseline across the battery";
+}
+
+TEST(FuzzTest, BackendDifferentialBattery) {
+  // The same 200-seed generative stream, pitted across backends: for
+  // every generated test the sweep, the solver (at -j1 and -j4) and
+  // Auto must render byte-identical outcome sets, identical flags and
+  // identical deterministic counters -- the backend only changes how
+  // the candidate space is covered, never what comes out of it. The
+  // solver's own counters must in turn be Jobs-invariant.
+  unsigned Compared = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    RandomGenOptions G;
+    G.Seed = Seed;
+    G.Count = 1;
+    G.MaxEdges = 8;
+    std::vector<LitmusTest> Tests = generateRandomTests(G);
+    if (Tests.empty())
+      continue; // attempt budget exhausted: nothing to compare
+    const LitmusTest &T = Tests.front();
+
+    SimOptions SweepO;
+    SweepO.Backend = SimBackendKind::Sweep;
+    SimOptions SolveO;
+    SolveO.Backend = SimBackendKind::Solve;
+    SolveO.Jobs = 1;
+    SimOptions SolvePar = SolveO;
+    SolvePar.Jobs = 4;
+    SimOptions AutoO;
+    AutoO.Backend = SimBackendKind::Auto;
+
+    SimResult RSweep = simulateC(T, "rc11", SweepO);
+    SimResult RSolve = simulateC(T, "rc11", SolveO);
+    SimResult RPar = simulateC(T, "rc11", SolvePar);
+    SimResult RAuto = simulateC(T, "rc11", AutoO);
+    ASSERT_TRUE(RSweep.ok()) << "seed " << Seed << ": " << RSweep.Error;
+    ASSERT_TRUE(RSolve.ok()) << "seed " << Seed << ": " << RSolve.Error;
+    ASSERT_FALSE(RSweep.TimedOut) << "seed " << Seed;
+    ASSERT_FALSE(RSolve.TimedOut) << "seed " << Seed;
+    ++Compared;
+
+    std::string What = "seed " + std::to_string(Seed) + "\n" +
+                       printLitmusC(T);
+    std::string Expect = outcomeSetToString(RSweep.Allowed);
+    EXPECT_EQ(outcomeSetToString(RSolve.Allowed), Expect) << What;
+    EXPECT_EQ(outcomeSetToString(RPar.Allowed), Expect) << What;
+    EXPECT_EQ(outcomeSetToString(RAuto.Allowed), Expect) << What;
+    EXPECT_EQ(RSolve.Flags, RSweep.Flags) << What;
+    EXPECT_EQ(RAuto.Flags, RSweep.Flags) << What;
+    // The engines share the per-combo pipeline downstream of rf
+    // selection, so the post-fixpoint counters agree exactly.
+    EXPECT_EQ(RSolve.Stats.PathCombos, RSweep.Stats.PathCombos) << What;
+    EXPECT_EQ(RSolve.Stats.ValueConsistent, RSweep.Stats.ValueConsistent)
+        << What;
+    EXPECT_EQ(RSolve.Stats.CoCandidates, RSweep.Stats.CoCandidates)
+        << What;
+    EXPECT_EQ(RSolve.Stats.AllowedExecutions,
+              RSweep.Stats.AllowedExecutions)
+        << What;
+    EXPECT_EQ(RSolve.Stats.BackendUsed, uint8_t(SimBackendKind::Solve))
+        << What;
+    EXPECT_EQ(RSweep.Stats.BackendUsed, uint8_t(SimBackendKind::Sweep))
+        << What;
+    // -j must not change what the solver decided, only who decided it.
+    EXPECT_EQ(RSolve.Stats.SolveDecisions, RPar.Stats.SolveDecisions)
+        << What;
+    EXPECT_EQ(RSolve.Stats.SolveConflicts, RPar.Stats.SolveConflicts)
+        << What;
+    EXPECT_EQ(RSolve.Stats.SolveClauses, RPar.Stats.SolveClauses) << What;
+    EXPECT_EQ(RSolve.Stats.ValueConsistent, RPar.Stats.ValueConsistent)
+        << What;
+  }
+  EXPECT_GT(Compared, 100u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -7,6 +7,7 @@
 #include "diy/Classics.h"
 #include "litmus/Parser.h"
 #include "models/Registry.h"
+#include "sim/Backend.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
 
@@ -234,7 +235,7 @@ exists (c=6)
   ErrorOr<CatModel> M = parseModelText(
       "flag ~empty ConstWrite as const-violation\nacyclic po as ok\n");
   ASSERT_TRUE(M.hasValue());
-  SimResult R = enumerateExecutions(P, *M);
+  SimResult R = simulate(P, *M);
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_TRUE(R.Flags.count("const-violation"));
 }

@@ -27,6 +27,7 @@
 #include "asmcore/Semantics.h"
 #include "dist/CampaignCli.h"
 #include "dist/Worker.h"
+#include "sim/Backend.h"
 #include "events/Dot.h"
 #include "litmus/Parser.h"
 #include "sim/CFrontend.h"
@@ -43,7 +44,8 @@ static void usage() {
   fprintf(stderr,
           "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
           "[--max-steps <n>] [--dot] [--stats]\n"
-          "       [--no-prune] [--no-transform] [--no-cat-cache]\n"
+          "       [--backend sweep|solve|auto] [--no-prune] "
+          "[--no-transform] [--no-cat-cache]\n"
           "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
           "[--gen-count <n>] [--model <m>]\n"
           "                  [--campaign-json <f>] [--engine-json <f>] "
@@ -54,6 +56,10 @@ static void usage() {
           "[--max-units <n>]\n"
           "  -j <n>          enumeration worker threads (0 = all hardware "
           "threads; default 1)\n"
+          "  --backend <b>   consistency engine: sweep (explicit enumeration,\n"
+          "                  default), solve (constraint solver), auto\n"
+          "                  (pick by estimated rf-space size); outcomes\n"
+          "                  are identical, budget/steps are not\n"
           "  --no-prune      disable rf value-constraint pruning\n"
           "  --no-transform  prune with the copy-chain-only abstract "
           "domain (no arithmetic transforms)\n"
@@ -73,6 +79,7 @@ int main(int argc, char **argv) {
   std::string Model;
   bool Dot = false, Stats = false;
   bool Prune = true, Transform = true, CatCache = true;
+  SimBackendKind Backend = SimBackendKind::Sweep;
   unsigned Jobs = 1;
   uint64_t MaxSteps = 0;
   for (int I = 2; I < argc; ++I) {
@@ -98,6 +105,12 @@ int main(int argc, char **argv) {
       Transform = false;
     else if (Arg == "--no-cat-cache")
       CatCache = false;
+    else if (Arg == "--backend" && I + 1 < argc) {
+      if (!backendFromName(argv[++I], Backend)) {
+        fprintf(stderr, "error: unknown backend '%s'\n", argv[I]);
+        return 1;
+      }
+    }
   }
   std::ifstream In(Path);
   if (!In) {
@@ -141,6 +154,7 @@ int main(int argc, char **argv) {
   Opts.RfValuePruning = Prune;
   Opts.RfTransformDomain = Transform;
   Opts.IncrementalCatEval = CatCache;
+  Opts.Backend = Backend;
   if (MaxSteps)
     Opts.MaxSteps = MaxSteps;
   SimResult R = simulateProgram(Program, Model, Opts);
@@ -158,11 +172,12 @@ int main(int argc, char **argv) {
   printf("Condition %s\n", Program.Final.toString().c_str());
   if (R.TimedOut)
     printf("TIMEOUT (budget exhausted)\n");
-  if (Stats)
-    printf("Time %s %.4f (paths=%llu rf=%llu consistent=%llu co=%llu "
-           "allowed=%llu rf-sources-pruned=%llu (copy=%llu xform=%llu) "
-           "rf-pruned=%llu cat-evals-avoided=%llu)\n",
+  if (Stats) {
+    printf("Time %s %.4f (backend=%s paths=%llu rf=%llu consistent=%llu "
+           "co=%llu allowed=%llu rf-sources-pruned=%llu (copy=%llu "
+           "xform=%llu) rf-pruned=%llu cat-evals-avoided=%llu)\n",
            Program.Name.c_str(), R.Stats.Seconds,
+           backendUsedName(R.Stats.BackendUsed),
            static_cast<unsigned long long>(R.Stats.PathCombos),
            static_cast<unsigned long long>(R.Stats.RfCandidates),
            static_cast<unsigned long long>(R.Stats.ValueConsistent),
@@ -173,6 +188,15 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
            static_cast<unsigned long long>(R.Stats.RfPruned),
            static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
+    if (R.Stats.BackendUsed == uint8_t(SimBackendKind::Solve))
+      printf("Solver %s (decisions=%llu propagations=%llu conflicts=%llu "
+             "clauses=%llu)\n",
+             Program.Name.c_str(),
+             static_cast<unsigned long long>(R.Stats.SolveDecisions),
+             static_cast<unsigned long long>(R.Stats.SolvePropagations),
+             static_cast<unsigned long long>(R.Stats.SolveConflicts),
+             static_cast<unsigned long long>(R.Stats.SolveClauses));
+  }
   if (Dot)
     for (size_t I = 0; I != R.Executions.size() && I < 4; ++I)
       printf("%s", executionToDot(R.Executions[I],

@@ -36,6 +36,7 @@
 #include "dist/Worker.h"
 #include "litmus/Parser.h"
 #include "litmus/Printer.h"
+#include "sim/Backend.h"
 
 #include <cstdio>
 #include <fstream>
@@ -58,6 +59,9 @@ static void usage() {
           "  --no-augment       disable local-variable augmentation\n"
           "  --no-optimise      disable the s2l litmus optimiser\n"
           "  --const-model      use the const-violation-flagging model\n"
+          "  --backend <b>      consistency engine: sweep | solve | auto\n"
+          "                     (auto picks by estimated rf-space size;\n"
+          "                     outcomes are backend-independent)\n"
           "  --no-prune         disable rf value-constraint pruning\n"
           "  --no-transform     copy-chain-only pruning domain (no\n"
           "                     arithmetic transforms)\n"
@@ -129,6 +133,12 @@ int mainSingle(int argc, char **argv) {
       Options.OptimiseCompiled = false;
     } else if (Arg == "--const-model") {
       Options.ConstAugmentedModel = true;
+    } else if (Arg == "--backend") {
+      const char *V = Next();
+      if (!V || !backendFromName(V, Options.Sim.Backend)) {
+        fprintf(stderr, "error: --backend expects sweep|solve|auto\n");
+        return 1;
+      }
     } else if (Arg == "--no-prune") {
       Options.Sim.RfValuePruning = false;
     } else if (Arg == "--no-transform") {
