@@ -27,12 +27,15 @@
 
 #include "core/Telechat.h"
 #include "diy/Generator.h"
+#include "litmus/Canon.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 namespace telechat {
@@ -129,6 +132,59 @@ private:
   uint64_t Emitted = 0;
   uint64_t Planned;
 };
+
+/// Wraps a source and serves only one unit per canonical equivalence
+/// class (litmus/Canon.h) and config: a unit whose test canonicalizes to
+/// a shape an earlier unit of the same config already had is *not*
+/// handed out; it is recorded as a duplicate instead, with the renaming
+/// that translates the representative's outcomes into its vocabulary.
+/// Ids pass through unchanged (the skipped ids simply never appear), so
+/// this wrapper fits the local drivers, which key results by id -- NOT
+/// the work server, whose stream contract is id == position (the server
+/// has its own dedupe, WorkServerOptions::Dedupe).
+///
+/// After the wrapped stream is drained, fill each duplicate's slot from
+/// its representative:
+///   Results[D.Id] = renameTelechatResult(Results[D.RepId], D.Renaming);
+class DedupingUnitSource final : public UnitSource {
+public:
+  /// One unit answered by an earlier representative.
+  struct Dup {
+    uint64_t Id = 0;
+    uint64_t RepId = 0;          ///< Always < Id (stream order).
+    CanonRenaming Renaming;      ///< Rep's names -> this unit's names.
+    CampaignUnitMeta Meta;       ///< The duplicate's own name/config.
+  };
+
+  explicit DedupingUnitSource(UnitSource &Inner) : Inner(Inner) {}
+  /// Serves the next non-duplicate unit. Thread-safe; canonicalization
+  /// runs under the lock (cheap next to simulating the unit).
+  bool next(CampaignUnit &Out) override;
+  uint64_t sizeHint() const override { return Inner.sizeHint(); }
+  /// The duplicates recorded so far, in stream order. Stable only once
+  /// the stream is drained (every lane's next() returned false).
+  const std::vector<Dup> &duplicates() const { return Dups; }
+
+private:
+  mutable std::mutex M;
+  UnitSource &Inner;
+  /// (config, canon key, canon text) -> representative unit id. The
+  /// canonical text rides along so a key collision splits classes
+  /// instead of merging strangers.
+  std::map<std::tuple<uint32_t, uint64_t, uint64_t, std::string>, uint64_t>
+      Reps;
+  std::map<uint64_t, CanonResult> RepCanon; ///< For composeRenaming.
+  std::vector<Dup> Dups;
+};
+
+/// Translates a representative's campaign result into a duplicate's
+/// vocabulary: outcome sets and compare witnesses are renamed through
+/// \p Ren (and re-sorted -- renaming permutes set order); errors, flags,
+/// verdict kind, timeout bits and stats are copied verbatim. Covers
+/// exactly the result slice reports and the wire carry (Error, OptStats,
+/// SourceSim, TargetSim, Compare).
+TelechatResult renameTelechatResult(const TelechatResult &Rep,
+                                    const CanonRenaming &Ren);
 
 /// Builds the corpus for one config: unit ids are the test indices.
 std::vector<CampaignUnit> makeCampaignUnits(

@@ -14,6 +14,7 @@
 #include "diy/Config.h"
 #include "diy/Generator.h"
 #include "sim/Backend.h"
+#include "sim/SkeletonCache.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
@@ -131,6 +132,9 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
   bool Resume = false;
   std::string CampaignJsonPath, EngineJsonPath;
   WorkServerOptions ServerOpts;
+  bool Dedupe = false;
+  bool SkelCacheSet = false;
+  size_t SkelCacheCap = 0;
   bool Verbose = false;
   int I = 2;
   if (Serve) {
@@ -276,6 +280,15 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
         return 1;
       }
       ServerOpts.MaxUnitsPerRequest = unsigned(strtoul(V, nullptr, 0));
+    } else if (Arg == "--dedupe") {
+      Dedupe = true;
+    } else if (Arg == "--skel-cache") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      SkelCacheSet = true;
+      SkelCacheCap = size_t(strtoull(V, nullptr, 0));
     } else if (Arg == "--verbose") {
       Verbose = true;
     } else {
@@ -396,11 +409,19 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
 
   std::vector<CampaignUnitMeta> Meta;
   std::vector<TelechatResult> Results;
+  uint64_t Deduped = 0;
+
+  // The skeleton cache is process-wide; the knob matters to whoever
+  // *executes* units (the local pool here, --work workers in the served
+  // modes, where setting it is harmless but idle).
+  if (SkelCacheSet)
+    simcore::SkeletonCache::instance().setCapacity(SkelCacheCap);
 
   std::string ServeError;
 
   if (Serve) {
     ServerOpts.Verbose = Verbose;
+    ServerOpts.Dedupe = Dedupe;
     bool Streamed = Spec.K == CampaignSourceSpec::Kind::Generator;
     // A journal header needs the spec intact, so only the journal-free
     // path can move the corpus into the source; the journaled path
@@ -449,11 +470,14 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
               "warning: %llu journal results matched no unit of the "
               "campaign spec\n",
               static_cast<unsigned long long>(Report.StaleReplays));
-    printf("served: %.2f s, %llu requeues, %llu replayed, %zu workers\n",
+    printf("served: %.2f s, %llu requeues, %llu replayed, %llu deduped, "
+           "%zu workers\n",
            Report.Seconds,
            static_cast<unsigned long long>(Report.Requeues),
            static_cast<unsigned long long>(Report.ReplayedResults),
+           static_cast<unsigned long long>(Report.DedupedUnits),
            Report.Workers.size());
+    Deduped = Report.DedupedUnits;
     if (!EngineJsonPath.empty() &&
         !writeJson(EngineJsonPath, campaignEngineJson(Report)))
       return 1;
@@ -469,7 +493,10 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     Results.resize(Planned);
     Meta.resize(Planned);
     ThreadPool Pool(resolveJobs(Jobs));
-    runCampaignUnits(Source, Configs, Pool,
+    DedupingUnitSource Deduper(Source);
+    UnitSource &Stream =
+        Dedupe ? static_cast<UnitSource &>(Deduper) : Source;
+    runCampaignUnits(Stream, Configs, Pool,
                      [&](const CampaignUnit &U, TelechatResult R) {
                        Results[U.Id] = std::move(R);
                        Meta[U.Id] =
@@ -479,16 +506,34 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     // actually produced.
     Results.resize(size_t(Source.produced()));
     Meta.resize(size_t(Source.produced()));
+    // Deduped units never reached an executor: fill their slots from
+    // their representatives (rep id < dup id, so the rep's slot is set).
+    for (const DedupingUnitSource::Dup &D : Deduper.duplicates()) {
+      Results[D.Id] = renameTelechatResult(Results[D.RepId], D.Renaming);
+      Meta[D.Id] = D.Meta;
+      ++Deduped;
+    }
   } else {
     Meta = campaignUnitMeta(Spec.Units);
     Results.resize(Spec.Units.size());
     VectorUnitSource Source(std::move(Spec.Units));
     ThreadPool Pool(resolveJobs(Jobs));
-    runCampaignUnits(Source, Configs, Pool,
+    DedupingUnitSource Deduper(Source);
+    UnitSource &Stream =
+        Dedupe ? static_cast<UnitSource &>(Deduper) : Source;
+    runCampaignUnits(Stream, Configs, Pool,
                      [&](const CampaignUnit &U, TelechatResult R) {
                        Results[U.Id] = std::move(R);
                      });
+    for (const DedupingUnitSource::Dup &D : Deduper.duplicates()) {
+      Results[D.Id] = renameTelechatResult(Results[D.RepId], D.Renaming);
+      ++Deduped;
+    }
   }
+  if (Dedupe && !Serve)
+    printf("deduped: %llu of %zu units answered by canonical "
+           "representatives\n",
+           static_cast<unsigned long long>(Deduped), Results.size());
 
   if (Results.empty()) {
     // Every materialised path refused an empty corpus up front; the

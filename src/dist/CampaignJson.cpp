@@ -87,6 +87,8 @@ void appendSimSide(std::string &J, const SimResult &R) {
       "\"rf_sources_pruned_copy\": %llu, "
       "\"rf_sources_pruned_xform\": %llu, "
       "\"rf_pruned\": %llu, \"cat_evals_avoided\": %llu, "
+      "\"skel_cache_hits\": %llu, \"skel_cache_misses\": %llu, "
+      "\"skel_cache_evictions\": %llu, "
       "\"backend\": \"%s\", \"solve_decisions\": %llu, "
       "\"solve_propagations\": %llu, \"solve_conflicts\": %llu, "
       "\"solve_clauses\": %llu}",
@@ -100,6 +102,9 @@ void appendSimSide(std::string &J, const SimResult &R) {
       static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
       static_cast<unsigned long long>(R.Stats.RfPruned),
       static_cast<unsigned long long>(R.Stats.CatEvalsAvoided),
+      static_cast<unsigned long long>(R.Stats.SkelCacheHits),
+      static_cast<unsigned long long>(R.Stats.SkelCacheMisses),
+      static_cast<unsigned long long>(R.Stats.SkelCacheEvictions),
       backendUsedName(R.Stats.BackendUsed),
       static_cast<unsigned long long>(R.Stats.SolveDecisions),
       static_cast<unsigned long long>(R.Stats.SolvePropagations),
@@ -191,6 +196,8 @@ std::string telechat::campaignEngineJson(const CampaignReport &Report) {
                  static_cast<unsigned long long>(Report.DuplicateResults));
   J += strFormat("  \"replayed_results\": %llu,\n",
                  static_cast<unsigned long long>(Report.ReplayedResults));
+  J += strFormat("  \"deduped_units\": %llu,\n",
+                 static_cast<unsigned long long>(Report.DedupedUnits));
   J += strFormat("  \"stale_replays\": %llu,\n",
                  static_cast<unsigned long long>(Report.StaleReplays));
   J += "  \"error\": " + quoted(Report.Error) + ",\n";

@@ -382,6 +382,9 @@ void telechat::encodeSimStats(WireBuffer &B, const SimStats &S) {
   B.appendU64(S.SolvePropagations);
   B.appendU64(S.SolveConflicts);
   B.appendU64(S.SolveClauses);
+  B.appendU64(S.SkelCacheHits);
+  B.appendU64(S.SkelCacheMisses);
+  B.appendU64(S.SkelCacheEvictions);
   B.appendU8(S.BackendUsed);
   B.appendF64(S.Seconds);
 }
@@ -401,6 +404,9 @@ bool telechat::decodeSimStats(WireCursor &C, SimStats &S) {
   S.SolvePropagations = C.readU64();
   S.SolveConflicts = C.readU64();
   S.SolveClauses = C.readU64();
+  S.SkelCacheHits = C.readU64();
+  S.SkelCacheMisses = C.readU64();
+  S.SkelCacheEvictions = C.readU64();
   S.BackendUsed = C.readU8();
   if (!C.ok() || S.BackendUsed > uint8_t(SimBackendKind::Solve))
     return false;

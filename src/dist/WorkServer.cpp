@@ -9,6 +9,7 @@
 #include "dist/Journal.h"
 #include "dist/Protocol.h"
 #include "dist/Serialize.h"
+#include "litmus/Canon.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -20,6 +21,7 @@
 #include <memory>
 #include <poll.h>
 #include <set>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -88,6 +90,22 @@ struct WorkServer::Impl {
   std::map<uint64_t, Lease> Leases;
   std::vector<bool> Completed;
   uint64_t CompletedCount = 0;
+
+  // --- Canonical dedupe state (Opts.Dedupe; all empty otherwise).
+  /// (config, canon key, canon text) -> representative unit id; the
+  /// canonical text disambiguates hash collisions.
+  std::map<std::tuple<uint32_t, uint64_t, uint64_t, std::string>, uint64_t>
+      CanonReps;
+  /// Representative id -> its canonicalization (composeRenaming input).
+  std::map<uint64_t, CanonResult> RepCanon;
+  /// A duplicate waiting for its representative's result.
+  struct ParkedDup {
+    uint64_t RepId;
+    CanonRenaming Renaming; ///< Rep's names -> the duplicate's names.
+  };
+  std::map<uint64_t, ParkedDup> Parked;
+  /// Representative id -> duplicates to synthesize when it completes.
+  std::map<uint64_t, std::vector<uint64_t>> DupsOf;
 
   CampaignReport Report;
 
@@ -160,6 +178,26 @@ void WorkServer::Impl::complete(uint64_t Id, TelechatResult R,
   Completed[Id] = true;
   ++CompletedCount;
   Live.erase(Id);
+
+  // The representative's result just landed (by execution or journal
+  // replay): synthesize its parked duplicates. Synthesized results are
+  // journaled like executed ones (the FromReplay=false path above), so a
+  // resume replays them directly instead of re-parking. Depth is one:
+  // duplicates are never representatives.
+  auto D = DupsOf.find(Id);
+  if (D == DupsOf.end())
+    return;
+  std::vector<uint64_t> Dups = std::move(D->second);
+  DupsOf.erase(D);
+  for (uint64_t DupId : Dups) {
+    auto P = Parked.find(DupId);
+    if (P == Parked.end())
+      continue;
+    TelechatResult Renamed =
+        renameTelechatResult(Report.Results[Id], P->second.Renaming);
+    Parked.erase(P);
+    complete(DupId, std::move(Renamed), /*FromReplay=*/false);
+  }
 }
 
 bool WorkServer::Impl::pullOne() {
@@ -187,15 +225,46 @@ bool WorkServer::Impl::pullOne() {
   Report.UnitsMeta.push_back(CampaignUnitMeta{U.Test.Name, U.Config});
   Report.Results.emplace_back();
   Completed.push_back(false);
+  bool Serve = true;
   auto R = Replay.find(U.Id);
   if (R != Replay.end()) {
-    // Already answered by the journal: merge without serving.
+    // Already answered by the journal: merge without serving. This runs
+    // *before* dedupe classification, so a duplicate whose synthesized
+    // result was journaled is replayed, never parked or re-served.
     uint64_t Id = U.Id;
     TelechatResult Res = std::move(R->second);
     Replay.erase(R);
     complete(Id, std::move(Res), /*FromReplay=*/true);
     ++Report.ReplayedResults;
-  } else {
+    Serve = false;
+  }
+  if (Opts.Dedupe) {
+    CanonResult CR = canonicalizeTest(U.Test);
+    auto Key = std::make_tuple(U.Config, CR.Key.Hi, CR.Key.Lo, CR.Text);
+    auto [It, IsNew] = CanonReps.emplace(std::move(Key), U.Id);
+    if (IsNew) {
+      // First of its class: the representative. Replayed units register
+      // too -- their merged result can answer later duplicates.
+      RepCanon.emplace(U.Id, std::move(CR));
+    } else if (Serve) {
+      uint64_t RepId = It->second;
+      CanonRenaming Ren = composeRenaming(RepCanon.at(RepId), CR);
+      ++Report.DedupedUnits;
+      log("unit %llu dedupes to unit %llu",
+          static_cast<unsigned long long>(U.Id),
+          static_cast<unsigned long long>(RepId));
+      if (Completed[RepId]) {
+        // Rep already merged (typically a replay): synthesize now.
+        complete(U.Id, renameTelechatResult(Report.Results[RepId], Ren),
+                 /*FromReplay=*/false);
+      } else {
+        Parked.emplace(U.Id, ParkedDup{RepId, std::move(Ren)});
+        DupsOf[RepId].push_back(U.Id);
+      }
+      Serve = false;
+    }
+  }
+  if (Serve) {
     Pending.push_back(U.Id);
     Live.emplace(U.Id, std::move(U));
   }
@@ -522,11 +591,12 @@ CampaignReport WorkServer::Impl::run() {
         static_cast<unsigned long long>(Report.StaleReplays));
   Report.Seconds = secondsSince(Start);
   log("campaign done: %llu units, %llu requeues, %llu duplicates, "
-      "%llu replayed",
+      "%llu replayed, %llu deduped",
       static_cast<unsigned long long>(Generated),
       static_cast<unsigned long long>(Report.Requeues),
       static_cast<unsigned long long>(Report.DuplicateResults),
-      static_cast<unsigned long long>(Report.ReplayedResults));
+      static_cast<unsigned long long>(Report.ReplayedResults),
+      static_cast<unsigned long long>(Report.DedupedUnits));
   return std::move(Report);
 }
 

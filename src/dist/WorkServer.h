@@ -65,6 +65,14 @@ struct WorkServerOptions {
   unsigned MaxUnitsPerRequest = 64;
   /// Retry hint carried by Wait frames.
   unsigned WaitRetryMs = 50;
+  /// Canonical corpus dedupe (litmus/Canon.h): serve one unit per
+  /// canonical equivalence class and config, answer the others by
+  /// renaming the representative's result into their vocabulary. The
+  /// merged Results are byte-identical to executing every unit (modulo
+  /// per-unit stats, which mirror the representative's); strictly fewer
+  /// units hit the wire. Duplicates arriving as journal replays merge
+  /// directly and are never re-served (the resume path).
+  bool Dedupe = false;
   /// Progress lines on stderr.
   bool Verbose = false;
 };
@@ -93,6 +101,10 @@ struct CampaignReport {
   uint64_t DuplicateResults = 0;  ///< Late results dropped after requeue.
   /// Results merged from a journal replay instead of execution (resume).
   uint64_t ReplayedResults = 0;
+  /// Units answered by canonical dedupe (Options::Dedupe) instead of
+  /// execution this run. Duplicates resumed from a journal count as
+  /// ReplayedResults, not here (their results never needed a rename).
+  uint64_t DedupedUnits = 0;
   /// Replayed results whose unit ids the stream never produced (a
   /// journal replayed against the wrong spec); dropped from the merge.
   uint64_t StaleReplays = 0;

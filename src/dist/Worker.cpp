@@ -11,6 +11,7 @@
 #include "dist/Serialize.h"
 #include "dist/Socket.h"
 #include "dist/Wire.h"
+#include "sim/SkeletonCache.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -46,6 +47,12 @@ int telechat::workerToolMain(int argc, char **argv, void (*Usage)()) {
     } else if (Arg == "--max-units" && V) {
       ++I;
       Opts.KillAfterResults = strtoull(V, nullptr, 0);
+    } else if (Arg == "--skel-cache" && V) {
+      ++I;
+      // Per-combo artifacts shared across this worker's units
+      // (sim/SkeletonCache.h); 0 (the default) disables.
+      simcore::SkeletonCache::instance().setCapacity(
+          size_t(strtoull(V, nullptr, 0)));
     } else if (Arg == "--verbose") {
       Opts.Verbose = true;
     } else {

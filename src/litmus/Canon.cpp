@@ -1,0 +1,412 @@
+//===--- Canon.cpp - Canonical form for litmus tests ----------------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Canon.h"
+
+#include "litmus/Printer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace telechat {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Hashing: two decorrelated FNV-1a 64-bit accumulators over the canonical
+// text form a 128-bit key.
+//===----------------------------------------------------------------------===//
+
+CanonKey hashText(const std::string &Text) {
+  uint64_t Lo = 14695981039346656037ull;
+  uint64_t Hi = 0x27d4eb2f165667c5ull;
+  for (unsigned char C : Text) {
+    Lo = (Lo ^ C) * 1099511628211ull;
+    Hi = (Hi * 0x100000001b3ull) ^ (C + 0x9e3779b97f4a7c15ull);
+  }
+  CanonKey K;
+  K.Hi = Hi;
+  K.Lo = Lo;
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread register naming by first occurrence in a structural traversal.
+//===----------------------------------------------------------------------===//
+
+/// Assigns "r0", "r1", ... to registers in touch() order.
+class RegNamer {
+public:
+  void touch(const std::string &R) {
+    if (R.empty() || Map.count(R))
+      return;
+    std::string Canon = "r" + std::to_string(Order.size());
+    Map.emplace(R, Canon);
+    Order.emplace_back(R, Canon);
+  }
+
+  const std::map<std::string, std::string> &map() const { return Map; }
+  const std::vector<std::pair<std::string, std::string>> &order() const {
+    return Order;
+  }
+
+private:
+  std::map<std::string, std::string> Map;
+  std::vector<std::pair<std::string, std::string>> Order;
+};
+
+void touchExpr(const Expr &E, RegNamer &N) {
+  if (E.K == Expr::Kind::Reg)
+    N.touch(E.RegName);
+  for (const Expr &Op : E.Ops)
+    touchExpr(Op, N);
+}
+
+/// Statement traversal order: expression operands left-to-right, then the
+/// destination register; If visits the condition, then the branches.
+void touchStmts(const std::vector<Stmt> &Body, RegNamer &N) {
+  for (const Stmt &S : Body) {
+    switch (S.K) {
+    case Stmt::Kind::Load:
+      N.touch(S.Dst);
+      break;
+    case Stmt::Kind::Store:
+      touchExpr(S.Val, N);
+      break;
+    case Stmt::Kind::Fence:
+      break;
+    case Stmt::Kind::Rmw:
+    case Stmt::Kind::LocalAssign:
+      touchExpr(S.Val, N);
+      N.touch(S.Dst);
+      break;
+    case Stmt::Kind::If:
+      touchExpr(S.Cond, N);
+      touchStmts(S.Then, N);
+      touchStmts(S.Else, N);
+      break;
+    }
+  }
+}
+
+/// Registers that only the final predicate mentions get names after all
+/// body registers, in predicate pre-order.
+void touchPredicate(const Predicate &P,
+                    std::map<std::string, RegNamer> &Namers) {
+  if (P.K == Predicate::Kind::Atom) {
+    if (P.A.K == PredAtom::Kind::RegEq) {
+      auto It = Namers.find(P.A.Thread);
+      if (It != Namers.end())
+        It->second.touch(P.A.Name);
+    }
+    return;
+  }
+  for (const Predicate &Op : P.Ops)
+    touchPredicate(Op, Namers);
+}
+
+//===----------------------------------------------------------------------===//
+// Renaming a test under fixed name maps.
+//===----------------------------------------------------------------------===//
+
+using NameMap = std::map<std::string, std::string>;
+
+std::string mapName(const NameMap &M, const std::string &Name) {
+  auto It = M.find(Name);
+  return It == M.end() ? Name : It->second;
+}
+
+Expr renameExpr(const Expr &E, const NameMap &Regs) {
+  Expr R = E;
+  if (R.K == Expr::Kind::Reg)
+    R.RegName = mapName(Regs, R.RegName);
+  for (Expr &Op : R.Ops)
+    Op = renameExpr(Op, Regs);
+  return R;
+}
+
+Stmt renameStmt(const Stmt &S, const NameMap &Regs, const NameMap &Locs) {
+  Stmt R = S;
+  if (!R.Dst.empty())
+    R.Dst = mapName(Regs, R.Dst);
+  if (!R.Loc.empty())
+    R.Loc = mapName(Locs, R.Loc);
+  R.Val = renameExpr(R.Val, Regs);
+  R.Cond = renameExpr(R.Cond, Regs);
+  for (Stmt &T : R.Then)
+    T = renameStmt(T, Regs, Locs);
+  for (Stmt &T : R.Else)
+    T = renameStmt(T, Regs, Locs);
+  return R;
+}
+
+Predicate renamePredicate(const Predicate &P, const NameMap &ThreadMap,
+                          const std::map<std::string, NameMap> &RegMaps,
+                          const NameMap &Locs) {
+  Predicate R = P;
+  if (R.K == Predicate::Kind::Atom) {
+    if (R.A.K == PredAtom::Kind::RegEq) {
+      auto It = RegMaps.find(R.A.Thread);
+      if (It != RegMaps.end())
+        R.A.Name = mapName(It->second, R.A.Name);
+      R.A.Thread = mapName(ThreadMap, R.A.Thread);
+    } else {
+      R.A.Name = mapName(Locs, R.A.Name);
+    }
+    return R;
+  }
+  for (Predicate &Op : R.Ops)
+    Op = renamePredicate(Op, ThreadMap, RegMaps, Locs);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Thread ordering: sort by a name-free structural body signature, then
+// brute-force permutations only within groups of identical signatures.
+//===----------------------------------------------------------------------===//
+
+void dumpExpr(const Expr &E, std::string &Out) {
+  switch (E.K) {
+  case Expr::Kind::Imm:
+    Out += "#" + E.Imm.toString();
+    return;
+  case Expr::Kind::Reg:
+    Out += "$" + E.RegName;
+    return;
+  case Expr::Kind::Add:
+    Out += "+";
+    break;
+  case Expr::Kind::Sub:
+    Out += "-";
+    break;
+  case Expr::Kind::Xor:
+    Out += "^";
+    break;
+  case Expr::Kind::And:
+    Out += "&";
+    break;
+  }
+  Out += "(";
+  for (const Expr &Op : E.Ops)
+    dumpExpr(Op, Out);
+  Out += ")";
+}
+
+void dumpStmts(const std::vector<Stmt> &Body, std::string &Out) {
+  for (const Stmt &S : Body) {
+    Out += std::to_string(int(S.K)) + ":" + std::to_string(int(S.Order)) + ":";
+    Out += S.Dst + ":" + S.Loc + ":";
+    if (S.K == Stmt::Kind::Rmw)
+      Out += std::to_string(int(S.Rmw)) + ":";
+    dumpExpr(S.Val, Out);
+    if (S.K == Stmt::Kind::If) {
+      dumpExpr(S.Cond, Out);
+      Out += "{";
+      dumpStmts(S.Then, Out);
+      Out += "}{";
+      dumpStmts(S.Else, Out);
+      Out += "}";
+    }
+    Out += ";";
+  }
+}
+
+/// All permutations of thread indices that respect the signature sort: the
+/// sorted order, with every within-group ordering of equal signatures.
+/// Capped to keep pathological corpora (many identical bodies) cheap; if
+/// capped, canonicalization stays deterministic but permutation invariance
+/// degrades to "conservative" (fewer duplicates detected, never a wrong
+/// merge).
+std::vector<std::vector<size_t>>
+threadOrderCandidates(const std::vector<std::string> &Sigs) {
+  std::vector<size_t> Sorted(Sigs.size());
+  std::iota(Sorted.begin(), Sorted.end(), size_t(0));
+  std::stable_sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+    return Sigs[A] < Sigs[B];
+  });
+
+  std::vector<std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    if (I == 0 || Sigs[Sorted[I]] != Sigs[Sorted[I - 1]])
+      Groups.emplace_back();
+    Groups.back().push_back(Sorted[I]);
+  }
+
+  constexpr size_t kMaxCandidates = 1024;
+  std::vector<std::vector<size_t>> Out;
+  Out.push_back({});
+  for (std::vector<size_t> &G : Groups) {
+    std::sort(G.begin(), G.end());
+    std::vector<std::vector<size_t>> Next;
+    do {
+      for (const std::vector<size_t> &Prefix : Out) {
+        std::vector<size_t> P = Prefix;
+        P.insert(P.end(), G.begin(), G.end());
+        Next.push_back(std::move(P));
+        if (Next.size() > kMaxCandidates)
+          break;
+      }
+    } while (Next.size() <= kMaxCandidates &&
+             std::next_permutation(G.begin(), G.end()));
+    Out = std::move(Next);
+    if (Out.size() > kMaxCandidates) {
+      Out.resize(1); // deterministic fallback: sorted order only
+      break;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+CanonResult canonicalizeTest(const LitmusTest &T) {
+  // Locations: positional, declaration order is kept (it fixes addresses).
+  NameMap LocMap;
+  std::vector<std::pair<std::string, std::string>> LocPairs;
+  for (size_t I = 0; I < T.Locations.size(); ++I) {
+    std::string Canon = "v" + std::to_string(I);
+    LocMap.emplace(T.Locations[I].Name, Canon);
+    LocPairs.emplace_back(T.Locations[I].Name, Canon);
+  }
+
+  // Registers: per thread, independent of any thread ordering.
+  std::map<std::string, RegNamer> Namers;
+  for (const Thread &Th : T.Threads)
+    touchStmts(Th.Body, Namers[Th.Name]);
+  touchPredicate(T.Final.P, Namers);
+
+  // Renamed bodies and their name-free signatures.
+  std::vector<std::vector<Stmt>> Bodies(T.Threads.size());
+  std::vector<std::string> Sigs(T.Threads.size());
+  for (size_t I = 0; I < T.Threads.size(); ++I) {
+    const NameMap &Regs = Namers[T.Threads[I].Name].map();
+    for (const Stmt &S : T.Threads[I].Body)
+      Bodies[I].push_back(renameStmt(S, Regs, LocMap));
+    dumpStmts(Bodies[I], Sigs[I]);
+  }
+
+  // Try every signature-respecting thread order; keep the smallest text.
+  std::map<std::string, NameMap> RegMaps;
+  for (auto &[Name, Namer] : Namers)
+    RegMaps.emplace(Name, Namer.map());
+
+  CanonResult Best;
+  std::vector<size_t> BestPerm;
+  for (const std::vector<size_t> &Perm : threadOrderCandidates(Sigs)) {
+    NameMap ThreadMap;
+    for (size_t Pos = 0; Pos < Perm.size(); ++Pos)
+      ThreadMap.emplace(T.Threads[Perm[Pos]].Name, "P" + std::to_string(Pos));
+
+    LitmusTest C;
+    C.Name = "canon";
+    C.Locations = T.Locations;
+    for (size_t I = 0; I < C.Locations.size(); ++I)
+      C.Locations[I].Name = LocPairs[I].second;
+    for (size_t Pos = 0; Pos < Perm.size(); ++Pos) {
+      Thread Th;
+      Th.Name = "P" + std::to_string(Pos);
+      Th.Body = Bodies[Perm[Pos]];
+      C.Threads.push_back(std::move(Th));
+    }
+    C.Final.Q = T.Final.Q;
+    C.Final.P = renamePredicate(T.Final.P, ThreadMap, RegMaps, LocMap);
+
+    std::string Text = printLitmusC(C);
+    if (Best.Text.empty() || Text < Best.Text) {
+      Best.Canon = std::move(C);
+      Best.Text = std::move(Text);
+      BestPerm = Perm;
+    }
+  }
+
+  Best.Key = hashText(Best.Text);
+  std::vector<size_t> PosOf(BestPerm.size());
+  for (size_t Pos = 0; Pos < BestPerm.size(); ++Pos)
+    PosOf[BestPerm[Pos]] = Pos;
+  for (size_t I = 0; I < T.Threads.size(); ++I)
+    Best.Maps.Threads.emplace_back(T.Threads[I].Name,
+                                   "P" + std::to_string(PosOf[I]));
+  Best.Maps.Locs = std::move(LocPairs);
+  for (const auto &[Name, Namer] : Namers)
+    Best.Maps.Regs.emplace(Name, Namer.order());
+  return Best;
+}
+
+std::string CanonRenaming::renameKey(const std::string &Key) const {
+  if (Key.size() >= 2 && Key.front() == '[' && Key.back() == ']') {
+    auto It = Locs.find(Key.substr(1, Key.size() - 2));
+    return It == Locs.end() ? Key : "[" + It->second + "]";
+  }
+  size_t C = Key.find(':');
+  if (C == std::string::npos)
+    return Key;
+  std::string Thread = Key.substr(0, C);
+  std::string Reg = Key.substr(C + 1);
+  auto TIt = Threads.find(Thread);
+  if (TIt == Threads.end())
+    return Key;
+  auto RIt = Regs.find(Thread);
+  if (RIt != Regs.end()) {
+    auto It = RIt->second.find(Reg);
+    if (It != RIt->second.end())
+      Reg = It->second;
+  }
+  return TIt->second + ":" + Reg;
+}
+
+Outcome CanonRenaming::renameOutcome(const Outcome &O) const {
+  Outcome R;
+  for (const auto &[Key, V] : O.entries())
+    R.set(renameKey(Key.str()), V);
+  return R;
+}
+
+OutcomeSet CanonRenaming::renameOutcomeSet(const OutcomeSet &S) const {
+  OutcomeSet R;
+  for (const Outcome &O : S)
+    R.insert(renameOutcome(O));
+  return R;
+}
+
+CanonRenaming composeRenaming(const CanonResult &Rep, const CanonResult &Dup) {
+  CanonRenaming R;
+
+  // canonical name -> duplicate original name.
+  NameMap DupThreadInv, DupLocInv;
+  for (const auto &[Orig, Canon] : Dup.Maps.Threads)
+    DupThreadInv.emplace(Canon, Orig);
+  for (const auto &[Orig, Canon] : Dup.Maps.Locs)
+    DupLocInv.emplace(Canon, Orig);
+
+  for (const auto &[Orig, Canon] : Rep.Maps.Threads) {
+    auto It = DupThreadInv.find(Canon);
+    R.Threads.emplace(Orig, It == DupThreadInv.end() ? Orig : It->second);
+  }
+  for (const auto &[Orig, Canon] : Rep.Maps.Locs) {
+    auto It = DupLocInv.find(Canon);
+    R.Locs.emplace(Orig, It == DupLocInv.end() ? Orig : It->second);
+  }
+
+  for (const auto &[RepThread, RepRegs] : Rep.Maps.Regs) {
+    auto TIt = R.Threads.find(RepThread);
+    if (TIt == R.Threads.end())
+      continue;
+    auto DIt = Dup.Maps.Regs.find(TIt->second);
+    if (DIt == Dup.Maps.Regs.end())
+      continue;
+    NameMap DupRegInv; // canonical register -> duplicate original register
+    for (const auto &[Orig, Canon] : DIt->second)
+      DupRegInv.emplace(Canon, Orig);
+    std::map<std::string, std::string> &Out = R.Regs[RepThread];
+    for (const auto &[Orig, Canon] : RepRegs) {
+      auto It = DupRegInv.find(Canon);
+      Out.emplace(Orig, It == DupRegInv.end() ? Orig : It->second);
+    }
+  }
+  return R;
+}
+
+} // namespace telechat

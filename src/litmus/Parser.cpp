@@ -177,9 +177,14 @@ bool classifyType(const std::string &Name, IntType &Ty, bool &Atomic) {
       {"atomic_uint", {{32, false}, true}},
       {"atomic_long", {{64, true}, true}},
       {"atomic_llong", {{64, true}, true}},
+      {"atomic_ulong", {{64, false}, true}},
+      {"atomic_ullong", {{64, false}, true}},
       {"atomic_char", {{8, true}, true}},
+      {"atomic_uchar", {{8, false}, true}},
       {"atomic_short", {{16, true}, true}},
+      {"atomic_ushort", {{16, false}, true}},
       {"atomic_int128", {{128, true}, true}},
+      {"atomic_uint128", {{128, false}, true}},
   };
   auto It = Table.find(Name);
   if (It == Table.end())

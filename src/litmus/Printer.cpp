@@ -30,6 +30,27 @@ std::string telechat::printExpr(const Expr &E) {
 
 namespace {
 
+/// C11 spelling of an atomic location's type. Widths are part of a
+/// test's identity (stores truncate to the declared type), so the
+/// printed form must not collapse them: diy-gen output is the corpus
+/// interchange format and canonical identity (litmus/Canon.h) keys off
+/// this text.
+std::string atomicCName(IntType Ty) {
+  switch (Ty.Bits) {
+  case 8:
+    return Ty.Signed ? "atomic_char" : "atomic_uchar";
+  case 16:
+    return Ty.Signed ? "atomic_short" : "atomic_ushort";
+  case 32:
+    return Ty.Signed ? "atomic_int" : "atomic_uint";
+  case 64:
+    return Ty.Signed ? "atomic_long" : "atomic_ulong";
+  case 128:
+    return Ty.Signed ? "atomic_int128" : "atomic_uint128";
+  }
+  return "atomic_int";
+}
+
 void printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
   std::string Pad(Indent, ' ');
   switch (S.K) {
@@ -93,11 +114,8 @@ std::string telechat::printLitmusC(const LitmusTest &Test) {
   for (const LocDecl &L : Test.Locations) {
     if (L.Const)
       Out += "const ";
-    if (!(L.Type == IntType{32, true}) || !L.Atomic) {
-      Out += L.Atomic && L.Type == IntType{32, true}
-                 ? ""
-                 : (L.Atomic ? "atomic_int " : L.Type.cName() + " ");
-    }
+    if (!(L.Type == IntType{32, true}) || !L.Atomic)
+      Out += (L.Atomic ? atomicCName(L.Type) : L.Type.cName()) + " ";
     Out += strFormat("*%s = %s; ", L.Name.c_str(), L.Init.toString().c_str());
   }
   Out += "}\n";

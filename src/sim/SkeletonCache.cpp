@@ -1,0 +1,273 @@
+//===--- SkeletonCache.cpp - Cross-test per-combo artifact cache ----------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SkeletonCache.h"
+
+#include "cat/Ast.h"
+#include "cat/Eval.h"
+#include "sim/Program.h"
+
+namespace telechat {
+namespace simcore {
+
+namespace {
+
+/// Two decorrelated FNV-1a accumulators; the same construction as the
+/// litmus CanonKey so both identities have 128-bit collision margins.
+struct Fnv2 {
+  uint64_t Lo = 14695981039346656037ull;
+  uint64_t Hi = 0x27d4eb2f165667c5ull;
+
+  void byte(uint8_t B) {
+    Lo = (Lo ^ B) * 1099511628211ull;
+    Hi = (Hi * 0x100000001b3ull) ^ (B + 0x9e3779b97f4a7c15ull);
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      byte(uint8_t(V >> (I * 8)));
+  }
+  void b(bool V) { byte(V ? 1 : 0); }
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char C : S)
+      byte(uint8_t(C));
+  }
+};
+
+/// Register names -> first-occurrence indices, one namespace per thread.
+class RegIndex {
+public:
+  uint64_t of(const std::string &Name) {
+    if (Name.empty())
+      return ~uint64_t(0);
+    auto [It, New] = Map.emplace(Name, Map.size());
+    (void)New;
+    return It->second;
+  }
+
+private:
+  std::map<std::string, uint64_t> Map;
+};
+
+void hashExpr(Fnv2 &H, const Expr &E, RegIndex &Regs) {
+  H.byte(uint8_t(E.K));
+  H.u64(E.Imm.Lo);
+  H.u64(E.Imm.Hi);
+  H.u64(Regs.of(E.RegName));
+  H.u64(E.Ops.size());
+  for (const Expr &Op : E.Ops)
+    hashExpr(H, Op, Regs);
+}
+
+void hashTags(Fnv2 &H, const std::set<std::string> &Tags) {
+  H.u64(Tags.size());
+  for (const std::string &T : Tags)
+    H.str(T); // Memory-order tags: never renamed.
+}
+
+void hashCatExpr(Fnv2 &H, const CatExpr &E) {
+  H.byte(uint8_t(E.K));
+  H.str(E.Name);
+  H.u64(E.Ops.size());
+  for (const CatExpr &Op : E.Ops)
+    hashCatExpr(H, Op);
+}
+
+} // namespace
+
+void hashSimProgram(const SimProgram &Prog, uint64_t &Hi, uint64_t &Lo) {
+  Fnv2 H;
+
+  // Locations by declaration index (which also fixes their simulated
+  // addresses, so index-equal locations behave identically).
+  std::map<std::string, uint64_t> LocIdx;
+  H.u64(Prog.Locations.size());
+  for (const SimLoc &L : Prog.Locations) {
+    LocIdx.emplace(L.Name, LocIdx.size());
+    H.u64(L.Type.Bits);
+    H.b(L.Type.Signed);
+    H.b(L.Const);
+    H.u64(L.Init.Lo);
+    H.u64(L.Init.Hi);
+  }
+  auto hashLocRef = [&](const std::string &Name) {
+    auto It = LocIdx.find(Name);
+    if (It != LocIdx.end()) {
+      H.byte(1);
+      H.u64(It->second);
+    } else {
+      // Unknown symbol: hash the raw name. Conservative -- renamed
+      // variants then hash apart (a missed reuse, never a wrong one).
+      H.byte(2);
+      H.str(Name);
+    }
+  };
+  for (const SimLoc &L : Prog.Locations)
+    if (!L.InitAddrOf.empty())
+      hashLocRef(L.InitAddrOf);
+    else
+      H.byte(0);
+
+  // Threads in order (thread order fixes event numbering); names dropped,
+  // registers as per-thread first-occurrence indices.
+  H.u64(Prog.Threads.size());
+  for (const SimThread &T : Prog.Threads) {
+    RegIndex Regs;
+    H.u64(T.Paths.size());
+    for (const SimPath &P : T.Paths) {
+      H.u64(P.Ops.size());
+      for (const SimOp &Op : P.Ops) {
+        H.byte(uint8_t(Op.K));
+        H.u64(Regs.of(Op.Dst));
+        H.u64(Regs.of(Op.Dst2));
+        if (Op.Addr.isStatic())
+          hashLocRef(Op.Addr.Sym);
+        else {
+          H.byte(3);
+          H.u64(Regs.of(Op.Addr.Reg));
+        }
+        H.u64(uint64_t(Op.Addr.Off));
+        hashExpr(H, Op.Val, Regs);
+        hashExpr(H, Op.ValHi, Regs);
+        H.b(Op.Is128);
+        if (!Op.Sym.empty())
+          hashLocRef(Op.Sym);
+        else
+          H.byte(0);
+        H.byte(uint8_t(Op.RmwOp));
+        H.b(Op.Exclusive);
+        H.u64(Op.StatusSuccess);
+        H.b(Op.NoRet);
+        H.b(Op.ConstraintNonZero);
+        hashTags(H, Op.Tags);
+        hashTags(H, Op.WTags);
+      }
+    }
+  }
+  // Name, Observed, ObservedLocs and Final are deliberately excluded:
+  // no cached artifact depends on them (outcome keys are rebuilt per
+  // test from the live program).
+  Hi = H.Hi;
+  Lo = H.Lo;
+}
+
+uint64_t hashCatModel(const CatModel &Model) {
+  Fnv2 H;
+  H.str(Model.Name);
+  H.u64(Model.Stmts.size());
+  for (const CatStmt &S : Model.Stmts) {
+    H.byte(uint8_t(S.K));
+    H.u64(S.Bindings.size());
+    for (const CatBinding &B : S.Bindings) {
+      H.str(B.Name);
+      hashCatExpr(H, B.Body);
+    }
+    H.byte(uint8_t(S.Check.T));
+    H.b(S.Check.Negated);
+    H.b(S.Check.IsFlag);
+    H.str(S.Check.Name);
+    hashCatExpr(H, S.Check.E);
+  }
+  return H.Hi ^ H.Lo;
+}
+
+SkeletonCache &SkeletonCache::instance() {
+  static SkeletonCache Cache;
+  return Cache;
+}
+
+void SkeletonCache::setCapacity(size_t N) {
+  std::lock_guard<std::mutex> Lock(M);
+  Capacity = N;
+  if (Capacity == 0) {
+    Map.clear();
+    Lru.clear();
+    return;
+  }
+  evictOverCapacityLocked(nullptr);
+}
+
+size_t SkeletonCache::capacity() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Capacity;
+}
+
+size_t SkeletonCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Map.size();
+}
+
+void SkeletonCache::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Map.clear();
+  Lru.clear();
+}
+
+uint64_t SkeletonCache::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return NextSeq;
+}
+
+std::shared_ptr<const SkelCacheEntry>
+SkeletonCache::lookup(const SkelCacheKey &K, uint64_t Snapshot,
+                      std::shared_ptr<const CatStableLayer> &Layer) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(K);
+  if (It == Map.end() || It->second.Seq >= Snapshot) {
+    // Entries inserted after the run's snapshot are invisible to it:
+    // every worker of the run agrees on hit/miss per combo.
+    Layer = nullptr;
+    return nullptr;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  Layer = It->second.Layer;
+  return It->second.Data;
+}
+
+uint64_t SkeletonCache::insert(const SkelCacheKey &K,
+                               std::shared_ptr<SkelCacheEntry> E) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Capacity == 0)
+    return 0;
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    // First insert wins; concurrent same-shape runs re-derive identical
+    // artifacts anyway. Keep the entry warm.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return 0;
+  }
+  Node N;
+  N.Data = std::move(E);
+  N.Seq = NextSeq++;
+  Lru.push_front(K);
+  N.LruIt = Lru.begin();
+  Map.emplace(K, std::move(N));
+  uint64_t Evicted = 0;
+  evictOverCapacityLocked(&Evicted);
+  return Evicted;
+}
+
+void SkeletonCache::publishLayer(const SkelCacheKey &K,
+                                 std::shared_ptr<const CatStableLayer> Layer) {
+  if (!Layer)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(K);
+  if (It != Map.end() && !It->second.Layer)
+    It->second.Layer = std::move(Layer);
+}
+
+void SkeletonCache::evictOverCapacityLocked(uint64_t *Evicted) {
+  while (Map.size() > Capacity && !Lru.empty()) {
+    Map.erase(Lru.back());
+    Lru.pop_back();
+    if (Evicted)
+      ++*Evicted;
+  }
+}
+
+} // namespace simcore
+} // namespace telechat

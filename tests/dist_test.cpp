@@ -28,6 +28,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -1206,6 +1208,222 @@ TEST(LoopbackCampaignTest, FinishesWhenLastWorkerDiesAfterFinalResult) {
   EXPECT_EQ(Report.Results.size(), Tests.size());
   EXPECT_TRUE(Report.Results[0].SourceSim.ok());
   EXPECT_TRUE(Report.Results[1].SourceSim.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus dedupe (canonical duplicates answered by representatives)
+//===----------------------------------------------------------------------===//
+
+void dupExpr(Expr &E) {
+  if (E.K == Expr::Kind::Reg)
+    E.RegName += "_c";
+  for (Expr &Op : E.Ops)
+    dupExpr(Op);
+}
+
+void dupBody(std::vector<Stmt> &Body) {
+  for (Stmt &S : Body) {
+    if (!S.Dst.empty())
+      S.Dst += "_c";
+    if (!S.Loc.empty())
+      S.Loc += "_c";
+    dupExpr(S.Val);
+    dupExpr(S.Cond);
+    dupBody(S.Then);
+    dupBody(S.Else);
+  }
+}
+
+void dupPred(Predicate &P) {
+  if (P.K == Predicate::Kind::Atom) {
+    P.A.Name += "_c";
+    if (P.A.K == PredAtom::Kind::RegEq)
+      P.A.Thread += "_c";
+  }
+  for (Predicate &Op : P.Ops)
+    dupPred(Op);
+}
+
+/// A canonical duplicate of \p T: every location, thread and register
+/// renamed (and, with \p SwapThreads, the thread order reversed) -- a
+/// different test textually, the same test canonically.
+LitmusTest renamedDup(const LitmusTest &T, bool SwapThreads) {
+  LitmusTest D = T;
+  D.Name = T.Name + "-c";
+  for (LocDecl &L : D.Locations)
+    L.Name += "_c";
+  for (Thread &Th : D.Threads) {
+    Th.Name += "_c";
+    dupBody(Th.Body);
+  }
+  dupPred(D.Final.P);
+  if (SwapThreads)
+    std::reverse(D.Threads.begin(), D.Threads.end());
+  return D;
+}
+
+std::vector<CampaignConfig> simOnlyConfig() {
+  CampaignConfig Config;
+  Config.SimulateOnly = true;
+  Config.Opts.SourceModel = "rc11";
+  return {Config};
+}
+
+TEST(DedupeCampaignTest, ServedDuplicatesAreSynthesizedNotExecuted) {
+  // Corpus: three base tests plus three renamed duplicates (one with
+  // its threads reordered). With Dedupe on, the server serves one unit
+  // per canonical class and synthesizes each duplicate's result by
+  // renaming its representative's -- the worker never sees them.
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB"),
+                                   classicTest("LB")};
+  Tests.push_back(renamedDup(Tests[0], /*SwapThreads=*/false));
+  Tests.push_back(renamedDup(Tests[1], /*SwapThreads=*/true));
+  Tests.push_back(renamedDup(Tests[2], /*SwapThreads=*/false));
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+
+  // Undeduped reference: every unit executed for real.
+  std::vector<TelechatResult> Ref;
+  for (const CampaignUnit &U : Units)
+    Ref.push_back(runCampaignUnit(U, Configs));
+
+  WorkServerOptions SOpts;
+  SOpts.Dedupe = true;
+  WorkServer Server(Units, Configs, SOpts);
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  ErrorOr<WorkerRunStats> Stats =
+      runCampaignWorker("127.0.0.1", Port, WOpts);
+  Srv.join();
+
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_EQ(Stats->UnitsCompleted, 3u) << "duplicates must not be served";
+  EXPECT_EQ(Report.DedupedUnits, 3u);
+  ASSERT_EQ(Report.Results.size(), Tests.size());
+  for (size_t I = 0; I != Tests.size(); ++I)
+    expectUnitIdentical(Ref[I], Report.Results[I], Tests[I].Name);
+}
+
+TEST(DedupeCampaignTest, LocalDedupeJsonByteIdentical) {
+  // The local driver's wrapper source: duplicates are skipped during
+  // the run and answered afterwards by renaming the representative's
+  // result -- and the merged campaign JSON is byte-identical to the
+  // run that executed everything.
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB")};
+  Tests.push_back(renamedDup(Tests[0], /*SwapThreads=*/false));
+  Tests.push_back(renamedDup(Tests[1], /*SwapThreads=*/false));
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+
+  std::vector<TelechatResult> Undeduped(Units.size());
+  {
+    VectorUnitSource Source(Units);
+    ThreadPool Pool(2);
+    runCampaignUnits(Source, Configs, Pool,
+                     [&](const CampaignUnit &U, TelechatResult R) {
+                       Undeduped[U.Id] = std::move(R);
+                     });
+  }
+
+  std::vector<TelechatResult> Deduped(Units.size());
+  std::atomic<unsigned> Executed{0};
+  VectorUnitSource Source(Units);
+  DedupingUnitSource Stream(Source);
+  {
+    ThreadPool Pool(2);
+    runCampaignUnits(Stream, Configs, Pool,
+                     [&](const CampaignUnit &U, TelechatResult R) {
+                       ++Executed;
+                       Deduped[U.Id] = std::move(R);
+                     });
+  }
+  ASSERT_EQ(Stream.duplicates().size(), 2u);
+  for (const DedupingUnitSource::Dup &D : Stream.duplicates())
+    Deduped[D.Id] = renameTelechatResult(Deduped[D.RepId], D.Renaming);
+  EXPECT_EQ(Executed.load(), 2u);
+  EXPECT_EQ(campaignResultsJson(Units, Configs, Deduped),
+            campaignResultsJson(Units, Configs, Undeduped));
+}
+
+TEST(DedupeCampaignTest, ResumeWithDedupeDoesNotReserveReplayedDuplicates) {
+  // The dedupe x journal hazard: a journal may already hold a
+  // duplicate's (synthesized) result. On resume that unit must merge
+  // as a replay -- not be parked, not be served, not be synthesized a
+  // second time -- while duplicates of still-journalled representatives
+  // keep synthesizing. The final report stays byte-identical to the
+  // uninterrupted undeduped run.
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB")};
+  Tests.push_back(renamedDup(Tests[0], /*SwapThreads=*/false)); // unit 2
+  Tests.push_back(renamedDup(Tests[1], /*SwapThreads=*/false)); // unit 3
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+
+  std::vector<TelechatResult> Ref;
+  for (const CampaignUnit &U : Units)
+    Ref.push_back(runCampaignUnit(U, Configs));
+  std::string RefJson = campaignResultsJson(Units, Configs, Ref);
+
+  // A crashed deduping server's journal: the representative (unit 0)
+  // and its synthesized duplicate (unit 2); nothing about SB.
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Corpus;
+  Spec.Units = Units;
+  std::string Path = tmpJournalPath("dedupe_resume");
+  {
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, Configs), "");
+    ASSERT_TRUE(W.appendResult(0, Ref[0]));
+    ASSERT_TRUE(W.appendResult(2, Ref[2]));
+  }
+
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  JournalWriter Appender;
+  ASSERT_EQ(Appender.openAppend(Path, J->ValidBytes), "");
+  WorkServerOptions SOpts;
+  SOpts.Dedupe = true;
+  WorkServer Server(J->Spec.makeSource(), J->Configs, SOpts);
+  Server.setJournal(&Appender);
+  Server.preloadResults(std::move(J->Results));
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  ErrorOr<WorkerRunStats> Stats =
+      runCampaignWorker("127.0.0.1", Port, WOpts);
+  Srv.join();
+  Appender.close();
+
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  // Units 0 and 2 replay from the journal; only unit 1 (SB) is served;
+  // unit 3 is synthesized off its completion.
+  EXPECT_EQ(Report.ReplayedResults, 2u);
+  EXPECT_EQ(Report.DedupedUnits, 1u);
+  EXPECT_EQ(Stats->UnitsCompleted, 1u);
+  ASSERT_EQ(Report.Results.size(), Units.size());
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, J->Configs,
+                                Report.Results),
+            RefJson);
+
+  // Synthesized results are journaled too: the journal now covers the
+  // whole campaign and a second resume completes with no workers.
+  ErrorOr<JournalContents> Full = readJournal(Path);
+  ASSERT_TRUE(Full.hasValue()) << Full.error();
+  EXPECT_EQ(Full->Results.size(), Units.size());
+  WorkServer Idle(Full->Spec.makeSource(), Full->Configs, SOpts);
+  Idle.preloadResults(std::move(Full->Results));
+  ASSERT_EQ(Idle.start(), "");
+  CampaignReport IdleReport = Idle.run(); // Must return, not block.
+  EXPECT_EQ(IdleReport.ReplayedResults, Units.size());
+  EXPECT_EQ(campaignResultsJson(IdleReport.UnitsMeta, Full->Configs,
+                                IdleReport.Results),
+            RefJson);
 }
 
 TEST(JournalCampaignTest, StaleReplaysAreCountedAndDropped) {

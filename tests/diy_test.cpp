@@ -318,6 +318,32 @@ TEST(ConfigTest, C11SuiteCoversTableIIIConstructs) {
   EXPECT_TRUE(Unsigned8);
 }
 
+TEST(ConfigTest, SuiteRoundTripsThroughPrinterWithTypes) {
+  // The c11 suite varies location types; diy-gen output is the corpus
+  // interchange format, so the printed form must preserve them. (The
+  // printer used to collapse every atomic type to atomic_int, silently
+  // merging the suite's width variants once reparsed from a corpus.)
+  SuiteConfig C = SuiteConfig::c11();
+  C.Limit = 120;
+  bool SawNonDefault = false;
+  for (const LitmusTest &T : generateSuite(C)) {
+    std::string Printed = printLitmusC(T);
+    ErrorOr<LitmusTest> Reparsed = parseLitmusC(Printed);
+    ASSERT_TRUE(Reparsed.hasValue()) << T.Name << ": " << Reparsed.error();
+    EXPECT_EQ(printLitmusC(*Reparsed), Printed) << T.Name;
+    ASSERT_EQ(Reparsed->Locations.size(), T.Locations.size()) << T.Name;
+    for (size_t I = 0; I != T.Locations.size(); ++I) {
+      EXPECT_TRUE(Reparsed->Locations[I].Type == T.Locations[I].Type)
+          << T.Name << ": location " << T.Locations[I].Name;
+      EXPECT_EQ(Reparsed->Locations[I].Atomic, T.Locations[I].Atomic)
+          << T.Name << ": location " << T.Locations[I].Name;
+      if (!(T.Locations[I].Type == IntType{32, true}))
+        SawNonDefault = true;
+    }
+  }
+  EXPECT_TRUE(SawNonDefault) << "suite slice never exercised a typed decl";
+}
+
 TEST(ConfigTest, NamesAreUnique) {
   SuiteConfig C = SuiteConfig::c11();
   C.Limit = 400;

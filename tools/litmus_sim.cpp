@@ -49,11 +49,11 @@ static void usage() {
           "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
           "[--gen-count <n>] [--model <m>]\n"
           "                  [--campaign-json <f>] [--engine-json <f>] "
-          "[--journal <f>] [--resume]\n"
+          "[--journal <f>] [--resume] [--dedupe]\n"
           "                  [--bind <addr>] [--lease-timeout <s>] "
           "[--batch <n>] [--verbose]   (shared with telechat --serve)\n"
           "       litmus-sim --work <host:port> [-j <n>] [--batch <n>] "
-          "[--max-units <n>]\n"
+          "[--max-units <n>] [--skel-cache <n>]\n"
           "  -j <n>          enumeration worker threads (0 = all hardware "
           "threads; default 1)\n"
           "  --backend <b>   consistency engine: sweep (explicit enumeration,\n"
@@ -63,7 +63,11 @@ static void usage() {
           "  --no-prune      disable rf value-constraint pruning\n"
           "  --no-transform  prune with the copy-chain-only abstract "
           "domain (no arithmetic transforms)\n"
-          "  --no-cat-cache  disable incremental Cat evaluation\n");
+          "  --no-cat-cache  disable incremental Cat evaluation\n"
+          "  --dedupe        serve one unit per canonical test shape and\n"
+          "                  rename its result onto the duplicates\n"
+          "  --skel-cache <n> cache per-combo skeletons across tests\n"
+          "                  (entries; 0 disables; campaign/worker modes)\n");
 }
 
 int main(int argc, char **argv) {
@@ -175,7 +179,8 @@ int main(int argc, char **argv) {
   if (Stats) {
     printf("Time %s %.4f (backend=%s paths=%llu rf=%llu consistent=%llu "
            "co=%llu allowed=%llu rf-sources-pruned=%llu (copy=%llu "
-           "xform=%llu) rf-pruned=%llu cat-evals-avoided=%llu)\n",
+           "xform=%llu) rf-pruned=%llu cat-evals-avoided=%llu "
+           "skel-hits=%llu skel-misses=%llu skel-evictions=%llu)\n",
            Program.Name.c_str(), R.Stats.Seconds,
            backendUsedName(R.Stats.BackendUsed),
            static_cast<unsigned long long>(R.Stats.PathCombos),
@@ -187,7 +192,10 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(R.Stats.RfSourcesPrunedCopy),
            static_cast<unsigned long long>(R.Stats.RfSourcesPrunedXform),
            static_cast<unsigned long long>(R.Stats.RfPruned),
-           static_cast<unsigned long long>(R.Stats.CatEvalsAvoided));
+           static_cast<unsigned long long>(R.Stats.CatEvalsAvoided),
+           static_cast<unsigned long long>(R.Stats.SkelCacheHits),
+           static_cast<unsigned long long>(R.Stats.SkelCacheMisses),
+           static_cast<unsigned long long>(R.Stats.SkelCacheEvictions));
     if (R.Stats.BackendUsed == uint8_t(SimBackendKind::Solve))
       printf("Solver %s (decisions=%llu propagations=%llu conflicts=%llu "
              "clauses=%llu)\n",

@@ -93,6 +93,12 @@ static void usage() {
           "                       spec + every accepted result\n"
           "  --resume             (--serve) replay --journal, re-serve\n"
           "                       only incomplete units\n"
+          "  --dedupe             execute one unit per canonical test\n"
+          "                       shape (litmus/Canon.h) and rename its\n"
+          "                       result onto the duplicates\n"
+          "  --skel-cache <n>     cache per-combo skeletons across tests\n"
+          "                       (entries; 0 = off; --campaign executes\n"
+          "                       locally, --work caches in the worker)\n"
           "  --bind <addr>        listen address (default 127.0.0.1)\n"
           "  --lease-timeout <s>  re-issue stalled leases (default 120)\n"
           "  --batch <n>          max units per Work frame / request\n"
