@@ -199,6 +199,44 @@ BENCHMARK(BM_EnumerationFeatures)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
+/// Explore-oracle convergence: outcomes discovered vs iteration budget
+/// on the 4-thread IRIW shape, with the exhaustive sweep's set size as
+/// the asymptote (`exhaustive`). Exported to the bench JSON so
+/// coverage-per-budget trends are diffable across commits; a reported
+/// outcome outside the exhaustive set fails the run.
+void BM_ExploreBudgetSweep(benchmark::State &State) {
+  SimProgram P = lowerLitmusC(classicTest("IRIW"));
+  SimResult Sweep = simulateProgram(P, "rc11");
+  SimOptions Opts;
+  Opts.Backend = SimBackendKind::Explore;
+  Opts.ExploreIterations = uint64_t(State.range(0));
+  SimStats Last;
+  size_t Outcomes = 0;
+  for (auto _ : State) {
+    SimResult R = simulateProgram(P, "rc11", Opts);
+    for (const Outcome &O : R.Allowed)
+      if (!Sweep.Allowed.count(O)) {
+        State.SkipWithError("explore reported an outcome outside the "
+                            "exhaustive set");
+        return;
+      }
+    Last = R.Stats;
+    Outcomes = R.Allowed.size();
+    benchmark::DoNotOptimize(R.Allowed.size());
+  }
+  State.counters["outcomes"] = double(Outcomes);
+  State.counters["exhaustive"] = double(Sweep.Allowed.size());
+  State.counters["explore_iterations"] = double(Last.ExploreIterations);
+  State.counters["explore_schedules"] = double(Last.ExploreSchedules);
+}
+BENCHMARK(BM_ExploreBudgetSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
 /// The distributed campaign corpus: a diy-generated slice plus classics,
 /// sized so one loopback campaign takes fractions of a second.
 std::vector<LitmusTest> distCorpus() {
@@ -441,6 +479,46 @@ int main(int argc, char **argv) {
              Same ? "identical" : "DIFFERENT!");
     }
     printf("-> distributed merge bit-identical to the local driver: %s\n",
+           Identical ? "yes" : "NO (BUG)");
+  }
+
+  // Explore oracle: the sound-subset gate on the bench workloads, plus
+  // convergence on IRIW within the default budget (the same contracts
+  // tests/explore_test.cpp pins on 200 generated seeds).
+  {
+    printf("\nexplore-oracle coverage (default iteration budget):\n");
+    struct Workload {
+      const char *Name;
+      SimProgram Prog;
+      bool MustConverge;
+    };
+    std::vector<Workload> Ws;
+    Ws.push_back({"IRIW", lowerLitmusC(classicTest("IRIW")), true});
+    Ws.push_back({"4-thread rc11 sweep", scalabilityProgram(), false});
+    for (Workload &C : Ws) {
+      SimResult Sweep = simulateProgram(C.Prog, "rc11");
+      SimOptions Opts;
+      Opts.Backend = SimBackendKind::Explore;
+      SimResult Exp = simulateProgram(C.Prog, "rc11", Opts);
+      bool Subset = true;
+      for (const Outcome &O : Exp.Allowed)
+        Subset = Subset && Sweep.Allowed.count(O) != 0;
+      bool Ok = Subset &&
+                (!C.MustConverge || Exp.Allowed == Sweep.Allowed);
+      Identical = Identical && Ok;
+      printf("  %-24s %zu/%zu outcomes, %llu schedules in %llu "
+             "iterations  %s\n",
+             C.Name, Exp.Allowed.size(), Sweep.Allowed.size(),
+             static_cast<unsigned long long>(Exp.Stats.ExploreSchedules),
+             static_cast<unsigned long long>(Exp.Stats.ExploreIterations),
+             !Subset ? "UNSOUND!"
+                     : Ok ? (Exp.Allowed.size() == Sweep.Allowed.size()
+                                 ? "converged"
+                                 : "sound subset")
+                          : "NOT CONVERGED");
+    }
+    printf("-> explore outcomes provably within the exhaustive sets: "
+           "%s\n",
            Identical ? "yes" : "NO (BUG)");
   }
 

@@ -12,6 +12,14 @@
 /// differences on racy source tests are undefined behaviour and filtered
 /// (paper §IV-D).
 ///
+/// Subset mode: when the target side ran under the dynamic exploration
+/// oracle (SimStats::BackendUsed == Explore), its outcome set is a
+/// sound *subset* of the target's true set. A positive difference is
+/// still a bug report -- every explored outcome is real -- but a
+/// strict inclusion the other way is a *coverage gap* (the iteration
+/// budget may simply not have reached the missing outcomes), not
+/// evidence the compiled test lost behaviours.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TELECHAT_CORE_MCOMPARE_H
@@ -31,6 +39,10 @@ struct CompareResult {
     Equal,    ///< Same outcome sets over the common observation domain.
     Negative, ///< outcomes(C) strictly included in outcomes(S).
     Positive, ///< outcomes(C) not included in outcomes(S): bug candidate.
+    /// Strict inclusion under a dynamic (explore-backend) target: the
+    /// missing outcomes may be iteration-budget under-coverage, not a
+    /// behaviour the compiled test lost. Reported, never a failure.
+    CoverageGap,
   };
   Kind K = Kind::Equal;
   /// Compiled outcomes (source vocabulary) missing from the source set.

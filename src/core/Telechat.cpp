@@ -37,8 +37,16 @@ TelechatResult telechat::runTelechat(const LitmusTest &S, const Profile &P,
   R.OptAsm = O.OptimiseCompiled ? optimiseAsmLitmus(*Parsed, &R.OptStats)
                                 : std::move(*Parsed);
 
-  // Step 3: simulate S under the source model.
-  R.SourceSim = simulateC(R.Prepared, O.SourceModel, O.Sim);
+  // Step 3: simulate S under the source model. The source side is the
+  // comparison oracle, so it always runs exhaustively: a dynamic
+  // (explore) selection or an ExploreBudget reroute applies to the
+  // *target* only. A sound-subset source set would turn explore
+  // under-coverage into positive differences, i.e. false bug reports.
+  SimOptions SourceSim = O.Sim;
+  if (SourceSim.Backend == SimBackendKind::Explore)
+    SourceSim.Backend = SimBackendKind::Auto;
+  SourceSim.ExploreBudget = 0;
+  R.SourceSim = simulateC(R.Prepared, O.SourceModel, SourceSim);
   if (!R.SourceSim.ok()) {
     R.Error = "source simulation: " + R.SourceSim.Error;
     return R;

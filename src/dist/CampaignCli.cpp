@@ -224,9 +224,16 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
       ConfigFlagsSet = true;
     } else if (Arg == "--backend") {
       if (!(V = Next()) || !backendFromName(V, Options.Sim.Backend)) {
-        fprintf(stderr, "error: --backend expects sweep|solve|auto\n");
+        fprintf(stderr, "error: --backend expects sweep|solve|auto|explore\n");
         return 1;
       }
+      ConfigFlagsSet = true;
+    } else if (Arg == "--explore-budget") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Options.Sim.ExploreBudget = strtoull(V, nullptr, 0);
       ConfigFlagsSet = true;
     } else if (Arg == "--no-prune") {
       Options.Sim.RfValuePruning = false;

@@ -91,7 +91,8 @@ void appendSimSide(std::string &J, const SimResult &R) {
       "\"skel_cache_evictions\": %llu, "
       "\"backend\": \"%s\", \"solve_decisions\": %llu, "
       "\"solve_propagations\": %llu, \"solve_conflicts\": %llu, "
-      "\"solve_clauses\": %llu}",
+      "\"solve_clauses\": %llu, \"explore_iterations\": %llu, "
+      "\"explore_schedules\": %llu, \"explore_outcomes_found\": %llu}",
       static_cast<unsigned long long>(R.Stats.PathCombos),
       static_cast<unsigned long long>(R.Stats.RfCandidates),
       static_cast<unsigned long long>(R.Stats.ValueConsistent),
@@ -109,7 +110,10 @@ void appendSimSide(std::string &J, const SimResult &R) {
       static_cast<unsigned long long>(R.Stats.SolveDecisions),
       static_cast<unsigned long long>(R.Stats.SolvePropagations),
       static_cast<unsigned long long>(R.Stats.SolveConflicts),
-      static_cast<unsigned long long>(R.Stats.SolveClauses));
+      static_cast<unsigned long long>(R.Stats.SolveClauses),
+      static_cast<unsigned long long>(R.Stats.ExploreIterations),
+      static_cast<unsigned long long>(R.Stats.ExploreSchedules),
+      static_cast<unsigned long long>(R.Stats.ExploreOutcomesFound));
   J += "}";
 }
 
@@ -127,6 +131,8 @@ std::string telechat::campaignVerdict(const TelechatResult &R) {
     return "negative";
   case CompareResult::Kind::Positive:
     return R.Compare.SourceRace ? "racy-positive" : "bug";
+  case CompareResult::Kind::CoverageGap:
+    return "coverage-gap";
   }
   return "error";
 }
@@ -201,6 +207,33 @@ std::string telechat::campaignEngineJson(const CampaignReport &Report) {
   J += strFormat("  \"stale_replays\": %llu,\n",
                  static_cast<unsigned long long>(Report.StaleReplays));
   J += "  \"error\": " + quoted(Report.Error) + ",\n";
+  // The budget-split coverage summary: which units the campaign ran
+  // dynamically (--backend explore or an --explore-budget reroute) and
+  // how much schedule exploration they consumed. A unit counts as
+  // explored when either simulated side ran the explore backend.
+  {
+    uint64_t ExploredUnits = 0, ExhaustiveUnits = 0;
+    uint64_t Iters = 0, Schedules = 0, CoverageGaps = 0;
+    for (const TelechatResult &R : Report.Results) {
+      const bool Dyn =
+          R.SourceSim.Stats.BackendUsed == uint8_t(SimBackendKind::Explore) ||
+          R.TargetSim.Stats.BackendUsed == uint8_t(SimBackendKind::Explore);
+      (Dyn ? ExploredUnits : ExhaustiveUnits) += 1;
+      Iters += R.SourceSim.Stats.ExploreIterations +
+               R.TargetSim.Stats.ExploreIterations;
+      Schedules += R.SourceSim.Stats.ExploreSchedules +
+                   R.TargetSim.Stats.ExploreSchedules;
+      CoverageGaps += R.Compare.K == CompareResult::Kind::CoverageGap;
+    }
+    J += strFormat("  \"explore\": {\"explored_units\": %llu, "
+                   "\"exhaustive_units\": %llu, \"iterations\": %llu, "
+                   "\"schedules\": %llu, \"coverage_gaps\": %llu},\n",
+                   static_cast<unsigned long long>(ExploredUnits),
+                   static_cast<unsigned long long>(ExhaustiveUnits),
+                   static_cast<unsigned long long>(Iters),
+                   static_cast<unsigned long long>(Schedules),
+                   static_cast<unsigned long long>(CoverageGaps));
+  }
   J += "  \"workers\": [\n";
   for (size_t I = 0; I != Report.Workers.size(); ++I) {
     const WorkerTelemetry &W = Report.Workers[I];

@@ -262,6 +262,10 @@ void telechat::encodeSimOptions(WireBuffer &B, const SimOptions &O) {
   B.appendBool(O.RfTransformDomain);
   B.appendBool(O.IncrementalCatEval);
   B.appendU8(uint8_t(O.Backend));
+  B.appendU64(O.ExploreIterations);
+  B.appendU64(O.ExploreSeed);
+  B.appendU32(O.ExploreMaxContextSwitches);
+  B.appendU64(O.ExploreBudget);
 }
 
 bool telechat::decodeSimOptions(WireCursor &C, SimOptions &O) {
@@ -273,7 +277,13 @@ bool telechat::decodeSimOptions(WireCursor &C, SimOptions &O) {
   O.RfValuePruning = C.readBool();
   O.RfTransformDomain = C.readBool();
   O.IncrementalCatEval = C.readBool();
-  return readEnum(C, O.Backend, uint8_t(SimBackendKind::Auto));
+  if (!readEnum(C, O.Backend, uint8_t(SimBackendKind::Explore)))
+    return false;
+  O.ExploreIterations = C.readU64();
+  O.ExploreSeed = C.readU64();
+  O.ExploreMaxContextSwitches = C.readU32();
+  O.ExploreBudget = C.readU64();
+  return C.ok();
 }
 
 void telechat::encodeTestOptions(WireBuffer &B, const TestOptions &O) {
@@ -385,6 +395,9 @@ void telechat::encodeSimStats(WireBuffer &B, const SimStats &S) {
   B.appendU64(S.SkelCacheHits);
   B.appendU64(S.SkelCacheMisses);
   B.appendU64(S.SkelCacheEvictions);
+  B.appendU64(S.ExploreIterations);
+  B.appendU64(S.ExploreSchedules);
+  B.appendU64(S.ExploreOutcomesFound);
   B.appendU8(S.BackendUsed);
   B.appendF64(S.Seconds);
 }
@@ -407,9 +420,14 @@ bool telechat::decodeSimStats(WireCursor &C, SimStats &S) {
   S.SkelCacheHits = C.readU64();
   S.SkelCacheMisses = C.readU64();
   S.SkelCacheEvictions = C.readU64();
+  S.ExploreIterations = C.readU64();
+  S.ExploreSchedules = C.readU64();
+  S.ExploreOutcomesFound = C.readU64();
+  // Any byte is accepted: BackendUsed is descriptive, not dispatched
+  // on, and a blob from a newer peer must not be rejected for having
+  // run an engine this build does not know. backendUsedName() renders
+  // unrecognised values as "unknown".
   S.BackendUsed = C.readU8();
-  if (!C.ok() || S.BackendUsed > uint8_t(SimBackendKind::Solve))
-    return false;
   S.Seconds = C.readF64();
   return C.ok();
 }
@@ -482,7 +500,7 @@ void telechat::encodeCompareResult(WireBuffer &B, const CompareResult &R) {
 }
 
 bool telechat::decodeCompareResult(WireCursor &C, CompareResult &R) {
-  if (!readEnum(C, R.K, uint8_t(CompareResult::Kind::Positive)))
+  if (!readEnum(C, R.K, uint8_t(CompareResult::Kind::CoverageGap)))
     return false;
   uint32_t NWit = C.readCount(4);
   R.Witnesses.resize(NWit);

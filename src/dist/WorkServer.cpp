@@ -383,6 +383,23 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
       dropConn(Slot);
     return;
   }
+  // Canonical-class-aware scheduling: under --dedupe only class
+  // representatives reach Pending, and completing one synthesizes every
+  // duplicate parked behind it. Leasing the representatives with the
+  // most parked duplicates first turns each completion into the largest
+  // possible batch of synthesized results early in the campaign. The
+  // merge is keyed by unit id, so serve order is a latency heuristic
+  // only -- results stay byte-identical to FIFO order.
+  if (Opts.Dedupe && Pending.size() > 1)
+    std::sort(Pending.begin(), Pending.end(),
+              [this](uint64_t A, uint64_t B) {
+                auto DA = DupsOf.find(A), DB = DupsOf.find(B);
+                size_t NA = DA == DupsOf.end() ? 0 : DA->second.size();
+                size_t NB = DB == DupsOf.end() ? 0 : DB->second.size();
+                if (NA != NB)
+                  return NA > NB;
+                return A < B; // Corpus order within a class-size tier.
+              });
   std::vector<uint64_t> Batch;
   while (Batch.size() < Max && !Pending.empty()) {
     uint64_t Id = Pending.front();

@@ -1,0 +1,44 @@
+//===--- Explorer.h - Dynamic scheduler-exploration oracle ------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explore backend's entry point (SimBackendKind::Explore): a
+/// relacy-style dynamic oracle for programs whose candidate space is
+/// too large to enumerate exhaustively. Per path combo, the program is
+/// executed ExploreIterations times under an instrumented cooperative
+/// scheduler (seeded pseudo-random schedules with a context-switch
+/// bound, interleaved with systematic round-robin ones); each load
+/// draws its reads-from source from a per-atomic visibility history
+/// that offers stale-but-legal stores, not just the latest one. Every
+/// distinct complete rf assignment a schedule reaches is then
+/// validated through the *exhaustive* per-assignment machinery
+/// (sim/EnumCore.h: value-resolution fixpoint, full coherence
+/// enumeration, Cat filtering), so the reported outcome set is a sound
+/// subset of the sweep's by construction -- exploration only chooses
+/// which assignments to try, never what is allowed. Callers should use
+/// sim/Backend.h's simulate() rather than naming this directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_EXPLORE_EXPLORER_H
+#define TELECHAT_EXPLORE_EXPLORER_H
+
+#include "sim/Enumerator.h"
+
+namespace telechat {
+
+/// Runs \p Program under \p Model with the dynamic exploration engine.
+/// The result's Allowed/Flags are a sound subset of what
+/// enumerateExecutions would report (equal once the iteration budget
+/// covers the whole reachable space); the Explore* counters in
+/// SimStats report coverage. Deterministic for fixed options,
+/// regardless of SimOptions::Jobs.
+SimResult exploreExecutions(const SimProgram &Program, const CatModel &Model,
+                            const SimOptions &Options = SimOptions());
+
+} // namespace telechat
+
+#endif // TELECHAT_EXPLORE_EXPLORER_H

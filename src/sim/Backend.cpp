@@ -6,6 +6,7 @@
 
 #include "sim/Backend.h"
 
+#include "explore/Explorer.h"
 #include "sim/EnumCore.h"
 #include "solve/Solver.h"
 
@@ -33,6 +34,15 @@ public:
   }
 };
 
+class ExploreBackend final : public SimBackend {
+public:
+  const char *name() const override { return "explore"; }
+  SimResult run(const SimProgram &Program, const CatModel &Model,
+                const SimOptions &Options) const override {
+    return exploreExecutions(Program, Model, Options);
+  }
+};
+
 } // namespace
 
 const SimBackend &telechat::sweepBackend() {
@@ -42,6 +52,11 @@ const SimBackend &telechat::sweepBackend() {
 
 const SimBackend &telechat::solveBackend() {
   static const SolveBackend B;
+  return B;
+}
+
+const SimBackend &telechat::exploreBackend() {
+  static const ExploreBackend B;
   return B;
 }
 
@@ -94,9 +109,12 @@ const SimBackend &telechat::resolveBackend(SimBackendKind Kind,
   case SimBackendKind::Solve:
     return solveBackend();
   case SimBackendKind::Auto:
+    // Never Explore: Auto promises the exhaustive set, just cheaper.
     return estimatedRfSpace(Program) >= kAutoSolveThreshold
                ? solveBackend()
                : sweepBackend();
+  case SimBackendKind::Explore:
+    return exploreBackend();
   }
   return sweepBackend();
 }
@@ -109,6 +127,8 @@ bool telechat::backendFromName(const std::string &Name,
     Out = SimBackendKind::Solve;
   else if (Name == "auto")
     Out = SimBackendKind::Auto;
+  else if (Name == "explore")
+    Out = SimBackendKind::Explore;
   else
     return false;
   return true;
@@ -122,16 +142,35 @@ const char *telechat::backendName(SimBackendKind Kind) {
     return "solve";
   case SimBackendKind::Auto:
     return "auto";
+  case SimBackendKind::Explore:
+    return "explore";
   }
   return "sweep";
 }
 
 const char *telechat::backendUsedName(uint8_t Used) {
-  return Used == uint8_t(SimBackendKind::Solve) ? "solve" : "sweep";
+  switch (SimBackendKind(Used)) {
+  case SimBackendKind::Sweep:
+    return "sweep";
+  case SimBackendKind::Solve:
+    return "solve";
+  case SimBackendKind::Explore:
+    return "explore";
+  case SimBackendKind::Auto:
+    break; // Resolves before any run: as unknown as a future byte.
+  }
+  return "unknown";
 }
 
 SimResult telechat::simulate(const SimProgram &Program, const CatModel &Model,
                              const SimOptions &Options) {
+  // The campaign budget split: estimatedRfSpace is a pure function of
+  // the program, so local drivers, workers and journal replays all
+  // reroute the same units.
+  if (Options.ExploreBudget != 0 &&
+      Options.Backend != SimBackendKind::Explore &&
+      estimatedRfSpace(Program) >= Options.ExploreBudget)
+    return exploreBackend().run(Program, Model, Options);
   return resolveBackend(Options.Backend, Program)
       .run(Program, Model, Options);
 }

@@ -7,15 +7,20 @@
 /// \file
 /// The backend seam: simulate() is the one entry point that runs a
 /// SimProgram under a Cat model, dispatching on SimOptions::Backend to
-/// a SimBackend implementation -- the explicit sweep (Enumerator.cpp)
-/// or the constraint solver (solve/Solver.h). Both produce
-/// byte-identical outcomes, flags and collected executions on
-/// completed runs (the backend only changes how the candidate space is
-/// covered), so callers pick by cost profile, or pass Auto and let the
-/// estimated rf-space size decide. Everything above this header
+/// a SimBackend implementation -- the explicit sweep (Enumerator.cpp),
+/// the constraint solver (solve/Solver.h), or the dynamic exploration
+/// oracle (explore/Explorer.h). Sweep and solve produce byte-identical
+/// outcomes, flags and collected executions on completed runs (the
+/// backend only changes how the candidate space is covered); explore
+/// reports a sound *subset* of that set within its iteration budget.
+/// Callers pick by cost profile, or pass Auto and let the estimated
+/// rf-space size decide (Auto never picks explore: an unsound-by-
+/// omission oracle is an explicit opt-in, per flag or per
+/// SimOptions::ExploreBudget). Everything above this header
 /// (Simulator.h, batch drivers, campaigns, journal replay) is
 /// backend-agnostic; nothing outside the engines should name
-/// enumerateExecutions() or solveExecutions() directly.
+/// enumerateExecutions(), solveExecutions() or exploreExecutions()
+/// directly.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +49,9 @@ public:
 const SimBackend &sweepBackend();
 /// The constraint-solver backend (wraps solve/Solver.h).
 const SimBackend &solveBackend();
+/// The dynamic exploration oracle (wraps explore/Explorer.h). Sound
+/// subset semantics: see SimBackendKind::Explore.
+const SimBackend &exploreBackend();
 
 /// Upper bound on the enumerated space (path combos x rf assignments),
 /// saturating at UINT64_MAX: combos times (writes upper bound raised
@@ -57,23 +65,31 @@ uint64_t estimatedRfSpace(const SimProgram &Program);
 /// only constraint pruning has a chance of finishing within budget.
 constexpr uint64_t kAutoSolveThreshold = uint64_t(1) << 20;
 
-/// Resolves a backend selection against a program: Sweep and Solve map
-/// to their engines, Auto by estimatedRfSpace vs kAutoSolveThreshold.
+/// Resolves a backend selection against a program: Sweep, Solve and
+/// Explore map to their engines, Auto by estimatedRfSpace vs
+/// kAutoSolveThreshold (never to explore; see the file comment).
 const SimBackend &resolveBackend(SimBackendKind Kind,
                                  const SimProgram &Program);
 
-/// Parses a --backend value ("sweep" | "solve" | "auto"); false and
-/// \p Out untouched on anything else.
+/// Parses a --backend value ("sweep" | "solve" | "auto" | "explore");
+/// false and \p Out untouched on anything else.
 bool backendFromName(const std::string &Name, SimBackendKind &Out);
 
-/// Display name of a selection ("sweep" / "solve" / "auto").
+/// Display name of a selection ("sweep" / "solve" / "auto" /
+/// "explore").
 const char *backendName(SimBackendKind Kind);
-/// Display name of SimStats::BackendUsed ("sweep" / "solve"; Auto
-/// resolves before a run, so it never appears here).
+/// Display name of SimStats::BackendUsed ("sweep" / "solve" /
+/// "explore"; Auto resolves before a run, so it never appears here).
+/// Any other byte -- a stats blob from a newer peer -- names itself
+/// "unknown" rather than aliasing a real engine.
 const char *backendUsedName(uint8_t Used);
 
 /// Simulates \p Program under \p Model with the backend selected by
 /// \p Options.Backend. SimStats::BackendUsed records which engine ran.
+/// When Options.ExploreBudget is nonzero and the selection is not
+/// already Explore, programs whose estimatedRfSpace() reaches the
+/// budget are rerouted to the explore backend -- the campaign budget
+/// split (see SimOptions::ExploreBudget).
 SimResult simulate(const SimProgram &Program, const CatModel &Model,
                    const SimOptions &Options = SimOptions());
 

@@ -1197,6 +1197,8 @@ telechat::simcore::mergeResults(const std::vector<ComboWorker *> &Workers,
     R.Stats.SolvePropagations += WRes.Stats.SolvePropagations;
     R.Stats.SolveConflicts += WRes.Stats.SolveConflicts;
     R.Stats.SolveClauses += WRes.Stats.SolveClauses;
+    R.Stats.ExploreIterations += WRes.Stats.ExploreIterations;
+    R.Stats.ExploreSchedules += WRes.Stats.ExploreSchedules;
     R.Stats.SkelCacheHits += WRes.Stats.SkelCacheHits;
     R.Stats.SkelCacheMisses += WRes.Stats.SkelCacheMisses;
     R.Stats.SkelCacheEvictions += WRes.Stats.SkelCacheEvictions;

@@ -59,6 +59,14 @@ enum class SimBackendKind : uint8_t {
   /// Pick per program by estimated rf-space size (sim/Backend.h):
   /// small spaces sweep, explosion-prone ones solve.
   Auto = 2,
+  /// The dynamic exploration oracle (src/explore/): runs the program
+  /// under an instrumented cooperative scheduler with iteration- and
+  /// context-switch-bounded search and per-atomic visibility-history
+  /// tracking. Unlike the other backends it reports a sound *subset*
+  /// of the exhaustive outcome set (every reported outcome is in it;
+  /// some may be missed within budget) -- the only backend for which
+  /// the byte-identity contract is relaxed to subset inclusion.
+  Explore = 3,
 };
 
 /// Budgets and collection knobs for one simulation.
@@ -115,7 +123,33 @@ struct SimOptions {
   /// unit of work (rf indexes drawn for the sweep, decisions for the
   /// solver), so a budget-bounded run may complete under one backend
   /// and time out under the other -- that asymmetry is the point.
+  /// Backend::Explore relaxes the identity contract to subset
+  /// inclusion: its outcome set is always contained in the exhaustive
+  /// one, but may be smaller (see SimBackendKind::Explore).
   SimBackendKind Backend = SimBackendKind::Sweep;
+  /// Scheduled iterations per path combo for the explore backend. Each
+  /// iteration runs the program once under one schedule; distinct rf
+  /// assignments discovered across iterations are validated through the
+  /// exhaustive per-assignment machinery, so raising the budget widens
+  /// coverage without ever admitting an unsound outcome.
+  uint64_t ExploreIterations = 512;
+  /// Seed of the deterministic per-iteration PRNG. The schedule of
+  /// iteration i of combo c is a pure function of (seed, c, i), so
+  /// explore results are bit-identical across Jobs values and runs.
+  uint64_t ExploreSeed = 1;
+  /// Preemption bound for the randomized schedules (even iterations): a
+  /// schedule may switch away from a runnable thread at most this many
+  /// times before degenerating to run-to-completion. Small bounds focus
+  /// iterations on the low-preemption schedules where most weak-memory
+  /// bugs live (the CHESS observation); 0 means unpreempted only.
+  unsigned ExploreMaxContextSwitches = 8;
+  /// Campaign budget split: when nonzero and Backend is not Explore,
+  /// simulate() reroutes programs whose estimatedRfSpace() is at least
+  /// this to the explore backend -- exhaustive work for small spaces,
+  /// bounded dynamic coverage where enumeration would time out. A pure
+  /// function of the program, so every party of a distributed campaign
+  /// splits identically. 0 (default) disables the split.
+  uint64_t ExploreBudget = 0;
 };
 
 /// Counters for one simulation run. All counters except Seconds are
@@ -180,9 +214,25 @@ struct SimStats {
   /// Nogood clauses in play: pair constraints compiled up front plus
   /// support nogoods learned from violated checks during search.
   uint64_t SolveClauses = 0;
-  /// Which backend actually ran (SimBackendKind::Sweep or ::Solve;
-  /// Auto resolves before the run). Reported per unit in stats lines
-  /// and campaign JSON so mixed-backend campaigns stay attributable.
+  // --- Explore-only work counters (src/explore/; zero elsewhere).
+  // Deterministic for a fixed (program, model, options) regardless of
+  // Jobs: per-combo work is a pure function of (seed, combo, i).
+  /// Scheduled program executions attempted, summed over path combos
+  /// (aborted-stuck iterations included: they spent the schedule).
+  uint64_t ExploreIterations = 0;
+  /// Distinct complete rf assignments the schedules reached -- the
+  /// exploration's effective coverage currency. Compare against
+  /// RfCandidates (the assignments actually validated) and the sweep's
+  /// space to see how much of it the scheduler found.
+  uint64_t ExploreSchedules = 0;
+  /// Outcomes in the reported (sound-subset) set; stamped post-merge so
+  /// subset-mode consumers can read coverage without the outcome set.
+  uint64_t ExploreOutcomesFound = 0;
+  /// Which backend actually ran (SimBackendKind::Sweep, ::Solve or
+  /// ::Explore; Auto resolves before the run). Reported per unit in
+  /// stats lines and campaign JSON so mixed-backend campaigns stay
+  /// attributable -- and so subset-mode comparison (core/MCompare.h)
+  /// knows the target set is a sound subset, not the full set.
   uint8_t BackendUsed = 0;
   double Seconds = 0.0;
 };

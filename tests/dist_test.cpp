@@ -24,6 +24,7 @@
 #include "diy/Classics.h"
 #include "diy/Generator.h"
 #include "litmus/Printer.h"
+#include "sim/Backend.h"
 #include "sim/Simulator.h"
 
 #include <gtest/gtest.h>
@@ -232,20 +233,30 @@ TEST(SerializeTest, CampaignConfigRoundTrips) {
 
 TEST(SerializeTest, SimOptionsBackendRoundTripsAndRejectsHostile) {
   SimOptions O;
-  O.Backend = SimBackendKind::Auto;
+  O.Backend = SimBackendKind::Explore;
   O.Jobs = 3;
+  O.ExploreIterations = 4096;
+  O.ExploreSeed = 99;
+  O.ExploreMaxContextSwitches = 5;
+  O.ExploreBudget = 1u << 20;
   WireBuffer B;
   encodeSimOptions(B, O);
   WireCursor C(B.data(), B.size());
   SimOptions Out;
   ASSERT_TRUE(decodeSimOptions(C, Out));
   EXPECT_EQ(C.remaining(), 0u);
-  EXPECT_EQ(Out.Backend, SimBackendKind::Auto);
+  EXPECT_EQ(Out.Backend, SimBackendKind::Explore);
   EXPECT_EQ(Out.Jobs, 3u);
-  // The backend selector is the trailing byte; anything past Auto is
-  // hostile (a newer peer would have bumped WireVersion instead).
+  EXPECT_EQ(Out.ExploreIterations, 4096u);
+  EXPECT_EQ(Out.ExploreSeed, 99u);
+  EXPECT_EQ(Out.ExploreMaxContextSwitches, 5u);
+  EXPECT_EQ(Out.ExploreBudget, 1u << 20);
+  // The backend selector sits before the four explore knobs
+  // (u64 + u64 + u32 + u64 = 28 trailing bytes); anything past Explore
+  // is hostile (a newer peer would have bumped WireVersion instead).
   std::vector<uint8_t> Bytes(B.data(), B.data() + B.size());
-  Bytes.back() = 3;
+  ASSERT_GT(Bytes.size(), 29u);
+  Bytes[Bytes.size() - 29] = 4;
   WireCursor Bad(Bytes.data(), Bytes.size());
   EXPECT_FALSE(decodeSimOptions(Bad, Out));
 }
@@ -258,6 +269,9 @@ TEST(SerializeTest, SimStatsSolverCountersRoundTripAndRejectHostile) {
   S.SolvePropagations = 13;
   S.SolveConflicts = 17;
   S.SolveClauses = 19;
+  S.ExploreIterations = 23;
+  S.ExploreSchedules = 29;
+  S.ExploreOutcomesFound = 31;
   S.BackendUsed = uint8_t(SimBackendKind::Solve);
   S.Seconds = 1.5;
   WireBuffer B;
@@ -272,14 +286,27 @@ TEST(SerializeTest, SimStatsSolverCountersRoundTripAndRejectHostile) {
   EXPECT_EQ(Out.SolvePropagations, 13u);
   EXPECT_EQ(Out.SolveConflicts, 17u);
   EXPECT_EQ(Out.SolveClauses, 19u);
+  EXPECT_EQ(Out.ExploreIterations, 23u);
+  EXPECT_EQ(Out.ExploreSchedules, 29u);
+  EXPECT_EQ(Out.ExploreOutcomesFound, 31u);
   EXPECT_EQ(Out.BackendUsed, uint8_t(SimBackendKind::Solve));
   EXPECT_EQ(Out.Seconds, 1.5);
-  // BackendUsed sits just before the trailing f64; Auto resolves
-  // before any run, so only sweep/solve are valid on the wire.
+  // BackendUsed sits just before the trailing f64. It is descriptive,
+  // not dispatched on: a byte this build does not know (a stats blob
+  // from a newer peer with another engine) must decode, not fail --
+  // and must *render* as "unknown" rather than aliasing a real engine
+  // (or reading out of a name table).
   std::vector<uint8_t> Bytes(B.data(), B.data() + B.size());
-  Bytes[Bytes.size() - 9] = uint8_t(SimBackendKind::Auto);
-  WireCursor Bad(Bytes.data(), Bytes.size());
-  EXPECT_FALSE(decodeSimStats(Bad, Out));
+  Bytes[Bytes.size() - 9] = 0xC7;
+  WireCursor Hostile(Bytes.data(), Bytes.size());
+  SimStats HostileOut;
+  ASSERT_TRUE(decodeSimStats(Hostile, HostileOut));
+  EXPECT_EQ(HostileOut.BackendUsed, 0xC7);
+  EXPECT_STREQ(backendUsedName(HostileOut.BackendUsed), "unknown");
+  // Auto never runs, so a stats blob claiming it is equally unknown.
+  EXPECT_STREQ(backendUsedName(uint8_t(SimBackendKind::Auto)), "unknown");
+  EXPECT_STREQ(backendUsedName(uint8_t(SimBackendKind::Explore)),
+               "explore");
   // Truncation anywhere fails cleanly rather than misparsing.
   for (size_t N = 0; N < B.size(); N += 7) {
     WireCursor T(B.data(), N);
@@ -557,6 +584,74 @@ TEST(LoopbackCampaignTest, SimulateOnlyCampaignMatchesSimulateC) {
     // SimulateOnly skips the pipeline: target side stays empty.
     EXPECT_TRUE(Report.Results[I].TargetSim.Allowed.empty());
   }
+}
+
+TEST(LoopbackCampaignTest, ExploreCampaignDrillIsSoundAndAccounted) {
+  // The budget-split drill: the same corpus crossed with an exhaustive
+  // config and an explore config. The explore target must stay a sound
+  // subset of its exhaustive twin, must never report Negative (mcompare
+  // downgrades that to CoverageGap in subset mode), and the engine JSON
+  // must account both unit populations plus the schedule counters.
+  std::vector<LitmusTest> Tests;
+  for (const char *Name : {"MP", "SB", "LB", "IRIW"})
+    Tests.push_back(classicTest(Name));
+  Profile P = Profile::current(CompilerKind::Llvm, OptLevel::O2,
+                               Arch::AArch64);
+  CampaignConfig Exhaustive{P, TestOptions(), false};
+  CampaignConfig Explored = Exhaustive;
+  Explored.Opts.Sim.Backend = SimBackendKind::Explore;
+  std::vector<CampaignConfig> Configs{Exhaustive, Explored};
+  std::vector<CampaignUnit> Units =
+      makeCampaignUnits(Tests, uint32_t(Configs.size()), /*Cross=*/true);
+
+  WorkServer Server(Units, Configs, WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  std::thread W([&] { runCampaignWorker("127.0.0.1", Port, WOpts); });
+  W.join();
+  Srv.join();
+
+  ASSERT_EQ(Report.Results.size(), Units.size());
+  for (size_t T = 0; T != Tests.size(); ++T) {
+    const TelechatResult &Exh = Report.Results[T * Configs.size()];
+    const TelechatResult &Dyn = Report.Results[T * Configs.size() + 1];
+    ASSERT_EQ(Exh.Error, "") << Tests[T].Name;
+    ASSERT_EQ(Dyn.Error, "") << Tests[T].Name;
+    // The source side is the comparison oracle: never explored.
+    EXPECT_NE(Dyn.SourceSim.Stats.BackendUsed,
+              uint8_t(SimBackendKind::Explore))
+        << Tests[T].Name;
+    EXPECT_EQ(Dyn.TargetSim.Stats.BackendUsed,
+              uint8_t(SimBackendKind::Explore))
+        << Tests[T].Name;
+    EXPECT_GT(Dyn.TargetSim.Stats.ExploreIterations, 0u) << Tests[T].Name;
+    for (const Outcome &O : Dyn.TargetSim.Allowed)
+      EXPECT_TRUE(Exh.TargetSim.Allowed.count(O))
+          << Tests[T].Name << ": explore target outcome [" << O.toString()
+          << "] outside the exhaustive target set";
+    EXPECT_NE(Dyn.Compare.K, CompareResult::Kind::Negative)
+        << Tests[T].Name;
+    if (Dyn.Compare.K == CompareResult::Kind::Positive)
+      EXPECT_EQ(Exh.Compare.K, CompareResult::Kind::Positive)
+          << Tests[T].Name << ": explore invented a positive difference";
+    // Determinism gate: the distributed unit matches its local twin.
+    expectUnitIdentical(runCampaignUnit(Units[T * Configs.size() + 1],
+                                        Configs),
+                        Dyn, Tests[T].Name);
+  }
+
+  // Engine JSON splits the populations and carries live counters.
+  std::string Engine = campaignEngineJson(Report);
+  size_t At = Engine.find("\"explore\": {\"explored_units\": 4, "
+                          "\"exhaustive_units\": 4, \"iterations\": ");
+  ASSERT_NE(At, std::string::npos) << Engine;
+  std::string Tail = Engine.substr(At);
+  EXPECT_EQ(Tail.find("\"iterations\": 0,"), std::string::npos) << Engine;
+  EXPECT_NE(Tail.find("\"coverage_gaps\": "), std::string::npos);
 }
 
 TEST(LoopbackCampaignTest, EmptyCorpusFinishesWithoutWorkers) {

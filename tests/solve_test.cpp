@@ -341,14 +341,20 @@ TEST(SolveBackendTest, BackendNamesRoundTrip) {
   EXPECT_EQ(K, SimBackendKind::Auto);
   EXPECT_TRUE(backendFromName("sweep", K));
   EXPECT_EQ(K, SimBackendKind::Sweep);
+  EXPECT_TRUE(backendFromName("explore", K));
+  EXPECT_EQ(K, SimBackendKind::Explore);
+  K = SimBackendKind::Sweep;
   EXPECT_FALSE(backendFromName("dpll", K));
   EXPECT_EQ(K, SimBackendKind::Sweep); // Untouched on failure.
   for (SimBackendKind Kind : {SimBackendKind::Sweep, SimBackendKind::Solve,
-                              SimBackendKind::Auto}) {
+                              SimBackendKind::Auto,
+                              SimBackendKind::Explore}) {
     SimBackendKind Back = SimBackendKind::Auto;
     EXPECT_TRUE(backendFromName(backendName(Kind), Back));
     EXPECT_EQ(Back, Kind);
   }
   EXPECT_STREQ(backendUsedName(uint8_t(SimBackendKind::Sweep)), "sweep");
   EXPECT_STREQ(backendUsedName(uint8_t(SimBackendKind::Solve)), "solve");
+  EXPECT_STREQ(backendUsedName(uint8_t(SimBackendKind::Explore)),
+               "explore");
 }

@@ -44,8 +44,9 @@ static void usage() {
   fprintf(stderr,
           "usage: litmus-sim <test.litmus> [--model <name>] [-j <n>] "
           "[--max-steps <n>] [--dot] [--stats]\n"
-          "       [--backend sweep|solve|auto] [--no-prune] "
+          "       [--backend sweep|solve|auto|explore] [--no-prune] "
           "[--no-transform] [--no-cat-cache]\n"
+          "       [--explore-iters <n>] [--explore-seed <n>]\n"
           "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
           "[--gen-count <n>] [--model <m>]\n"
           "                  [--campaign-json <f>] [--engine-json <f>] "
@@ -59,7 +60,11 @@ static void usage() {
           "  --backend <b>   consistency engine: sweep (explicit enumeration,\n"
           "                  default), solve (constraint solver), auto\n"
           "                  (pick by estimated rf-space size); outcomes\n"
-          "                  are identical, budget/steps are not\n"
+          "                  are identical, budget/steps are not; explore\n"
+          "                  (dynamic scheduler exploration) reports a sound\n"
+          "                  *subset* within its iteration budget\n"
+          "  --explore-iters <n>  explore: schedules per path combo\n"
+          "  --explore-seed <n>   explore: PRNG seed for random schedules\n"
           "  --no-prune      disable rf value-constraint pruning\n"
           "  --no-transform  prune with the copy-chain-only abstract "
           "domain (no arithmetic transforms)\n"
@@ -86,6 +91,7 @@ int main(int argc, char **argv) {
   SimBackendKind Backend = SimBackendKind::Sweep;
   unsigned Jobs = 1;
   uint64_t MaxSteps = 0;
+  uint64_t ExploreIters = 0, ExploreSeed = 0; // 0 = SimOptions default.
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--model" && I + 1 < argc)
@@ -114,7 +120,10 @@ int main(int argc, char **argv) {
         fprintf(stderr, "error: unknown backend '%s'\n", argv[I]);
         return 1;
       }
-    }
+    } else if (Arg == "--explore-iters" && I + 1 < argc)
+      ExploreIters = strtoull(argv[++I], nullptr, 0);
+    else if (Arg == "--explore-seed" && I + 1 < argc)
+      ExploreSeed = strtoull(argv[++I], nullptr, 0);
   }
   std::ifstream In(Path);
   if (!In) {
@@ -159,6 +168,10 @@ int main(int argc, char **argv) {
   Opts.RfTransformDomain = Transform;
   Opts.IncrementalCatEval = CatCache;
   Opts.Backend = Backend;
+  if (ExploreIters)
+    Opts.ExploreIterations = ExploreIters;
+  if (ExploreSeed)
+    Opts.ExploreSeed = ExploreSeed;
   if (MaxSteps)
     Opts.MaxSteps = MaxSteps;
   SimResult R = simulateProgram(Program, Model, Opts);
@@ -204,6 +217,12 @@ int main(int argc, char **argv) {
              static_cast<unsigned long long>(R.Stats.SolvePropagations),
              static_cast<unsigned long long>(R.Stats.SolveConflicts),
              static_cast<unsigned long long>(R.Stats.SolveClauses));
+    if (R.Stats.BackendUsed == uint8_t(SimBackendKind::Explore))
+      printf("Explore %s (iterations=%llu schedules=%llu outcomes=%llu)\n",
+             Program.Name.c_str(),
+             static_cast<unsigned long long>(R.Stats.ExploreIterations),
+             static_cast<unsigned long long>(R.Stats.ExploreSchedules),
+             static_cast<unsigned long long>(R.Stats.ExploreOutcomesFound));
   }
   if (Dot)
     for (size_t I = 0; I != R.Executions.size() && I < 4; ++I)

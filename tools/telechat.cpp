@@ -59,9 +59,14 @@ static void usage() {
           "  --no-augment       disable local-variable augmentation\n"
           "  --no-optimise      disable the s2l litmus optimiser\n"
           "  --const-model      use the const-violation-flagging model\n"
-          "  --backend <b>      consistency engine: sweep | solve | auto\n"
-          "                     (auto picks by estimated rf-space size;\n"
-          "                     outcomes are backend-independent)\n"
+          "  --backend <b>      consistency engine: sweep | solve | auto |\n"
+          "                     explore (auto picks by estimated rf-space\n"
+          "                     size; sweep/solve/auto outcomes are\n"
+          "                     backend-independent; explore runs the\n"
+          "                     *compiled* side dynamically and reports a\n"
+          "                     sound subset -- see --explore-budget)\n"
+          "  --explore-budget <n>  reroute units whose estimated rf space\n"
+          "                     reaches n to the explore backend\n"
           "  --no-prune         disable rf value-constraint pruning\n"
           "  --no-transform     copy-chain-only pruning domain (no\n"
           "                     arithmetic transforms)\n"
@@ -142,9 +147,16 @@ int mainSingle(int argc, char **argv) {
     } else if (Arg == "--backend") {
       const char *V = Next();
       if (!V || !backendFromName(V, Options.Sim.Backend)) {
-        fprintf(stderr, "error: --backend expects sweep|solve|auto\n");
+        fprintf(stderr, "error: --backend expects sweep|solve|auto|explore\n");
         return 1;
       }
+    } else if (Arg == "--explore-budget") {
+      const char *V = Next();
+      if (!V) {
+        usage();
+        return 1;
+      }
+      Options.Sim.ExploreBudget = strtoull(V, nullptr, 0);
     } else if (Arg == "--no-prune") {
       Options.Sim.RfValuePruning = false;
     } else if (Arg == "--no-transform") {
@@ -254,6 +266,11 @@ int mainSingle(int argc, char **argv) {
     for (const Outcome &W : R.Compare.Witnesses)
       printf("  witness: %s\n", W.toString().c_str());
     return 2;
+  case CompareResult::Kind::CoverageGap:
+    printf("\nverdict: coverage gap (dynamic exploration reached a subset "
+           "of the source outcomes; raise the iteration budget to "
+           "distinguish under-coverage from a negative difference)\n");
+    return 0;
   }
   return 0;
 }
