@@ -18,6 +18,7 @@
 
 #include "BenchUtil.h"
 #include "diy/Classics.h"
+#include "diy/RealWorld.h"
 #include "events/Dot.h"
 #include "litmus/Parser.h"
 #include "sim/Backend.h"
@@ -301,6 +302,42 @@ BENCHMARK(BM_SkeletonCacheReuse)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
+/// Whole-family enumeration over the realworld suite: every sweep point
+/// of one family, generated and swept per iteration -- the per-family
+/// cost a `--suite realworld` campaign pays. Arg: family index into
+/// realWorldFamilies(). Exported counters carry the instance count and
+/// the summed rf work, so the bench JSON tracks corpus growth and
+/// enumeration cost per family over time.
+void BM_RealWorldFamilyEnumeration(benchmark::State &State) {
+  const std::vector<std::string> Families = realWorldFamilies();
+  const std::string &Family = Families.at(size_t(State.range(0)));
+  ErrorOr<std::vector<RealWorldCase>> Cases = realWorldFamily(Family);
+  if (!Cases.hasValue()) {
+    fprintf(stderr, "fatal: %s\n", Cases.error().c_str());
+    exit(1);
+  }
+  State.SetLabel(Family);
+  SimOptions Opts;
+  uint64_t RfCandidates = 0, Outcomes = 0;
+  for (auto _ : State) {
+    uint64_t Rf = 0, Out = 0;
+    for (const RealWorldCase &C : *Cases) {
+      SimResult R = simulateC(C.Test, "rc11", Opts);
+      Rf += R.Stats.RfCandidates;
+      Out += R.Allowed.size();
+      benchmark::DoNotOptimize(R.Allowed.size());
+    }
+    RfCandidates = Rf;
+    Outcomes = Out;
+  }
+  State.counters["instances"] = double(Cases->size());
+  State.counters["rf_candidates"] = double(RfCandidates);
+  State.counters["outcomes"] = double(Outcomes);
+}
+BENCHMARK(BM_RealWorldFamilyEnumeration)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -400,6 +437,35 @@ int main(int argc, char **argv) {
            static_cast<unsigned long long>(Seed.Stats.SkelCacheMisses),
            static_cast<unsigned long long>(Warm.Stats.SkelCacheHits));
     Identical = Identical && Same;
+  }
+
+  // Realworld suite gate: the corpus keeps its promised scale and the
+  // anchor sweep points keep their contract verdicts under both
+  // enumeration backends.
+  {
+    std::vector<RealWorldCase> Suite = realWorldSuite();
+    bool Scale = Suite.size() >= 200;
+    bool Verdicts = true;
+    SimOptions SweepO, SolveO;
+    SweepO.Backend = SimBackendKind::Sweep;
+    SolveO.Backend = SimBackendKind::Solve;
+    for (const char *Name : {"rw.spsc+pub.rel+con.acq+w32",
+                             "rw.spsc+pub.rlx+con.rlx+w32"}) {
+      LitmusTest T = realWorldTest(Name);
+      SimResult Sw = simulateC(T, "rc11", SweepO);
+      SimResult So = simulateC(T, "rc11", SolveO);
+      bool Witnessed = false;
+      for (const Outcome &O : Sw.Allowed)
+        Witnessed |= T.Final.P.eval(O);
+      bool Forbidding = std::string(Name).find("rel") != std::string::npos;
+      Verdicts = Verdicts && Sw.ok() && So.ok() &&
+                 Sw.Allowed == So.Allowed && Witnessed != Forbidding;
+    }
+    printf("realworld suite: %zu instantiations (>=200: %s), anchor "
+           "verdicts sweep==solve: %s\n",
+           Suite.size(), Scale ? "yes" : "NO!",
+           Verdicts ? "hold" : "BROKEN!");
+    Identical = Identical && Scale && Verdicts;
   }
 
   printf("\nTimed sections (google-benchmark):\n");

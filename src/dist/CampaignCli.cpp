@@ -13,6 +13,7 @@
 #include "diy/Classics.h"
 #include "diy/Config.h"
 #include "diy/Generator.h"
+#include "diy/RealWorld.h"
 #include "sim/Backend.h"
 #include "sim/SkeletonCache.h"
 #include "support/ThreadPool.h"
@@ -33,8 +34,8 @@ namespace {
 /// A corpus flag, recorded during parsing and materialised afterwards so
 /// flag order does not matter (--limit may follow --suite).
 struct CorpusSpec {
-  enum class Kind { File, Suite, Classics } K;
-  std::string Value;
+  enum class Kind { File, Suite, RealWorldSuite, Classics } K;
+  std::string Value; ///< RealWorldSuite: family name, or "" for all.
 };
 
 /// Expands the specs (in the order given) into the campaign corpus.
@@ -59,6 +60,26 @@ bool buildCorpus(const std::vector<CorpusSpec> &Specs, unsigned SuiteLimit,
       Config.Limit = SuiteLimit;
       std::vector<LitmusTest> Suite = generateSuite(Config);
       Tests.insert(Tests.end(), Suite.begin(), Suite.end());
+      break;
+    }
+    case CorpusSpec::Kind::RealWorldSuite: {
+      std::vector<LitmusTest> Suite;
+      if (Spec.Value.empty()) {
+        Suite = realWorldTests();
+      } else {
+        ErrorOr<std::vector<RealWorldCase>> Family =
+            realWorldFamily(Spec.Value);
+        if (!Family) {
+          fprintf(stderr, "error: %s\n", Family.error().c_str());
+          return false;
+        }
+        for (RealWorldCase &C : *Family)
+          Suite.push_back(std::move(C.Test));
+      }
+      if (SuiteLimit && Suite.size() > SuiteLimit)
+        Suite.resize(SuiteLimit);
+      Tests.insert(Tests.end(), std::make_move_iterator(Suite.begin()),
+                   std::make_move_iterator(Suite.end()));
       break;
     }
     case CorpusSpec::Kind::Classics:
@@ -162,10 +183,21 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
         Usage();
         return 1;
       }
-      Corpus.push_back(CorpusSpec{Arg == "--corpus"
-                                      ? CorpusSpec::Kind::File
-                                      : CorpusSpec::Kind::Suite,
-                                  V});
+      std::string Val = V;
+      if (Arg == "--suite" && Val.rfind("realworld", 0) == 0 &&
+          (Val.size() == strlen("realworld") ||
+           Val[strlen("realworld")] == ':')) {
+        std::string Family = Val.size() > strlen("realworld")
+                                 ? Val.substr(strlen("realworld") + 1)
+                                 : "";
+        Corpus.push_back(
+            CorpusSpec{CorpusSpec::Kind::RealWorldSuite, Family});
+      } else {
+        Corpus.push_back(CorpusSpec{Arg == "--corpus"
+                                        ? CorpusSpec::Kind::File
+                                        : CorpusSpec::Kind::Suite,
+                                    Val});
+      }
     } else if (Arg == "--classics") {
       Corpus.push_back(CorpusSpec{CorpusSpec::Kind::Classics, ""});
     } else if (Arg == "--gen-seed") {

@@ -1,0 +1,439 @@
+//===--- RealWorld.cpp - Real-world concurrency kernel suite --------------===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six family templates and their sweeps. Each family documents its
+/// verdict rule next to the construction; the MP-shaped families (spsc,
+/// mpmc, seqlock, dclp, flagmsg) share one exact RC11 rule: the weak
+/// outcome is forbidden iff the publishing site is a release operation
+/// (or fence) *and* the consuming site is an acquire operation (or
+/// fence); at every other sweep point the missing synchronisation edge
+/// makes it observable. Payloads are *relaxed atomics*, not plain
+/// accesses, so weak outcomes surface as outcomes instead of being
+/// masked by the data-race filter.
+///
+/// dclp and flagmsg are deliberately built through the C++ snippet
+/// frontend (litmus/Snippet.h) from order-substituted kernel templates
+/// -- the path a user adding a new kernel takes -- while the remaining
+/// families use the AST builders directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "diy/RealWorld.h"
+
+#include "litmus/Parser.h"
+#include "litmus/Snippet.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace telechat;
+
+namespace {
+
+/// One point of a per-site order sweep: the order, its name-mangling tag,
+/// and its C++ spelling for snippet templates.
+struct OrderPt {
+  MemOrder O;
+  const char *Tag;
+  const char *Cxx;
+};
+
+const OrderPt StorePts[] = {
+    {MemOrder::Relaxed, "rlx", "std::memory_order_relaxed"},
+    {MemOrder::Release, "rel", "std::memory_order_release"},
+    {MemOrder::SeqCst, "sc", "std::memory_order_seq_cst"},
+};
+const OrderPt LoadPts[] = {
+    {MemOrder::Relaxed, "rlx", "std::memory_order_relaxed"},
+    {MemOrder::Acquire, "acq", "std::memory_order_acquire"},
+    {MemOrder::SeqCst, "sc", "std::memory_order_seq_cst"},
+};
+/// Ticket-reservation RMW orders (the sites real MPMC queues sweep).
+const OrderPt TicketPts[] = {
+    {MemOrder::Relaxed, "rlx", "std::memory_order_relaxed"},
+    {MemOrder::AcqRel, "ar", "std::memory_order_acq_rel"},
+    {MemOrder::SeqCst, "sc", "std::memory_order_seq_cst"},
+};
+const OrderPt TurnPts[] = {
+    {MemOrder::Relaxed, "rlx", "std::memory_order_relaxed"},
+    {MemOrder::SeqCst, "sc", "std::memory_order_seq_cst"},
+};
+
+/// The shared MP-shape verdict: release publish + acquire consume forbids
+/// the stale read; anything weaker admits it.
+WeakStatus mpStatus(MemOrder Pub, MemOrder Con) {
+  return isRelease(Pub) && isAcquire(Con) ? WeakStatus::Forbidden
+                                          : WeakStatus::Observable;
+}
+
+[[noreturn]] void die(const std::string &Name, const std::string &Msg) {
+  fprintf(stderr, "realworld suite: %s: %s\n", Name.c_str(), Msg.c_str());
+  abort();
+}
+
+/// Attaches the exists-clause and validates; suite templates are internal,
+/// so failures abort.
+void finish(LitmusTest &T, const std::string &Exists) {
+  ErrorOr<FinalCond> F = parseFinalCondition(Exists);
+  if (!F)
+    die(T.Name, "bad final condition: " + F.error());
+  T.Final = *F;
+  if (std::string E = T.validate(); !E.empty())
+    die(T.Name, E);
+}
+
+/// Parses an internal snippet template; failures abort.
+LitmusTest snippetOrDie(const std::string &Name, const std::string &Text) {
+  ErrorOr<LitmusTest> T = parseKernelSnippet(Text);
+  if (!T)
+    die(Name, T.error());
+  T->Name = Name;
+  if (std::string E = T->validate(); !E.empty())
+    die(Name, E);
+  return *T;
+}
+
+LocDecl loc(const char *Name, unsigned Bits, uint64_t Init = 0) {
+  LocDecl L;
+  L.Name = Name;
+  L.Type = IntType{uint8_t(Bits), true};
+  L.Atomic = true;
+  L.Init = Value(Init);
+  return L;
+}
+
+std::string snippetIntType(unsigned Bits) {
+  return "int" + std::to_string(Bits) + "_t";
+}
+
+//===----------------------------------------------------------------------===//
+// spsc: single-producer single-consumer queue slot handoff
+//===----------------------------------------------------------------------===//
+//
+// The producer fills a slot then publishes the write index; the consumer
+// observes the index and reads the slot. The weak outcome -- index seen,
+// slot stale -- is the torn dequeue every SPSC ring buffer guards
+// against with a release/acquire pair on the index.
+
+void addSpsc(std::vector<RealWorldCase> &Out) {
+  for (const OrderPt &Pub : StorePts)
+    for (const OrderPt &Con : LoadPts)
+      for (unsigned W : {8u, 16u, 32u, 64u}) {
+        LitmusTest T;
+        T.Name = std::string("rw.spsc+pub.") + Pub.Tag + "+con." + Con.Tag +
+                 "+w" + std::to_string(W);
+        T.Locations = {loc("slot", W), loc("widx", 32)};
+        Thread P0{"P0",
+                  {Stmt::store("slot", Value(1), MemOrder::Relaxed),
+                   Stmt::store("widx", Value(1), Pub.O)}};
+        Thread P1{"P1", {}};
+        P1.Body.push_back(Stmt::load("r0", "widx", Con.O));
+        P1.Body.push_back(Stmt::ifNonZero(
+            Expr::reg("r0"), {Stmt::load("r1", "slot", MemOrder::Relaxed)}));
+        T.Threads = {std::move(P0), std::move(P1)};
+        finish(T, "exists (P1:r0=1 /\\ P1:r1=0)");
+        Out.push_back({std::move(T), "spsc", mpStatus(Pub.O, Con.O)});
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// mpmc: multi-producer ticket handoff
+//===----------------------------------------------------------------------===//
+//
+// Producers reserve tickets with fetch_add on a shared counter (the
+// moodycamel enqueue index idiom), then one fills its slot and publishes
+// the head -- also with an RMW, since real queues bump a commit counter.
+// The ticket order sweeps independently of the verdict: only the
+// publish/consume pair decides whether the stale slot read is forbidden.
+
+void addMpmc(std::vector<RealWorldCase> &Out) {
+  for (const OrderPt &Tkt : TicketPts)
+    for (const OrderPt &Pub : StorePts)
+      for (const OrderPt &Con : LoadPts)
+        for (unsigned W : {32u, 64u}) {
+          LitmusTest T;
+          T.Name = std::string("rw.mpmc+tkt.") + Tkt.Tag + "+pub." +
+                   Pub.Tag + "+con." + Con.Tag + "+w" + std::to_string(W);
+          T.Locations = {loc("tkt", 32), loc("data", W), loc("head", 32)};
+          Thread P0{"P0",
+                    {Stmt::rmw(RmwKind::FetchAdd, "t0", "tkt",
+                               Expr::imm(Value(1)), Tkt.O),
+                     Stmt::store("data", Value(1), MemOrder::Relaxed),
+                     Stmt::rmw(RmwKind::FetchAdd, "h0", "head",
+                               Expr::imm(Value(1)), Pub.O)}};
+          Thread P1{"P1",
+                    {Stmt::rmw(RmwKind::FetchAdd, "t1", "tkt",
+                               Expr::imm(Value(1)), Tkt.O)}};
+          Thread P2{"P2", {}};
+          P2.Body.push_back(Stmt::load("h", "head", Con.O));
+          P2.Body.push_back(Stmt::ifNonZero(
+              Expr::reg("h"), {Stmt::load("d", "data", MemOrder::Relaxed)}));
+          T.Threads = {std::move(P0), std::move(P1), std::move(P2)};
+          // Ticket uniqueness (t0 != t1) is RMW atomicity and holds at
+          // every order; the swept claim is the handoff.
+          finish(T, "exists (P2:h=1 /\\ P2:d=0)");
+          Out.push_back({std::move(T), "mpmc", mpStatus(Pub.O, Con.O)});
+        }
+}
+
+//===----------------------------------------------------------------------===//
+// seqlock: even/odd sequence counter vs snapshot readers
+//===----------------------------------------------------------------------===//
+//
+// The writer bumps seq to odd, writes, bumps to even; a reader checks seq
+// before and after its data read and retries on mismatch or odd. The weak
+// outcome is the one the check is meant to exclude: both checks see the
+// final even value (claiming a consistent snapshot) while the data read
+// is stale. Boehm's seqlock paper shows release stores on seq + acquire
+// loads in the reader forbid exactly this.
+
+void addSeqlock(std::vector<RealWorldCase> &Out) {
+  for (const OrderPt &Wr : StorePts)
+    for (const OrderPt &Rd : LoadPts)
+      for (unsigned Readers : {1u, 2u})
+        for (unsigned W : {32u, 64u}) {
+          LitmusTest T;
+          T.Name = std::string("rw.seqlock+wr.") + Wr.Tag + "+rd." +
+                   Rd.Tag + "+w" + std::to_string(W) + "+r" +
+                   std::to_string(Readers);
+          T.Locations = {loc("seq", 32), loc("data", W)};
+          Thread P0{"P0",
+                    {Stmt::store("seq", Value(1), Wr.O),
+                     Stmt::store("data", Value(1), MemOrder::Relaxed),
+                     Stmt::store("seq", Value(2), Wr.O)}};
+          T.Threads = {std::move(P0)};
+          std::string Exists;
+          for (unsigned R = 0; R != Readers; ++R) {
+            std::string P = "P" + std::to_string(R + 1);
+            Thread Rt{P,
+                      {Stmt::load("a", "seq", Rd.O),
+                       Stmt::load("d", "data", MemOrder::Relaxed),
+                       Stmt::load("b", "seq", Rd.O)}};
+            T.Threads.push_back(std::move(Rt));
+            std::string Clause =
+                "(" + P + ":a=2 /\\ " + P + ":b=2 /\\ " + P + ":d=0)";
+            Exists += (R ? " \\/ " : "") + Clause;
+          }
+          finish(T, "exists (" + Exists + ")");
+          Out.push_back({std::move(T), "seqlock", mpStatus(Wr.O, Rd.O)});
+        }
+}
+
+//===----------------------------------------------------------------------===//
+// dclp: double-checked locking publication (snippet-built)
+//===----------------------------------------------------------------------===//
+//
+// Both threads run the fast path: check the flag, and either consume the
+// payload or construct-and-publish. The weak outcome is the DCLP bug --
+// a thread sees the flag set but reads the uninitialised payload.
+
+void addDclp(std::vector<RealWorldCase> &Out) {
+  const OrderPt PayloadPts[] = {
+      {MemOrder::Relaxed, "rlx", "std::memory_order_relaxed"},
+      {MemOrder::SeqCst, "sc", "std::memory_order_seq_cst"},
+  };
+  for (const OrderPt &Pub : StorePts)
+    for (const OrderPt &Chk : LoadPts)
+      for (const OrderPt &Pl : PayloadPts)
+        for (unsigned W : {32u, 64u}) {
+          std::string Name = std::string("rw.dclp+pub.") + Pub.Tag +
+                             "+chk." + Chk.Tag + "+pl." + Pl.Tag + "+w" +
+                             std::to_string(W);
+          std::string Src;
+          Src += "std::atomic<" + snippetIntType(W) + "> payload = 0;\n";
+          Src += "std::atomic<int> flag = 0;\n";
+          for (unsigned P = 0; P != 2; ++P) {
+            std::string Pn = std::to_string(P), C = "c" + Pn, R = "p" + Pn;
+            Src += "thread P" + Pn + " {\n";
+            Src += "  int " + C + " = flag.load(" + std::string(Chk.Cxx) +
+                   ");\n";
+            Src += "  if (" + C + ") {\n";
+            Src += "    int " + R +
+                   " = payload.load(std::memory_order_relaxed);\n";
+            Src += "  } else {\n";
+            Src += "    payload.store(1, " + std::string(Pl.Cxx) + ");\n";
+            Src += "    flag.store(1, " + std::string(Pub.Cxx) + ");\n";
+            Src += "  }\n";
+            Src += "}\n";
+          }
+          Src += "exists ((P0:c0=1 && P0:p0=0) || (P1:c1=1 && P1:p1=0))\n";
+          LitmusTest T = snippetOrDie(Name, Src);
+          Out.push_back({std::move(T), "dclp", mpStatus(Pub.O, Chk.O)});
+        }
+}
+
+//===----------------------------------------------------------------------===//
+// flagmsg: flag+payload message passing, order- and fence-based
+// (snippet-built)
+//===----------------------------------------------------------------------===//
+//
+// The plain variant sweeps the orders on the flag accesses themselves;
+// the fence variant keeps every access relaxed and sweeps the orders of
+// the fences between payload and flag -- the two ways production code
+// writes the same idiom. A relaxed fence is a no-op, giving the
+// fence-variant its observable points.
+
+void addFlagMsg(std::vector<RealWorldCase> &Out) {
+  for (bool Fence : {false, true})
+    for (const OrderPt &Pub : StorePts)
+      for (const OrderPt &Con : LoadPts)
+        for (unsigned Readers : {1u, 2u})
+          for (unsigned W : {16u, 32u}) {
+            std::string Name = std::string("rw.flagmsg") +
+                               (Fence ? ".fence" : "") + "+pub." + Pub.Tag +
+                               "+con." + Con.Tag + "+w" + std::to_string(W) +
+                               "+r" + std::to_string(Readers);
+            std::string Src;
+            Src += "std::atomic<" + snippetIntType(W) + "> payload = 0;\n";
+            Src += "std::atomic<int> flag = 0;\n";
+            Src += "thread P0 {\n";
+            if (Fence) {
+              Src += "  payload.store(1, std::memory_order_relaxed);\n";
+              Src += "  std::atomic_thread_fence(" + std::string(Pub.Cxx) +
+                     ");\n";
+              Src += "  flag.store(1, std::memory_order_relaxed);\n";
+            } else {
+              Src += "  payload.store(1, std::memory_order_relaxed);\n";
+              Src += "  flag.store(1, " + std::string(Pub.Cxx) + ");\n";
+            }
+            Src += "}\n";
+            std::string Exists;
+            for (unsigned R = 0; R != Readers; ++R) {
+              std::string P = "P" + std::to_string(R + 1);
+              std::string F = "f" + std::to_string(R),
+                          D = "p" + std::to_string(R);
+              Src += "thread " + P + " {\n";
+              if (Fence) {
+                Src += "  int " + F +
+                       " = flag.load(std::memory_order_relaxed);\n";
+                Src += "  std::atomic_thread_fence(" +
+                       std::string(Con.Cxx) + ");\n";
+                Src += "  int " + D +
+                       " = payload.load(std::memory_order_relaxed);\n";
+              } else {
+                Src += "  int " + F + " = flag.load(" +
+                       std::string(Con.Cxx) + ");\n";
+                Src += "  if (" + F + ") { int " + D +
+                       " = payload.load(std::memory_order_relaxed); }\n";
+              }
+              Src += "}\n";
+              std::string Clause =
+                  "(" + P + ":" + F + "=1 && " + P + ":" + D + "=0)";
+              Exists += (R ? " || " : "") + Clause;
+            }
+            Src += "exists (" + Exists + ")\n";
+            LitmusTest T = snippetOrDie(Name, Src);
+            // Fence-to-fence synchronisation follows the same rule as
+            // order-based: a release fence before the flag store and an
+            // acquire fence after the flag load forbid the stale read.
+            Out.push_back({std::move(T), "flagmsg", mpStatus(Pub.O, Con.O)});
+          }
+}
+
+//===----------------------------------------------------------------------===//
+// peterson: Peterson's mutual exclusion entry protocol
+//===----------------------------------------------------------------------===//
+//
+// Each thread raises its flag, yields the turn, then samples the other
+// flag and the turn -- the Peterson busy-wait condition evaluated once.
+// "Both may enter" is expressed directly over the sampled values:
+// P0 enters iff flag1=0 or turn=0, P1 enters iff flag0=0 or turn=1.
+// Under seq_cst everywhere this is the textbook-correct mutex, so both
+// entering is forbidden; all-relaxed both flag loads may read the inits
+// and the violation is observable. Mixed points are left unclaimed.
+
+void addPeterson(std::vector<RealWorldCase> &Out) {
+  for (const OrderPt &Fl : StorePts)
+    for (const OrderPt &Tu : TurnPts)
+      for (const OrderPt &Ld : LoadPts) {
+        LitmusTest T;
+        T.Name = std::string("rw.peterson+flag.") + Fl.Tag + "+turn." +
+                 Tu.Tag + "+ld." + Ld.Tag;
+        T.Locations = {loc("flag0", 32), loc("flag1", 32), loc("turn", 32)};
+        Thread P0{"P0",
+                  {Stmt::store("flag0", Value(1), Fl.O),
+                   Stmt::store("turn", Value(1), Tu.O),
+                   Stmt::load("f", "flag1", Ld.O),
+                   Stmt::load("t", "turn", Ld.O)}};
+        Thread P1{"P1",
+                  {Stmt::store("flag1", Value(1), Fl.O),
+                   Stmt::store("turn", Value(0), Tu.O),
+                   Stmt::load("f", "flag0", Ld.O),
+                   Stmt::load("t", "turn", Ld.O)}};
+        T.Threads = {std::move(P0), std::move(P1)};
+        finish(T, "exists ((P0:f=0 \\/ P0:t=0) /\\ (P1:f=0 \\/ P1:t=1))");
+        bool AllSc = Fl.O == MemOrder::SeqCst && Tu.O == MemOrder::SeqCst &&
+                     Ld.O == MemOrder::SeqCst;
+        bool AllRlx = Fl.O == MemOrder::Relaxed &&
+                      Tu.O == MemOrder::Relaxed && Ld.O == MemOrder::Relaxed;
+        WeakStatus S = AllSc    ? WeakStatus::Forbidden
+                       : AllRlx ? WeakStatus::Observable
+                                : WeakStatus::Unspecified;
+        Out.push_back({std::move(T), "peterson", S});
+      }
+}
+
+using FamilyFn = void (*)(std::vector<RealWorldCase> &);
+
+const std::pair<const char *, FamilyFn> Families[] = {
+    {"spsc", addSpsc},       {"mpmc", addMpmc},
+    {"seqlock", addSeqlock}, {"dclp", addDclp},
+    {"flagmsg", addFlagMsg}, {"peterson", addPeterson},
+};
+
+} // namespace
+
+std::vector<std::string> telechat::realWorldFamilies() {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Fn] : Families)
+    Names.push_back(Name);
+  return Names;
+}
+
+ErrorOr<std::vector<RealWorldCase>>
+telechat::realWorldFamily(const std::string &Name) {
+  for (const auto &[FName, Fn] : Families)
+    if (Name == FName) {
+      std::vector<RealWorldCase> Out;
+      Fn(Out);
+      return Out;
+    }
+  std::string Known;
+  for (const auto &[FName, Fn] : Families)
+    Known += std::string(Known.empty() ? "" : ", ") + FName;
+  return makeError("unknown realworld family '" + Name + "' (known: " +
+                   Known + ")");
+}
+
+std::vector<RealWorldCase> telechat::realWorldSuite() {
+  std::vector<RealWorldCase> Out;
+  for (const auto &[Name, Fn] : Families)
+    Fn(Out);
+  return Out;
+}
+
+std::vector<LitmusTest> telechat::realWorldTests() {
+  std::vector<LitmusTest> Out;
+  for (RealWorldCase &C : realWorldSuite())
+    Out.push_back(std::move(C.Test));
+  return Out;
+}
+
+std::vector<std::string> telechat::realWorldNames() {
+  std::vector<std::string> Out;
+  for (const RealWorldCase &C : realWorldSuite())
+    Out.push_back(C.Test.Name);
+  return Out;
+}
+
+LitmusTest telechat::realWorldTest(const std::string &Name) {
+  for (RealWorldCase &C : realWorldSuite())
+    if (C.Test.Name == Name)
+      return std::move(C.Test);
+  die(Name, "unknown realworld test");
+}

@@ -1,0 +1,75 @@
+//===--- RealWorld.h - Real-world concurrency kernel suite ------*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised litmus-test families distilled from the lock-free idioms
+/// production code actually ships -- SPSC queue slot handoff, MPMC ticket
+/// handoff, seqlock reader vs writer, double-checked locking publication,
+/// flag+payload message passing, Peterson-style mutual exclusion -- each
+/// instantiated across a swept cross-product of memory orders per access
+/// site (the Relacy `order()` idiom from moodycamel's concurrentqueue test
+/// batteries), widths, and thread counts. Six templates yield 250+ distinct
+/// tests.
+///
+/// Every instantiation carries the verdict its idiom's correctness
+/// contract assigns to the test's `exists` clause at that sweep point, so
+/// the suite is simultaneously a campaign corpus (`--suite realworld`) and
+/// an oracle battery: at release/acquire points the weak outcome is
+/// *forbidden* (the idiom is correct); at relaxed points it is
+/// *observable* (the documented weak behaviour); points whose RC11 status
+/// we do not claim are marked *unspecified* and only exercised
+/// differentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_DIY_REALWORLD_H
+#define TELECHAT_DIY_REALWORLD_H
+
+#include "litmus/Ast.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace telechat {
+
+/// The idiom contract's verdict on the instantiation's exists-clause.
+enum class WeakStatus {
+  Forbidden,   ///< RC11 forbids the weak outcome at this sweep point.
+  Observable,  ///< RC11 admits it: the documented weak behaviour.
+  Unspecified, ///< Not claimed either way (mixed-order points).
+};
+
+/// One swept instantiation of a family template.
+struct RealWorldCase {
+  LitmusTest Test;
+  std::string Family; ///< "spsc", "mpmc", "seqlock", "dclp", "flagmsg",
+                      ///< "peterson".
+  WeakStatus Status = WeakStatus::Unspecified;
+};
+
+/// Family names, in suite order.
+std::vector<std::string> realWorldFamilies();
+
+/// All instantiations of one family; error on an unknown family name.
+ErrorOr<std::vector<RealWorldCase>> realWorldFamily(const std::string &Name);
+
+/// The full suite: every family, every sweep point, with verdicts.
+std::vector<RealWorldCase> realWorldSuite();
+
+/// The suite's tests alone, mirroring classicTests().
+std::vector<LitmusTest> realWorldTests();
+
+/// Names of every instantiation, mirroring classicNames().
+std::vector<std::string> realWorldNames();
+
+/// Looks up one instantiation by its generated name; aborts on unknown
+/// names, mirroring classicTest().
+LitmusTest realWorldTest(const std::string &Name);
+
+} // namespace telechat
+
+#endif // TELECHAT_DIY_REALWORLD_H

@@ -1,0 +1,72 @@
+//===--- Snippet.h - C++ std::atomic kernel-snippet frontend ----*- C++ -*-===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ingests concurrency kernels written in the restricted C++ subset that
+/// real lock-free code (and its Relacy test batteries) is written in --
+/// `std::atomic<T>` members with `.store/.load/.exchange/.fetch_add/
+/// .fetch_sub` calls -- so new corpus kernels can be added as code
+/// rather than hand-built ASTs or herd-C translations:
+///
+/// \code
+///   kernel spsc_cell
+///   std::atomic<int> widx = 0;
+///   std::atomic<int> slot = 0;
+///   thread P0 {
+///     slot.store(42, std::memory_order_relaxed);
+///     widx.store(1, std::memory_order_release);
+///   }
+///   thread P1 {
+///     int r0 = widx.load(std::memory_order_acquire);
+///     if (r0) { int r1 = slot.load(std::memory_order_relaxed); }
+///   }
+///   exists (P1:r0=1 && P1:r1=0)
+/// \endcode
+///
+/// The subset, chosen to cover the idioms of the realworld suite
+/// (diy/RealWorld.h) and the vendored Relacy batteries it is distilled
+/// from:
+///
+///   - declarations: `std::atomic<T> name = init;` (or bare `atomic<T>`)
+///     and plain `T name = init;` for non-atomic locations, T one of the
+///     integer types classifyType accepts (int, long, int8_t..uint64_t);
+///   - threads: `thread P0 { ... }` or `void P0() { ... }`;
+///   - statements: `x.store(e, order)`, `int r = x.load(order)`,
+///     `int r = x.exchange(e, order)` / `x.fetch_add(e, order)` /
+///     `x.fetch_sub(e, order)` (result may be discarded),
+///     `std::atomic_thread_fence(order)`, `if (e) { ... } else { ... }`,
+///     `int r = e` local computation, and the sugar `x = e` / `int r = x`
+///     which reads/writes an atomic location at seq_cst (the C++
+///     operator= / operator T defaults) and a plain location non-atomically;
+///   - orders: `std::memory_order_X`, `memory_order_X`,
+///     `std::memory_order::X` and the Relacy spellings `rl::mo_X` / `mo_X`;
+///     omitting the order argument means seq_cst, as in C++;
+///   - the final line: `exists`/`forall`/`~exists` over the herd
+///     predicate grammar, with `&&` / `||` accepted for `/\` / `\/`.
+///
+/// The result is an ordinary LitmusTest: everything downstream (printer,
+/// canonicalization, campaigns, every backend) treats snippet-ingested
+/// kernels exactly like parsed or generated ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TELECHAT_LITMUS_SNIPPET_H
+#define TELECHAT_LITMUS_SNIPPET_H
+
+#include "litmus/Ast.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace telechat {
+
+/// Parses a C++ kernel snippet; on failure, the error message includes
+/// the line number.
+ErrorOr<LitmusTest> parseKernelSnippet(std::string_view Text);
+
+} // namespace telechat
+
+#endif // TELECHAT_LITMUS_SNIPPET_H

@@ -18,13 +18,16 @@
 
 #include "diy/Classics.h"
 #include "diy/Generator.h"
+#include "diy/RealWorld.h"
 #include "litmus/Parser.h"
 #include "sim/Backend.h"
 #include "sim/CFrontend.h"
 #include "sim/Simulator.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -125,6 +128,75 @@ TEST(ExploreBackendTest, ClassicsConvergeToTheExhaustiveSet) {
     EXPECT_GT(Exp.Stats.ExploreIterations, 0u) << Name;
     EXPECT_GT(Exp.Stats.ExploreSchedules, 0u) << Name;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Realworld suite: every family's weak outcome within the default budget
+//===----------------------------------------------------------------------===//
+
+TEST(ExploreBackendTest, RealWorldFamiliesConvergeOnTheirWeakOutcomes) {
+  // For each family, the all-relaxed sweep point documents an observable
+  // weak behaviour (RealWorldCase::Status). The exploration oracle must
+  // find that witness within its default iteration budget -- a dynamic
+  // tool that misses the bug the idiom is famous for would be useless as
+  // a campaign backend -- while staying a byte-provable subset of the
+  // exhaustive sweep.
+  std::map<std::string, const RealWorldCase *> Picked;
+  std::vector<RealWorldCase> Suite = realWorldSuite();
+  for (const RealWorldCase &C : Suite)
+    if (C.Status == WeakStatus::Observable && !Picked.count(C.Family))
+      Picked[C.Family] = &C; // First observable point: all-relaxed.
+  ASSERT_EQ(Picked.size(), realWorldFamilies().size());
+
+  for (const auto &[Family, Case] : Picked) {
+    const LitmusTest &T = Case->Test;
+    SimResult Sweep = runBackend(T, SimBackendKind::Sweep, 1, 0);
+    SimResult Exp = runBackend(T, SimBackendKind::Explore, 1, 0);
+    ASSERT_TRUE(Sweep.ok()) << T.Name << ": " << Sweep.Error;
+    ASSERT_TRUE(Exp.ok()) << T.Name << ": " << Exp.Error;
+    EXPECT_EQ(Exp.Stats.BackendUsed, uint8_t(SimBackendKind::Explore))
+        << T.Name;
+    expectOutcomeSubset(Exp.Allowed, Sweep.Allowed, T.Name);
+    bool Witnessed = false;
+    for (const Outcome &O : Exp.Allowed)
+      Witnessed |= T.Final.P.eval(O);
+    EXPECT_TRUE(Witnessed)
+        << T.Name << ": explore missed the " << Family
+        << " family's documented weak outcome within the default budget";
+  }
+}
+
+TEST(ExploreBackendTest, RealWorldExploreIsSoundAcrossTheWholeSuite) {
+  // Subset soundness over every instantiation, on a small budget (the
+  // full-budget witness check above covers convergence; this pins that
+  // no sweep point -- forbidden, observable or unspecified -- can make
+  // the oracle invent an outcome).
+  std::vector<RealWorldCase> Suite = realWorldSuite();
+  ASSERT_GE(Suite.size(), 200u);
+  // Each simulation is pinned to one job, so the battery parallelises
+  // across cases; failures are collected per slot (gtest assertions are
+  // not thread-safe) and reported after the pool drains.
+  std::vector<std::string> Failures(Suite.size());
+  ThreadPool Pool(0);
+  Pool.parallelFor(Suite.size(), [&](size_t I) {
+    const RealWorldCase &C = Suite[I];
+    SimResult Sweep = runBackend(C.Test, SimBackendKind::Sweep, 1, 0);
+    SimResult Exp = runBackend(C.Test, SimBackendKind::Explore, 1, 32);
+    if (!Sweep.ok() || !Exp.ok()) {
+      Failures[I] = C.Test.Name + ": " + Sweep.Error + Exp.Error;
+      return;
+    }
+    for (const Outcome &O : Exp.Allowed) {
+      if (!Sweep.Allowed.count(O))
+        Failures[I] = C.Test.Name + ": explore reported outcome [" +
+                      O.toString() + "] outside the exhaustive set";
+      if (C.Status == WeakStatus::Forbidden && C.Test.Final.P.eval(O))
+        Failures[I] = C.Test.Name + ": explore reported a forbidden outcome";
+    }
+  });
+  for (const std::string &F : Failures)
+    if (!F.empty())
+      ADD_FAILURE() << F;
 }
 
 //===----------------------------------------------------------------------===//

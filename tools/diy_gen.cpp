@@ -17,6 +17,7 @@
 #include "diy/Classics.h"
 #include "diy/Config.h"
 #include "diy/Cycle.h"
+#include "diy/RealWorld.h"
 #include "litmus/Printer.h"
 
 #include <cstdio>
@@ -45,7 +46,8 @@ int main(int argc, char **argv) {
     fprintf(stderr,
             "usage: diy-gen \"<cycle>\" [--name N] [--load O] [--store O]\n"
             "       diy-gen --classic <name>\n"
-            "       diy-gen --suite <c11|c11acq> [--limit N]\n"
+            "       diy-gen --suite <c11|c11acq|realworld[:family]> "
+            "[--limit N]\n"
             "orders: na rlx acq rel acqrel sc\n");
     return 1;
   }
@@ -63,8 +65,34 @@ int main(int argc, char **argv) {
   }
   if (First == "--suite") {
     if (argc < 3) {
-      fprintf(stderr, "--suite needs c11 or c11acq\n");
+      fprintf(stderr, "--suite needs c11, c11acq or realworld[:family]\n");
       return 1;
+    }
+    std::string Suite = argv[2];
+    if (Suite.rfind("realworld", 0) == 0) {
+      unsigned Limit = 0;
+      for (int I = 3; I + 1 < argc; I += 2)
+        if (strcmp(argv[I], "--limit") == 0)
+          Limit = unsigned(strtoul(argv[I + 1], nullptr, 0));
+      std::vector<LitmusTest> Tests;
+      if (Suite.size() > strlen("realworld") &&
+          Suite[strlen("realworld")] == ':') {
+        ErrorOr<std::vector<RealWorldCase>> Family =
+            realWorldFamily(Suite.substr(strlen("realworld") + 1));
+        if (!Family) {
+          fprintf(stderr, "error: %s\n", Family.error().c_str());
+          return 1;
+        }
+        for (RealWorldCase &C : *Family)
+          Tests.push_back(std::move(C.Test));
+      } else {
+        Tests = realWorldTests();
+      }
+      if (Limit && Tests.size() > Limit)
+        Tests.resize(Limit);
+      for (const LitmusTest &T : Tests)
+        printf("%s\n", printLitmusC(T).c_str());
+      return 0;
     }
     SuiteConfig Config = strcmp(argv[2], "c11acq") == 0
                              ? SuiteConfig::c11Acq()

@@ -47,8 +47,9 @@ static void usage() {
           "       [--backend sweep|solve|auto|explore] [--no-prune] "
           "[--no-transform] [--no-cat-cache]\n"
           "       [--explore-iters <n>] [--explore-seed <n>]\n"
-          "       litmus-sim --serve <port> --corpus <file>|--gen-seed <n> "
-          "[--gen-count <n>] [--model <m>]\n"
+          "       litmus-sim --serve <port> --corpus <file>|--suite "
+          "realworld[:family]|--gen-seed <n> [--gen-count <n>] "
+          "[--model <m>]\n"
           "                  [--campaign-json <f>] [--engine-json <f>] "
           "[--journal <f>] [--resume] [--dedupe]\n"
           "                  [--bind <addr>] [--lease-timeout <s>] "

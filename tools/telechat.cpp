@@ -79,7 +79,9 @@ static void usage() {
           "corpus (campaign/serve): any mix, corpus order = given order\n"
           "  --corpus <file>    litmus file; may hold many tests (each\n"
           "                     starting with a 'C <name>' line)\n"
-          "  --suite <name>     diy-generated suite: c11 or c11acq\n"
+          "  --suite <name>     generated suite: c11, c11acq, or\n"
+          "                     realworld[:family] (families: spsc, mpmc,\n"
+          "                     seqlock, dclp, flagmsg, peterson)\n"
           "  --limit <n>        cap on --suite tests\n"
           "  --classics         the classic families (MP, SB, IRIW, ...)\n"
           "  --gen-seed <n>     stream seeded diy generation instead of a\n"
