@@ -18,6 +18,7 @@
 #include "asmcore/Semantics.h"
 #include "core/Campaign.h"
 #include "core/Telechat.h"
+#include "dist/Relay.h"
 #include "dist/Worker.h"
 #include "dist/WorkServer.h"
 #include "diy/Classics.h"
@@ -258,7 +259,8 @@ void BM_DistributedCampaign_Workers(benchmark::State &State) {
   std::vector<CampaignConfig> Configs{{P, TestOptions(), false}};
   std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
   unsigned NWorkers = unsigned(State.range(0));
-  uint64_t Requeues = 0, Served = 0;
+  uint64_t Requeues = 0, Served = 0, Wakeups = 0;
+  LeaseSizing Sizing;
   WorkServerOptions SOpts;
   SOpts.WaitRetryMs = 5; // Sub-second campaigns: tail waits would drown
                          // the signal at the default 50ms.
@@ -283,17 +285,102 @@ void BM_DistributedCampaign_Workers(benchmark::State &State) {
     Srv.join();
     Requeues += Report.Requeues;
     Served = Report.Units;
+    Wakeups = Report.PollWakeups;
+    Sizing = Report.Sizing;
     benchmark::DoNotOptimize(Report.Results.size());
   }
   State.counters["units"] = double(Served);
   State.counters["units/s"] = benchmark::Counter(
       double(Served) * State.iterations(), benchmark::Counter::kIsRate);
   State.counters["requeues"] = double(Requeues);
+  State.counters["poll_wakeups"] = double(Wakeups);
+  State.counters["lease_size_min"] = double(Sizing.Min);
+  State.counters["lease_size_max"] = double(Sizing.Max);
+  State.counters["lease_size_final"] = double(Sizing.Final);
 }
 BENCHMARK(BM_DistributedCampaign_Workers)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The tiered topology: 1 server x N relays x M workers per relay
+/// (arg0 = N, arg1 = M), the 1xNxM extension of the flat 1xN sweep
+/// above. Each relay fronts the server as a single well-behaved worker
+/// while its own workers lease through it; wall-clock vs (N, M) shows
+/// what the extra tier costs (or hides, once the server would otherwise
+/// convoy on connection count).
+void BM_RelayedCampaign_Tiers(benchmark::State &State) {
+  std::vector<LitmusTest> Tests = distCorpus();
+  Profile P = llvmO3();
+  std::vector<CampaignConfig> Configs{{P, TestOptions(), false}};
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+  unsigned NRelays = unsigned(State.range(0));
+  unsigned NWorkers = unsigned(State.range(1));
+  WorkServerOptions SOpts;
+  SOpts.WaitRetryMs = 5; // See BM_DistributedCampaign_Workers.
+  uint64_t Served = 0, Relayed = 0, Wakeups = 0;
+  for (auto _ : State) {
+    WorkServer Server(Units, Configs, SOpts);
+    if (!Server.start().empty()) {
+      State.SkipWithError("work server failed to bind");
+      return;
+    }
+    uint16_t Port = Server.port();
+    CampaignReport Report;
+    std::thread Srv([&] { Report = Server.run(); });
+
+    std::vector<std::unique_ptr<Relay>> Relays;
+    std::vector<RelayReport> RReports(NRelays);
+    std::vector<std::thread> RelayThreads;
+    for (unsigned R = 0; R != NRelays; ++R) {
+      RelayOptions ROpts;
+      ROpts.UpstreamPort = Port;
+      ROpts.WaitRetryMs = 5;
+      Relays.push_back(std::make_unique<Relay>(ROpts));
+      if (!Relays.back()->start().empty()) {
+        State.SkipWithError("relay failed to start");
+        return;
+      }
+    }
+    for (unsigned R = 0; R != NRelays; ++R)
+      RelayThreads.emplace_back(
+          [&, R] { RReports[R] = Relays[R]->run(); });
+
+    std::vector<std::thread> Workers;
+    for (unsigned R = 0; R != NRelays; ++R) {
+      uint16_t RPort = Relays[R]->port();
+      for (unsigned W = 0; W != NWorkers; ++W)
+        Workers.emplace_back([RPort] {
+          WorkerOptions WOpts;
+          WOpts.Jobs = 2;
+          runCampaignWorker("127.0.0.1", RPort, WOpts);
+        });
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    for (std::thread &T : RelayThreads)
+      T.join();
+    Srv.join();
+
+    Served = Report.Units;
+    Wakeups = Report.PollWakeups;
+    Relayed = 0;
+    for (const RelayReport &RR : RReports)
+      Relayed += RR.UnitsRelayed;
+    benchmark::DoNotOptimize(Report.Results.size());
+  }
+  State.counters["units"] = double(Served);
+  State.counters["units/s"] = benchmark::Counter(
+      double(Served) * State.iterations(), benchmark::Counter::kIsRate);
+  State.counters["units_relayed"] = double(Relayed);
+  State.counters["poll_wakeups"] = double(Wakeups);
+}
+BENCHMARK(BM_RelayedCampaign_Tiers)
+    ->Args({1, 2})
+    ->Args({2, 1})
+    ->Args({2, 2})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -478,7 +565,78 @@ int main(int argc, char **argv) {
              N, Secs * 1e3, TLocal / Secs,
              Same ? "identical" : "DIFFERENT!");
     }
-    printf("-> distributed merge bit-identical to the local driver: %s\n",
+
+    // The tiered topology (1 server x N relays x M workers each) must
+    // merge the exact same bytes as the flat one: the relay's raison
+    // d'etre is being invisible in the results.
+    for (auto [NRelays, NWorkers] : {std::pair<unsigned, unsigned>{1, 2},
+                                     std::pair<unsigned, unsigned>{2, 2}}) {
+      WorkServer Server(Units, Configs, SOpts);
+      if (!Server.start().empty()) {
+        printf("  work server failed to bind; skipping\n");
+        break;
+      }
+      uint16_t Port = Server.port();
+      CampaignReport Report;
+      auto S1 = std::chrono::steady_clock::now();
+      std::thread Srv([&] { Report = Server.run(); });
+      std::vector<std::unique_ptr<Relay>> Relays;
+      std::vector<std::thread> RelayThreads;
+      bool RelaysUp = true;
+      for (unsigned R = 0; R != NRelays; ++R) {
+        RelayOptions ROpts;
+        ROpts.UpstreamPort = Port;
+        ROpts.WaitRetryMs = 5;
+        Relays.push_back(std::make_unique<Relay>(ROpts));
+        if (!Relays.back()->start().empty()) {
+          printf("  relay failed to start; skipping\n");
+          RelaysUp = false;
+          break;
+        }
+      }
+      if (!RelaysUp) {
+        // Unblock the server with direct workers so Srv can join.
+        WorkerOptions WOpts;
+        WOpts.Jobs = 2;
+        runCampaignWorker("127.0.0.1", Port, WOpts);
+        Srv.join();
+        break;
+      }
+      for (std::unique_ptr<Relay> &R : Relays)
+        RelayThreads.emplace_back([&R] { R->run(); });
+      std::vector<std::thread> Workers;
+      for (std::unique_ptr<Relay> &R : Relays) {
+        uint16_t RPort = R->port();
+        for (unsigned W = 0; W != NWorkers; ++W)
+          Workers.emplace_back([RPort] {
+            WorkerOptions WOpts;
+            WOpts.Jobs = 2;
+            runCampaignWorker("127.0.0.1", RPort, WOpts);
+          });
+      }
+      for (std::thread &W : Workers)
+        W.join();
+      for (std::thread &T : RelayThreads)
+        T.join();
+      Srv.join();
+      double Secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - S1)
+                        .count();
+      bool Same = Report.Results.size() == Local.size();
+      for (size_t I = 0; Same && I != Local.size(); ++I)
+        Same = Local[I].SourceSim.Allowed ==
+                   Report.Results[I].SourceSim.Allowed &&
+               Local[I].TargetSim.Allowed ==
+                   Report.Results[I].TargetSim.Allowed &&
+               Local[I].Compare.K == Report.Results[I].Compare.K;
+      Identical = Identical && Same;
+      printf("  1 server x %u relays x %u workers %8.1f ms  vs local "
+             "%5.2fx  merged %s\n",
+             NRelays, NWorkers, Secs * 1e3, TLocal / Secs,
+             Same ? "identical" : "DIFFERENT!");
+    }
+    printf("-> distributed merge bit-identical to the local driver "
+           "(flat and relayed): %s\n",
            Identical ? "yes" : "NO (BUG)");
   }
 

@@ -99,6 +99,35 @@ bool DedupingUnitSource::next(CampaignUnit &Out) {
   return false;
 }
 
+bool ReplayingUnitSource::next(CampaignUnit &Out) {
+  std::lock_guard<std::mutex> Lock(M);
+  CampaignUnit U;
+  while (Inner.next(U)) {
+    auto It = Replay.find(U.Id);
+    if (It == Replay.end()) {
+      Out = std::move(U);
+      return true;
+    }
+    Applied A;
+    A.Id = U.Id;
+    A.Meta = CampaignUnitMeta{U.Test.Name, U.Config};
+    A.Result = std::move(It->second);
+    Replay.erase(It);
+    Done.push_back(std::move(A));
+  }
+  return false;
+}
+
+uint64_t ReplayingUnitSource::staleReplays() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Replay.size();
+}
+
+void ReplayingUnitSource::forgetReplay(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  Replay.erase(Id);
+}
+
 namespace {
 
 SimResult renameSimSide(const SimResult &R, const CanonRenaming &Ren) {

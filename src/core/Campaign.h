@@ -177,6 +177,50 @@ private:
   std::vector<Dup> Dups;
 };
 
+/// Wraps a source and answers units from a preloaded result map instead
+/// of handing them out: the UnitSource-side half of journal resume, and
+/// what lets a *local* campaign (no server) resume from a journal. Units
+/// whose id appears in the replay map are consumed silently -- the lane
+/// never sees them, so they are never re-executed -- and recorded with
+/// their meta so the driver can merge the replayed result into its slot.
+/// Ids still ascend through the wrapper (skipped ids simply never reach
+/// the executor), which keeps the id == corpus-position merge intact.
+///
+/// Replay entries whose ids the stream never produced are *stale* (a
+/// journal replayed against the wrong spec); count them after the drain
+/// and report, never merge.
+class ReplayingUnitSource final : public UnitSource {
+public:
+  /// One unit answered from the replay map instead of execution.
+  struct Applied {
+    uint64_t Id = 0;
+    CampaignUnitMeta Meta;
+    TelechatResult Result;
+  };
+
+  ReplayingUnitSource(UnitSource &Inner,
+                      std::map<uint64_t, TelechatResult> Replay)
+      : Inner(Inner), Replay(std::move(Replay)) {}
+  /// Serves the next unit the replay map does not cover. Thread-safe.
+  bool next(CampaignUnit &Out) override;
+  uint64_t sizeHint() const override { return Inner.sizeHint(); }
+  /// Replayed units in stream order. Stable only once the stream is
+  /// drained (every lane's next() returned false).
+  const std::vector<Applied> &applied() const { return Done; }
+  /// Replay entries the stream never matched. Stable once drained.
+  uint64_t staleReplays() const;
+  /// Drops \p Id from the replay map without recording it (a duplicate
+  /// the dedupe layer will answer by renaming: its journaled result is
+  /// already the merged answer, but it must not count as stale).
+  void forgetReplay(uint64_t Id);
+
+private:
+  mutable std::mutex M;
+  UnitSource &Inner;
+  std::map<uint64_t, TelechatResult> Replay;
+  std::vector<Applied> Done;
+};
+
 /// Translates a representative's campaign result into a duplicate's
 /// vocabulary: outcome sets and compare witnesses are renamed through
 /// \p Ren (and re-sorted -- renaming permutes set order); errors, flags,

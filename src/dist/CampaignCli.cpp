@@ -14,6 +14,7 @@
 #include "diy/Config.h"
 #include "diy/Generator.h"
 #include "diy/RealWorld.h"
+#include "litmus/Snippet.h"
 #include "sim/Backend.h"
 #include "sim/SkeletonCache.h"
 #include "support/ThreadPool.h"
@@ -22,7 +23,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,7 +38,7 @@ namespace {
 /// A corpus flag, recorded during parsing and materialised afterwards so
 /// flag order does not matter (--limit may follow --suite).
 struct CorpusSpec {
-  enum class Kind { File, Suite, RealWorldSuite, Classics } K;
+  enum class Kind { File, Suite, RealWorldSuite, Classics, KernelDir } K;
   std::string Value; ///< RealWorldSuite: family name, or "" for all.
 };
 
@@ -86,6 +90,17 @@ bool buildCorpus(const std::vector<CorpusSpec> &Specs, unsigned SuiteLimit,
       for (const std::string &Name : classicNames())
         Tests.push_back(classicTest(Name));
       break;
+    case CorpusSpec::Kind::KernelDir: {
+      ErrorOr<std::vector<LitmusTest>> Kernels =
+          readKernelDirectory(Spec.Value);
+      if (!Kernels) {
+        fprintf(stderr, "error: %s\n", Kernels.error().c_str());
+        return false;
+      }
+      Tests.insert(Tests.end(), std::make_move_iterator(Kernels->begin()),
+                   std::make_move_iterator(Kernels->end()));
+      break;
+    }
     }
   }
   return true;
@@ -150,7 +165,7 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
   RandomGenOptions GenOpts;
   bool UseGen = false, GenExtras = false, Materialise = false;
   std::string JournalPath;
-  bool Resume = false;
+  bool Resume = false, Compact = false;
   std::string CampaignJsonPath, EngineJsonPath;
   WorkServerOptions ServerOpts;
   bool Dedupe = false;
@@ -200,6 +215,12 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
       }
     } else if (Arg == "--classics") {
       Corpus.push_back(CorpusSpec{CorpusSpec::Kind::Classics, ""});
+    } else if (Arg == "--kernels") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      Corpus.push_back(CorpusSpec{CorpusSpec::Kind::KernelDir, V});
     } else if (Arg == "--gen-seed") {
       if (!(V = Next())) {
         Usage();
@@ -231,6 +252,14 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
       JournalPath = V;
     } else if (Arg == "--resume") {
       Resume = true;
+    } else if (Arg == "--compact") {
+      Compact = true;
+    } else if (Arg == "--status-port") {
+      if (!(V = Next())) {
+        Usage();
+        return 1;
+      }
+      ServerOpts.StatusPort = int(strtol(V, nullptr, 0));
     } else if (Arg == "--profile") {
       if (!(V = Next())) {
         Usage();
@@ -352,9 +381,8 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     fprintf(stderr, "error: --resume requires --journal\n");
     return 1;
   }
-  if (!Serve && (!JournalPath.empty() || Resume)) {
-    fprintf(stderr, "error: --journal/--resume require --serve (the "
-                    "journal is the server's durability log)\n");
+  if (Compact && JournalPath.empty()) {
+    fprintf(stderr, "error: --compact requires --journal\n");
     return 1;
   }
 
@@ -522,52 +550,106 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
       return 1;
     Results = std::move(Report.Results);
     Meta = std::move(Report.UnitsMeta);
-  } else if (Spec.K == CampaignSourceSpec::Kind::Generator) {
-    // Streamed local campaign: the same generator source the server
-    // would lease from, drained over the local pool. Ids are fixed by
-    // generation order, so this merges byte-identically to both the
-    // materialised path and a served run.
-    GeneratorUnitSource Source(Spec.Gen, Spec.NumConfigs);
-    size_t Planned = size_t(Source.sizeHint());
-    Results.resize(Planned);
-    Meta.resize(Planned);
-    ThreadPool Pool(resolveJobs(Jobs));
-    DedupingUnitSource Deduper(Source);
-    UnitSource &Stream =
-        Dedupe ? static_cast<UnitSource &>(Deduper) : Source;
-    runCampaignUnits(Stream, Configs, Pool,
-                     [&](const CampaignUnit &U, TelechatResult R) {
-                       Results[U.Id] = std::move(R);
-                       Meta[U.Id] =
-                           CampaignUnitMeta{U.Test.Name, U.Config};
-                     });
-    // The generator may stop short of the plan; the corpus is what it
-    // actually produced.
-    Results.resize(size_t(Source.produced()));
-    Meta.resize(size_t(Source.produced()));
-    // Deduped units never reached an executor: fill their slots from
-    // their representatives (rep id < dup id, so the rep's slot is set).
-    for (const DedupingUnitSource::Dup &D : Deduper.duplicates()) {
-      Results[D.Id] = renameTelechatResult(Results[D.RepId], D.Renaming);
-      Meta[D.Id] = D.Meta;
-      ++Deduped;
-    }
   } else {
-    Meta = campaignUnitMeta(Spec.Units);
-    Results.resize(Spec.Units.size());
-    VectorUnitSource Source(std::move(Spec.Units));
+    // Local campaign over the pool. The journal is a UnitSource-side
+    // concern here, not a server feature: executed results are appended
+    // (under a lock, before they merge) exactly like the server's
+    // accept path, and resume replays through a ReplayingUnitSource so
+    // journaled units never reach an executor lane. A resumed local
+    // campaign is byte-identical to an uninterrupted one.
+    bool Streamed = Spec.K == CampaignSourceSpec::Kind::Generator;
+    if (!JournalPath.empty() && !Resume) {
+      // Created before the corpus moves into its source: the header
+      // needs the spec intact.
+      std::string E = Journal.create(JournalPath, Spec, Configs);
+      if (!E.empty()) {
+        fprintf(stderr, "error: %s\n", E.c_str());
+        return 1;
+      }
+    }
+    std::map<uint64_t, TelechatResult> ReplayMap;
+    std::set<uint64_t> ReplayedIds; ///< Already journaled: never re-append.
+    for (auto &R : Replay) {
+      ReplayedIds.insert(R.first);
+      ReplayMap.emplace(R.first, std::move(R.second));
+    }
+    Replay.clear();
+
+    std::unique_ptr<GeneratorUnitSource> GenSource;
+    std::unique_ptr<VectorUnitSource> VecSource;
+    if (Streamed) {
+      GenSource =
+          std::make_unique<GeneratorUnitSource>(Spec.Gen, Spec.NumConfigs);
+      Meta.resize(size_t(GenSource->sizeHint()));
+      Results.resize(size_t(GenSource->sizeHint()));
+    } else {
+      Meta = campaignUnitMeta(Spec.Units);
+      Results.resize(Spec.Units.size());
+      VecSource = std::make_unique<VectorUnitSource>(std::move(Spec.Units));
+    }
+    UnitSource &Inner = Streamed ? static_cast<UnitSource &>(*GenSource)
+                                 : *VecSource;
+    DedupingUnitSource Deduper(Inner);
+    UnitSource &Mid = Dedupe ? static_cast<UnitSource &>(Deduper) : Inner;
+    ReplayingUnitSource Replayer(Mid, std::move(ReplayMap));
+
+    std::mutex JournalM;
+    auto JournalAppend = [&](uint64_t Id, const TelechatResult &R) {
+      if (!Journal.isOpen())
+        return;
+      std::lock_guard<std::mutex> Lock(JournalM);
+      if (ServeError.empty() && !Journal.appendResult(Id, R))
+        ServeError = "the campaign journal stopped accepting appends; "
+                     "results merged after the fault are not durable";
+    };
+
     ThreadPool Pool(resolveJobs(Jobs));
-    DedupingUnitSource Deduper(Source);
-    UnitSource &Stream =
-        Dedupe ? static_cast<UnitSource &>(Deduper) : Source;
-    runCampaignUnits(Stream, Configs, Pool,
+    runCampaignUnits(Replayer, Configs, Pool,
                      [&](const CampaignUnit &U, TelechatResult R) {
+                       JournalAppend(U.Id, R);
                        Results[U.Id] = std::move(R);
+                       if (Streamed)
+                         Meta[U.Id] =
+                             CampaignUnitMeta{U.Test.Name, U.Config};
                      });
+    if (Streamed) {
+      // The generator may stop short of the plan; the corpus is what it
+      // actually produced.
+      Results.resize(size_t(GenSource->produced()));
+      Meta.resize(size_t(GenSource->produced()));
+    }
+    // Replayed results merge without execution -- and are NOT
+    // re-journaled (their records are already in the file).
+    uint64_t Replayed = 0;
+    for (const ReplayingUnitSource::Applied &A : Replayer.applied()) {
+      Results[A.Id] = A.Result;
+      if (Streamed)
+        Meta[A.Id] = A.Meta;
+      ++Replayed;
+    }
+    // Deduped units never reached an executor: fill their slots from
+    // their representatives (rep id < dup id and reps are always served,
+    // so the rep's slot is set -- executed or replayed).
     for (const DedupingUnitSource::Dup &D : Deduper.duplicates()) {
       Results[D.Id] = renameTelechatResult(Results[D.RepId], D.Renaming);
+      if (Streamed)
+        Meta[D.Id] = D.Meta;
       ++Deduped;
+      // A journaled duplicate never reappears in the stream (the dedupe
+      // layer swallows it); it was answered here, so it is not stale.
+      Replayer.forgetReplay(D.Id);
+      if (!ReplayedIds.count(D.Id))
+        JournalAppend(D.Id, Results[D.Id]);
     }
+    if (uint64_t Stale = Replayer.staleReplays())
+      fprintf(stderr,
+              "warning: %llu journal results matched no unit of the "
+              "campaign spec\n",
+              static_cast<unsigned long long>(Stale));
+    if (Resume)
+      printf("replayed: %llu results merged from the journal without "
+             "re-execution\n",
+             static_cast<unsigned long long>(Replayed));
   }
   if (Dedupe && !Serve)
     printf("deduped: %llu of %zu units answered by canonical "
@@ -595,6 +677,21 @@ int telechat::campaignToolMain(int argc, char **argv, void (*Usage)(),
     // silently lost its durability would be worse than the fault.
     fprintf(stderr, "error: %s\n", ServeError.c_str());
     return 1;
+  }
+  if (Compact) {
+    // Only after a fault-free campaign: compacting a journal whose run
+    // just broke would destroy the evidence a resume needs.
+    Journal.close();
+    ErrorOr<CompactStats> S = compactJournal(JournalPath);
+    if (!S) {
+      fprintf(stderr, "error: %s\n", S.error().c_str());
+      return 1;
+    }
+    printf("compacted %s: %llu -> %llu bytes, %llu results\n",
+           JournalPath.c_str(),
+           static_cast<unsigned long long>(S->BytesBefore),
+           static_cast<unsigned long long>(S->BytesAfter),
+           static_cast<unsigned long long>(S->Results));
   }
   return Exit;
 }

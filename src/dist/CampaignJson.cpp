@@ -191,6 +191,58 @@ telechat::campaignResultsJson(const std::vector<CampaignUnitMeta> &Units,
   return J;
 }
 
+std::string telechat::serviceStatusJson(const ServiceStatus &S) {
+  std::string J = "{\n";
+  J += "  \"role\": " + quoted(S.Role) + ",\n";
+  J += strFormat("  \"planned\": %llu,\n",
+                 static_cast<unsigned long long>(S.Planned));
+  J += strFormat("  \"generated\": %llu,\n",
+                 static_cast<unsigned long long>(S.Generated));
+  J += strFormat("  \"completed\": %llu,\n",
+                 static_cast<unsigned long long>(S.Completed));
+  J += strFormat("  \"pending\": %llu,\n",
+                 static_cast<unsigned long long>(S.Pending));
+  J += strFormat("  \"leased\": %llu,\n",
+                 static_cast<unsigned long long>(S.Leased));
+  J += strFormat("  \"requeues\": %llu,\n",
+                 static_cast<unsigned long long>(S.Requeues));
+  J += strFormat("  \"duplicate_results\": %llu,\n",
+                 static_cast<unsigned long long>(S.DuplicateResults));
+  J += strFormat("  \"replayed_results\": %llu,\n",
+                 static_cast<unsigned long long>(S.ReplayedResults));
+  J += strFormat("  \"deduped_units\": %llu,\n",
+                 static_cast<unsigned long long>(S.DedupedUnits));
+  J += strFormat("  \"poll_wakeups\": %llu,\n",
+                 static_cast<unsigned long long>(S.PollWakeups));
+  J += strFormat("  \"lease_size_min\": %llu,\n",
+                 static_cast<unsigned long long>(S.Sizing.Min));
+  J += strFormat("  \"lease_size_max\": %llu,\n",
+                 static_cast<unsigned long long>(S.Sizing.Max));
+  J += strFormat("  \"lease_size_final\": %llu,\n",
+                 static_cast<unsigned long long>(S.Sizing.Final));
+  J += strFormat("  \"seconds\": %.3f,\n", S.Seconds);
+  J += "  \"workers\": [\n";
+  for (size_t I = 0; I != S.Workers.size(); ++I) {
+    const ServiceStatus::WorkerRow &W = S.Workers[I];
+    double Rate = W.ConnectedSeconds > 0.0
+                      ? double(W.UnitsCompleted) / W.ConnectedSeconds
+                      : 0.0;
+    J += strFormat("    {\"peer\": %s, \"jobs\": %u, \"units_leased\": "
+                   "%llu, \"units_completed\": %llu, \"requeued\": %llu, "
+                   "\"outstanding\": %llu, \"connected_seconds\": %.3f, "
+                   "\"units_per_second\": %.2f}%s\n",
+                   quoted(W.Peer).c_str(), W.Jobs,
+                   static_cast<unsigned long long>(W.UnitsLeased),
+                   static_cast<unsigned long long>(W.UnitsCompleted),
+                   static_cast<unsigned long long>(W.Requeued),
+                   static_cast<unsigned long long>(W.Outstanding),
+                   W.ConnectedSeconds, Rate,
+                   I + 1 != S.Workers.size() ? "," : "");
+  }
+  J += "  ]\n}\n";
+  return J;
+}
+
 std::string telechat::campaignEngineJson(const CampaignReport &Report) {
   std::string J = "{\n";
   J += strFormat("  \"engine\": \"work-server\",\n  \"units\": %llu,\n",
@@ -206,6 +258,14 @@ std::string telechat::campaignEngineJson(const CampaignReport &Report) {
                  static_cast<unsigned long long>(Report.DedupedUnits));
   J += strFormat("  \"stale_replays\": %llu,\n",
                  static_cast<unsigned long long>(Report.StaleReplays));
+  J += strFormat("  \"poll_wakeups\": %llu,\n",
+                 static_cast<unsigned long long>(Report.PollWakeups));
+  J += strFormat("  \"lease_size_min\": %llu,\n",
+                 static_cast<unsigned long long>(Report.Sizing.Min));
+  J += strFormat("  \"lease_size_max\": %llu,\n",
+                 static_cast<unsigned long long>(Report.Sizing.Max));
+  J += strFormat("  \"lease_size_final\": %llu,\n",
+                 static_cast<unsigned long long>(Report.Sizing.Final));
   J += "  \"error\": " + quoted(Report.Error) + ",\n";
   // The budget-split coverage summary: which units the campaign ran
   // dynamically (--backend explore or an --explore-budget reroute) and

@@ -52,6 +52,38 @@ std::string campaignResultsJson(const std::vector<CampaignUnit> &Units,
 /// Engine telemetry of a served campaign (nondeterministic by nature).
 std::string campaignEngineJson(const CampaignReport &Report);
 
+/// A live snapshot of a running campaign service (server or relay), the
+/// body of the HTTP status endpoint (`GET /status`). Same vocabulary as
+/// the engine JSON, taken mid-run.
+struct ServiceStatus {
+  std::string Role; ///< "server" or "relay".
+  uint64_t Planned = 0;   ///< sizeHint of the stream (advisory).
+  uint64_t Generated = 0; ///< Units pulled off the source so far.
+  uint64_t Completed = 0;
+  uint64_t Pending = 0; ///< Queued, not leased.
+  uint64_t Leased = 0;  ///< In flight on workers.
+  uint64_t Requeues = 0;
+  uint64_t DuplicateResults = 0;
+  uint64_t ReplayedResults = 0;
+  uint64_t DedupedUnits = 0;
+  uint64_t PollWakeups = 0;
+  LeaseSizing Sizing;
+  double Seconds = 0.0; ///< Wall clock since run() started.
+  struct WorkerRow {
+    std::string Peer;
+    uint32_t Jobs = 0;
+    uint64_t UnitsLeased = 0;
+    uint64_t UnitsCompleted = 0;
+    uint64_t Requeued = 0;
+    uint64_t Outstanding = 0; ///< Leases held right now.
+    double ConnectedSeconds = 0.0;
+  };
+  std::vector<WorkerRow> Workers;
+};
+
+/// Renders \p S as the /status JSON document.
+std::string serviceStatusJson(const ServiceStatus &S);
+
 } // namespace telechat
 
 #endif // TELECHAT_DIST_CAMPAIGNJSON_H

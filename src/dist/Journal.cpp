@@ -9,6 +9,8 @@
 #include "dist/Serialize.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <unistd.h>
@@ -235,4 +237,63 @@ ErrorOr<JournalContents> telechat::readJournal(const std::string &Path) {
   if (!SeenHeader)
     return makeError(Path + ": journal has no complete header record");
   return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Compaction
+//===----------------------------------------------------------------------===//
+
+ErrorOr<CompactStats> telechat::compactJournal(const std::string &Path) {
+  CompactStats Stats;
+  {
+    std::ifstream In(Path, std::ios::binary | std::ios::ate);
+    if (!In)
+      return makeError("cannot open journal " + Path);
+    std::streamoff Size = In.tellg();
+    if (Size < 0)
+      return makeError("cannot read journal " + Path);
+    Stats.BytesBefore = uint64_t(Size);
+  }
+  ErrorOr<JournalContents> J = readJournal(Path);
+  if (!J)
+    return makeError(J.error());
+
+  // readJournal already collapsed duplicate ids first-wins; sorting by id
+  // turns arrival order into corpus order, so the compacted file reads
+  // like the journal of a campaign that finished its prefix in sequence.
+  std::sort(J->Results.begin(), J->Results.end(),
+            [](const std::pair<uint64_t, TelechatResult> &A,
+               const std::pair<uint64_t, TelechatResult> &B) {
+              return A.first < B.first;
+            });
+
+  // Write the compacted image beside the original and rename it into
+  // place: a crash mid-compaction must leave a readable journal either
+  // way, and rename within a directory is atomic.
+  const std::string Tmp = Path + ".compact";
+  JournalWriter W;
+  if (std::string Err = W.create(Tmp, J->Spec, J->Configs); !Err.empty())
+    return makeError(Err);
+  for (const auto &[Id, R] : J->Results)
+    if (!W.appendResult(Id, R)) {
+      W.close();
+      std::remove(Tmp.c_str());
+      return makeError("cannot write compacted journal " + Tmp);
+    }
+  W.close();
+  {
+    std::ifstream In(Tmp, std::ios::binary | std::ios::ate);
+    std::streamoff Size = In ? std::streamoff(In.tellg()) : -1;
+    if (Size < 0) {
+      std::remove(Tmp.c_str());
+      return makeError("cannot stat compacted journal " + Tmp);
+    }
+    Stats.BytesAfter = uint64_t(Size);
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return makeError("cannot rename " + Tmp + " over " + Path);
+  }
+  Stats.Results = J->Results.size();
+  return Stats;
 }

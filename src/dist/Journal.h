@@ -142,6 +142,23 @@ struct JournalContents {
 /// tolerated (JournalContents::TruncatedTail).
 ErrorOr<JournalContents> readJournal(const std::string &Path);
 
+/// What compactJournal rewrote.
+struct CompactStats {
+  uint64_t BytesBefore = 0; ///< File size before (tail garbage included).
+  uint64_t BytesAfter = 0;
+  uint64_t Results = 0; ///< Result records in the compacted file.
+};
+
+/// Rewrites \p Path in place as one header plus its merged result prefix
+/// in unit-id order: duplicate ids collapse to their first occurrence
+/// (the live merge's first-result-wins rule), a partial tail record is
+/// dropped, and append order is normalised to corpus order. Replaying
+/// the compacted journal is byte-identical to replaying the original --
+/// compaction changes the file, never the merge. Crash-safe: the
+/// compacted image is written beside \p Path and renamed over it, so a
+/// kill mid-compaction leaves the original intact.
+ErrorOr<CompactStats> compactJournal(const std::string &Path);
+
 } // namespace telechat
 
 #endif // TELECHAT_DIST_JOURNAL_H

@@ -1,0 +1,170 @@
+//===--- LeaseScheduler.cpp - Lease/requeue tier of the campaign service --===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/LeaseScheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace telechat;
+
+void LeaseScheduler::addPeer(size_t Slot) {
+  auto [It, IsNew] = Peers.try_emplace(Slot);
+  if (IsNew)
+    It->second.Cap = MaxPerRequest;
+}
+
+std::vector<uint64_t> LeaseScheduler::dropPeer(size_t Slot) {
+  std::vector<uint64_t> Requeued;
+  auto P = Peers.find(Slot);
+  if (P == Peers.end())
+    return Requeued;
+  // Requeue in descending id so the queue front ends up ascending:
+  // orphaned units re-issue lowest-id first, matching corpus order.
+  std::sort(P->second.Held.begin(), P->second.Held.end());
+  for (auto It = P->second.Held.rbegin(); It != P->second.Held.rend();
+       ++It) {
+    auto L = Leases.find(*It);
+    if (L != Leases.end() && L->second.Slot == Slot) {
+      Leases.erase(L);
+      if (!completed(*It)) {
+        Pending.push_front(*It);
+        Requeued.push_back(*It);
+      }
+    }
+  }
+  P->second.Held.clear();
+  return Requeued;
+}
+
+void LeaseScheduler::addPending(uint64_t Id) { Pending.push_back(Id); }
+
+void LeaseScheduler::markCompleted(uint64_t Id) {
+  if (Id >= Completed.size())
+    Completed.resize(size_t(Id) + 1, false);
+  Completed[Id] = true;
+}
+
+std::vector<uint64_t> LeaseScheduler::lease(size_t Slot,
+                                            uint32_t Requested) {
+  addPeer(Slot);
+  Peer &P = Peers[Slot];
+  size_t Max = std::min(size_t(Requested), size_t(P.Cap));
+  std::vector<uint64_t> Batch;
+  auto Now = Clock::now();
+  while (Batch.size() < Max && !Pending.empty()) {
+    uint64_t Id = Pending.front();
+    Pending.pop_front();
+    if (completed(Id)) // Requeued, then a straggler's result landed.
+      continue;
+    Batch.push_back(Id);
+    Leases[Id] = Lease{Slot, Now};
+    P.Held.push_back(Id);
+    P.EverLeased.insert(Id);
+  }
+  if (!Batch.empty()) {
+    noteBatch(Batch.size());
+    if (!P.HasLast) {
+      // First units in flight for this peer: the completion-rate clock
+      // starts at issue, so the first delivery yields a real dt.
+      P.LastResultAt = Now;
+      P.HasLast = true;
+    }
+  }
+  return Batch;
+}
+
+bool LeaseScheduler::everLeased(size_t Slot, uint64_t Id) const {
+  auto P = Peers.find(Slot);
+  return P != Peers.end() && P->second.EverLeased.count(Id) != 0;
+}
+
+void LeaseScheduler::releaseLease(size_t Slot, uint64_t Id) {
+  auto P = Peers.find(Slot);
+  if (P == Peers.end())
+    return;
+  auto &Held = P->second.Held;
+  Held.erase(std::remove(Held.begin(), Held.end(), Id), Held.end());
+}
+
+void LeaseScheduler::resultDelivered(size_t Slot, uint64_t Id) {
+  releaseLease(Slot, Id);
+  Leases.erase(Id);
+  auto PI = Peers.find(Slot);
+  if (PI == Peers.end())
+    return;
+  Peer &P = PI->second;
+  auto Now = Clock::now();
+  // A delivered result is proof of life: restart the lease clock on the
+  // peer's remaining units, so "lease timeout" measures one stalled unit
+  // rather than one whole batch of slow-but-progressing ones.
+  for (uint64_t Held : P.Held) {
+    auto L = Leases.find(Held);
+    if (L != Leases.end() && L->second.Slot == Slot)
+      L->second.IssuedAt = Now;
+  }
+  // Feed the adaptive cap: size the peer to hold about TargetSeconds of
+  // work at its observed delivery rate.
+  if (P.HasLast) {
+    double Dt = std::chrono::duration<double>(Now - P.LastResultAt).count();
+    Dt = std::max(Dt, 1e-6);
+    P.AvgDt = P.AvgDt == 0.0 ? Dt : 0.8 * P.AvgDt + 0.2 * Dt;
+    double Want = TargetSeconds / P.AvgDt;
+    P.Cap = unsigned(std::clamp(Want, 1.0, double(MaxPerRequest)));
+  }
+  P.LastResultAt = Now;
+  P.HasLast = true;
+}
+
+std::vector<std::pair<uint64_t, size_t>> LeaseScheduler::expire() {
+  std::vector<std::pair<uint64_t, size_t>> Expired;
+  auto Now = Clock::now();
+  for (const auto &[Id, L] : Leases)
+    if (std::chrono::duration<double>(Now - L.IssuedAt).count() >
+        LeaseTimeout)
+      Expired.push_back({Id, L.Slot});
+  // Descending for the same front-insert reason as dropPeer.
+  std::sort(Expired.rbegin(), Expired.rend());
+  for (const auto &[Id, Slot] : Expired) {
+    Leases.erase(Id);
+    auto P = Peers.find(Slot);
+    if (P != Peers.end()) {
+      auto &Held = P->second.Held;
+      Held.erase(std::remove(Held.begin(), Held.end(), Id), Held.end());
+    }
+    Pending.push_front(Id);
+  }
+  return Expired;
+}
+
+int LeaseScheduler::pollTimeoutMs(int IdleMs) const {
+  if (Leases.empty())
+    return IdleMs;
+  auto Earliest = Leases.begin()->second.IssuedAt;
+  for (const auto &[Id, L] : Leases)
+    if (L.IssuedAt < Earliest)
+      Earliest = L.IssuedAt;
+  double Left = LeaseTimeout - std::chrono::duration<double>(
+                                   Clock::now() - Earliest)
+                                   .count();
+  if (Left <= 0.0)
+    return 0;
+  // +1ms so the deadline has actually passed when the wakeup fires.
+  double Ms = std::ceil(Left * 1e3) + 1.0;
+  return int(std::min(Ms, double(IdleMs)));
+}
+
+size_t LeaseScheduler::outstanding(size_t Slot) const {
+  auto P = Peers.find(Slot);
+  return P == Peers.end() ? 0 : P->second.Held.size();
+}
+
+void LeaseScheduler::noteBatch(size_t N) {
+  if (Sizing.Min == 0 || N < Sizing.Min)
+    Sizing.Min = N;
+  Sizing.Max = std::max(Sizing.Max, uint64_t(N));
+  Sizing.Final = N;
+}

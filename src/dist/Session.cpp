@@ -1,0 +1,176 @@
+//===--- Session.cpp - Transport/session layer of the campaign service ----===//
+//
+// Part of the Télétchat reproduction. MIT licensed; see README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Session.h"
+
+#include <algorithm>
+
+using namespace telechat;
+
+std::string SessionHost::listen(uint16_t Port,
+                                const std::string &BindAddress) {
+  ErrorOr<TcpListener> L = TcpListener::listenOn(Port, BindAddress);
+  if (!L)
+    return L.error();
+  Listener = std::move(*L);
+  return "";
+}
+
+void SessionHost::cycle(Handler &H, int TimeoutMs) {
+  // Snapshot the peer list: accept() below appends, and the fd-to-slot
+  // mapping must match what poll() saw.
+  size_t SnapPeers = Peers.size();
+  Fds.clear();
+  size_t ListenerIdx = size_t(-1);
+  if (Listener.valid()) {
+    ListenerIdx = Fds.size();
+    Fds.push_back(pollfd{Listener.fd(), POLLIN, 0});
+  }
+  for (size_t Slot = 0; Slot != SnapPeers; ++Slot)
+    if (Peers[Slot].Sock.valid())
+      Fds.push_back(pollfd{Peers[Slot].Sock.fd(), POLLIN, 0});
+  size_t AuxStart = Fds.size();
+  H.collectAuxFds(Fds);
+  if (poll(Fds.data(), nfds_t(Fds.size()), TimeoutMs) < 0)
+    return; // EINTR and friends: the caller just re-loops.
+
+  if (ListenerIdx != size_t(-1) && (Fds[ListenerIdx].revents & POLLIN)) {
+    ErrorOr<TcpSocket> Accepted = Listener.accept();
+    if (Accepted) {
+      PeerSession P;
+      P.Sock = std::move(*Accepted);
+      // The service loop is single-threaded: a peer that stops reading
+      // must fail its send (and be dropped) instead of wedging the loop.
+      P.Sock.setSendTimeout(30.0);
+      P.ConnectedAt = std::chrono::steady_clock::now();
+      Peers.push_back(std::move(P));
+      H.onAccept(Peers.size() - 1);
+    }
+  }
+
+  // Walk the snapshotted peers in the same order the fds were pushed.
+  // Only the slot being dispatched can be dropped mid-walk, so the
+  // valid-at-snapshot set (and with it the mapping) stays intact.
+  uint8_t Buf[64 * 1024];
+  size_t FdIdx = ListenerIdx == size_t(-1) ? 0 : 1;
+  for (size_t Slot = 0; Slot != SnapPeers; ++Slot) {
+    PeerSession &P = Peers[Slot];
+    if (!P.Sock.valid())
+      continue;
+    const pollfd &PF = Fds[FdIdx++];
+    if (!(PF.revents & (POLLIN | POLLERR | POLLHUP)))
+      continue;
+    long N = P.Sock.recvSome(Buf, sizeof(Buf));
+    if (N <= 0) {
+      H.onHangup(Slot);
+      continue;
+    }
+    P.Frames.feed(Buf, size_t(N));
+    Frame F;
+    while (P.Sock.valid() && P.Frames.pop(F))
+      if (!H.onFrame(Slot, F))
+        break;
+    // Corruption latches inside pop(): check after draining, or a bad
+    // length prefix arriving behind valid frames would leave the peer
+    // (and its leases) lingering until the lease timeout.
+    if (P.Sock.valid() && P.Frames.corrupted())
+      H.onCorrupt(Slot);
+  }
+
+  for (size_t I = AuxStart; I < Fds.size(); ++I)
+    if (Fds[I].revents)
+      H.onAuxReady(Fds[I]);
+}
+
+void SessionHost::closeAll() {
+  for (PeerSession &P : Peers)
+    if (P.Sock.valid())
+      P.Sock.close();
+  Listener.close();
+}
+
+//===----------------------------------------------------------------------===//
+// StatusEndpoint
+//===----------------------------------------------------------------------===//
+
+std::string StatusEndpoint::listen(uint16_t Port,
+                                   const std::string &BindAddress) {
+  ErrorOr<TcpListener> L = TcpListener::listenOn(Port, BindAddress);
+  if (!L)
+    return L.error();
+  Listener = std::move(*L);
+  return "";
+}
+
+void StatusEndpoint::collectFds(std::vector<pollfd> &Fds) const {
+  if (Listener.valid())
+    Fds.push_back(pollfd{Listener.fd(), POLLIN, 0});
+  for (const Client &C : Clients)
+    if (C.Sock.valid())
+      Fds.push_back(pollfd{C.Sock.fd(), POLLIN, 0});
+}
+
+bool StatusEndpoint::onReady(const pollfd &PF,
+                             const std::function<std::string()> &Render) {
+  if (Listener.valid() && PF.fd == Listener.fd()) {
+    ErrorOr<TcpSocket> Accepted = Listener.accept();
+    if (Accepted) {
+      // Status clients are short-lived scrapes; a stalled one must not
+      // wedge the campaign loop.
+      Accepted->setSendTimeout(5.0);
+      Clients.push_back(Client{std::move(*Accepted), {}});
+    }
+    return true;
+  }
+  for (size_t I = 0; I != Clients.size(); ++I) {
+    Client &C = Clients[I];
+    if (!C.Sock.valid() || C.Sock.fd() != PF.fd)
+      continue;
+    char Buf[2048];
+    long N = C.Sock.recvSome(reinterpret_cast<uint8_t *>(Buf), sizeof(Buf));
+    bool Drop = N <= 0;
+    if (!Drop) {
+      C.Buf.append(Buf, size_t(N));
+      if (C.Buf.size() > 8192) {
+        Drop = true; // Not a status scrape; refuse to buffer more.
+      } else if (C.Buf.find("\r\n\r\n") != std::string::npos ||
+                 C.Buf.find("\n\n") != std::string::npos) {
+        std::string Response;
+        if (C.Buf.rfind("GET /status", 0) == 0) {
+          std::string Body = Render();
+          Response = "HTTP/1.0 200 OK\r\n"
+                     "Content-Type: application/json\r\n"
+                     "Content-Length: " +
+                     std::to_string(Body.size()) +
+                     "\r\n"
+                     "Connection: close\r\n\r\n" +
+                     Body;
+        } else {
+          Response = "HTTP/1.0 404 Not Found\r\n"
+                     "Content-Length: 0\r\n"
+                     "Connection: close\r\n\r\n";
+        }
+        C.Sock.sendAll(reinterpret_cast<const uint8_t *>(Response.data()),
+                       Response.size());
+        Drop = true; // One request per connection.
+      }
+    }
+    if (Drop) {
+      C.Sock.close();
+      Clients.erase(Clients.begin() + long(I));
+    }
+    return true;
+  }
+  return false;
+}
+
+void StatusEndpoint::close() {
+  for (Client &C : Clients)
+    if (C.Sock.valid())
+      C.Sock.close();
+  Clients.clear();
+  Listener.close();
+}

@@ -59,6 +59,11 @@ public:
   }
   void appendBool(bool V) { appendU8(V ? 1 : 0); }
   void appendString(std::string_view S);
+  /// Raw byte block, no length prefix: the relay forwards payloads it
+  /// already validated verbatim instead of re-encoding them.
+  void appendBytes(const uint8_t *Data, size_t Len) {
+    Bytes.insert(Bytes.end(), Data, Data + Len);
+  }
 
   const uint8_t *data() const { return Bytes.data(); }
   size_t size() const { return Bytes.size(); }

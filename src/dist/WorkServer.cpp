@@ -3,12 +3,21 @@
 // Part of the Télétchat reproduction. MIT licensed; see README.md.
 //
 //===----------------------------------------------------------------------===//
+//
+// The server is the thinnest of the three service tiers: Session.h owns
+// the sockets and frames, LeaseScheduler.h owns the queue and the fault
+// discipline, and this file owns what neither may know -- the unit
+// stream, the merge, the journal, and canonical dedupe.
+//
+//===----------------------------------------------------------------------===//
 
 #include "dist/WorkServer.h"
 
+#include "dist/CampaignJson.h"
 #include "dist/Journal.h"
 #include "dist/Protocol.h"
 #include "dist/Serialize.h"
+#include "dist/Session.h"
 #include "litmus/Canon.h"
 #include "support/StringUtils.h"
 
@@ -16,11 +25,9 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
-#include <deque>
 #include <map>
 #include <memory>
-#include <poll.h>
-#include <set>
+#include <optional>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -35,31 +42,14 @@ double secondsSince(Clock::time_point T0) {
   return std::chrono::duration<double>(Clock::now() - T0).count();
 }
 
+/// Idle poll bound: with no leases outstanding the loop still wakes a
+/// couple of times a second to notice a drained stream. Lease deadlines
+/// shorten it (LeaseScheduler::pollTimeoutMs).
+constexpr int IdlePollMs = 500;
+
 } // namespace
 
-struct WorkServer::Impl {
-  /// One connected worker.
-  struct Conn {
-    TcpSocket Sock;
-    FrameSplitter Frames;
-    bool Handshook = false;
-    bool DoneSent = false;
-    size_t Telemetry = 0;         ///< Index into Report.Workers.
-    std::vector<uint64_t> Leases; ///< Unit ids currently leased here.
-    /// Every id ever leased to this connection. Results are accepted
-    /// only for these: a slow worker whose lease timed out may still
-    /// land its result, but a peer cannot fabricate results (or force
-    /// result decodes, which intern keys) for units it never held.
-    std::set<uint64_t> EverLeased;
-    Clock::time_point ConnectedAt;
-  };
-
-  /// A live lease.
-  struct Lease {
-    size_t ConnSlot;
-    Clock::time_point IssuedAt;
-  };
-
+struct WorkServer::Impl : SessionHost::Handler {
   /// The unit stream. The vector constructor wraps its corpus in a
   /// VectorUnitSource at start() after validating ids; the streaming
   /// constructor hands Source over directly.
@@ -74,8 +64,9 @@ struct WorkServer::Impl {
   /// has not produced yet. Applied (and erased) as units are pulled.
   std::map<uint64_t, TelechatResult> Replay;
 
-  TcpListener Listener;
-  std::vector<Conn> Conns;
+  SessionHost Host;
+  StatusEndpoint Status;
+  std::optional<LeaseScheduler> Sched; ///< Built once Opts are sane.
 
   /// Units pulled off the source so far; stream ids are [0, Generated).
   uint64_t Generated = 0;
@@ -85,10 +76,6 @@ struct WorkServer::Impl {
   /// in-flight window, not the corpus.
   std::map<uint64_t, CampaignUnit> Live;
 
-  /// Unit ids with no live lease and no result, in issue order.
-  std::deque<uint64_t> Pending;
-  std::map<uint64_t, Lease> Leases;
-  std::vector<bool> Completed;
   uint64_t CompletedCount = 0;
 
   // --- Canonical dedupe state (Opts.Dedupe; all empty otherwise).
@@ -108,6 +95,7 @@ struct WorkServer::Impl {
   std::map<uint64_t, std::vector<uint64_t>> DupsOf;
 
   CampaignReport Report;
+  Clock::time_point StartedAt;
 
   void log(const char *Fmt, ...) const;
   void sanitizeOptions();
@@ -118,15 +106,28 @@ struct WorkServer::Impl {
   void complete(uint64_t Id, TelechatResult R, bool FromReplay);
   bool pullOne();
   void refill(size_t Want);
-  void requeue(uint64_t Id, size_t ConnSlot);
   void dropConn(size_t Slot);
   void expireLeases();
-  bool handleFrame(size_t Slot, const Frame &F);
   void handleHello(size_t Slot, const Frame &F);
   void handleGetWork(size_t Slot, const Frame &F);
   void handleResult(size_t Slot, const Frame &F);
   void sendError(size_t Slot, const std::string &Reason);
+  std::string statusJson();
   CampaignReport run();
+
+  // SessionHost::Handler.
+  void onAccept(size_t Slot) override;
+  bool onFrame(size_t Slot, const Frame &F) override;
+  void onHangup(size_t Slot) override { dropConn(Slot); }
+  void onCorrupt(size_t Slot) override {
+    sendError(Slot, "corrupt frame stream");
+  }
+  void collectAuxFds(std::vector<pollfd> &Fds) override {
+    Status.collectFds(Fds);
+  }
+  void onAuxReady(const pollfd &PF) override {
+    Status.onReady(PF, [this] { return statusJson(); });
+  }
 };
 
 void WorkServer::Impl::log(const char *Fmt, ...) const {
@@ -147,6 +148,8 @@ void WorkServer::Impl::sanitizeOptions() {
     Opts.MaxUnitsPerRequest = 1;
   if (Opts.WaitRetryMs == 0)
     Opts.WaitRetryMs = 50;
+  if (Opts.TargetLeaseSeconds <= 0.0)
+    Opts.TargetLeaseSeconds = 1.0;
 }
 
 void WorkServer::Impl::sanitizeConfigs() {
@@ -175,7 +178,7 @@ void WorkServer::Impl::complete(uint64_t Id, TelechatResult R,
     log("%s", Report.Error.c_str());
   }
   Report.Results[Id] = std::move(R);
-  Completed[Id] = true;
+  Sched->markCompleted(Id);
   ++CompletedCount;
   Live.erase(Id);
 
@@ -209,9 +212,9 @@ bool WorkServer::Impl::pullOne() {
     return false;
   }
   if (U.Id != Generated) {
-    // The merge (Results, Completed, the echoed wire id) indexes the
-    // stream position; a source breaking the contract would scatter
-    // results into wrong slots. Abort the stream instead.
+    // The merge (Results, the completion bitmap, the echoed wire id)
+    // indexes the stream position; a source breaking the contract would
+    // scatter results into wrong slots. Abort the stream instead.
     Drained = true;
     Report.Error = strFormat(
         "unit source produced id %llu at stream position %llu; "
@@ -224,7 +227,6 @@ bool WorkServer::Impl::pullOne() {
   ++Generated;
   Report.UnitsMeta.push_back(CampaignUnitMeta{U.Test.Name, U.Config});
   Report.Results.emplace_back();
-  Completed.push_back(false);
   bool Serve = true;
   auto R = Replay.find(U.Id);
   if (R != Replay.end()) {
@@ -253,7 +255,7 @@ bool WorkServer::Impl::pullOne() {
       log("unit %llu dedupes to unit %llu",
           static_cast<unsigned long long>(U.Id),
           static_cast<unsigned long long>(RepId));
-      if (Completed[RepId]) {
+      if (Sched->completed(RepId)) {
         // Rep already merged (typically a replay): synthesize now.
         complete(U.Id, renameTelechatResult(Report.Results[RepId], Ren),
                  /*FromReplay=*/false);
@@ -265,58 +267,33 @@ bool WorkServer::Impl::pullOne() {
     }
   }
   if (Serve) {
-    Pending.push_back(U.Id);
+    Sched->addPending(U.Id);
     Live.emplace(U.Id, std::move(U));
   }
   return true;
 }
 
 void WorkServer::Impl::refill(size_t Want) {
-  while (Pending.size() < Want && pullOne()) {
+  while (Sched->pendingCount() < Want && pullOne()) {
   }
-}
-
-void WorkServer::Impl::requeue(uint64_t Id, size_t ConnSlot) {
-  if (Completed[Id])
-    return;
-  Pending.push_front(Id);
-  ++Report.Requeues;
-  ++Report.Workers[Conns[ConnSlot].Telemetry].Requeued;
 }
 
 void WorkServer::Impl::dropConn(size_t Slot) {
-  Conn &C = Conns[Slot];
+  PeerSession &C = Host.peer(Slot);
   if (!C.Sock.valid())
     return;
-  // Requeue in descending id so the queue front ends up ascending:
-  // orphaned units re-issue lowest-id first, matching corpus order.
-  std::sort(C.Leases.begin(), C.Leases.end());
-  for (auto It = C.Leases.rbegin(); It != C.Leases.rend(); ++It) {
-    auto L = Leases.find(*It);
-    if (L != Leases.end() && L->second.ConnSlot == Slot) {
-      Leases.erase(L);
-      requeue(*It, Slot);
-    }
-  }
-  C.Leases.clear();
+  std::vector<uint64_t> Requeued = Sched->dropPeer(Slot);
+  Report.Requeues += Requeued.size();
+  Report.Workers[C.Telemetry].Requeued += Requeued.size();
   Report.Workers[C.Telemetry].ConnectedSeconds = secondsSince(C.ConnectedAt);
   C.Sock.close();
   log("worker %s disconnected", Report.Workers[C.Telemetry].Peer.c_str());
 }
 
 void WorkServer::Impl::expireLeases() {
-  std::vector<std::pair<uint64_t, size_t>> Expired;
-  for (const auto &[Id, L] : Leases)
-    if (secondsSince(L.IssuedAt) > Opts.LeaseTimeoutSeconds)
-      Expired.push_back({Id, L.ConnSlot});
-  // Descending for the same front-insert reason as dropConn.
-  std::sort(Expired.rbegin(), Expired.rend());
-  for (const auto &[Id, Slot] : Expired) {
-    Leases.erase(Id);
-    Conn &C = Conns[Slot];
-    C.Leases.erase(std::remove(C.Leases.begin(), C.Leases.end(), Id),
-                   C.Leases.end());
-    requeue(Id, Slot);
+  for (const auto &[Id, Slot] : Sched->expire()) {
+    ++Report.Requeues;
+    ++Report.Workers[Host.peer(Slot).Telemetry].Requeued;
     log("lease on unit %llu expired, requeued",
         static_cast<unsigned long long>(Id));
   }
@@ -325,8 +302,17 @@ void WorkServer::Impl::expireLeases() {
 void WorkServer::Impl::sendError(size_t Slot, const std::string &Reason) {
   WireBuffer B;
   B.appendString(Reason);
-  sendFrame(Conns[Slot].Sock, uint8_t(Msg::Error), B);
+  sendFrame(Host.peer(Slot).Sock, uint8_t(Msg::Error), B);
   dropConn(Slot);
+}
+
+void WorkServer::Impl::onAccept(size_t Slot) {
+  PeerSession &C = Host.peer(Slot);
+  C.Telemetry = Report.Workers.size();
+  WorkerTelemetry T;
+  T.Peer = C.Sock.peerName();
+  Report.Workers.push_back(T);
+  Sched->addPeer(Slot);
 }
 
 void WorkServer::Impl::handleHello(size_t Slot, const Frame &F) {
@@ -344,8 +330,9 @@ void WorkServer::Impl::handleHello(size_t Slot, const Frame &F) {
                               unsigned(WireVersion), unsigned(Version)));
     return;
   }
-  Conns[Slot].Handshook = true;
-  Report.Workers[Conns[Slot].Telemetry].Jobs = Jobs;
+  PeerSession &Peer = Host.peer(Slot);
+  Peer.Handshook = true;
+  Report.Workers[Peer.Telemetry].Jobs = Jobs;
   WireBuffer B;
   B.appendU16(WireVersion);
   // Planned campaign size: exact for a fixed corpus, the generator's
@@ -355,12 +342,12 @@ void WorkServer::Impl::handleHello(size_t Slot, const Frame &F) {
   B.appendU32(uint32_t(Configs.size()));
   for (const CampaignConfig &Config : Configs)
     encodeCampaignConfig(B, Config);
-  if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::HelloAck), B)) {
+  if (!sendFrame(Peer.Sock, uint8_t(Msg::HelloAck), B)) {
     dropConn(Slot);
     return;
   }
   log("worker %s joined (jobs=%u)",
-      Report.Workers[Conns[Slot].Telemetry].Peer.c_str(), Jobs);
+      Report.Workers[Peer.Telemetry].Peer.c_str(), Jobs);
 }
 
 void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
@@ -377,20 +364,21 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
   if (campaignComplete()) {
     WireBuffer B;
     B.appendU64(Generated);
-    if (sendFrame(Conns[Slot].Sock, uint8_t(Msg::Done), B))
-      Conns[Slot].DoneSent = true;
+    if (sendFrame(Host.peer(Slot).Sock, uint8_t(Msg::Done), B))
+      Host.peer(Slot).DoneSent = true;
     else
       dropConn(Slot);
     return;
   }
   // Canonical-class-aware scheduling: under --dedupe only class
-  // representatives reach Pending, and completing one synthesizes every
-  // duplicate parked behind it. Leasing the representatives with the
-  // most parked duplicates first turns each completion into the largest
-  // possible batch of synthesized results early in the campaign. The
-  // merge is keyed by unit id, so serve order is a latency heuristic
-  // only -- results stay byte-identical to FIFO order.
-  if (Opts.Dedupe && Pending.size() > 1)
+  // representatives reach the queue, and completing one synthesizes
+  // every duplicate parked behind it. Leasing the representatives with
+  // the most parked duplicates first turns each completion into the
+  // largest possible batch of synthesized results early in the
+  // campaign. The merge is keyed by unit id, so serve order is a
+  // latency heuristic only -- results stay byte-identical to FIFO order.
+  if (Opts.Dedupe && Sched->pendingCount() > 1) {
+    std::deque<uint64_t> &Pending = Sched->pending();
     std::sort(Pending.begin(), Pending.end(),
               [this](uint64_t A, uint64_t B) {
                 auto DA = DupsOf.find(A), DB = DupsOf.find(B);
@@ -400,33 +388,23 @@ void WorkServer::Impl::handleGetWork(size_t Slot, const Frame &F) {
                   return NA > NB;
                 return A < B; // Corpus order within a class-size tier.
               });
-  std::vector<uint64_t> Batch;
-  while (Batch.size() < Max && !Pending.empty()) {
-    uint64_t Id = Pending.front();
-    Pending.pop_front();
-    if (Completed[Id]) // Requeued, then a straggler's result landed.
-      continue;
-    Batch.push_back(Id);
   }
+  std::vector<uint64_t> Batch = Sched->lease(Slot, Max);
   if (Batch.empty()) {
     // Everything is leased out (or the corpus is smaller than the
     // worker count): the worker naps and asks again.
     WireBuffer B;
     B.appendU32(Opts.WaitRetryMs);
-    if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::Wait), B))
+    if (!sendFrame(Host.peer(Slot).Sock, uint8_t(Msg::Wait), B))
       dropConn(Slot);
     return;
   }
   WireBuffer B;
   B.appendU32(uint32_t(Batch.size()));
-  for (uint64_t Id : Batch) {
+  for (uint64_t Id : Batch)
     encodeCampaignUnit(B, Live.at(Id));
-    Leases[Id] = Lease{Slot, Clock::now()};
-    Conns[Slot].Leases.push_back(Id);
-    Conns[Slot].EverLeased.insert(Id);
-  }
-  Report.Workers[Conns[Slot].Telemetry].UnitsLeased += Batch.size();
-  if (!sendFrame(Conns[Slot].Sock, uint8_t(Msg::Work), B))
+  Report.Workers[Host.peer(Slot).Telemetry].UnitsLeased += Batch.size();
+  if (!sendFrame(Host.peer(Slot).Sock, uint8_t(Msg::Work), B))
     dropConn(Slot); // The just-taken leases requeue right here.
 }
 
@@ -437,19 +415,17 @@ void WorkServer::Impl::handleResult(size_t Slot, const Frame &F) {
     sendError(Slot, "malformed Result");
     return;
   }
-  Conn &Cn = Conns[Slot];
-  if (!Cn.EverLeased.count(Id)) {
+  if (!Sched->everLeased(Slot, Id)) {
     // This connection never held the unit: reject before decoding.
     // Accepting would let a peer fabricate merge results and force
     // decodes (which intern outcome keys process-wide) at will.
     sendError(Slot, "result for a unit not leased here");
     return;
   }
-  if (Completed[Id]) {
+  if (Sched->completed(Id)) {
     // Duplicate (the unit was requeued and someone else won): drop it
     // before decoding, for the same interning reason as above.
-    Cn.Leases.erase(std::remove(Cn.Leases.begin(), Cn.Leases.end(), Id),
-                    Cn.Leases.end());
+    Sched->releaseLease(Slot, Id);
     ++Report.DuplicateResults;
     return;
   }
@@ -463,24 +439,15 @@ void WorkServer::Impl::handleResult(size_t Slot, const Frame &F) {
   // The result may come from a worker whose lease was already reassigned
   // (a slow worker beaten by the timeout): still accept it -- execution
   // is deterministic, so whichever copy lands first is *the* result.
-  Cn.Leases.erase(std::remove(Cn.Leases.begin(), Cn.Leases.end(), Id),
-                  Cn.Leases.end());
-  Leases.erase(Id);
+  // resultDelivered also restarts the lease clock on the worker's
+  // remaining units (proof of life) and feeds its adaptive batch cap.
+  Sched->resultDelivered(Slot, Id);
   complete(Id, std::move(R), /*FromReplay=*/false);
-  ++Report.Workers[Cn.Telemetry].UnitsCompleted;
-  // A delivered result is proof of life: restart the lease clock on the
-  // worker's remaining units, so "lease timeout" measures one stalled
-  // unit rather than one whole batch of slow-but-progressing ones.
-  auto Now = Clock::now();
-  for (uint64_t Held : Cn.Leases) {
-    auto L = Leases.find(Held);
-    if (L != Leases.end() && L->second.ConnSlot == Slot)
-      L->second.IssuedAt = Now;
-  }
+  ++Report.Workers[Host.peer(Slot).Telemetry].UnitsCompleted;
 }
 
-bool WorkServer::Impl::handleFrame(size_t Slot, const Frame &F) {
-  Conn &C = Conns[Slot];
+bool WorkServer::Impl::onFrame(size_t Slot, const Frame &F) {
+  PeerSession &C = Host.peer(Slot);
   if (!C.Handshook) {
     if (F.Type != uint8_t(Msg::Hello)) {
       sendError(Slot, "expected Hello");
@@ -509,10 +476,41 @@ bool WorkServer::Impl::handleFrame(size_t Slot, const Frame &F) {
   }
 }
 
+std::string WorkServer::Impl::statusJson() {
+  ServiceStatus S;
+  S.Role = "server";
+  S.Planned = Drained || !Source ? Generated : Source->sizeHint();
+  S.Generated = Generated;
+  S.Completed = CompletedCount;
+  S.Pending = Sched->pendingCount();
+  S.Leased = Sched->leasedCount();
+  S.Requeues = Report.Requeues;
+  S.DuplicateResults = Report.DuplicateResults;
+  S.ReplayedResults = Report.ReplayedResults;
+  S.DedupedUnits = Report.DedupedUnits;
+  S.PollWakeups = Report.PollWakeups;
+  S.Sizing = Sched->sizing();
+  S.Seconds = secondsSince(StartedAt);
+  std::vector<PeerSession> &Peers = Host.peers();
+  for (size_t Slot = 0; Slot != Peers.size(); ++Slot) {
+    const WorkerTelemetry &W = Report.Workers[Peers[Slot].Telemetry];
+    ServiceStatus::WorkerRow Row;
+    Row.Peer = W.Peer;
+    Row.Jobs = W.Jobs;
+    Row.UnitsLeased = W.UnitsLeased;
+    Row.UnitsCompleted = W.UnitsCompleted;
+    Row.Requeued = W.Requeued;
+    Row.Outstanding = Sched->outstanding(Slot);
+    Row.ConnectedSeconds = Peers[Slot].Sock.valid()
+                               ? secondsSince(Peers[Slot].ConnectedAt)
+                               : W.ConnectedSeconds;
+    S.Workers.push_back(std::move(Row));
+  }
+  return serviceStatusJson(S);
+}
+
 CampaignReport WorkServer::Impl::run() {
-  auto Start = Clock::now();
-  std::vector<pollfd> Fds;
-  uint8_t Buf[64 * 1024];
+  StartedAt = Clock::now();
   while (!campaignComplete()) {
     // Every generated unit is done but the source may have more: find
     // out *now*, not at the next GetWork -- the last worker may have
@@ -526,69 +524,17 @@ CampaignReport WorkServer::Impl::run() {
         break;
     }
     expireLeases();
-
-    // Snapshot the connection list: accept() below appends, and the
-    // fd-to-slot mapping must match what poll() saw.
-    size_t SnapConns = Conns.size();
-    Fds.clear();
-    Fds.push_back(pollfd{Listener.fd(), POLLIN, 0});
-    for (size_t Slot = 0; Slot != SnapConns; ++Slot)
-      if (Conns[Slot].Sock.valid())
-        Fds.push_back(pollfd{Conns[Slot].Sock.fd(), POLLIN, 0});
-    // Short timeout: lease expiry must fire even with silent sockets.
-    if (poll(Fds.data(), nfds_t(Fds.size()), 50) < 0)
-      continue; // EINTR and friends: just re-loop.
-
-    if (Fds[0].revents & POLLIN) {
-      ErrorOr<TcpSocket> Accepted = Listener.accept();
-      if (Accepted) {
-        Conn C;
-        C.Sock = std::move(*Accepted);
-        // The server is single-threaded: a peer that stops reading must
-        // fail its send (and be dropped) instead of wedging the loop.
-        C.Sock.setSendTimeout(30.0);
-        C.ConnectedAt = Clock::now();
-        C.Telemetry = Report.Workers.size();
-        WorkerTelemetry T;
-        T.Peer = C.Sock.peerName();
-        Report.Workers.push_back(T);
-        Conns.push_back(std::move(C));
-      }
-    }
-
-    // Walk the snapshotted conns in the same order the fds were pushed.
-    // Only the slot being processed can be dropped mid-walk, so the
-    // valid-at-snapshot set (and with it the mapping) stays intact.
-    size_t FdIdx = 1;
-    for (size_t Slot = 0; Slot != SnapConns; ++Slot) {
-      Conn &C = Conns[Slot];
-      if (!C.Sock.valid())
-        continue;
-      const pollfd &PF = Fds[FdIdx++];
-      if (!(PF.revents & (POLLIN | POLLERR | POLLHUP)))
-        continue;
-      long N = C.Sock.recvSome(Buf, sizeof(Buf));
-      if (N <= 0) {
-        dropConn(Slot);
-        continue;
-      }
-      C.Frames.feed(Buf, size_t(N));
-      Frame F;
-      while (C.Sock.valid() && C.Frames.pop(F))
-        if (!handleFrame(Slot, F))
-          break;
-      // Corruption latches inside pop(): check after draining, or a
-      // bad length prefix arriving behind valid frames would leave the
-      // connection (and its leases) lingering until the lease timeout.
-      if (C.Sock.valid() && C.Frames.corrupted())
-        sendError(Slot, "corrupt frame stream");
-    }
+    ++Report.PollWakeups;
+    // Sleep until the earliest lease deadline (or the idle bound):
+    // expiry-driven requeue fires when it is due, not at the next fixed
+    // tick, and an idle server costs ~2 wakeups/s instead of 20.
+    Host.cycle(*this, Sched->pollTimeoutMs(IdlePollMs));
   }
 
   // Campaign complete: tell everyone still connected, then hang up.
   WireBuffer DoneB;
   DoneB.appendU64(Generated);
-  for (Conn &C : Conns) {
+  for (PeerSession &C : Host.peers()) {
     if (!C.Sock.valid())
       continue;
     if (!C.DoneSent)
@@ -597,8 +543,10 @@ CampaignReport WorkServer::Impl::run() {
         secondsSince(C.ConnectedAt);
     C.Sock.close();
   }
-  Listener.close();
+  Host.closeAll();
+  Status.close();
   Report.Units = Generated;
+  Report.Sizing = Sched->sizing();
   // Replay entries the stream never produced: a journal replayed against
   // the wrong spec. They are not merge keys, so they are dropped.
   Report.StaleReplays = Replay.size();
@@ -606,14 +554,15 @@ CampaignReport WorkServer::Impl::run() {
     log("%llu replayed results matched no streamed unit (journal/spec "
         "mismatch?)",
         static_cast<unsigned long long>(Report.StaleReplays));
-  Report.Seconds = secondsSince(Start);
+  Report.Seconds = secondsSince(StartedAt);
   log("campaign done: %llu units, %llu requeues, %llu duplicates, "
-      "%llu replayed, %llu deduped",
+      "%llu replayed, %llu deduped, %llu wakeups",
       static_cast<unsigned long long>(Generated),
       static_cast<unsigned long long>(Report.Requeues),
       static_cast<unsigned long long>(Report.DuplicateResults),
       static_cast<unsigned long long>(Report.ReplayedResults),
-      static_cast<unsigned long long>(Report.DedupedUnits));
+      static_cast<unsigned long long>(Report.DedupedUnits),
+      static_cast<unsigned long long>(Report.PollWakeups));
   return std::move(Report);
 }
 
@@ -627,6 +576,8 @@ WorkServer::WorkServer(std::vector<CampaignUnit> Units,
   P->Opts = std::move(Options);
   P->sanitizeOptions();
   P->sanitizeConfigs();
+  P->Sched.emplace(P->Opts.MaxUnitsPerRequest, P->Opts.LeaseTimeoutSeconds,
+                   P->Opts.TargetLeaseSeconds);
 }
 
 WorkServer::WorkServer(std::unique_ptr<UnitSource> Source,
@@ -638,6 +589,8 @@ WorkServer::WorkServer(std::unique_ptr<UnitSource> Source,
   P->Opts = std::move(Options);
   P->sanitizeOptions();
   P->sanitizeConfigs();
+  P->Sched.emplace(P->Opts.MaxUnitsPerRequest, P->Opts.LeaseTimeoutSeconds,
+                   P->Opts.TargetLeaseSeconds);
 }
 
 WorkServer::~WorkServer() { delete P; }
@@ -653,9 +606,10 @@ void WorkServer::preloadResults(
 std::string WorkServer::start() {
   if (P->SeedIsVector) {
     // The whole merge is keyed on "unit id == corpus position" (the
-    // pending deque, Completed, Results and the echoed wire id all index
-    // the same stream). Refuse a corpus that breaks the invariant up
-    // front rather than scattering results into wrong slots.
+    // pending queue, the completion bitmap, Results and the echoed wire
+    // id all index the same stream). Refuse a corpus that breaks the
+    // invariant up front rather than scattering results into wrong
+    // slots.
     for (size_t I = 0; I != P->SeedUnits.size(); ++I)
       if (P->SeedUnits[I].Id != I)
         return strFormat("campaign unit at position %zu has id %llu; "
@@ -669,14 +623,22 @@ std::string WorkServer::start() {
   }
   if (!P->Source)
     return "WorkServer has no unit source";
-  ErrorOr<TcpListener> L =
-      TcpListener::listenOn(P->Opts.Port, P->Opts.BindAddress);
-  if (!L)
-    return L.error();
-  P->Listener = std::move(*L);
+  std::string Err = P->Host.listen(P->Opts.Port, P->Opts.BindAddress);
+  if (!Err.empty())
+    return Err;
+  if (P->Opts.StatusPort >= 0) {
+    Err = P->Status.listen(uint16_t(P->Opts.StatusPort),
+                           P->Opts.BindAddress);
+    if (!Err.empty())
+      return "status endpoint: " + Err;
+  }
   return "";
 }
 
-uint16_t WorkServer::port() const { return P->Listener.port(); }
+uint16_t WorkServer::port() const { return P->Host.port(); }
+
+uint16_t WorkServer::statusPort() const {
+  return P->Status.active() ? P->Status.port() : 0;
+}
 
 CampaignReport WorkServer::run() { return P->run(); }

@@ -40,6 +40,7 @@
 #define TELECHAT_DIST_WORKSERVER_H
 
 #include "core/Campaign.h"
+#include "dist/LeaseScheduler.h"
 #include "dist/Socket.h"
 
 #include <cstdint>
@@ -73,6 +74,15 @@ struct WorkServerOptions {
   /// units hit the wire. Duplicates arriving as journal replays merge
   /// directly and are never re-served (the resume path).
   bool Dedupe = false;
+  /// HTTP status endpoint (`GET /status` -> live JSON): -1 disables, 0
+  /// binds an ephemeral port (see WorkServer::statusPort()), otherwise
+  /// the given port. Bound on BindAddress, like the campaign port.
+  int StatusPort = -1;
+  /// Backpressure target for adaptive lease sizing: each worker's batch
+  /// cap tracks roughly this many seconds of work at its observed
+  /// completion rate (never above MaxUnitsPerRequest; the first batch
+  /// is always the full cap, so small campaigns are unaffected).
+  double TargetLeaseSeconds = 1.0;
   /// Progress lines on stderr.
   bool Verbose = false;
 };
@@ -108,6 +118,12 @@ struct CampaignReport {
   /// Replayed results whose unit ids the stream never produced (a
   /// journal replayed against the wrong spec); dropped from the merge.
   uint64_t StaleReplays = 0;
+  /// Poll-loop iterations of run(): with the earliest-deadline timer
+  /// this tracks actual work (frames, accepts, expiries), not a fixed
+  /// tick rate.
+  uint64_t PollWakeups = 0;
+  /// Adaptive lease-size trajectory (LeaseScheduler.h).
+  LeaseSizing Sizing;
   std::vector<WorkerTelemetry> Workers;
   double Seconds = 0.0;           ///< Wall clock of run().
   /// Nonempty when the unit source misbehaved (ids out of stream order)
@@ -153,6 +169,10 @@ public:
 
   /// The bound port; valid after a successful start().
   uint16_t port() const;
+
+  /// The bound status port (Options::StatusPort), 0 when the endpoint
+  /// is off; valid after a successful start().
+  uint16_t statusPort() const;
 
   /// Serves until every unit has a result (immediately for an empty or
   /// fully-replayed corpus), then disconnects workers and returns the

@@ -9,10 +9,14 @@
 #include "litmus/Parser.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 using namespace telechat;
 
@@ -612,4 +616,45 @@ private:
 
 ErrorOr<LitmusTest> telechat::parseKernelSnippet(std::string_view Text) {
   return SnippetParser(Text).run();
+}
+
+ErrorOr<std::vector<LitmusTest>>
+telechat::readKernelDirectory(const std::string &Path) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  if (!fs::is_directory(Path, EC))
+    return makeError(Path + ": not a directory");
+
+  std::vector<std::string> Names;
+  for (const fs::directory_entry &E : fs::directory_iterator(Path, EC)) {
+    if (EC)
+      return makeError(Path + ": " + EC.message());
+    std::string Name = E.path().filename().string();
+    if (Name.empty() || Name[0] == '.')
+      continue; // Editor droppings and VCS metadata, not kernels.
+    if (!E.is_regular_file(EC))
+      continue;
+    Names.push_back(std::move(Name));
+  }
+  // Directory iteration order is filesystem-dependent; the corpus order
+  // (and with it every unit id) must not be.
+  std::sort(Names.begin(), Names.end());
+
+  std::vector<LitmusTest> Tests;
+  Tests.reserve(Names.size());
+  for (const std::string &Name : Names) {
+    std::string File = (fs::path(Path) / Name).string();
+    std::ifstream In(File);
+    if (!In)
+      return makeError("cannot open " + File);
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    ErrorOr<LitmusTest> T = parseKernelSnippet(Buffer.str());
+    if (!T)
+      return makeError(File + ": " + T.error());
+    Tests.push_back(std::move(*T));
+  }
+  if (Tests.empty())
+    return makeError(Path + ": no kernel snippet files found");
+  return Tests;
 }

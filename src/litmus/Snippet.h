@@ -59,13 +59,22 @@
 #include "litmus/Ast.h"
 #include "support/Error.h"
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace telechat {
 
 /// Parses a C++ kernel snippet; on failure, the error message includes
 /// the line number.
 ErrorOr<LitmusTest> parseKernelSnippet(std::string_view Text);
+
+/// Reads a directory of kernel-snippet files (one kernel per file, any
+/// extension; dotfiles and subdirectories are skipped) and parses each
+/// with parseKernelSnippet. Files are taken in lexicographic filename
+/// order so the corpus -- and therefore every campaign unit id over it --
+/// is stable across machines and runs. Errors name the offending file.
+ErrorOr<std::vector<LitmusTest>> readKernelDirectory(const std::string &Path);
 
 } // namespace telechat
 

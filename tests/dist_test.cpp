@@ -16,6 +16,7 @@
 #include "dist/CampaignJson.h"
 #include "dist/Journal.h"
 #include "dist/Protocol.h"
+#include "dist/Relay.h"
 #include "dist/Serialize.h"
 #include "dist/Socket.h"
 #include "dist/Wire.h"
@@ -24,6 +25,7 @@
 #include "diy/Classics.h"
 #include "diy/Generator.h"
 #include "litmus/Printer.h"
+#include "litmus/Snippet.h"
 #include "sim/Backend.h"
 #include "sim/Simulator.h"
 
@@ -32,7 +34,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <thread>
 
 using namespace telechat;
@@ -1544,6 +1548,648 @@ TEST(JournalCampaignTest, StaleReplaysAreCountedAndDropped) {
   EXPECT_EQ(Report.StaleReplays, 1u);
   ASSERT_EQ(Report.Results.size(), 1u);
   EXPECT_TRUE(Report.Results[0].SourceSim.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Lease scheduler tier
+//===----------------------------------------------------------------------===//
+
+TEST(LeaseSchedulerTest, LeaseRequeueAndCompletionDiscipline) {
+  LeaseScheduler S(64, 120.0);
+  for (uint64_t Id = 0; Id != 6; ++Id)
+    S.addPending(Id);
+  EXPECT_EQ(S.lease(0, 3), (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(S.lease(1, 3), (std::vector<uint64_t>{3, 4, 5}));
+  EXPECT_TRUE(S.everLeased(0, 2));
+  EXPECT_FALSE(S.everLeased(0, 3));
+  EXPECT_EQ(S.outstanding(0), 3u);
+  EXPECT_EQ(S.leasedCount(), 6u);
+
+  // Slot 0 dies: its units requeue at the queue FRONT in ascending
+  // order, so orphans re-issue in corpus order, ahead of fresh work.
+  EXPECT_EQ(S.dropPeer(0).size(), 3u);
+  EXPECT_EQ(S.outstanding(0), 0u);
+  EXPECT_EQ(S.lease(1, 10), (std::vector<uint64_t>{0, 1, 2}));
+  // everLeased survives the drop: the dead peer's in-flight results are
+  // still authentic, not fabrications.
+  EXPECT_TRUE(S.everLeased(0, 2));
+
+  S.resultDelivered(1, 3);
+  S.markCompleted(3);
+  EXPECT_TRUE(S.completed(3));
+  EXPECT_FALSE(S.completed(4));
+  EXPECT_EQ(S.leasedCount(), 5u);
+  // A completed id drains out of the queue instead of re-leasing (the
+  // requeue-then-straggler-result race).
+  S.addPending(3);
+  EXPECT_TRUE(S.lease(2, 4).empty());
+}
+
+TEST(LeaseSchedulerTest, ExpiredLeasesRequeueFrontAscending) {
+  LeaseScheduler S(64, 0.0); // Every lease is instantly overdue.
+  for (uint64_t Id = 0; Id != 4; ++Id)
+    S.addPending(Id);
+  ASSERT_EQ(S.lease(0, 4).size(), 4u);
+  // The earliest deadline has already passed: no napping allowed.
+  EXPECT_EQ(S.pollTimeoutMs(500), 0);
+  EXPECT_EQ(S.expire().size(), 4u);
+  EXPECT_EQ(S.leasedCount(), 0u);
+  EXPECT_EQ(S.outstanding(0), 0u);
+  EXPECT_EQ(S.lease(1, 4), (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(LeaseSchedulerTest, PollTimeoutTracksEarliestLeaseDeadline) {
+  LeaseScheduler S(64, 120.0);
+  // Nothing leased: the idle tick is the only wakeup needed.
+  EXPECT_EQ(S.pollTimeoutMs(500), 500);
+  S.addPending(0);
+  ASSERT_EQ(S.lease(0, 1).size(), 1u);
+  // Deadline ~120s out, clamped to the idle tick...
+  EXPECT_EQ(S.pollTimeoutMs(500), 500);
+  // ...but with a huge idle budget the deadline itself bounds the nap.
+  int Ms = S.pollTimeoutMs(10 * 60 * 1000);
+  EXPECT_GT(Ms, 0);
+  EXPECT_LE(Ms, 120 * 1000 + 2);
+}
+
+TEST(LeaseSchedulerTest, AdaptiveCapSizesToDeliveryRateAndIsExported) {
+  // A microscopic backpressure target: one delivered result proves the
+  // peer cannot hold even a single unit's worth of it, so its cap must
+  // collapse to 1 -- while the FIRST batch is still the full maximum,
+  // the property that keeps small campaigns and the kill/stall drills
+  // on the old fixed-batch behaviour.
+  LeaseScheduler S(8, 120.0, /*TargetLeaseSeconds=*/1e-9);
+  for (uint64_t Id = 0; Id != 12; ++Id)
+    S.addPending(Id);
+  ASSERT_EQ(S.lease(0, 8).size(), 8u);
+  S.resultDelivered(0, 0);
+  EXPECT_EQ(S.lease(0, 8).size(), 1u);
+  LeaseSizing Z = S.sizing();
+  EXPECT_EQ(Z.Min, 1u);
+  EXPECT_EQ(Z.Max, 8u);
+  EXPECT_EQ(Z.Final, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Replaying unit source (journaled local campaigns)
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayingCampaignTest, ReplaysAreConsumedSilentlyAndRecorded) {
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB"),
+                                   classicTest("LB")};
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+  std::map<uint64_t, TelechatResult> Replay;
+  Replay[1] = sampleResult();
+  Replay[999] = TelechatResult(); // Stale: no such unit in the stream.
+  VectorUnitSource Inner(Units);
+  ReplayingUnitSource Source(Inner, std::move(Replay));
+  CampaignUnit U;
+  std::vector<uint64_t> Served;
+  while (Source.next(U))
+    Served.push_back(U.Id);
+  // The replayed unit never reaches the executor...
+  EXPECT_EQ(Served, (std::vector<uint64_t>{0, 2}));
+  // ...it is recorded with its meta for the id-keyed merge instead.
+  ASSERT_EQ(Source.applied().size(), 1u);
+  EXPECT_EQ(Source.applied()[0].Id, 1u);
+  EXPECT_EQ(Source.applied()[0].Meta.TestName, Units[1].Test.Name);
+  EXPECT_EQ(Source.applied()[0].Result.SourceSim.Allowed,
+            sampleResult().SourceSim.Allowed);
+  // The leftover entry is a stale replay (wrong spec's journal) until
+  // the driver accounts for it (dedupe-swallowed duplicates use
+  // forgetReplay the same way).
+  EXPECT_EQ(Source.staleReplays(), 1u);
+  Source.forgetReplay(999);
+  EXPECT_EQ(Source.staleReplays(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal compaction
+//===----------------------------------------------------------------------===//
+
+uint64_t fileSize(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  return In ? uint64_t(In.tellg()) : 0;
+}
+
+TEST(JournalCompactionTest, SortsDedupesAndDropsTruncatedTail) {
+  std::string Path = tmpJournalPath("compact");
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = genSpec(9, 5);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+  JournalWriter W;
+  ASSERT_EQ(W.create(Path, Spec, Configs), "");
+  // Arrival order, with a losing duplicate for id 2.
+  ASSERT_TRUE(W.appendResult(2, sampleResult()));
+  ASSERT_TRUE(W.appendResult(0, sampleResult()));
+  ASSERT_TRUE(W.appendResult(2, TelechatResult())); // First wins.
+  ASSERT_TRUE(W.appendResult(1, sampleResult()));
+  W.close();
+  uint64_t SizeBefore = fileSize(Path);
+  { // A torn append: half a length prefix, as a SIGKILL leaves it.
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out.write("\x20\x00", 2);
+  }
+
+  ErrorOr<CompactStats> Stats = compactJournal(Path);
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_EQ(Stats->BytesBefore, SizeBefore + 2);
+  EXPECT_EQ(Stats->Results, 3u);
+  EXPECT_LT(Stats->BytesAfter, Stats->BytesBefore); // Dup + tail gone.
+  EXPECT_EQ(fileSize(Path), Stats->BytesAfter);
+  // The temporary image was renamed into place, not left behind.
+  EXPECT_FALSE(std::ifstream(Path + ".compact").good());
+
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  EXPECT_FALSE(J->TruncatedTail);
+  EXPECT_EQ(J->Spec.Gen.Seed, 9u);
+  ASSERT_EQ(J->Results.size(), 3u);
+  for (uint64_t I = 0; I != 3; ++I)
+    EXPECT_EQ(J->Results[I].first, I); // Arrival order -> corpus order.
+  // The first-written result for id 2 survived compaction, not the
+  // empty duplicate.
+  EXPECT_EQ(J->Results[2].second.SourceSim.Allowed,
+            sampleResult().SourceSim.Allowed);
+  EXPECT_FALSE(J->Results[2].second.SourceSim.Allowed.empty());
+}
+
+TEST(JournalCompactionTest, CompactionIsIdempotent) {
+  std::string Path = tmpJournalPath("compact_twice");
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = genSpec();
+  JournalWriter W;
+  ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+  ASSERT_TRUE(W.appendResult(1, sampleResult()));
+  ASSERT_TRUE(W.appendResult(0, sampleResult()));
+  W.close();
+
+  ErrorOr<CompactStats> First = compactJournal(Path);
+  ASSERT_TRUE(First.hasValue()) << First.error();
+  std::ifstream In1(Path, std::ios::binary);
+  std::string Bytes1((std::istreambuf_iterator<char>(In1)),
+                     std::istreambuf_iterator<char>());
+  In1.close();
+
+  ErrorOr<CompactStats> Second = compactJournal(Path);
+  ASSERT_TRUE(Second.hasValue()) << Second.error();
+  EXPECT_EQ(Second->BytesBefore, First->BytesAfter);
+  EXPECT_EQ(Second->BytesAfter, Second->BytesBefore);
+  EXPECT_EQ(Second->Results, 2u);
+  std::ifstream In2(Path, std::ios::binary);
+  std::string Bytes2((std::istreambuf_iterator<char>(In2)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(Bytes1, Bytes2) << "a compacted journal is a fixed point";
+}
+
+TEST(JournalCompactionTest, CompactedJournalResumesByteIdentically) {
+  // The acceptance gate: crash -> compact -> resume merges
+  // byte-identically to the uninterrupted run.
+  RandomGenOptions G = genSpec(21, 4);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+  CampaignSourceSpec Spec;
+  Spec.K = CampaignSourceSpec::Kind::Generator;
+  Spec.Gen = G;
+  Spec.NumConfigs = uint32_t(Configs.size());
+  LocalRun Ref = runStreamedLocal(G, Configs);
+  ASSERT_GE(Ref.Results.size(), 3u);
+  std::string RefJson = campaignResultsJson(Ref.Meta, Configs, Ref.Results);
+
+  // The crash image: results out of arrival order, then a torn append.
+  std::string Path = tmpJournalPath("compact_resume");
+  {
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, Configs), "");
+    ASSERT_TRUE(W.appendResult(2, Ref.Results[2]));
+    ASSERT_TRUE(W.appendResult(0, Ref.Results[0]));
+  }
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out.write("\x10", 1);
+  }
+  ErrorOr<CompactStats> Stats = compactJournal(Path);
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_EQ(Stats->Results, 2u);
+
+  // Resume off the compacted image: only the missing units execute.
+  ErrorOr<JournalContents> J = readJournal(Path);
+  ASSERT_TRUE(J.hasValue()) << J.error();
+  EXPECT_FALSE(J->TruncatedTail);
+  ASSERT_EQ(J->Results.size(), 2u);
+  JournalWriter Appender;
+  ASSERT_EQ(Appender.openAppend(Path, J->ValidBytes), "");
+  WorkServer Server(J->Spec.makeSource(), J->Configs,
+                    WorkServerOptions());
+  Server.setJournal(&Appender);
+  Server.preloadResults(std::move(J->Results));
+  ASSERT_EQ(Server.start(), "");
+  uint16_t Port = Server.port();
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  ErrorOr<WorkerRunStats> Stats2 =
+      runCampaignWorker("127.0.0.1", Port, WOpts);
+  Srv.join();
+  Appender.close();
+  ASSERT_TRUE(Stats2.hasValue()) << Stats2.error();
+  EXPECT_EQ(Report.ReplayedResults, 2u);
+  EXPECT_EQ(Stats2->UnitsCompleted, Ref.Results.size() - 2);
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, J->Configs,
+                                Report.Results),
+            RefJson);
+
+  // Compacting the now-complete journal and replaying it with no
+  // workers still reproduces the same bytes.
+  ErrorOr<CompactStats> Full = compactJournal(Path);
+  ASSERT_TRUE(Full.hasValue()) << Full.error();
+  EXPECT_EQ(Full->Results, Ref.Results.size());
+  ErrorOr<JournalContents> Whole = readJournal(Path);
+  ASSERT_TRUE(Whole.hasValue()) << Whole.error();
+  WorkServer Idle(Whole->Spec.makeSource(), Whole->Configs,
+                  WorkServerOptions());
+  Idle.preloadResults(std::move(Whole->Results));
+  ASSERT_EQ(Idle.start(), "");
+  CampaignReport IdleReport = Idle.run(); // Must return, not block.
+  EXPECT_EQ(IdleReport.ReplayedResults, Ref.Results.size());
+  EXPECT_EQ(campaignResultsJson(IdleReport.UnitsMeta, Whole->Configs,
+                                IdleReport.Results),
+            RefJson);
+}
+
+TEST(JournalCompactionTest, HostileJournalsAreRefusedIntact) {
+  std::string Path = tmpJournalPath("compact_hostile");
+
+  // Missing file.
+  EXPECT_FALSE(compactJournal(Path).hasValue());
+
+  auto WriteBytes = [&](const std::vector<uint8_t> &Bytes) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              long(Bytes.size()));
+  };
+  auto Framed = [](JournalRec Tag, const WireBuffer &Payload) {
+    std::vector<uint8_t> Bytes;
+    uint32_t Len = uint32_t(Payload.size()) + 1;
+    for (size_t I = 0; I != 4; ++I)
+      Bytes.push_back(uint8_t(Len >> (8 * I)));
+    Bytes.push_back(uint8_t(Tag));
+    Bytes.insert(Bytes.end(), Payload.data(),
+                 Payload.data() + Payload.size());
+    return Bytes;
+  };
+
+  // Empty file: no header to rewrite.
+  WriteBytes({});
+  EXPECT_FALSE(compactJournal(Path).hasValue());
+
+  // Bad magic.
+  {
+    WireBuffer B;
+    B.appendU32(0xdeadbeef);
+    B.appendU16(JournalVersion);
+    WriteBytes(Framed(JournalRec::Header, B));
+    EXPECT_FALSE(compactJournal(Path).hasValue());
+  }
+
+  // A complete-but-garbage result record behind a valid header is
+  // corruption: compaction must refuse it AND leave the original bytes
+  // untouched -- rewriting a journal it cannot fully read would turn
+  // recoverable corruption into silent data loss.
+  {
+    CampaignSourceSpec Spec;
+    Spec.K = CampaignSourceSpec::Kind::Generator;
+    Spec.Gen = genSpec();
+    JournalWriter W;
+    ASSERT_EQ(W.create(Path, Spec, pipelineConfig()), "");
+    ASSERT_TRUE(W.appendResult(0, sampleResult()));
+    W.close();
+    std::ifstream In(Path, std::ios::binary);
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                               std::istreambuf_iterator<char>());
+    In.close();
+    WireBuffer Garbage;
+    Garbage.appendU64(1); // An id, then a truncated result payload.
+    std::vector<uint8_t> Rec = Framed(JournalRec::Result, Garbage);
+    Bytes.insert(Bytes.end(), Rec.begin(), Rec.end());
+    WriteBytes(Bytes);
+
+    ErrorOr<CompactStats> Stats = compactJournal(Path);
+    ASSERT_FALSE(Stats.hasValue());
+    EXPECT_NE(Stats.error().find("corrupt result record"),
+              std::string::npos);
+    std::ifstream After(Path, std::ios::binary);
+    std::vector<uint8_t> Untouched(
+        (std::istreambuf_iterator<char>(After)),
+        std::istreambuf_iterator<char>());
+    EXPECT_EQ(Untouched, Bytes) << "refused compaction must not write";
+    EXPECT_FALSE(std::ifstream(Path + ".compact").good());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Relay tier
+//===----------------------------------------------------------------------===//
+
+TEST(RelayTest, RelayedCampaignMatchesFlatByteForByte) {
+  // The tentpole invariant: server -> relay -> workers merges
+  // byte-identically to the local streamed run (and therefore to the
+  // flat server -> workers topology, which pins itself to the same
+  // local bytes in StreamedServedCampaignMatchesLocalStream).
+  RandomGenOptions G = genSpec(33, 5);
+  std::vector<CampaignConfig> Configs = pipelineConfig();
+  LocalRun Local = runStreamedLocal(G, Configs);
+  std::string FlatJson =
+      campaignResultsJson(Local.Meta, Configs, Local.Results);
+
+  WorkServer Server(
+      std::make_unique<GeneratorUnitSource>(G, uint32_t(Configs.size())),
+      Configs, WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+
+  RelayOptions ROpts;
+  ROpts.UpstreamPort = Server.port();
+  Relay R(ROpts);
+  ASSERT_EQ(R.start(), "");
+  RelayReport RReport;
+  std::thread Rly([&] { RReport = R.run(); });
+
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  WOpts.BatchSize = 2;
+  uint16_t RPort = R.port();
+  std::thread W1([&] { runCampaignWorker("127.0.0.1", RPort, WOpts); });
+  std::thread W2([&] { runCampaignWorker("127.0.0.1", RPort, WOpts); });
+  W1.join();
+  W2.join();
+  Rly.join();
+  Srv.join();
+
+  EXPECT_TRUE(Report.Error.empty()) << Report.Error;
+  EXPECT_TRUE(RReport.Error.empty()) << RReport.Error;
+  ASSERT_EQ(Report.Results.size(), Local.Results.size());
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, Configs,
+                                Report.Results),
+            FlatJson);
+  // Every unit crossed the relay exactly once, both directions.
+  EXPECT_EQ(RReport.UnitsRelayed, Local.Results.size());
+  EXPECT_EQ(RReport.ResultsForwarded, Local.Results.size());
+  EXPECT_EQ(RReport.Workers, 2u);
+  EXPECT_GT(RReport.PollWakeups, 0u);
+}
+
+TEST(RelayTest, DeadWorkerBehindRelayRequeuesToSiblings) {
+  // The tier-local fault model: a worker that leases units through a
+  // relay and vanishes must have them re-leased to its siblings behind
+  // the SAME relay -- the upstream server never sees the fault.
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB"),
+                                   classicTest("LB"), classicTest("IRIW")};
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  std::vector<CampaignUnit> Units = makeCampaignUnits(Tests);
+  std::vector<TelechatResult> Ref;
+  for (const CampaignUnit &U : Units)
+    Ref.push_back(runCampaignUnit(U, Configs));
+  std::string RefJson = campaignResultsJson(Units, Configs, Ref);
+
+  WorkServer Server(Units, Configs, WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+
+  RelayOptions ROpts;
+  ROpts.UpstreamPort = Server.port();
+  Relay R(ROpts);
+  ASSERT_EQ(R.start(), "");
+  RelayReport RReport;
+  std::thread Rly([&] { RReport = R.run(); });
+
+  // A raw client handshakes, pulls two units, and dies holding them.
+  uint32_t Leased = 0;
+  {
+    ErrorOr<TcpSocket> Client = tcpConnect("127.0.0.1", R.port(), 5.0);
+    ASSERT_TRUE(Client.hasValue()) << Client.error();
+    WireBuffer B;
+    B.appendU32(WireMagic);
+    B.appendU16(WireVersion);
+    B.appendU32(1);
+    ASSERT_TRUE(sendFrame(*Client, uint8_t(Msg::Hello), B));
+    ErrorOr<Frame> Ack = recvFrame(*Client);
+    ASSERT_TRUE(Ack.hasValue()) << Ack.error();
+    ASSERT_EQ(Ack->Type, uint8_t(Msg::HelloAck));
+    {
+      // The relay replays the root server's ack verbatim: same
+      // version, same planned total.
+      WireCursor C(Ack->Payload);
+      EXPECT_EQ(C.readU16(), WireVersion);
+      EXPECT_EQ(C.readU64(), Units.size());
+    }
+    // The relay's first answers are Wait frames while it pulls from
+    // upstream; keep asking until units arrive.
+    for (int Tries = 0; Tries != 1000 && Leased == 0; ++Tries) {
+      WireBuffer G;
+      G.appendU32(2);
+      ASSERT_TRUE(sendFrame(*Client, uint8_t(Msg::GetWork), G));
+      ErrorOr<Frame> Reply = recvFrame(*Client);
+      ASSERT_TRUE(Reply.hasValue()) << Reply.error();
+      if (Reply->Type == uint8_t(Msg::Wait)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      ASSERT_EQ(Reply->Type, uint8_t(Msg::Work));
+      WireCursor C(Reply->Payload);
+      Leased = C.readCount(16);
+      ASSERT_TRUE(C.ok());
+    }
+    ASSERT_GT(Leased, 0u);
+    Client->close(); // ...without returning a single result.
+  }
+
+  // A real worker finishes the whole campaign through the relay.
+  WorkerOptions WOpts;
+  WOpts.Jobs = 2;
+  ErrorOr<WorkerRunStats> Stats =
+      runCampaignWorker("127.0.0.1", R.port(), WOpts);
+  Rly.join();
+  Srv.join();
+
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_TRUE(Stats->CleanDone);
+  EXPECT_TRUE(RReport.Error.empty()) << RReport.Error;
+  EXPECT_GE(RReport.Requeues, Leased); // The died-holding-units fault.
+  EXPECT_EQ(Report.Requeues, 0u) << "the fault must stay behind the relay";
+  ASSERT_EQ(Report.Results.size(), Units.size());
+  EXPECT_EQ(campaignResultsJson(Report.UnitsMeta, Configs,
+                                Report.Results),
+            RefJson);
+}
+
+TEST(RelayTest, RefusesWhenUpstreamIsAbsent) {
+  RelayOptions ROpts;
+  ROpts.UpstreamPort = 1; // Reserved port: nothing listens there.
+  ROpts.ConnectRetrySeconds = 0.0;
+  Relay R(ROpts);
+  std::string Err = R.start();
+  ASSERT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("upstream connect"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Live status endpoint
+//===----------------------------------------------------------------------===//
+
+std::string httpGet(uint16_t Port, const std::string &Target) {
+  ErrorOr<TcpSocket> S = tcpConnect("127.0.0.1", Port, 5.0);
+  if (!S)
+    return "connect failed: " + S.error();
+  std::string Req = "GET " + Target + " HTTP/1.0\r\n\r\n";
+  if (!S->sendAll(Req.data(), Req.size()))
+    return "send failed";
+  std::string Reply;
+  char Buf[4096];
+  long N;
+  while ((N = S->recvSome(Buf, sizeof(Buf))) > 0)
+    Reply.append(Buf, size_t(N));
+  return Reply;
+}
+
+TEST(StatusEndpointTest, ServerExportsLiveJsonOverHttp) {
+  std::vector<LitmusTest> Tests = {classicTest("MP"), classicTest("SB")};
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  WorkServerOptions SOpts;
+  SOpts.StatusPort = 0; // Ephemeral.
+  WorkServer Server(makeCampaignUnits(Tests), Configs, SOpts);
+  ASSERT_EQ(Server.start(), "");
+  uint16_t SPort = Server.statusPort();
+  ASSERT_NE(SPort, 0);
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+
+  std::string Reply = httpGet(SPort, "/status");
+  EXPECT_NE(Reply.find("200 OK"), std::string::npos) << Reply;
+  EXPECT_NE(Reply.find("application/json"), std::string::npos) << Reply;
+  EXPECT_NE(Reply.find("\"role\": \"server\""), std::string::npos)
+      << Reply;
+  EXPECT_NE(Reply.find("\"planned\": 2"), std::string::npos) << Reply;
+  EXPECT_NE(Reply.find("\"completed\": 0"), std::string::npos) << Reply;
+  EXPECT_NE(Reply.find("\"lease_size_min\": "), std::string::npos);
+  EXPECT_NE(Reply.find("\"poll_wakeups\": "), std::string::npos);
+  EXPECT_NE(Reply.find("\"workers\": ["), std::string::npos);
+  // Unknown target: a 404, not a hang, a crash, or a served campaign.
+  EXPECT_NE(httpGet(SPort, "/nope").find("404"), std::string::npos);
+
+  // Status traffic must not perturb the campaign itself.
+  WorkerOptions WOpts;
+  WOpts.Jobs = 1;
+  ErrorOr<WorkerRunStats> Stats =
+      runCampaignWorker("127.0.0.1", Server.port(), WOpts);
+  Srv.join();
+  ASSERT_TRUE(Stats.hasValue()) << Stats.error();
+  EXPECT_EQ(Report.Results.size(), Tests.size());
+}
+
+TEST(StatusEndpointTest, RelayExportsItsOwnRole) {
+  std::vector<LitmusTest> Tests = {classicTest("MP")};
+  std::vector<CampaignConfig> Configs = simOnlyConfig();
+  WorkServer Server(makeCampaignUnits(Tests), Configs,
+                    WorkServerOptions());
+  ASSERT_EQ(Server.start(), "");
+  CampaignReport Report;
+  std::thread Srv([&] { Report = Server.run(); });
+
+  RelayOptions ROpts;
+  ROpts.UpstreamPort = Server.port();
+  ROpts.StatusPort = 0;
+  Relay R(ROpts);
+  ASSERT_EQ(R.start(), "");
+  ASSERT_NE(R.statusPort(), 0);
+  RelayReport RReport;
+  std::thread Rly([&] { RReport = R.run(); });
+
+  std::string Reply = httpGet(R.statusPort(), "/status");
+  EXPECT_NE(Reply.find("200 OK"), std::string::npos) << Reply;
+  EXPECT_NE(Reply.find("\"role\": \"relay\""), std::string::npos)
+      << Reply;
+  EXPECT_NE(Reply.find("\"planned\": 1"), std::string::npos) << Reply;
+
+  WorkerOptions WOpts;
+  WOpts.Jobs = 1;
+  runCampaignWorker("127.0.0.1", R.port(), WOpts);
+  Rly.join();
+  Srv.join();
+  EXPECT_TRUE(RReport.Error.empty()) << RReport.Error;
+  EXPECT_EQ(Report.Results.size(), Tests.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel-snippet directory corpus (--kernels)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCorpusTest, DirectoryReadsSortedSkipsDotfilesNamesErrors) {
+  namespace fs = std::filesystem;
+  fs::path Dir = fs::path(testing::TempDir()) / "telechat_kernels";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir / "sub"); // Subdirectories are skipped.
+  auto WriteFile = [&](const std::string &Name, const std::string &Text) {
+    std::ofstream Out(Dir / Name);
+    Out << Text;
+  };
+  const char *MP = R"(kernel mp_rel_acq
+std::atomic<int> flag = 0;
+std::atomic<int> data = 0;
+thread P0 {
+  data.store(1, std::memory_order_relaxed);
+  flag.store(1, std::memory_order_release);
+}
+thread P1 {
+  int r0 = flag.load(std::memory_order_acquire);
+  int r1 = data.load(std::memory_order_relaxed);
+}
+exists (P1:r0=1 && P1:r1=0)
+)";
+  const char *SB = R"(kernel store_buffer
+std::atomic<int> x = 0;
+std::atomic<int> y = 0;
+thread P0 {
+  x.store(1, std::memory_order_relaxed);
+  int r0 = y.load(std::memory_order_relaxed);
+}
+thread P1 {
+  y.store(1, std::memory_order_relaxed);
+  int r1 = x.load(std::memory_order_relaxed);
+}
+exists (P0:r0=0 && P1:r1=0)
+)";
+  // Written in reverse of their lexicographic order on purpose.
+  WriteFile("b_sb.cpp", SB);
+  WriteFile("a_mp.cpp", MP);
+  WriteFile(".hidden", "not a kernel at all");
+
+  ErrorOr<std::vector<LitmusTest>> Tests =
+      readKernelDirectory(Dir.string());
+  ASSERT_TRUE(Tests.hasValue()) << Tests.error();
+  ASSERT_EQ(Tests->size(), 2u);
+  // Filename order, not directory or mtime order: the corpus -- and
+  // therefore every campaign unit id over it -- is stable.
+  EXPECT_EQ((*Tests)[0].Name, "mp_rel_acq");
+  EXPECT_EQ((*Tests)[1].Name, "store_buffer");
+  EXPECT_EQ((*Tests)[0].Threads.size(), 2u);
+
+  // A parse error names the offending file.
+  WriteFile("c_bad.cpp", "kernel oops\nthis is not a kernel\n");
+  ErrorOr<std::vector<LitmusTest>> Bad =
+      readKernelDirectory(Dir.string());
+  ASSERT_FALSE(Bad.hasValue());
+  EXPECT_NE(Bad.error().find("c_bad.cpp"), std::string::npos)
+      << Bad.error();
+
+  // Not-a-directory and empty-directory are errors, not empty corpora
+  // (an empty campaign from a typo'd path would look like success).
+  EXPECT_FALSE(readKernelDirectory((Dir / "nope").string()).hasValue());
+  EXPECT_FALSE(readKernelDirectory((Dir / "sub").string()).hasValue());
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 #include "asmcore/AsmParser.h"
 #include "asmcore/Semantics.h"
 #include "dist/CampaignCli.h"
+#include "dist/Relay.h"
 #include "dist/Worker.h"
 #include "sim/Backend.h"
 #include "events/Dot.h"
@@ -53,7 +54,10 @@ static void usage() {
           "                  [--campaign-json <f>] [--engine-json <f>] "
           "[--journal <f>] [--resume] [--dedupe]\n"
           "                  [--bind <addr>] [--lease-timeout <s>] "
-          "[--batch <n>] [--verbose]   (shared with telechat --serve)\n"
+          "[--batch <n>] [--status-port <p>] [--compact] [--verbose]   "
+          "(shared with telechat --serve)\n"
+          "       litmus-sim --relay <listen-port> <host:port> "
+          "[--bind <addr>] [--batch <n>] [--status-port <p>]\n"
           "       litmus-sim --work <host:port> [-j <n>] [--batch <n>] "
           "[--max-units <n>] [--skel-cache <n>]\n"
           "  -j <n>          enumeration worker threads (0 = all hardware "
@@ -85,6 +89,8 @@ int main(int argc, char **argv) {
     return campaignToolMain(argc, argv, usage, CampaignCliMode::SimServe);
   if (std::string(argv[1]) == "--work")
     return workerToolMain(argc, argv, usage);
+  if (std::string(argv[1]) == "--relay")
+    return relayToolMain(argc, argv, usage);
   std::string Path = argv[1];
   std::string Model;
   bool Dot = false, Stats = false;

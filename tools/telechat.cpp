@@ -33,6 +33,7 @@
 #include "core/Fuzz.h"
 #include "core/Telechat.h"
 #include "dist/CampaignCli.h"
+#include "dist/Relay.h"
 #include "dist/Worker.h"
 #include "litmus/Parser.h"
 #include "litmus/Printer.h"
@@ -50,6 +51,7 @@ static void usage() {
           "       telechat --campaign [corpus] --profile <name> [options]\n"
           "       telechat --serve <port> [corpus] --profile <name> "
           "[options]\n"
+          "       telechat --relay <listen-port> <host:port> [options]\n"
           "       telechat --work <host:port> [-j N] [--batch N]\n"
           "\n"
           "single-test options:\n"
@@ -79,6 +81,8 @@ static void usage() {
           "corpus (campaign/serve): any mix, corpus order = given order\n"
           "  --corpus <file>    litmus file; may hold many tests (each\n"
           "                     starting with a 'C <name>' line)\n"
+          "  --kernels <dir>    directory of C++ kernel-snippet files\n"
+          "                     (litmus/Snippet.h), lexicographic order\n"
           "  --suite <name>     generated suite: c11, c11acq, or\n"
           "                     realworld[:family] (families: spsc, mpmc,\n"
           "                     seqlock, dclp, flagmsg, peterson)\n"
@@ -96,10 +100,17 @@ static void usage() {
           "                       between --campaign and --serve, streamed\n"
           "                       or materialised, resumed or not)\n"
           "  --engine-json <f>    throughput/requeue telemetry (--serve)\n"
-          "  --journal <f>        (--serve) append-only campaign journal:\n"
-          "                       spec + every accepted result\n"
-          "  --resume             (--serve) replay --journal, re-serve\n"
-          "                       only incomplete units\n"
+          "  --journal <f>        append-only campaign journal: spec +\n"
+          "                       every accepted result (--serve and\n"
+          "                       --campaign)\n"
+          "  --resume             replay --journal; only incomplete units\n"
+          "                       are served/executed again\n"
+          "  --compact            after a clean campaign, rewrite the\n"
+          "                       journal as header + results in unit-id\n"
+          "                       order (duplicates and partial tail\n"
+          "                       dropped); resume stays byte-identical\n"
+          "  --status-port <p>    (--serve/--relay) HTTP status endpoint:\n"
+          "                       GET /status -> live campaign JSON\n"
           "  --dedupe             execute one unit per canonical test\n"
           "                       shape (litmus/Canon.h) and rename its\n"
           "                       result onto the duplicates\n"
@@ -291,6 +302,8 @@ int main(int argc, char **argv) {
     return campaignToolMain(argc, argv, usage, CampaignCliMode::Local);
   if (Mode == "--work")
     return workerToolMain(argc, argv, usage);
+  if (Mode == "--relay")
+    return relayToolMain(argc, argv, usage);
   if (Mode == "--help" || Mode == "-h") {
     usage();
     return 0;
